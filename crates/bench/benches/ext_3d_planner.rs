@@ -1,0 +1,73 @@
+//! Extension study (paper §2.2): composing MeshSlice 2D TP with data and
+//! pipeline parallelism into a 3D training cluster. Reproduces the
+//! intro's argument that wide 2D TP shrinks per-chip DP traffic and
+//! pipeline depth, and shows the planner's chosen composition.
+
+use meshslice::llm::LlmConfig;
+use meshslice::memory::dp_traffic_per_chip;
+use meshslice::parallelism::{plan_cluster, simulate_plan, PlanOptions};
+use meshslice::report::Table;
+use meshslice_bench::{banner, quick_mode, sim_config};
+
+fn main() {
+    let cfg = sim_config();
+    let model = LlmConfig::gpt3();
+
+    banner(
+        "Extension (§2.2)",
+        "per-chip DP gradient traffic vs TP degree (GPT-3, 128 replicas)",
+    );
+    let mut t = Table::new(vec![
+        "TP degree".into(),
+        "DP traffic/chip".into(),
+        "vs 8-way".into(),
+    ]);
+    let base = dp_traffic_per_chip(&model, 8, 128, 2);
+    for tp in [8usize, 32, 128, 256] {
+        let traffic = dp_traffic_per_chip(&model, tp, 128, 2);
+        t.row(vec![
+            tp.to_string(),
+            format!("{:.0} MB", traffic as f64 / 1e6),
+            format!("{:.0}x smaller", base as f64 / traffic as f64),
+        ]);
+    }
+    println!("{t}");
+    println!("(paper §2.2: 128-way 2D TP -> 16x smaller per-chip DP traffic)");
+
+    let chips = if quick_mode() { 64 } else { 512 };
+    banner(
+        "Extension",
+        &format!("3D cluster planner: best DP x PP x 2D-TP splits of {chips} chips (GPT-3)"),
+    );
+    let plans = plan_cluster(
+        &model,
+        chips,
+        chips / 2,
+        2048,
+        256,
+        &cfg,
+        &PlanOptions::default(),
+    );
+    for plan in plans.iter().take(8) {
+        println!("  {plan}");
+    }
+    if plans.is_empty() {
+        println!("  (no feasible composition at this scale)");
+        return;
+    }
+    println!();
+    println!("validating the top compositions with the event-driven simulator:");
+    let opt = PlanOptions::default();
+    for plan in plans.iter().take(3) {
+        if let Some(t) = simulate_plan(&model, plan, chips / 2, 2048, &cfg, &opt) {
+            println!(
+                "  DP{} x PP{} x TP{}: estimated {:.1} ms, simulated {:.1} ms",
+                plan.dp,
+                plan.pp,
+                plan.tp_mesh,
+                plan.step_time.as_secs() * 1e3,
+                t.as_secs() * 1e3
+            );
+        }
+    }
+}

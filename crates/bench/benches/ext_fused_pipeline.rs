@@ -1,0 +1,50 @@
+//! Ablation: per-pass serial execution (the paper's evaluation model —
+//! each FC GeMM finishes before the next starts) vs a *fused* block
+//! program where MeshSlice's slicing and partial collectives prefetch
+//! across pass boundaries while the partial GeMMs stay in data-flow
+//! order. Quantifies how much of MeshSlice's remaining prologue/epilogue
+//! exposure cross-pass pipelining could recover.
+
+use meshslice::llm::TrainingSetup;
+use meshslice::report::{pct, Table};
+use meshslice::training::{simulate_fc_step, simulate_fused_block, Algorithm};
+use meshslice_bench::{banner, models, scale_chips, sim_config, WEAK_SCALING_CHIPS};
+
+fn main() {
+    let cfg = sim_config();
+    for model in models() {
+        banner(
+            "Ablation",
+            &format!(
+                "serial passes vs fused cross-pass pipelining — {}",
+                model.name
+            ),
+        );
+        let mut table = Table::new(vec![
+            "chips".into(),
+            "serial util".into(),
+            "fused util".into(),
+            "fused speedup".into(),
+        ]);
+        for &chips in scale_chips(&WEAK_SCALING_CHIPS).iter() {
+            let setup = TrainingSetup::weak_scaling(chips);
+            let serial = simulate_fc_step(&model, setup, chips, Algorithm::MeshSlice, &cfg);
+            let fused = simulate_fused_block(&model, setup, chips, &cfg);
+            if let (Some(serial), Some(fused)) = (serial, fused) {
+                table.row(vec![
+                    chips.to_string(),
+                    pct(serial.utilization()),
+                    pct(fused.utilization()),
+                    format!(
+                        "{:.1}%",
+                        (serial.block_time().as_secs() / fused.block_time().as_secs() - 1.0)
+                            * 100.0
+                    ),
+                ]);
+            }
+        }
+        println!("{table}");
+    }
+    println!("(fused = one program for all 12 pass GeMMs of a block; comm prefetches");
+    println!(" across pass boundaries, GeMMs stay in data-flow order)");
+}

@@ -1,0 +1,35 @@
+//! Extension study (paper §6, future work): MeshSlice on a *logical* 2D
+//! mesh mapped onto a switched GPU-style fabric, where AG/RdS collectives
+//! contend for bisection bandwidth instead of owning dedicated torus
+//! links.
+//!
+//! The paper predicts MeshSlice "becomes less efficient because AG/RdS
+//! operations will incur network contention that does not exist in
+//! physical meshes" — this harness quantifies that with the simulator's
+//! shared-fabric fluid model.
+
+use meshslice::experiments::logical_mesh_study;
+use meshslice::report::{pct, Table};
+use meshslice_bench::{banner, models, scale_cluster, sim_config};
+
+fn main() {
+    let cfg = sim_config();
+    let chips = scale_cluster();
+    for model in models() {
+        banner(
+            "Extension (§6)",
+            &format!(
+                "MeshSlice on a logical mesh over a shared fabric, {chips} chips — {}",
+                model.name
+            ),
+        );
+        let rows = logical_mesh_study(&model, chips, &[1.0, 0.5, 0.25, 0.125], &cfg);
+        let mut table = Table::new(vec!["network".into(), "FC utilization".into()]);
+        for r in &rows {
+            table.row(vec![r.network.clone(), pct(r.utilization)]);
+        }
+        println!("{table}");
+    }
+    println!("(the autotuner still assumes contention-free rings; §6 notes it");
+    println!(" would need a contention-aware cost model on logical meshes)");
+}

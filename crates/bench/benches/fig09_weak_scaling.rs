@@ -1,0 +1,61 @@
+//! Figure 9: FLOP utilization of the FC layers with different distributed
+//! GeMM algorithms under weak scaling (batch = chips/2, sequence 2048).
+//!
+//! Prints one table per model: rows are cluster sizes, columns the seven
+//! algorithms. The headline numbers to compare against the paper: at 256
+//! chips MeshSlice leads Wang by ≈13.8% (GPT-3) and ≈26.0% (Megatron) in
+//! FC-layer speed, and end-to-end by ≈12.0% / ≈23.4%.
+
+use meshslice::experiments::weak_scaling;
+use meshslice::llm::TrainingSetup;
+use meshslice::report::{pct_opt, Table};
+use meshslice::training::{end_to_end, simulate_fc_step, Algorithm};
+use meshslice_bench::{banner, models, save_artifact, scale_chips, sim_config, WEAK_SCALING_CHIPS};
+
+fn main() {
+    let cfg = sim_config();
+    let chips = scale_chips(&WEAK_SCALING_CHIPS);
+    for model in models() {
+        banner(
+            "Figure 9",
+            &format!("weak-scaling FC FLOP utilization — {}", model.name),
+        );
+        let points = weak_scaling(&model, &chips, &cfg);
+        let mut headers = vec!["chips".to_string()];
+        headers.extend(Algorithm::ALL.iter().map(|a| a.name().to_string()));
+        let mut table = Table::new(headers);
+        for p in &points {
+            let mut row = vec![p.chips.to_string()];
+            row.extend(p.utilization.iter().map(|(_, u)| pct_opt(*u)));
+            table.row(row);
+        }
+        println!("{table}");
+        save_artifact(
+            &table,
+            &format!("fig09_weak_scaling_{}", model.name.to_lowercase()),
+        );
+
+        // The paper's headline comparison at the largest cluster.
+        if let Some(&largest) = chips.last() {
+            let setup = TrainingSetup::weak_scaling(largest);
+            let ms = simulate_fc_step(&model, setup, largest, Algorithm::MeshSlice, &cfg);
+            let wang = simulate_fc_step(&model, setup, largest, Algorithm::Wang, &cfg);
+            if let (Some(ms), Some(wang)) = (ms, wang) {
+                let fc_speedup = wang.block_time().as_secs() / ms.block_time().as_secs() - 1.0;
+                let e2e_ms = end_to_end(&model, setup, largest, &ms, &cfg);
+                let e2e_wang = end_to_end(&model, setup, largest, &wang, &cfg);
+                let e2e_speedup = e2e_wang.step.as_secs() / e2e_ms.step.as_secs() - 1.0;
+                println!(
+                    "MeshSlice vs Wang at {largest} chips: FC speedup {:.1}%, \
+                     end-to-end speedup {:.1}% (paper: 13.8%/12.0% GPT-3, 26.0%/23.4% Megatron)",
+                    fc_speedup * 100.0,
+                    e2e_speedup * 100.0
+                );
+                println!(
+                    "MeshSlice mesh {}, Wang mesh {}",
+                    ms.mesh_shape, wang.mesh_shape
+                );
+            }
+        }
+    }
+}

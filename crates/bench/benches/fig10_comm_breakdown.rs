@@ -1,0 +1,47 @@
+//! Figure 10: breakdown of the communication time in the FC layers for
+//! the different algorithms, relative to each algorithm's own computation
+//! time, at 256 chips.
+//!
+//! The paper's qualitative findings to look for: Collective has the least
+//! communication time; Wang adds launch overhead (many SendRecvs);
+//! MeshSlice adds synchronization (more AG/RdS invocations); SUMMA is
+//! dominated by synchronization; Cannon and the 1D baselines pay heavy
+//! transfer (traffic) costs.
+
+use meshslice::experiments::comm_breakdown;
+use meshslice::report::Table;
+use meshslice_bench::{banner, models, scale_cluster, sim_config};
+
+fn main() {
+    let cfg = sim_config();
+    let chips = scale_cluster();
+    for model in models() {
+        banner(
+            "Figure 10",
+            &format!(
+                "communication time relative to compute time at {chips} chips — {}",
+                model.name
+            ),
+        );
+        let rows = comm_breakdown(&model, chips, &cfg);
+        let mut table = Table::new(vec![
+            "algorithm".into(),
+            "launch".into(),
+            "transfer".into(),
+            "sync".into(),
+            "total".into(),
+        ]);
+        for r in &rows {
+            table.row(vec![
+                r.algorithm.name().to_string(),
+                format!("{:.3}", r.launch),
+                format!("{:.3}", r.transfer),
+                format!("{:.3}", r.sync),
+                format!("{:.3}", r.total()),
+            ]);
+        }
+        println!("{table}");
+        println!("(values are fractions of the algorithm's own GeMM compute time;");
+        println!(" a total below 1.0 is theoretically fully hideable by overlap)");
+    }
+}

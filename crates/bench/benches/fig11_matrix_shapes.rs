@@ -1,0 +1,58 @@
+//! Figure 11: FLOP utilization of the distinct FC GeMM shapes (eight per
+//! model, sixteen total) for the five 2D GeMM algorithms at 256 chips.
+//!
+//! Paper headline: MeshSlice is fastest on all sixteen GeMMs, on average
+//! 27.8% over Collective and 19.1% over Wang, with larger wins on larger
+//! GeMMs.
+
+use meshslice::experiments::matrix_shapes;
+use meshslice::report::{pct_opt, Table};
+use meshslice::training::Algorithm;
+use meshslice_bench::{banner, models, scale_cluster, sim_config};
+
+fn main() {
+    let cfg = sim_config();
+    let chips = scale_cluster();
+    let mut ms_over_coll: Vec<f64> = Vec::new();
+    let mut ms_over_wang: Vec<f64> = Vec::new();
+    for model in models() {
+        banner(
+            "Figure 11",
+            &format!(
+                "per-GeMM FLOP utilization of 2D algorithms at {chips} chips — {}",
+                model.name
+            ),
+        );
+        let rows = matrix_shapes(&model, chips, &cfg);
+        let mut headers = vec!["GeMM (MxNxK)".to_string()];
+        headers.extend(Algorithm::TWO_D.iter().map(|a| a.name().to_string()));
+        let mut table = Table::new(headers);
+        for r in &rows {
+            let mut cells = vec![r.shape.to_string()];
+            cells.extend(r.utilization.iter().map(|(_, u)| pct_opt(*u)));
+            table.row(cells);
+            let get = |a: Algorithm| {
+                r.utilization
+                    .iter()
+                    .find(|(x, _)| *x == a)
+                    .and_then(|(_, u)| *u)
+            };
+            if let (Some(ms), Some(coll), Some(wang)) = (
+                get(Algorithm::MeshSlice),
+                get(Algorithm::Collective),
+                get(Algorithm::Wang),
+            ) {
+                ms_over_coll.push(ms / coll - 1.0);
+                ms_over_wang.push(ms / wang - 1.0);
+            }
+        }
+        println!("{table}");
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64 * 100.0;
+    println!(
+        "average MeshSlice speedup: {:.1}% over Collective, {:.1}% over Wang \
+         (paper: 27.8% and 19.1%)",
+        avg(&ms_over_coll),
+        avg(&ms_over_wang)
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 12: FLOP utilization of the FC layers under strong scaling —
+//! the global batch is fixed at 32 while the cluster grows, so per-chip
+//! compute shrinks and communication comes to dominate.
+//!
+//! Paper headline: at 16 chips everything is compute-bound and all
+//! algorithms do well; at 256 chips MeshSlice's overlap gain diminishes
+//! (nothing left to hide behind) and it converges towards Collective and
+//! Wang, while still beating SUMMA and 1D TP. FSDP cannot strong-scale.
+
+use meshslice::experiments::strong_scaling;
+use meshslice::report::{pct_opt, Table};
+use meshslice::training::Algorithm;
+use meshslice_bench::{
+    banner, models, save_artifact, scale_chips, sim_config, STRONG_SCALING_CHIPS,
+};
+
+fn main() {
+    let cfg = sim_config();
+    let chips = scale_chips(&STRONG_SCALING_CHIPS);
+    for model in models() {
+        banner(
+            "Figure 12",
+            &format!(
+                "strong-scaling FC FLOP utilization (batch = 32) — {}",
+                model.name
+            ),
+        );
+        let points = strong_scaling(&model, &chips, &cfg);
+        let mut headers = vec!["chips".to_string()];
+        headers.extend(Algorithm::ALL.iter().map(|a| a.name().to_string()));
+        let mut table = Table::new(headers);
+        for p in &points {
+            let mut row = vec![p.chips.to_string()];
+            row.extend(p.utilization.iter().map(|(_, u)| pct_opt(*u)));
+            table.row(row);
+        }
+        println!("{table}");
+        save_artifact(
+            &table,
+            &format!("fig12_strong_scaling_{}", model.name.to_lowercase()),
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 13: FLOP utilization estimated by the autotuner's cost models
+//! vs the utilization obtained through simulation, across every mesh
+//! shape of a 256-chip cluster.
+//!
+//! What matters is that the cost model ranks configurations correctly —
+//! in particular that it identifies the same optimal mesh shape as the
+//! simulator. The paper observes up to a 2.4× gap between the best and
+//! worst shapes for GPT-3.
+
+use meshslice::experiments::mesh_shape_sweep;
+use meshslice::report::{pct_opt, Table};
+use meshslice_bench::{banner, models, save_artifact, scale_cluster, sim_config};
+
+fn main() {
+    let cfg = sim_config();
+    let chips = scale_cluster();
+    for model in models() {
+        banner(
+            "Figure 13",
+            &format!(
+                "estimated vs simulated utilization across {chips}-chip mesh shapes — {}",
+                model.name
+            ),
+        );
+        let rows = mesh_shape_sweep(&model, chips, &cfg);
+        let mut table = Table::new(vec!["mesh".into(), "estimated".into(), "simulated".into()]);
+        for r in &rows {
+            table.row(vec![
+                r.mesh.to_string(),
+                pct_opt(r.estimated),
+                pct_opt(r.simulated),
+            ]);
+        }
+        println!("{table}");
+        save_artifact(
+            &table,
+            &format!("fig13_mesh_shapes_{}", model.name.to_lowercase()),
+        );
+        let best = |f: fn(&meshslice::experiments::MeshShapePoint) -> Option<f64>| {
+            rows.iter()
+                .filter_map(|r| f(r).map(|u| (r.mesh, u)))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+        };
+        if let (Some((em, _)), Some((sm, su))) = (best(|r| r.estimated), best(|r| r.simulated)) {
+            let worst = rows
+                .iter()
+                .filter_map(|r| r.simulated)
+                .min_by(f64::total_cmp)
+                .unwrap_or(su);
+            println!(
+                "cost model picks {em}, simulation picks {sm} ({}) | best/worst simulated = {:.2}x",
+                if em == sm { "MATCH" } else { "MISMATCH" },
+                su / worst
+            );
+        }
+    }
+}

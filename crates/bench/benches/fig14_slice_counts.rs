@@ -1,0 +1,56 @@
+//! Figure 14: FLOP utilization estimated by the cost models vs obtained
+//! with simulation, for different slice counts S on a 32×8 mesh.
+//!
+//! Paper headline: the optimal slice counts found by the cost models are
+//! the same ones the simulation finds — small S leaves the prologue and
+//! epilogue exposed, large S pays launch/synchronization overhead and
+//! fine-grain GeMM inefficiency.
+
+use meshslice::experiments::slice_count_sweep;
+use meshslice::report::{pct, Table};
+use meshslice::MeshShape;
+use meshslice_bench::{banner, models, quick_mode, save_artifact, sim_config};
+
+fn main() {
+    let cfg = sim_config();
+    let mesh = if quick_mode() {
+        MeshShape::new(8, 8)
+    } else {
+        MeshShape::new(32, 8)
+    };
+    let s_values = [1usize, 2, 4, 8, 16, 32, 64];
+    for model in models() {
+        banner(
+            "Figure 14",
+            &format!(
+                "estimated vs simulated utilization across slice counts on {mesh} — {}",
+                model.name
+            ),
+        );
+        let rows = slice_count_sweep(&model, mesh, &s_values, &cfg);
+        let mut table = Table::new(vec!["S".into(), "estimated".into(), "simulated".into()]);
+        for r in &rows {
+            table.row(vec![
+                r.requested_s.to_string(),
+                pct(r.estimated),
+                pct(r.simulated),
+            ]);
+        }
+        println!("{table}");
+        save_artifact(
+            &table,
+            &format!("fig14_slice_counts_{}", model.name.to_lowercase()),
+        );
+        let argmax = |f: fn(&meshslice::experiments::SliceCountPoint) -> f64| {
+            rows.iter()
+                .max_by(|a, b| f(a).total_cmp(&f(b)))
+                .map(|r| r.requested_s)
+                .unwrap_or(1)
+        };
+        let (e, s) = (argmax(|r| r.estimated), argmax(|r| r.simulated));
+        println!(
+            "cost model optimum S = {e}, simulated optimum S = {s} ({})",
+            if e == s { "MATCH" } else { "MISMATCH" }
+        );
+    }
+}

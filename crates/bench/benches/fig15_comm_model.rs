@@ -1,0 +1,41 @@
+//! Figure 15: estimated vs measured total communication times of the
+//! eight FC layers (four per model) in MeshSlice, on the 4×4 cluster.
+//!
+//! The paper reports an average estimation error of 5.1%; ring AG/RdS
+//! suffer no network contention, so the linear cost model fits well. Our
+//! "measured" times come from the event-driven simulator, which adds HBM
+//! contention and queueing the cost model does not know about.
+
+use meshslice::experiments::comm_model_validation;
+use meshslice::report::Table;
+use meshslice_bench::{banner, models, sim_config};
+
+fn main() {
+    let cfg = sim_config();
+    banner(
+        "Figure 15",
+        "estimated vs measured FC-layer communication times (MeshSlice)",
+    );
+    let rows = comm_model_validation(&models(), &cfg);
+    let mut table = Table::new(vec![
+        "FC layer".into(),
+        "estimated".into(),
+        "measured".into(),
+        "error".into(),
+    ]);
+    let mut errs = Vec::new();
+    for r in &rows {
+        errs.push(r.error());
+        table.row(vec![
+            r.label.clone(),
+            format!("{:.3} ms", r.estimated * 1e3),
+            format!("{:.3} ms", r.simulated * 1e3),
+            format!("{:.1}%", r.error() * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "average estimation error: {:.1}% (paper: 5.1%)",
+        errs.iter().sum::<f64>() / errs.len().max(1) as f64 * 100.0
+    );
+}

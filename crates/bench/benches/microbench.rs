@@ -1,0 +1,83 @@
+//! Criterion microbenchmarks of the core primitives: blocked slicing,
+//! dense GeMM kernels, functional collectives, and the event-driven
+//! simulation engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meshslice_collectives::{all_gather, reduce_scatter};
+use meshslice_gemm::{Collective, Dataflow, DistributedGemm, GemmProblem, MeshSlice};
+use meshslice_mesh::{CommAxis, Torus2d};
+use meshslice_sim::{Engine, SimConfig};
+use meshslice_tensor::gemm::matmul;
+use meshslice_tensor::slice::{slice_cols, SliceSpec};
+use meshslice_tensor::{GemmShape, Matrix};
+
+fn bench_slicing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocked_slicing");
+    for s in [2usize, 8] {
+        let x = Matrix::random(256, 1024, 7);
+        let spec = SliceSpec::new(s, 8);
+        group.bench_with_input(BenchmarkId::new("slice_cols_256x1024", s), &s, |b, _| {
+            b.iter(|| slice_cols(std::hint::black_box(&x), spec, 0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_gemm");
+    for n in [64usize, 128] {
+        let a = Matrix::random(n, n, 1);
+        let b = Matrix::random(n, n, 2);
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bch, _| {
+            bch.iter(|| matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mesh = Torus2d::new(4, 4);
+    let shards: Vec<Matrix> = (0..16).map(|i| Matrix::random(64, 64, i)).collect();
+    c.bench_function("functional_all_gather_4x4_64x64", |b| {
+        b.iter(|| all_gather(&mesh, CommAxis::InterRow, std::hint::black_box(&shards)))
+    });
+    let partials: Vec<Matrix> = (0..16).map(|i| Matrix::random(64, 64, i + 50)).collect();
+    c.bench_function("functional_reduce_scatter_4x4_64x64", |b| {
+        b.iter(|| reduce_scatter(&mesh, CommAxis::InterCol, std::hint::black_box(&partials)))
+    });
+}
+
+fn bench_functional_meshslice(c: &mut Criterion) {
+    let mesh = Torus2d::new(2, 2);
+    let problem = GemmProblem::new(GemmShape::new(64, 64, 64), Dataflow::Os);
+    let (a, b) = problem.random_inputs(&mesh, 3);
+    let algo = MeshSlice::new(4, 8);
+    c.bench_function("functional_meshslice_2x2_64cubed_s4", |bch| {
+        bch.iter(|| algo.execute(&mesh, problem, &a, &b).unwrap())
+    });
+}
+
+fn bench_sim_engine(c: &mut Criterion) {
+    // Simulation throughput: one MeshSlice GeMM on a 16-chip cluster.
+    let mesh = Torus2d::new(4, 4);
+    let cfg = SimConfig::tpu_v4();
+    let problem = GemmProblem::new(GemmShape::new(8192, 8192, 8192), Dataflow::Os);
+    let ms_prog = MeshSlice::new(8, 8).schedule(&mesh, problem, 2).unwrap();
+    let coll_prog = Collective.schedule(&mesh, problem, 2).unwrap();
+    c.bench_function("sim_meshslice_4x4_s8", |b| {
+        b.iter(|| Engine::new(mesh.clone(), cfg.clone()).run(std::hint::black_box(&ms_prog)))
+    });
+    c.bench_function("sim_collective_4x4", |b| {
+        b.iter(|| Engine::new(mesh.clone(), cfg.clone()).run(std::hint::black_box(&coll_prog)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_slicing,
+    bench_gemm_kernel,
+    bench_collectives,
+    bench_functional_meshslice,
+    bench_sim_engine
+);
+criterion_main!(benches);

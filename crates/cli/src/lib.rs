@@ -1,0 +1,464 @@
+//! Command-line interface to the MeshSlice reproduction.
+//!
+//! The `meshslice` binary exposes the autotuner, the cluster simulator,
+//! and the 3D-parallelism planner without writing any Rust:
+//!
+//! ```text
+//! meshslice autotune gpt3 256
+//! meshslice compare megatron 64
+//! meshslice sweep-mesh gpt3 256
+//! meshslice sweep-slice gpt3 32x8
+//! meshslice plan3d gpt3 512 256
+//! meshslice traffic
+//! ```
+//!
+//! Command parsing and execution live in this library so they are
+//! unit-testable; `main.rs` is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use meshslice::autotuner::Autotuner;
+use meshslice::experiments::{mesh_shape_sweep, slice_count_sweep, traffic_25d_example};
+use meshslice::llm::{LlmConfig, TrainingSetup};
+use meshslice::parallelism::{plan_cluster, PlanOptions};
+use meshslice::report::{pct, pct_opt, Table};
+use meshslice::training::{end_to_end, simulate_fc_step, Algorithm};
+use meshslice::{MeshShape, SimConfig};
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `autotune <model> <chips>`: run both autotuner phases and print
+    /// the plan.
+    Autotune {
+        /// Target model.
+        model: Model,
+        /// Cluster size.
+        chips: usize,
+    },
+    /// `compare <model> <chips>`: simulate one block with every algorithm.
+    Compare {
+        /// Target model.
+        model: Model,
+        /// Cluster size.
+        chips: usize,
+    },
+    /// `sweep-mesh <model> <chips>`: estimated vs simulated utilization
+    /// across mesh shapes (Figure 13).
+    SweepMesh {
+        /// Target model.
+        model: Model,
+        /// Cluster size.
+        chips: usize,
+    },
+    /// `sweep-slice <model> <RxC>`: estimated vs simulated utilization
+    /// across slice counts (Figure 14).
+    SweepSlice {
+        /// Target model.
+        model: Model,
+        /// Mesh shape, e.g. `32x8`.
+        mesh: MeshShape,
+    },
+    /// `plan3d <model> <chips> <global_batch>`: best DP × PP × 2D-TP
+    /// compositions.
+    Plan3d {
+        /// Target model.
+        model: Model,
+        /// Cluster size.
+        chips: usize,
+        /// Global batch size.
+        batch: usize,
+    },
+    /// `memory <model> <chips>`: per-chip training memory footprint.
+    Memory {
+        /// Target model.
+        model: Model,
+        /// Cluster size.
+        chips: usize,
+    },
+    /// `inference <model> <chips>`: decode latency per block vs batch.
+    Inference {
+        /// Target model.
+        model: Model,
+        /// Cluster size.
+        chips: usize,
+    },
+    /// `traffic`: the §7 2.5D-vs-MeshSlice+DP traffic example.
+    Traffic,
+    /// `help`: usage text.
+    Help,
+}
+
+/// The models the CLI knows about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Model {
+    /// OpenAI GPT-3 (175B).
+    Gpt3,
+    /// NVIDIA Megatron-NLG (530B).
+    Megatron,
+}
+
+impl Model {
+    fn config(self) -> LlmConfig {
+        match self {
+            Model::Gpt3 => LlmConfig::gpt3(),
+            Model::Megatron => LlmConfig::megatron_nlg(),
+        }
+    }
+}
+
+/// Errors produced while parsing a command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UsageError(String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\n\n{}", self.0, USAGE)
+    }
+}
+
+impl Error for UsageError {}
+
+/// The usage text printed by `help` and on parse errors.
+pub const USAGE: &str = "\
+meshslice — 2D tensor parallelism autotuner & cluster simulator
+
+USAGE:
+    meshslice autotune    <gpt3|megatron> <chips>
+    meshslice compare     <gpt3|megatron> <chips>
+    meshslice sweep-mesh  <gpt3|megatron> <chips>
+    meshslice sweep-slice <gpt3|megatron> <RxC>
+    meshslice plan3d      <gpt3|megatron> <chips> <global_batch>
+    meshslice memory      <gpt3|megatron> <chips>
+    meshslice inference   <gpt3|megatron> <chips>
+    meshslice traffic
+    meshslice help";
+
+fn parse_model(s: &str) -> Result<Model, UsageError> {
+    match s.to_ascii_lowercase().as_str() {
+        "gpt3" | "gpt-3" => Ok(Model::Gpt3),
+        "megatron" | "megatron-nlg" => Ok(Model::Megatron),
+        other => Err(UsageError(format!("unknown model '{other}'"))),
+    }
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, UsageError> {
+    s.parse()
+        .map_err(|_| UsageError(format!("invalid {what} '{s}'")))
+}
+
+fn parse_mesh(s: &str) -> Result<MeshShape, UsageError> {
+    let (r, c) = s
+        .split_once(['x', 'X'])
+        .ok_or_else(|| UsageError(format!("mesh shape '{s}' is not of the form RxC")))?;
+    Ok(MeshShape::new(
+        parse_usize(r, "mesh rows")?.max(1),
+        parse_usize(c, "mesh cols")?.max(1),
+    ))
+}
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] describing the problem plus the usage text.
+pub fn parse(args: &[String]) -> Result<Command, UsageError> {
+    let mut it = args.iter().map(String::as_str);
+    let cmd = it.next().unwrap_or("help");
+    let mut need = |what: &str| -> Result<&str, UsageError> {
+        it.next()
+            .ok_or_else(|| UsageError(format!("missing argument: {what}")))
+    };
+    match cmd {
+        "autotune" => Ok(Command::Autotune {
+            model: parse_model(need("model")?)?,
+            chips: parse_usize(need("chips")?, "chip count")?,
+        }),
+        "compare" => Ok(Command::Compare {
+            model: parse_model(need("model")?)?,
+            chips: parse_usize(need("chips")?, "chip count")?,
+        }),
+        "sweep-mesh" => Ok(Command::SweepMesh {
+            model: parse_model(need("model")?)?,
+            chips: parse_usize(need("chips")?, "chip count")?,
+        }),
+        "sweep-slice" => Ok(Command::SweepSlice {
+            model: parse_model(need("model")?)?,
+            mesh: parse_mesh(need("mesh shape")?)?,
+        }),
+        "plan3d" => Ok(Command::Plan3d {
+            model: parse_model(need("model")?)?,
+            chips: parse_usize(need("chips")?, "chip count")?,
+            batch: parse_usize(need("global batch")?, "batch size")?,
+        }),
+        "memory" => Ok(Command::Memory {
+            model: parse_model(need("model")?)?,
+            chips: parse_usize(need("chips")?, "chip count")?,
+        }),
+        "inference" => Ok(Command::Inference {
+            model: parse_model(need("model")?)?,
+            chips: parse_usize(need("chips")?, "chip count")?,
+        }),
+        "traffic" => Ok(Command::Traffic),
+        "help" | "-h" | "--help" => Ok(Command::Help),
+        other => Err(UsageError(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Executes a parsed command, writing human-readable output to stdout.
+pub fn execute(cmd: Command) {
+    let cfg = SimConfig::tpu_v4();
+    match cmd {
+        Command::Help => println!("{USAGE}"),
+        Command::Autotune { model, chips } => {
+            let model = model.config();
+            let setup = TrainingSetup::weak_scaling(chips);
+            let tuner = Autotuner::new(cfg.clone());
+            let plan = tuner.tune(&model, setup, chips);
+            println!("{model} on {chips} chips -> mesh {}", plan.mesh_shape);
+            let mut t = Table::new(vec![
+                "layer".into(),
+                "pass".into(),
+                "dataflow".into(),
+                "S".into(),
+            ]);
+            for layer in &plan.layers {
+                for pass in &layer.passes {
+                    t.row(vec![
+                        layer.layer.name.into(),
+                        pass.pass.to_string(),
+                        pass.problem.dataflow.to_string(),
+                        pass.slice_count.to_string(),
+                    ]);
+                }
+            }
+            println!("{t}");
+            println!(
+                "estimated FC block time {:.3} ms",
+                plan.estimated_block_time.as_secs() * 1e3
+            );
+        }
+        Command::Compare { model, chips } => {
+            let model = model.config();
+            let setup = TrainingSetup::weak_scaling(chips);
+            let mut t = Table::new(vec![
+                "algorithm".into(),
+                "mesh".into(),
+                "FC util".into(),
+                "step".into(),
+            ]);
+            for algo in Algorithm::ALL {
+                match simulate_fc_step(&model, setup, chips, algo, &cfg) {
+                    Some(r) => {
+                        let e2e = end_to_end(&model, setup, chips, &r, &cfg);
+                        t.row(vec![
+                            algo.name().into(),
+                            r.mesh_shape.to_string(),
+                            pct(r.utilization()),
+                            format!("{:.1} ms", e2e.step.as_secs() * 1e3),
+                        ]);
+                    }
+                    None => t.row(vec![algo.name().into(), "-".into(), "-".into(), "-".into()]),
+                }
+            }
+            println!("{t}");
+        }
+        Command::SweepMesh { model, chips } => {
+            let model = model.config();
+            let mut t = Table::new(vec!["mesh".into(), "estimated".into(), "simulated".into()]);
+            for p in mesh_shape_sweep(&model, chips, &cfg) {
+                t.row(vec![
+                    p.mesh.to_string(),
+                    pct_opt(p.estimated),
+                    pct_opt(p.simulated),
+                ]);
+            }
+            println!("{t}");
+        }
+        Command::SweepSlice { model, mesh } => {
+            let model = model.config();
+            let mut t = Table::new(vec!["S".into(), "estimated".into(), "simulated".into()]);
+            for p in slice_count_sweep(&model, mesh, &[1, 2, 4, 8, 16, 32, 64], &cfg) {
+                t.row(vec![
+                    p.requested_s.to_string(),
+                    pct(p.estimated),
+                    pct(p.simulated),
+                ]);
+            }
+            println!("{t}");
+        }
+        Command::Plan3d {
+            model,
+            chips,
+            batch,
+        } => {
+            let model = model.config();
+            let plans = plan_cluster(
+                &model,
+                chips,
+                batch,
+                2048,
+                256,
+                &cfg,
+                &PlanOptions::default(),
+            );
+            if plans.is_empty() {
+                println!("no feasible DP x PP x TP composition for {chips} chips");
+            }
+            for p in plans.iter().take(10) {
+                println!("{p}");
+            }
+        }
+        Command::Memory { model, chips } => {
+            let model = model.config();
+            let setup = TrainingSetup::weak_scaling(chips);
+            let tuner = Autotuner::new(cfg.clone());
+            let plan = tuner.tune(&model, setup, chips);
+            let f = meshslice::memory::training_footprint(&model, setup, plan.mesh_shape, 8);
+            let gib = |b: u64| format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64);
+            let mut t = Table::new(vec!["state".into(), "per chip".into()]);
+            t.row(vec!["weights (bf16)".into(), gib(f.weights)]);
+            t.row(vec!["weight grads (bf16)".into(), gib(f.weight_grads)]);
+            t.row(vec!["optimizer (fp32 x3)".into(), gib(f.optimizer)]);
+            t.row(vec!["activations (ckpt)".into(), gib(f.activations)]);
+            t.row(vec!["MeshSlice workspace".into(), gib(f.workspace)]);
+            t.row(vec!["total".into(), gib(f.total())]);
+            println!("{model} on {chips} chips (mesh {}):", plan.mesh_shape);
+            println!("{t}");
+            println!(
+                "fits a 32 GiB TPUv4 HBM: {}",
+                if f.total() <= 32 << 30 { "yes" } else { "NO" }
+            );
+        }
+        Command::Inference { model, chips } => {
+            let model = model.config();
+            let rows =
+                meshslice::experiments::inference_study(&model, chips, &[32, 128, 512], &cfg);
+            let mut t = Table::new(vec![
+                "batch".into(),
+                "MeshSlice".into(),
+                "Collective".into(),
+                "Wang".into(),
+            ]);
+            for r in &rows {
+                let mut cells = vec![r.batch.to_string()];
+                cells.extend(r.block_latency.iter().map(|(_, lat)| {
+                    lat.map(|x| format!("{:.1} us", x * 1e6))
+                        .unwrap_or_else(|| "-".into())
+                }));
+                t.row(cells);
+            }
+            println!("decode latency per transformer block, {model} on {chips} chips:");
+            println!("{t}");
+        }
+        Command::Traffic => {
+            let mut t = Table::new(vec!["method".into(), "torus".into(), "traffic/chip".into()]);
+            for r in traffic_25d_example(cfg.elem_bytes) {
+                t.row(vec![
+                    r.method,
+                    r.torus,
+                    format!("{:.0} MB", r.per_chip_bytes as f64 / 1e6),
+                ]);
+            }
+            println!("{t}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_all_commands() {
+        assert_eq!(
+            parse(&args("autotune gpt3 256")).unwrap(),
+            Command::Autotune {
+                model: Model::Gpt3,
+                chips: 256
+            }
+        );
+        assert_eq!(
+            parse(&args("compare megatron 64")).unwrap(),
+            Command::Compare {
+                model: Model::Megatron,
+                chips: 64
+            }
+        );
+        assert_eq!(
+            parse(&args("sweep-slice gpt3 32x8")).unwrap(),
+            Command::SweepSlice {
+                model: Model::Gpt3,
+                mesh: MeshShape::new(32, 8)
+            }
+        );
+        assert_eq!(
+            parse(&args("plan3d gpt3 512 256")).unwrap(),
+            Command::Plan3d {
+                model: Model::Gpt3,
+                chips: 512,
+                batch: 256
+            }
+        );
+        assert_eq!(parse(&args("traffic")).unwrap(), Command::Traffic);
+        assert_eq!(
+            parse(&args("memory gpt3 256")).unwrap(),
+            Command::Memory {
+                model: Model::Gpt3,
+                chips: 256
+            }
+        );
+        assert_eq!(
+            parse(&args("inference megatron 64")).unwrap(),
+            Command::Inference {
+                model: Model::Megatron,
+                chips: 64
+            }
+        );
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn rejects_bad_input_with_usage() {
+        let err = parse(&args("autotune gpt5 16")).unwrap_err();
+        assert!(err.to_string().contains("unknown model"));
+        assert!(err.to_string().contains("USAGE"));
+        assert!(parse(&args("autotune gpt3")).is_err());
+        assert!(parse(&args("sweep-slice gpt3 328")).is_err());
+        assert!(parse(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn model_names_are_case_insensitive() {
+        assert_eq!(
+            parse(&args("compare GPT3 4")).unwrap(),
+            Command::Compare {
+                model: Model::Gpt3,
+                chips: 4
+            }
+        );
+        assert_eq!(
+            parse(&args("compare Megatron-NLG 4")).unwrap(),
+            Command::Compare {
+                model: Model::Megatron,
+                chips: 4
+            }
+        );
+    }
+
+    #[test]
+    fn executes_cheap_commands() {
+        // Smoke: these must not panic.
+        execute(Command::Help);
+        execute(Command::Traffic);
+    }
+}

@@ -1,0 +1,18 @@
+//! The `meshslice` command-line tool. See [`meshslice_cli`] for the
+//! commands.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match meshslice_cli::parse(&args) {
+        Ok(cmd) => {
+            meshslice_cli::execute(cmd);
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("{err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Functional collective communication over a simulated 2D mesh.
+//!
+//! These operations really move matrix data between per-chip buffers, so the
+//! distributed GeMM algorithms built on top of them can be verified
+//! numerically against dense GeMM. Timing is modeled elsewhere
+//! (`meshslice-sim`); this crate is purely about *what* each collective
+//! computes:
+//!
+//! - [`all_gather`] — ring AllGather (`AG_row` / `AG_col` of the paper).
+//! - [`reduce_scatter`] — ring ReduceScatter (`RdS_row` / `RdS_col`).
+//! - [`broadcast`] / [`reduce`] — the per-ring one-to-all and all-to-one
+//!   primitives SUMMA is built on.
+//! - [`shift`] / [`shift_by`] — SendRecv rotation, the primitive of Cannon's
+//!   algorithm and of Wang-style collective decomposition.
+//!
+//! All operations take the full cluster state (one [`Matrix`] per chip, in
+//! [`ChipId`] order) and return the new cluster state, which keeps the
+//! executor deterministic and single-threaded.
+//!
+//! # Example
+//!
+//! ```
+//! use meshslice_collectives::all_gather;
+//! use meshslice_mesh::{CommAxis, Torus2d};
+//! use meshslice_tensor::Matrix;
+//!
+//! let mesh = Torus2d::new(2, 1);
+//! let shards = vec![Matrix::identity(1), Matrix::zeros(1, 1)];
+//! // InterRow all-gather stacks the column's shards vertically on each chip.
+//! let gathered = all_gather(&mesh, CommAxis::InterRow, &shards);
+//! assert_eq!(gathered[0].dims(), (2, 1));
+//! assert_eq!(gathered[0], gathered[1]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use meshslice_mesh::{ChipId, CommAxis, Coord, Torus2d};
+use meshslice_tensor::Matrix;
+
+fn check_cluster_state(mesh: &Torus2d, state: &[Matrix]) {
+    assert_eq!(
+        state.len(),
+        mesh.num_chips(),
+        "cluster state has {} entries for a {}-chip mesh",
+        state.len(),
+        mesh.num_chips()
+    );
+}
+
+/// Concatenates per-ring shards on every chip (ring AllGather).
+///
+/// For [`CommAxis::InterRow`] the result on every chip of a mesh column is
+/// the vertical stack of that column's shards (in mesh-row order); for
+/// [`CommAxis::InterCol`] it is the horizontal concatenation of the row's
+/// shards (in mesh-column order). This matches the shard layout convention
+/// of §2.3.1: shard `(i, j)` holds the `(i, j)` block of the global matrix.
+///
+/// # Panics
+///
+/// Panics if `shards.len() != mesh.num_chips()` or shard dimensions are
+/// incompatible within a ring.
+pub fn all_gather(mesh: &Torus2d, axis: CommAxis, shards: &[Matrix]) -> Vec<Matrix> {
+    check_cluster_state(mesh, shards);
+    let mut out: Vec<Option<Matrix>> = vec![None; mesh.num_chips()];
+    for ring in mesh.rings(axis) {
+        let parts: Vec<Matrix> = ring
+            .members()
+            .iter()
+            .map(|&c| shards[c.index()].clone())
+            .collect();
+        let gathered = match axis {
+            CommAxis::InterRow => Matrix::vcat(&parts),
+            CommAxis::InterCol => Matrix::hcat(&parts),
+        };
+        for &chip in ring.members() {
+            out[chip.index()] = Some(gathered.clone());
+        }
+    }
+    out.into_iter()
+        .map(|m| m.expect("ring covered chip"))
+        .collect()
+}
+
+/// Sums per-ring partials and scatters the result (ring ReduceScatter).
+///
+/// Every chip contributes a full-size partial; the element-wise sum over the
+/// ring is split evenly (by rows for [`CommAxis::InterRow`], by columns for
+/// [`CommAxis::InterCol`]) and the chip at ring position `p` receives part
+/// `p`.
+///
+/// # Panics
+///
+/// Panics if the state size is wrong, partials within a ring have different
+/// dimensions, or the scatter dimension is not divisible by the ring length.
+pub fn reduce_scatter(mesh: &Torus2d, axis: CommAxis, partials: &[Matrix]) -> Vec<Matrix> {
+    check_cluster_state(mesh, partials);
+    let mut out: Vec<Option<Matrix>> = vec![None; mesh.num_chips()];
+    for ring in mesh.rings(axis) {
+        let mut sum = partials[ring.members()[0].index()].clone();
+        for &chip in &ring.members()[1..] {
+            sum += &partials[chip.index()];
+        }
+        let parts = match axis {
+            CommAxis::InterRow => sum.vsplit(ring.len()),
+            CommAxis::InterCol => sum.hsplit(ring.len()),
+        };
+        for (p, &chip) in ring.members().iter().enumerate() {
+            out[chip.index()] = Some(parts[p].clone());
+        }
+    }
+    out.into_iter()
+        .map(|m| m.expect("ring covered chip"))
+        .collect()
+}
+
+/// Broadcasts the value held at ring position `root_pos` to every chip of
+/// its ring (the `bcast_row` / `bcast_col` primitive of SUMMA).
+///
+/// # Panics
+///
+/// Panics if the state size is wrong or `root_pos` is outside any ring.
+pub fn broadcast(
+    mesh: &Torus2d,
+    axis: CommAxis,
+    root_pos: usize,
+    values: &[Matrix],
+) -> Vec<Matrix> {
+    check_cluster_state(mesh, values);
+    let mut out: Vec<Option<Matrix>> = vec![None; mesh.num_chips()];
+    for ring in mesh.rings(axis) {
+        assert!(
+            root_pos < ring.len(),
+            "root position {root_pos} outside ring of {} chips",
+            ring.len()
+        );
+        let root = ring.members()[root_pos];
+        for &chip in ring.members() {
+            out[chip.index()] = Some(values[root.index()].clone());
+        }
+    }
+    out.into_iter()
+        .map(|m| m.expect("ring covered chip"))
+        .collect()
+}
+
+/// Sums every ring member's partial into the chip at ring position
+/// `root_pos` (the `reduce` primitive of SUMMA); other chips keep their
+/// original value.
+///
+/// Returns the new cluster state; only roots are updated.
+///
+/// # Panics
+///
+/// Panics if the state size is wrong, `root_pos` is outside any ring, or
+/// partials within a ring have different dimensions.
+pub fn reduce(mesh: &Torus2d, axis: CommAxis, root_pos: usize, partials: &[Matrix]) -> Vec<Matrix> {
+    check_cluster_state(mesh, partials);
+    let mut out: Vec<Matrix> = partials.to_vec();
+    for ring in mesh.rings(axis) {
+        assert!(
+            root_pos < ring.len(),
+            "root position {root_pos} outside ring of {} chips",
+            ring.len()
+        );
+        let mut sum = partials[ring.members()[0].index()].clone();
+        for &chip in &ring.members()[1..] {
+            sum += &partials[chip.index()];
+        }
+        out[ring.members()[root_pos].index()] = sum;
+    }
+    out
+}
+
+/// Rotates values forward along the ring by `steps` (SendRecv shift): the
+/// chip at ring position `p` receives the value previously held at position
+/// `p − steps` (mod ring length).
+///
+/// A single Cannon step is `shift(…, 1)`.
+///
+/// # Panics
+///
+/// Panics if the state size is wrong.
+pub fn shift(mesh: &Torus2d, axis: CommAxis, steps: usize, values: &[Matrix]) -> Vec<Matrix> {
+    shift_by(mesh, axis, |_| steps, values)
+}
+
+/// Rotates values along the ring with a per-chip step count: the chip at
+/// ring position `p` receives the value from position `p − steps(coord)`
+/// where `coord` is the *receiving* chip's coordinate.
+///
+/// Cannon's initial skew uses this (see the skew test in this module for
+/// the exact orientation).
+///
+/// # Panics
+///
+/// Panics if the state size is wrong.
+pub fn shift_by(
+    mesh: &Torus2d,
+    axis: CommAxis,
+    steps: impl Fn(Coord) -> usize,
+    values: &[Matrix],
+) -> Vec<Matrix> {
+    check_cluster_state(mesh, values);
+    let mut out: Vec<Option<Matrix>> = vec![None; mesh.num_chips()];
+    for ring in mesh.rings(axis) {
+        let n = ring.len();
+        for (p, &chip) in ring.members().iter().enumerate() {
+            let s = steps(mesh.coord_of(chip)) % n;
+            let src = ring.members()[(p + n - s) % n];
+            out[chip.index()] = Some(values[src.index()].clone());
+        }
+    }
+    out.into_iter()
+        .map(|m| m.expect("ring covered chip"))
+        .collect()
+}
+
+/// Applies a function to every chip's value, producing a new cluster state.
+///
+/// A convenience for writing per-chip compute steps in the same style as the
+/// collectives.
+///
+/// # Panics
+///
+/// Panics if the state size is wrong.
+pub fn map_chips(
+    mesh: &Torus2d,
+    values: &[Matrix],
+    mut f: impl FnMut(ChipId, &Matrix) -> Matrix,
+) -> Vec<Matrix> {
+    check_cluster_state(mesh, values);
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, m)| f(ChipId(i), m))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshslice_tensor::shard::ShardGrid;
+
+    fn state_from_grid(grid: &ShardGrid) -> Vec<Matrix> {
+        grid.iter().map(|(_, s)| s.clone()).collect()
+    }
+
+    #[test]
+    fn all_gather_inter_col_reassembles_rows() {
+        // AG_col on a row gathers the row's shards side by side: the result
+        // on chip (i, j) is the full i-th block row of the global matrix.
+        let global = Matrix::from_fn(4, 6, |i, j| (i * 6 + j) as f32);
+        let mesh = Torus2d::new(2, 3);
+        let grid = ShardGrid::partition(&global, 2, 3);
+        let gathered = all_gather(&mesh, CommAxis::InterCol, &state_from_grid(&grid));
+        for chip in mesh.chips() {
+            let coord = mesh.coord_of(chip);
+            let expect = global.block(coord.row * 2, 0, 2, 6);
+            assert_eq!(gathered[chip.index()], expect, "chip {coord}");
+        }
+    }
+
+    #[test]
+    fn all_gather_inter_row_reassembles_cols() {
+        let global = Matrix::from_fn(6, 4, |i, j| (i * 4 + j) as f32);
+        let mesh = Torus2d::new(3, 2);
+        let grid = ShardGrid::partition(&global, 3, 2);
+        let gathered = all_gather(&mesh, CommAxis::InterRow, &state_from_grid(&grid));
+        for chip in mesh.chips() {
+            let coord = mesh.coord_of(chip);
+            let expect = global.block(0, coord.col * 2, 6, 2);
+            assert_eq!(gathered[chip.index()], expect, "chip {coord}");
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_sums_and_splits() {
+        let mesh = Torus2d::new(1, 3);
+        // Each chip contributes a 1x6 partial of all ones.
+        let partials = vec![Matrix::from_fn(1, 6, |_, _| 1.0); 3];
+        let scattered = reduce_scatter(&mesh, CommAxis::InterCol, &partials);
+        for (j, part) in scattered.iter().enumerate() {
+            assert_eq!(part.dims(), (1, 2), "chip {j}");
+            assert!(part.as_slice().iter().all(|&v| v == 3.0));
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_positions_match_shard_layout() {
+        // Chip at ring position p must receive the p-th split, so that
+        // the scattered output lands where shard (p, j) lives.
+        let mesh = Torus2d::new(2, 1);
+        let a = Matrix::from_fn(4, 1, |i, _| i as f32);
+        let partials = vec![a.clone(), Matrix::zeros(4, 1)];
+        let scattered = reduce_scatter(&mesh, CommAxis::InterRow, &partials);
+        assert_eq!(scattered[0].as_slice(), &[0.0, 1.0]);
+        assert_eq!(scattered[1].as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn all_gather_then_reduce_scatter_round_trips() {
+        // RdS of P identical copies divided by P returns the AG inputs.
+        let mesh = Torus2d::new(4, 1);
+        let shards: Vec<Matrix> = (0..4).map(|i| Matrix::random(2, 3, i as u64)).collect();
+        let gathered = all_gather(&mesh, CommAxis::InterRow, &shards);
+        let mut scattered = reduce_scatter(&mesh, CommAxis::InterRow, &gathered);
+        for (back, orig) in scattered.iter_mut().zip(&shards) {
+            back.scale(1.0 / 4.0);
+            assert!(back.approx_eq(orig, 1e-6));
+        }
+    }
+
+    #[test]
+    fn broadcast_copies_the_root_value() {
+        let mesh = Torus2d::new(3, 2);
+        let values: Vec<Matrix> = (0..6)
+            .map(|i| Matrix::from_fn(1, 1, |_, _| i as f32))
+            .collect();
+        // Broadcast along columns (InterRow) from ring position 1 (= mesh row 1).
+        let bc = broadcast(&mesh, CommAxis::InterRow, 1, &values);
+        for chip in mesh.chips() {
+            let coord = mesh.coord_of(chip);
+            let root = mesh.chip_at(Coord::new(1, coord.col));
+            assert_eq!(bc[chip.index()], values[root.index()]);
+        }
+    }
+
+    #[test]
+    fn reduce_accumulates_into_root_only() {
+        let mesh = Torus2d::new(1, 4);
+        let partials = vec![Matrix::from_fn(1, 1, |_, _| 2.0); 4];
+        let reduced = reduce(&mesh, CommAxis::InterCol, 2, &partials);
+        assert_eq!(reduced[2][(0, 0)], 8.0);
+        assert_eq!(reduced[0][(0, 0)], 2.0); // non-roots untouched
+    }
+
+    #[test]
+    fn shift_rotates_forward() {
+        let mesh = Torus2d::new(3, 1);
+        let values: Vec<Matrix> = (0..3)
+            .map(|i| Matrix::from_fn(1, 1, |_, _| i as f32))
+            .collect();
+        let shifted = shift(&mesh, CommAxis::InterRow, 1, &values);
+        // Chip at position p receives from p-1: position 0 gets value 2.
+        assert_eq!(shifted[0][(0, 0)], 2.0);
+        assert_eq!(shifted[1][(0, 0)], 0.0);
+        assert_eq!(shifted[2][(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn shift_full_circle_is_identity() {
+        let mesh = Torus2d::new(4, 1);
+        let values: Vec<Matrix> = (0..4).map(|i| Matrix::random(2, 2, i as u64)).collect();
+        let shifted = shift(&mesh, CommAxis::InterRow, 4, &values);
+        assert_eq!(shifted, values);
+    }
+
+    #[test]
+    fn skew_shift_by_row_matches_cannon_prologue() {
+        // Cannon's skew wants chip (i, j) to hold A_{i, (j + i) mod P}.
+        // With our receive-oriented shift, the receiver at column j pulls
+        // from ring position (j - steps); steps = P - i makes it pull from
+        // column (j + i) mod P.
+        let mesh = Torus2d::new(3, 3);
+        let values: Vec<Matrix> = (0..9)
+            .map(|i| Matrix::from_fn(1, 1, |_, _| i as f32))
+            .collect();
+        let skewed = shift_by(&mesh, CommAxis::InterCol, |c| 3 - (c.row % 3), &values);
+        for chip in mesh.chips() {
+            let c = mesh.coord_of(chip);
+            let expect = (c.row * 3 + (c.col + c.row) % 3) as f32;
+            assert_eq!(skewed[chip.index()][(0, 0)], expect, "chip {c}");
+        }
+    }
+
+    #[test]
+    fn map_chips_applies_per_chip() {
+        let mesh = Torus2d::new(2, 2);
+        let values = vec![Matrix::zeros(1, 1); 4];
+        let out = map_chips(&mesh, &values, |id, m| {
+            let mut m = m.clone();
+            m[(0, 0)] = id.index() as f32;
+            m
+        });
+        assert_eq!(out[3][(0, 0)], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster state has")]
+    fn wrong_state_size_panics() {
+        let mesh = Torus2d::new(2, 2);
+        all_gather(&mesh, CommAxis::InterRow, &[Matrix::zeros(1, 1)]);
+    }
+}

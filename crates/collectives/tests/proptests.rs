@@ -1,0 +1,138 @@
+//! Property-based tests for the functional collectives.
+
+use meshslice_collectives::{all_gather, broadcast, map_chips, reduce, reduce_scatter, shift};
+use meshslice_mesh::{ChipId, CommAxis, Torus2d};
+use meshslice_tensor::shard::ShardGrid;
+use meshslice_tensor::Matrix;
+use proptest::prelude::*;
+
+fn axis() -> impl Strategy<Value = CommAxis> {
+    prop_oneof![Just(CommAxis::InterRow), Just(CommAxis::InterCol)]
+}
+
+fn state(mesh: &Torus2d, rows: usize, cols: usize, seed: u64) -> Vec<Matrix> {
+    (0..mesh.num_chips())
+        .map(|i| Matrix::random(rows, cols, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+proptest! {
+    /// AllGather of a sharded matrix reconstructs the global block
+    /// row/column on every chip of the ring.
+    #[test]
+    fn all_gather_reconstructs_global_blocks(
+        pr in 1usize..5, pc in 1usize..5,
+        (r, c) in (1usize..4, 1usize..4),
+        seed in any::<u64>(),
+    ) {
+        let mesh = Torus2d::new(pr, pc);
+        let global = Matrix::random(pr * r, pc * c, seed);
+        let grid = ShardGrid::partition(&global, pr, pc);
+        let shards: Vec<Matrix> = grid.iter().map(|(_, s)| s.clone()).collect();
+        let rows_gathered = all_gather(&mesh, CommAxis::InterRow, &shards);
+        let cols_gathered = all_gather(&mesh, CommAxis::InterCol, &shards);
+        for chip in mesh.chips() {
+            let coord = mesh.coord_of(chip);
+            prop_assert_eq!(
+                &rows_gathered[chip.index()],
+                &global.block(0, coord.col * c, pr * r, c)
+            );
+            prop_assert_eq!(
+                &cols_gathered[chip.index()],
+                &global.block(coord.row * r, 0, r, pc * c)
+            );
+        }
+    }
+
+    /// AllGather then ReduceScatter (divided by ring length) is identity.
+    #[test]
+    fn ag_rds_round_trip(
+        pr in 1usize..5, pc in 1usize..5,
+        ax in axis(),
+        seed in any::<u64>(),
+    ) {
+        let mesh = Torus2d::new(pr, pc);
+        let ring = mesh.ring_len(ax);
+        let shards = state(&mesh, 2 * ring, 2 * ring, seed);
+        // The RdS scatter dimension must divide by the ring; both do.
+        let gathered = all_gather(&mesh, ax, &shards);
+        let mut back = reduce_scatter(&mesh, ax, &gathered);
+        for (b, orig) in back.iter_mut().zip(&shards) {
+            b.scale(1.0 / ring as f32);
+            prop_assert!(b.approx_eq(orig, 1e-5), "round trip diverged");
+        }
+    }
+
+    /// ReduceScatter then AllGather equals an all-reduce: every chip of a
+    /// ring ends with the ring's sum.
+    #[test]
+    fn rds_ag_is_all_reduce(
+        pr in 1usize..5, pc in 1usize..5,
+        ax in axis(),
+        seed in any::<u64>(),
+    ) {
+        let mesh = Torus2d::new(pr, pc);
+        let ring = mesh.ring_len(ax);
+        // Both dimensions divisible by the ring so either scatter axis works.
+        let partials = state(&mesh, 2 * ring, 2 * ring, seed);
+        let scattered = reduce_scatter(&mesh, ax, &partials);
+        let reduced = all_gather(&mesh, ax, &scattered);
+        // Independent check via the one-to-one reduce primitive.
+        let root = reduce(&mesh, ax, 0, &partials);
+        for chip in mesh.chips() {
+            let ring_members = mesh.ring_through(mesh.coord_of(chip), ax);
+            let root_chip = ring_members.members()[0];
+            prop_assert!(reduced[chip.index()].approx_eq(&root[root_chip.index()], 1e-4));
+        }
+    }
+
+    /// Shifting by the ring length is identity; shifts compose additively.
+    #[test]
+    fn shifts_compose(
+        pr in 1usize..5, pc in 1usize..5,
+        ax in axis(),
+        a in 0usize..6, b in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mesh = Torus2d::new(pr, pc);
+        let values = state(&mesh, 2, 2, seed);
+        let ring = mesh.ring_len(ax);
+        prop_assert_eq!(shift(&mesh, ax, ring, &values), values.clone());
+        let two_step = shift(&mesh, ax, b, &shift(&mesh, ax, a, &values));
+        let one_step = shift(&mesh, ax, a + b, &values);
+        prop_assert_eq!(two_step, one_step);
+    }
+
+    /// Broadcast makes every ring member equal to the root's value.
+    #[test]
+    fn broadcast_uniformity(
+        pr in 1usize..5, pc in 1usize..5,
+        ax in axis(),
+        root_sel in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mesh = Torus2d::new(pr, pc);
+        let root = root_sel % mesh.ring_len(ax);
+        let values = state(&mesh, 2, 2, seed);
+        let bc = broadcast(&mesh, ax, root, &values);
+        for ring in mesh.rings(ax) {
+            let expect = &bc[ring.members()[root].index()];
+            for &chip in ring.members() {
+                prop_assert_eq!(&bc[chip.index()], expect);
+            }
+        }
+    }
+
+    /// map_chips visits every chip exactly once, in id order.
+    #[test]
+    fn map_chips_visits_in_order(pr in 1usize..5, pc in 1usize..5) {
+        let mesh = Torus2d::new(pr, pc);
+        let values = vec![Matrix::zeros(1, 1); mesh.num_chips()];
+        let mut visited: Vec<ChipId> = Vec::new();
+        map_chips(&mesh, &values, |id, m| {
+            visited.push(id);
+            m.clone()
+        });
+        prop_assert_eq!(visited, mesh.chips().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,538 @@
+//! The MeshSlice LLM autotuner (§3.2).
+//!
+//! **Phase 1** picks, for every FC layer, the dataflow that keeps the
+//! *largest* of the three matrices stationary, then derives the dataflows
+//! of the two backward GeMMs from the same row of Table 1 — so the big
+//! matrix never moves, gradients flow the same way as their values, and no
+//! transposition is needed between passes. The sharding follows from the
+//! dataflow (matrix rows over mesh rows, columns over mesh columns).
+//!
+//! **Phase 2** co-optimizes the cluster mesh shape and the per-layer slice
+//! count `S` with the analytical cost models: an exhaustive search over
+//! the (small) space of mesh factorizations and legal slice counts.
+//!
+//! The autotuner also tunes the baseline algorithms (their own optimal
+//! mesh shapes and iteration counts) so the evaluation comparisons are
+//! fair, as required by §4.2.
+
+use meshslice_gemm::{Dataflow, GemmProblem};
+use meshslice_mesh::MeshShape;
+use meshslice_sim::{Duration, SimConfig};
+use meshslice_tensor::slice::SliceSpec;
+use meshslice_tensor::GemmShape;
+
+use crate::costmodel::CostModel;
+use crate::llm::{FcLayer, LlmConfig, Pass, TrainingSetup};
+
+/// Which matrix of `Y = X·W` stays stationary (the rows of Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stationary {
+    /// Output-stationary training: fwd `OS`, bwd-data `LS`, bwd-weight `RS`.
+    Y,
+    /// Input-stationary: fwd `LS`, bwd-data `OS`, bwd-weight `RS` (on
+    /// `W'ᵀ`); `W` is stored pre-transposed.
+    X,
+    /// Weight-stationary: fwd `RS`, bwd-data `LS` (on `X'ᵀ`), bwd-weight
+    /// `OS`; `X` is stored pre-transposed.
+    W,
+}
+
+impl Stationary {
+    /// All three rows of Table 1.
+    pub const ALL: [Stationary; 3] = [Stationary::Y, Stationary::X, Stationary::W];
+}
+
+/// Builds the three training GeMM problems of an FC layer under a chosen
+/// stationary matrix, per Table 1.
+///
+/// `tokens` is `B·S` (the `M` of the forward GeMM); `input_dim`/`output_dim`
+/// are the layer's `K` and `N`.
+pub fn pass_problems(
+    stationary: Stationary,
+    tokens: usize,
+    input_dim: usize,
+    output_dim: usize,
+) -> [GemmProblem; 3] {
+    let (m, k, n) = (tokens, input_dim, output_dim);
+    match stationary {
+        // Y = OS(X, W); X' = LS(Y', W); W' = RS(X, Y').
+        Stationary::Y => [
+            GemmProblem::new(GemmShape::new(m, n, k), Dataflow::Os),
+            GemmProblem::new(GemmShape::new(m, k, n), Dataflow::Ls),
+            GemmProblem::new(GemmShape::new(k, n, m), Dataflow::Rs),
+        ],
+        // Y = LS(X, Wᵀ); X' = OS(Y', Wᵀ); W'ᵀ = RS(Y', X).
+        Stationary::X => [
+            GemmProblem::new(GemmShape::new(m, n, k), Dataflow::Ls),
+            GemmProblem::new(GemmShape::new(m, k, n), Dataflow::Os),
+            GemmProblem::new(GemmShape::new(n, k, m), Dataflow::Rs),
+        ],
+        // Y = RS(Xᵀ, W); X'ᵀ = LS(W, Y'); W' = OS(Xᵀ, Y').
+        Stationary::W => [
+            GemmProblem::new(GemmShape::new(m, n, k), Dataflow::Rs),
+            GemmProblem::new(GemmShape::new(k, m, n), Dataflow::Ls),
+            GemmProblem::new(GemmShape::new(k, n, m), Dataflow::Os),
+        ],
+    }
+}
+
+/// Phase-1 choice: the stationary matrix is the largest of `X`
+/// (`tokens × in`), `W` (`in × out`), and `Y` (`tokens × out`).
+pub fn choose_stationary(tokens: usize, input_dim: usize, output_dim: usize) -> Stationary {
+    let x = tokens as u64 * input_dim as u64;
+    let w = input_dim as u64 * output_dim as u64;
+    let y = tokens as u64 * output_dim as u64;
+    if y >= x && y >= w {
+        Stationary::Y
+    } else if x >= w {
+        Stationary::X
+    } else {
+        Stationary::W
+    }
+}
+
+/// The tuned plan of one training GeMM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PassPlan {
+    /// Which pass this is.
+    pub pass: Pass,
+    /// The distributed GeMM problem (shape + dataflow).
+    pub problem: GemmProblem,
+    /// The tuned MeshSlice slice count `S`.
+    pub slice_count: usize,
+}
+
+/// The tuned plan of one FC layer: dataflow row + per-pass slice counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LayerPlan {
+    /// The FC layer.
+    pub layer: FcLayer,
+    /// Which matrix stays stationary (Table 1 row).
+    pub stationary: Stationary,
+    /// The three passes in order fwd, bwd-data, bwd-weight.
+    pub passes: [PassPlan; 3],
+}
+
+/// The full autotuner output for a cluster.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TunePlan {
+    /// The chosen mesh shape.
+    pub mesh_shape: MeshShape,
+    /// Per-layer plans (four FC layers).
+    pub layers: Vec<LayerPlan>,
+    /// Estimated FC time of one transformer block (all twelve GeMMs).
+    pub estimated_block_time: Duration,
+}
+
+/// The MeshSlice LLM autotuner.
+///
+/// # Example
+///
+/// ```
+/// use meshslice::autotuner::Autotuner;
+/// use meshslice::llm::{LlmConfig, TrainingSetup};
+/// use meshslice_sim::SimConfig;
+///
+/// let tuner = Autotuner::new(SimConfig::tpu_v4());
+/// let plan = tuner.tune(&LlmConfig::gpt3(), TrainingSetup::weak_scaling(32), 32);
+/// assert_eq!(plan.layers.len(), 4);
+/// assert!(plan.layers.iter().all(|l| l.passes.iter().all(|p| p.slice_count >= 1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Autotuner {
+    cost: CostModel,
+    block: usize,
+    max_slice_count: usize,
+}
+
+impl Autotuner {
+    /// Creates an autotuner over a hardware configuration, with the TPU
+    /// block size (`B = 8`) and a slice-count cap of 64.
+    pub fn new(cfg: SimConfig) -> Self {
+        Autotuner {
+            cost: CostModel::new(cfg),
+            block: 8,
+            max_slice_count: 64,
+        }
+    }
+
+    /// The underlying cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The slicing block size `B`.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Candidate mesh shapes for a chip count: every factorization with
+    /// both dimensions at least 2 (a physical torus needs distinct wrap
+    /// links), falling back to all factorizations for tiny clusters.
+    pub fn candidate_meshes(chips: usize) -> Vec<MeshShape> {
+        let min2 = MeshShape::factorizations_min(chips, 2);
+        if min2.is_empty() {
+            MeshShape::factorizations(chips)
+        } else {
+            min2
+        }
+    }
+
+    /// The legal MeshSlice slice counts of a problem on a mesh: divisors
+    /// of both sliced extents over the block size, capped.
+    pub fn legal_slice_counts(&self, mesh: MeshShape, problem: GemmProblem) -> Vec<usize> {
+        let (e1, e2) = sliced_extents(mesh, problem);
+        let s1 = SliceSpec::legal_slice_counts(e1, self.block);
+        let s2 = SliceSpec::legal_slice_counts(e2, self.block);
+        s1.into_iter()
+            .filter(|s| *s <= self.max_slice_count && s2.contains(s))
+            .collect()
+    }
+
+    /// Tunes the slice count of one problem on one mesh; returns
+    /// `(S, estimated time)`.
+    ///
+    /// Falls back to `S = 1` when no slice count is legal (e.g. extents
+    /// not divisible by the block size), matching MeshSlice's collective
+    /// fallback.
+    pub fn best_slice_count(
+        &self,
+        mesh: MeshShape,
+        problem: GemmProblem,
+        elem_bytes: usize,
+    ) -> (usize, Duration) {
+        let mut best = (1, self.cost.meshslice_time(mesh, problem, 1, elem_bytes));
+        for s in self.legal_slice_counts(mesh, problem) {
+            let t = self.cost.meshslice_time(mesh, problem, s, elem_bytes);
+            if t < best.1 {
+                best = (s, t);
+            }
+        }
+        best
+    }
+
+    /// Phase 1: the stationary choice of every FC layer.
+    pub fn phase1(&self, model: &LlmConfig, setup: TrainingSetup) -> Vec<(FcLayer, Stationary)> {
+        model
+            .fc_layers()
+            .into_iter()
+            .map(|l| {
+                (
+                    l,
+                    choose_stationary(setup.tokens(), l.input_dim, l.output_dim),
+                )
+            })
+            .collect()
+    }
+
+    /// Runs both phases: dataflow selection, then mesh-shape and
+    /// slice-count co-optimization over all candidate meshes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no candidate mesh divides the model's FC GeMMs (cannot
+    /// happen for power-of-two clusters and standard LLM dimensions).
+    pub fn tune(&self, model: &LlmConfig, setup: TrainingSetup, chips: usize) -> TunePlan {
+        self.tune_with(model, setup, chips, None)
+    }
+
+    /// Like [`tune`](Self::tune), but rejecting mesh shapes whose per-chip
+    /// training memory footprint (weights, gradients, optimizer state,
+    /// checkpointed activations, and MeshSlice workspace) exceeds
+    /// `hbm_capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no candidate mesh fits the budget.
+    pub fn tune_within_memory(
+        &self,
+        model: &LlmConfig,
+        setup: TrainingSetup,
+        chips: usize,
+        hbm_capacity: u64,
+    ) -> TunePlan {
+        let plan = self.tune(model, setup, chips);
+        let fits = |mesh: meshslice_mesh::MeshShape| {
+            crate::memory::training_footprint(model, setup, mesh, 8).total() <= hbm_capacity
+        };
+        if fits(plan.mesh_shape) {
+            return plan;
+        }
+        // Re-search with the constraint: evaluate each candidate and keep
+        // the fastest feasible one.
+        let mut best: Option<TunePlan> = None;
+        for mesh in Self::candidate_meshes(chips) {
+            if !fits(mesh) {
+                continue;
+            }
+            if let Some((t, layers)) = self.estimate_on_mesh(model, setup, mesh) {
+                let candidate = TunePlan {
+                    mesh_shape: mesh,
+                    layers,
+                    estimated_block_time: t,
+                };
+                if best
+                    .as_ref()
+                    .map(|b| candidate.estimated_block_time < b.estimated_block_time)
+                    .unwrap_or(true)
+                {
+                    best = Some(candidate);
+                }
+            }
+        }
+        best.expect("no mesh shape fits the per-chip memory budget")
+    }
+
+    /// Like [`tune`](Self::tune), but forcing one Table-1 row for every
+    /// layer (the "not optimized" Y-stationary configuration of Table 2).
+    pub fn tune_forced(
+        &self,
+        model: &LlmConfig,
+        setup: TrainingSetup,
+        chips: usize,
+        stationary: Stationary,
+    ) -> TunePlan {
+        self.tune_with(model, setup, chips, Some(stationary))
+    }
+
+    fn tune_with(
+        &self,
+        model: &LlmConfig,
+        setup: TrainingSetup,
+        chips: usize,
+        force: Option<Stationary>,
+    ) -> TunePlan {
+        let eb = self.cost.config().elem_bytes;
+        let mut best: Option<TunePlan> = None;
+        for mesh in Self::candidate_meshes(chips) {
+            let mut layers = Vec::new();
+            let mut total = Duration::ZERO;
+            let mut feasible = true;
+            for layer in model.fc_layers() {
+                let stationary = force.unwrap_or(choose_stationary(
+                    setup.tokens(),
+                    layer.input_dim,
+                    layer.output_dim,
+                ));
+                let problems = pass_problems(
+                    stationary,
+                    setup.tokens(),
+                    layer.input_dim,
+                    layer.output_dim,
+                );
+                let mut passes = Vec::new();
+                for (pass, problem) in Pass::ALL.into_iter().zip(problems) {
+                    if problem.check_divisible(mesh).is_err() {
+                        feasible = false;
+                        break;
+                    }
+                    let (s, t) = self.best_slice_count(mesh, problem, eb);
+                    total += t;
+                    passes.push(PassPlan {
+                        pass,
+                        problem,
+                        slice_count: s,
+                    });
+                }
+                if !feasible {
+                    break;
+                }
+                layers.push(LayerPlan {
+                    layer,
+                    stationary,
+                    passes: [passes[0], passes[1], passes[2]],
+                });
+            }
+            if !feasible {
+                continue;
+            }
+            let plan = TunePlan {
+                mesh_shape: mesh,
+                layers,
+                estimated_block_time: total,
+            };
+            if best
+                .as_ref()
+                .map(|b| plan.estimated_block_time < b.estimated_block_time)
+                .unwrap_or(true)
+            {
+                best = Some(plan);
+            }
+        }
+        best.expect("no feasible mesh shape for this model and chip count")
+    }
+
+    /// Estimates the FC block time of a [`TunePlan`] on a *different* mesh
+    /// shape (used by the Figure 13 sweep).
+    pub fn estimate_on_mesh(
+        &self,
+        model: &LlmConfig,
+        setup: TrainingSetup,
+        mesh: MeshShape,
+    ) -> Option<(Duration, Vec<LayerPlan>)> {
+        let eb = self.cost.config().elem_bytes;
+        let mut total = Duration::ZERO;
+        let mut layers = Vec::new();
+        for layer in model.fc_layers() {
+            let stationary = choose_stationary(setup.tokens(), layer.input_dim, layer.output_dim);
+            let problems = pass_problems(
+                stationary,
+                setup.tokens(),
+                layer.input_dim,
+                layer.output_dim,
+            );
+            let mut passes = Vec::new();
+            for (pass, problem) in Pass::ALL.into_iter().zip(problems) {
+                if problem.check_divisible(mesh).is_err() {
+                    return None;
+                }
+                let (s, t) = self.best_slice_count(mesh, problem, eb);
+                total += t;
+                passes.push(PassPlan {
+                    pass,
+                    problem,
+                    slice_count: s,
+                });
+            }
+            layers.push(LayerPlan {
+                layer,
+                stationary,
+                passes: [passes[0], passes[1], passes[2]],
+            });
+        }
+        Some((total, layers))
+    }
+}
+
+/// The two local extents MeshSlice slices, per dataflow (mirrors
+/// `MeshSlice::check` in `meshslice-gemm`).
+fn sliced_extents(mesh: MeshShape, problem: GemmProblem) -> (usize, usize) {
+    let GemmShape { m, n, k } = problem.shape;
+    match problem.dataflow {
+        Dataflow::Os => (k / mesh.cols, k / mesh.rows),
+        Dataflow::Ls => (n / mesh.rows, n / mesh.cols),
+        Dataflow::Rs => (m / mesh.cols, m / mesh.rows),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_have_the_right_dataflows() {
+        let [fwd, bd, bw] = pass_problems(Stationary::Y, 64, 8, 16);
+        assert_eq!(fwd.dataflow, Dataflow::Os);
+        assert_eq!(bd.dataflow, Dataflow::Ls);
+        assert_eq!(bw.dataflow, Dataflow::Rs);
+        // All three passes perform the same FLOPs.
+        assert_eq!(fwd.shape.flops(), bd.shape.flops());
+        assert_eq!(fwd.shape.flops(), bw.shape.flops());
+        for st in Stationary::ALL {
+            let ps = pass_problems(st, 64, 8, 16);
+            assert!(ps.iter().all(|p| p.shape.flops() == fwd.shape.flops()));
+        }
+    }
+
+    #[test]
+    fn largest_matrix_becomes_stationary() {
+        // Y (tokens x out) largest.
+        assert_eq!(choose_stationary(1000, 10, 100), Stationary::Y);
+        // X (tokens x in) largest.
+        assert_eq!(choose_stationary(1000, 100, 10), Stationary::X);
+        // W (in x out) largest.
+        assert_eq!(choose_stationary(4, 1000, 1000), Stationary::W);
+    }
+
+    #[test]
+    fn llm_layers_prefer_stationary_activations_at_large_batch() {
+        // With weak scaling at 256 chips, tokens >> H, so X or Y dominates.
+        let model = LlmConfig::gpt3();
+        let setup = TrainingSetup::weak_scaling(256);
+        let tuner = Autotuner::new(SimConfig::tpu_v4());
+        for (layer, st) in tuner.phase1(&model, setup) {
+            assert_ne!(
+                st,
+                Stationary::W,
+                "layer {} should not be W-stationary",
+                layer.name
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_meshes_exclude_rings() {
+        let meshes = Autotuner::candidate_meshes(256);
+        assert!(meshes.iter().all(|m| m.rows >= 2 && m.cols >= 2));
+        assert_eq!(meshes.len(), 7); // 2x128 ... 128x2
+    }
+
+    #[test]
+    fn legal_slice_counts_respect_both_extents() {
+        let tuner = Autotuner::new(SimConfig::tpu_v4());
+        let mesh = MeshShape::new(4, 2);
+        // OS slices K/Pc = 64 and K/Pr = 32; with B = 8 that is 8 and 4
+        // blocks: legal S = divisors of 4.
+        let problem = GemmProblem::new(GemmShape::new(64, 64, 128), Dataflow::Os);
+        assert_eq!(tuner.legal_slice_counts(mesh, problem), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn tune_finds_a_nontrivial_plan_for_gpt3() {
+        let tuner = Autotuner::new(SimConfig::tpu_v4());
+        let plan = tuner.tune(&LlmConfig::gpt3(), TrainingSetup::weak_scaling(16), 16);
+        assert_eq!(plan.mesh_shape.num_chips(), 16);
+        assert_eq!(plan.layers.len(), 4);
+        // At least one pass should benefit from slicing.
+        assert!(plan
+            .layers
+            .iter()
+            .any(|l| l.passes.iter().any(|p| p.slice_count > 1)));
+    }
+
+    #[test]
+    fn memory_constrained_tuning_respects_the_budget() {
+        let tuner = Autotuner::new(SimConfig::tpu_v4());
+        let model = LlmConfig::gpt3();
+        let setup = TrainingSetup::weak_scaling(256);
+        // A generous budget returns the unconstrained optimum.
+        let free = tuner.tune_within_memory(&model, setup, 256, u64::MAX);
+        let unconstrained = tuner.tune(&model, setup, 256);
+        assert_eq!(free.mesh_shape, unconstrained.mesh_shape);
+        // The 32 GiB TPUv4 budget is satisfiable at 256 chips.
+        let fits = tuner.tune_within_memory(&model, setup, 256, 32 << 30);
+        let footprint = crate::memory::training_footprint(&model, setup, fits.mesh_shape, 8);
+        assert!(footprint.total() <= 32 << 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "no mesh shape fits")]
+    fn impossible_memory_budget_panics() {
+        let tuner = Autotuner::new(SimConfig::tpu_v4());
+        let model = LlmConfig::megatron_nlg();
+        let setup = TrainingSetup::weak_scaling(16);
+        tuner.tune_within_memory(&model, setup, 16, 1 << 30);
+    }
+
+    #[test]
+    fn forced_y_stationary_is_no_better_than_tuned() {
+        let tuner = Autotuner::new(SimConfig::tpu_v4());
+        let model = LlmConfig::gpt3();
+        let setup = TrainingSetup::weak_scaling(64);
+        let tuned = tuner.tune(&model, setup, 64);
+        let forced = tuner.tune_forced(&model, setup, 64, Stationary::Y);
+        assert!(tuned.estimated_block_time <= forced.estimated_block_time);
+    }
+
+    #[test]
+    fn estimate_on_mesh_matches_tune_for_the_chosen_shape() {
+        let tuner = Autotuner::new(SimConfig::tpu_v4());
+        let model = LlmConfig::gpt3();
+        let setup = TrainingSetup::weak_scaling(64);
+        let plan = tuner.tune(&model, setup, 64);
+        let (t, _) = tuner
+            .estimate_on_mesh(&model, setup, plan.mesh_shape)
+            .unwrap();
+        assert_eq!(t, plan.estimated_block_time);
+    }
+}

@@ -1,0 +1,54 @@
+//! **MeshSlice**: efficient 2D tensor parallelism for distributed DNN
+//! training — a Rust reproduction of the ISCA 2025 paper.
+//!
+//! The crate ties the substrates together into the paper's two
+//! contributions:
+//!
+//! 1. The **MeshSlice 2D GeMM algorithm** (re-exported from
+//!    [`meshslice_gemm`]) with its baselines, plus
+//! 2. the **MeshSlice LLM autotuner** ([`autotuner`]): phase 1 picks the
+//!    dataflow of every fully-connected layer from Table 1 (making the
+//!    largest matrix stationary); phase 2 co-optimizes the cluster mesh
+//!    shape and each layer's slice count `S` with the analytical cost
+//!    models of [`costmodel`].
+//!
+//! On top sit [`llm`] (GPT-3 / Megatron-NLG model descriptions and their
+//! FC-layer GeMMs), [`training`] (simulating one training step of the FC
+//! layers with any algorithm), and [`experiments`] (drivers that
+//! regenerate every table and figure of the paper's evaluation; see
+//! `DESIGN.md` for the experiment index).
+//!
+//! # Example: autotune and simulate GPT-3 on 64 chips
+//!
+//! ```
+//! use meshslice::autotuner::Autotuner;
+//! use meshslice::llm::{LlmConfig, TrainingSetup};
+//! use meshslice_sim::SimConfig;
+//!
+//! let model = LlmConfig::gpt3();
+//! let setup = TrainingSetup::weak_scaling(64);
+//! let tuner = Autotuner::new(SimConfig::tpu_v4());
+//! let plan = tuner.tune(&model, setup, 64);
+//! assert_eq!(plan.mesh_shape.num_chips(), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autotuner;
+pub mod conv;
+pub mod costmodel;
+pub mod experiments;
+pub mod llm;
+pub mod memory;
+pub mod parallelism;
+pub mod report;
+pub mod training;
+
+pub use meshslice_gemm::{
+    Cannon, Collective, Dataflow, DistributedGemm, Fsdp, GemmError, GemmProblem, MeshSlice,
+    OneDimTp, Summa, Wang,
+};
+pub use meshslice_mesh::MeshShape;
+pub use meshslice_sim::{Engine, SimConfig, SimReport};
+pub use meshslice_tensor::GemmShape;

@@ -1,0 +1,88 @@
+//! The common interface of distributed GeMM algorithms.
+
+use meshslice_mesh::Torus2d;
+use meshslice_sim::Program;
+use meshslice_tensor::shard::ShardGrid;
+
+use crate::error::GemmError;
+use crate::problem::GemmProblem;
+
+/// A distributed GeMM algorithm: MeshSlice or one of the baselines.
+///
+/// Implementations provide both a *functional* executor (really moving and
+/// multiplying matrix shards, for correctness testing at small scale) and a
+/// *schedule builder* (emitting the per-chip task DAG the timing simulator
+/// executes at full LLM scale). The two must describe the same algorithm:
+/// the integration tests cross-check, for example, that the schedule's
+/// total GeMM FLOPs equal the problem's FLOPs.
+///
+/// The trait is object-safe so experiment drivers can iterate over
+/// `&dyn DistributedGemm` baselines.
+pub trait DistributedGemm {
+    /// Short human-readable name (e.g. `"MeshSlice"`).
+    fn name(&self) -> &str;
+
+    /// Checks whether the algorithm can run this problem on this mesh.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same error `execute`/`schedule` would.
+    fn check(&self, mesh: &Torus2d, problem: GemmProblem) -> Result<(), GemmError>;
+
+    /// Computes the distributed product over per-chip shards.
+    ///
+    /// `a` and `b` are sharded according to the problem's
+    /// [`Dataflow`](crate::Dataflow) storage convention; the result is the
+    /// `C` shard grid (`M × N` globally).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError`] if the mesh, dataflow, or dimensions are
+    /// unsupported.
+    fn execute(
+        &self,
+        mesh: &Torus2d,
+        problem: GemmProblem,
+        a: &ShardGrid,
+        b: &ShardGrid,
+    ) -> Result<ShardGrid, GemmError>;
+
+    /// Builds the timing-simulation task DAG for the problem.
+    ///
+    /// `elem_bytes` is the storage size of a matrix element (2 for bf16).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError`] if the mesh, dataflow, or dimensions are
+    /// unsupported.
+    fn schedule(
+        &self,
+        mesh: &Torus2d,
+        problem: GemmProblem,
+        elem_bytes: usize,
+    ) -> Result<Program, GemmError>;
+}
+
+/// Asserts that `a` and `b` match the problem's shard layout on `mesh`.
+pub(crate) fn check_inputs(mesh: &Torus2d, problem: GemmProblem, a: &ShardGrid, b: &ShardGrid) {
+    assert_eq!(
+        a.global_dims(),
+        problem.a_dims(),
+        "A global dims do not match {problem}"
+    );
+    assert_eq!(
+        b.global_dims(),
+        problem.b_dims(),
+        "B global dims do not match {problem}"
+    );
+    assert_eq!(
+        (a.mesh_rows(), a.mesh_cols()),
+        (mesh.rows(), mesh.cols()),
+        "A shard grid does not match the mesh"
+    );
+    assert_eq!(
+        (b.mesh_rows(), b.mesh_cols()),
+        (mesh.rows(), mesh.cols()),
+        "B shard grid does not match the mesh"
+    );
+}

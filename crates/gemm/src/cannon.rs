@@ -1,0 +1,229 @@
+//! Cannon's algorithm (§2.3.2).
+//!
+//! Cannon skews the input shards, then systolically rotates them with
+//! SendRecv exchanges, computing one partial GeMM per rotation. The shifts
+//! overlap with computation, but the algorithm only works on square meshes
+//! and the initial skew is pure extra traffic — the two inefficiencies the
+//! paper highlights.
+
+use meshslice_collectives::{shift, shift_by};
+use meshslice_mesh::{CommAxis, LinkDir, Torus2d};
+use meshslice_sim::{OpId, Program, ProgramBuilder};
+use meshslice_tensor::gemm as dense;
+use meshslice_tensor::shard::ShardGrid;
+use meshslice_tensor::{GemmShape, Matrix};
+
+use crate::algorithm::{check_inputs, DistributedGemm};
+use crate::collective::grid_state;
+use crate::error::GemmError;
+use crate::problem::{Dataflow, GemmProblem};
+
+/// Cannon's algorithm. Output-stationary only; square meshes only.
+///
+/// # Example
+///
+/// ```
+/// use meshslice_gemm::{Cannon, Dataflow, DistributedGemm, GemmProblem};
+/// use meshslice_mesh::Torus2d;
+/// use meshslice_tensor::GemmShape;
+///
+/// # fn main() -> Result<(), meshslice_gemm::GemmError> {
+/// let mesh = Torus2d::new(3, 3);
+/// let problem = GemmProblem::new(GemmShape::new(6, 6, 6), Dataflow::Os);
+/// let (a, b) = problem.random_inputs(&mesh, 3);
+/// let c = Cannon.execute(&mesh, problem, &a, &b)?;
+/// assert!(c.assemble().approx_eq(&problem.reference(&a.assemble(), &b.assemble()), 1e-4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cannon;
+
+impl DistributedGemm for Cannon {
+    fn name(&self) -> &str {
+        "Cannon"
+    }
+
+    fn check(&self, mesh: &Torus2d, problem: GemmProblem) -> Result<(), GemmError> {
+        if problem.dataflow != Dataflow::Os {
+            return Err(GemmError::UnsupportedDataflow {
+                algorithm: "Cannon (output-stationary only)".to_string(),
+            });
+        }
+        if mesh.rows() != mesh.cols() {
+            return Err(GemmError::UnsupportedMesh {
+                requirement: format!("Cannon requires a square mesh, got {}", mesh.shape()),
+            });
+        }
+        problem.check_divisible(mesh.shape())
+    }
+
+    fn execute(
+        &self,
+        mesh: &Torus2d,
+        problem: GemmProblem,
+        a: &ShardGrid,
+        b: &ShardGrid,
+    ) -> Result<ShardGrid, GemmError> {
+        self.check(mesh, problem)?;
+        check_inputs(mesh, problem, a, b);
+        let p = mesh.rows();
+        // Skew: chip (i, j) starts with A_{i, j+i} and B_{i+j, j}.
+        let mut a_cur = shift_by(
+            mesh,
+            CommAxis::InterCol,
+            |c| (p - c.row % p) % p,
+            &grid_state(a),
+        );
+        let mut b_cur = shift_by(
+            mesh,
+            CommAxis::InterRow,
+            |c| (p - c.col % p) % p,
+            &grid_state(b),
+        );
+        let (cr, cc) = problem.c_shard_dims(mesh.shape());
+        let mut c_state: Vec<Matrix> = vec![Matrix::zeros(cr, cc); mesh.num_chips()];
+        for step in 0..p {
+            for (c, (x, y)) in c_state.iter_mut().zip(a_cur.iter().zip(&b_cur)) {
+                dense::matmul_acc(c, x, y);
+            }
+            if step + 1 < p {
+                // Receive-from-the-right: steps = P − 1 pulls the value of
+                // ring position j + 1 onto position j.
+                a_cur = shift(mesh, CommAxis::InterCol, p - 1, &a_cur);
+                b_cur = shift(mesh, CommAxis::InterRow, p - 1, &b_cur);
+            }
+        }
+        Ok(ShardGrid::from_shards(p, p, c_state))
+    }
+
+    fn schedule(
+        &self,
+        mesh: &Torus2d,
+        problem: GemmProblem,
+        elem_bytes: usize,
+    ) -> Result<Program, GemmError> {
+        self.check(mesh, problem)?;
+        let p = mesh.rows();
+        let shape = problem.shape;
+        let a_bytes = problem.a_shard_bytes(mesh.shape(), elem_bytes);
+        let b_bytes = problem.b_shard_bytes(mesh.shape(), elem_bytes);
+        let local = GemmShape::new(shape.m / p, shape.n / p, shape.k / p);
+        let mut b = ProgramBuilder::new(mesh);
+        for chip in mesh.chips() {
+            let coord = mesh.coord_of(chip);
+            // Skew prologue: row i rotates A left i times; column j rotates
+            // B up j times. Pure extra traffic before any compute.
+            let mut a_prev: Option<OpId> = None;
+            for _ in 0..coord.row {
+                let deps: Vec<OpId> = a_prev.into_iter().collect();
+                a_prev = Some(b.send_recv(chip, LinkDir::ColMinus, a_bytes, &deps));
+            }
+            let mut b_prev: Option<OpId> = None;
+            for _ in 0..coord.col {
+                let deps: Vec<OpId> = b_prev.into_iter().collect();
+                b_prev = Some(b.send_recv(chip, LinkDir::RowMinus, b_bytes, &deps));
+            }
+            // Systolic steps: GeMM t uses the shards delivered by shift
+            // t − 1 (the skew for t = 0); shift t overlaps with GeMM t.
+            for step in 0..p {
+                let mut deps: Vec<OpId> = Vec::new();
+                deps.extend(a_prev);
+                deps.extend(b_prev);
+                b.gemm(chip, local, &deps);
+                if step + 1 < p {
+                    let a_deps: Vec<OpId> = a_prev.into_iter().collect();
+                    a_prev = Some(b.send_recv(chip, LinkDir::ColMinus, a_bytes, &a_deps));
+                    let b_deps: Vec<OpId> = b_prev.into_iter().collect();
+                    b_prev = Some(b.send_recv(chip, LinkDir::RowMinus, b_bytes, &b_deps));
+                }
+            }
+        }
+        Ok(b.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_functional(mesh_dim: usize, shape: (usize, usize, usize)) {
+        let mesh = Torus2d::new(mesh_dim, mesh_dim);
+        let problem = GemmProblem::new(GemmShape::new(shape.0, shape.1, shape.2), Dataflow::Os);
+        let (a, b) = problem.random_inputs(&mesh, 31);
+        let c = Cannon.execute(&mesh, problem, &a, &b).unwrap();
+        let expect = problem.reference(&a.assemble(), &b.assemble());
+        assert!(
+            c.assemble().approx_eq(&expect, 1e-4),
+            "P={mesh_dim}: max diff {}",
+            c.assemble().max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn two_by_two_matches_dense() {
+        check_functional(2, (4, 4, 4));
+    }
+
+    #[test]
+    fn three_by_three_matches_dense() {
+        check_functional(3, (6, 9, 12));
+    }
+
+    #[test]
+    fn four_by_four_matches_dense() {
+        check_functional(4, (8, 8, 8));
+    }
+
+    #[test]
+    fn rejects_rectangular_meshes() {
+        let mesh = Torus2d::new(2, 4);
+        let problem = GemmProblem::new(GemmShape::new(8, 8, 8), Dataflow::Os);
+        assert!(matches!(
+            Cannon.check(&mesh, problem),
+            Err(GemmError::UnsupportedMesh { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_os_dataflows() {
+        let mesh = Torus2d::new(2, 2);
+        for df in [Dataflow::Ls, Dataflow::Rs] {
+            let problem = GemmProblem::new(GemmShape::new(8, 8, 8), df);
+            assert!(matches!(
+                Cannon.check(&mesh, problem),
+                Err(GemmError::UnsupportedDataflow { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn schedule_flops_equal_problem_flops() {
+        let mesh = Torus2d::new(3, 3);
+        let shape = GemmShape::new(12, 12, 12);
+        let problem = GemmProblem::new(shape, Dataflow::Os);
+        let prog = Cannon.schedule(&mesh, problem, 2).unwrap();
+        assert_eq!(prog.total_flops(), shape.flops());
+    }
+
+    #[test]
+    fn schedule_skew_traffic_grows_with_coordinates() {
+        // Chip (0,0) needs no skew; chip (P-1, P-1) needs 2(P-1) exchanges.
+        let mesh = Torus2d::new(3, 3);
+        let problem = GemmProblem::new(GemmShape::new(12, 12, 12), Dataflow::Os);
+        let prog = Cannon.schedule(&mesh, problem, 2).unwrap();
+        let sends_of = |chip: usize| {
+            prog.ops()
+                .iter()
+                .filter(|op| {
+                    op.chip.index() == chip
+                        && matches!(op.kind, meshslice_sim::OpKind::SendRecv { .. })
+                })
+                .count()
+        };
+        // Chip 0: no skew, 2 shifts per systolic step x (P-1) = 4.
+        assert_eq!(sends_of(0), 4);
+        // Chip 8 = (2,2): skew 4 + systolic 4 = 8.
+        assert_eq!(sends_of(8), 8);
+    }
+}

@@ -1,0 +1,255 @@
+//! Collective 2D GeMM (§2.3.4, Figure 2b).
+//!
+//! The whole communication of each direction is performed as a single
+//! AllGather / ReduceScatter, followed (or preceded) by one local GeMM.
+//! This maximizes communication efficiency — the fewest launches and
+//! synchronizations of all algorithms — but nothing can be overlapped with
+//! computation: there is no loop to software-pipeline.
+
+use meshslice_collectives::{all_gather, reduce_scatter};
+use meshslice_mesh::Torus2d;
+use meshslice_sim::{CollectiveKind, Program, ProgramBuilder};
+use meshslice_tensor::gemm as dense;
+use meshslice_tensor::shard::ShardGrid;
+use meshslice_tensor::{GemmShape, Matrix};
+
+use crate::algorithm::{check_inputs, DistributedGemm};
+use crate::error::GemmError;
+use crate::problem::{Dataflow, GemmProblem};
+
+/// The Collective 2D GeMM algorithm.
+///
+/// # Example
+///
+/// ```
+/// use meshslice_gemm::{Collective, Dataflow, DistributedGemm, GemmProblem};
+/// use meshslice_mesh::Torus2d;
+/// use meshslice_tensor::GemmShape;
+///
+/// # fn main() -> Result<(), meshslice_gemm::GemmError> {
+/// let mesh = Torus2d::new(2, 2);
+/// let problem = GemmProblem::new(GemmShape::new(8, 8, 8), Dataflow::Ls);
+/// let (a, b) = problem.random_inputs(&mesh, 1);
+/// let c = Collective.execute(&mesh, problem, &a, &b)?;
+/// assert_eq!(c.global_dims(), (8, 8));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Collective;
+
+pub(crate) fn grid_state(grid: &ShardGrid) -> Vec<Matrix> {
+    grid.iter().map(|(_, s)| s.clone()).collect()
+}
+
+impl DistributedGemm for Collective {
+    fn name(&self) -> &str {
+        "Collective"
+    }
+
+    fn check(&self, mesh: &Torus2d, problem: GemmProblem) -> Result<(), GemmError> {
+        problem.check_divisible(mesh.shape())
+    }
+
+    fn execute(
+        &self,
+        mesh: &Torus2d,
+        problem: GemmProblem,
+        a: &ShardGrid,
+        b: &ShardGrid,
+    ) -> Result<ShardGrid, GemmError> {
+        self.check(mesh, problem)?;
+        check_inputs(mesh, problem, a, b);
+        let a_state = grid_state(a);
+        let b_state = grid_state(b);
+        let shards = match problem.dataflow {
+            Dataflow::Os => {
+                // A_i* = AG_col(A_ij); B_*j = AG_row(B_ij); C_ij = A_i* B_*j.
+                let ga = all_gather(mesh, problem.a_axis().unwrap(), &a_state);
+                let gb = all_gather(mesh, problem.b_axis().unwrap(), &b_state);
+                ga.iter()
+                    .zip(&gb)
+                    .map(|(x, y)| dense::matmul(x, y))
+                    .collect()
+            }
+            Dataflow::Ls => {
+                // B_*j = AG_row(B_ij); C'_i* = A_ij (B_*j)ᵀ; C_ij = RdS_col(C').
+                let gb = all_gather(mesh, problem.b_axis().unwrap(), &b_state);
+                let partial: Vec<Matrix> = a_state
+                    .iter()
+                    .zip(&gb)
+                    .map(|(x, y)| dense::matmul_a_bt(x, y))
+                    .collect();
+                reduce_scatter(mesh, problem.c_axis().unwrap(), &partial)
+            }
+            Dataflow::Rs => {
+                // A_i* = AG_col(A_ij); C'_*j = (A_i*)ᵀ B_ij; C_ij = RdS_row(C').
+                let ga = all_gather(mesh, problem.a_axis().unwrap(), &a_state);
+                let partial: Vec<Matrix> = ga
+                    .iter()
+                    .zip(&b_state)
+                    .map(|(x, y)| dense::matmul_at_b(x, y))
+                    .collect();
+                reduce_scatter(mesh, problem.c_axis().unwrap(), &partial)
+            }
+        };
+        Ok(ShardGrid::from_shards(mesh.rows(), mesh.cols(), shards))
+    }
+
+    fn schedule(
+        &self,
+        mesh: &Torus2d,
+        problem: GemmProblem,
+        elem_bytes: usize,
+    ) -> Result<Program, GemmError> {
+        self.check(mesh, problem)?;
+        let shape = problem.shape;
+        let (pr, pc) = (mesh.rows(), mesh.cols());
+        let mut b = ProgramBuilder::new(mesh);
+        match problem.dataflow {
+            Dataflow::Os => {
+                let tag_a = b.next_tag();
+                let tag_b = b.next_tag();
+                let a_bytes = problem.a_shard_bytes(mesh.shape(), elem_bytes);
+                let b_bytes = problem.b_shard_bytes(mesh.shape(), elem_bytes);
+                let local = GemmShape::new(shape.m / pr, shape.n / pc, shape.k);
+                for chip in mesh.chips() {
+                    // Bidirectional rings: TPU collectives fully utilize
+                    // the ICI links (both directions at once).
+                    let ag_a = b.collective(
+                        chip,
+                        tag_a,
+                        CollectiveKind::AllGather,
+                        problem.a_axis().unwrap(),
+                        a_bytes,
+                        2,
+                        &[],
+                    );
+                    let ag_b = b.collective(
+                        chip,
+                        tag_b,
+                        CollectiveKind::AllGather,
+                        problem.b_axis().unwrap(),
+                        b_bytes,
+                        2,
+                        &[],
+                    );
+                    b.gemm(chip, local, &[ag_a, ag_b]);
+                }
+            }
+            Dataflow::Ls => {
+                let tag_b = b.next_tag();
+                let tag_c = b.next_tag();
+                let b_bytes = problem.b_shard_bytes(mesh.shape(), elem_bytes);
+                let c_bytes = problem.c_shard_bytes(mesh.shape(), elem_bytes);
+                let local = GemmShape::new(shape.m / pr, shape.n, shape.k / pc);
+                for chip in mesh.chips() {
+                    let ag_b = b.collective(
+                        chip,
+                        tag_b,
+                        CollectiveKind::AllGather,
+                        problem.b_axis().unwrap(),
+                        b_bytes,
+                        2,
+                        &[],
+                    );
+                    let gemm = b.gemm(chip, local, &[ag_b]);
+                    b.collective(
+                        chip,
+                        tag_c,
+                        CollectiveKind::ReduceScatter,
+                        problem.c_axis().unwrap(),
+                        c_bytes,
+                        2,
+                        &[gemm],
+                    );
+                }
+            }
+            Dataflow::Rs => {
+                let tag_a = b.next_tag();
+                let tag_c = b.next_tag();
+                let a_bytes = problem.a_shard_bytes(mesh.shape(), elem_bytes);
+                let c_bytes = problem.c_shard_bytes(mesh.shape(), elem_bytes);
+                let local = GemmShape::new(shape.m, shape.n / pc, shape.k / pr);
+                for chip in mesh.chips() {
+                    let ag_a = b.collective(
+                        chip,
+                        tag_a,
+                        CollectiveKind::AllGather,
+                        problem.a_axis().unwrap(),
+                        a_bytes,
+                        2,
+                        &[],
+                    );
+                    let gemm = b.gemm(chip, local, &[ag_a]);
+                    b.collective(
+                        chip,
+                        tag_c,
+                        CollectiveKind::ReduceScatter,
+                        problem.c_axis().unwrap(),
+                        c_bytes,
+                        2,
+                        &[gemm],
+                    );
+                }
+            }
+        }
+        Ok(b.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_functional(df: Dataflow, mesh: (usize, usize), shape: (usize, usize, usize)) {
+        let mesh = Torus2d::new(mesh.0, mesh.1);
+        let problem = GemmProblem::new(GemmShape::new(shape.0, shape.1, shape.2), df);
+        let (a, b) = problem.random_inputs(&mesh, 123);
+        let c = Collective.execute(&mesh, problem, &a, &b).unwrap();
+        let expect = problem.reference(&a.assemble(), &b.assemble());
+        assert!(
+            c.assemble().approx_eq(&expect, 1e-4),
+            "{df} mismatch: max diff {}",
+            c.assemble().max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn os_matches_dense() {
+        check_functional(Dataflow::Os, (2, 3), (4, 6, 12));
+    }
+
+    #[test]
+    fn ls_matches_dense() {
+        check_functional(Dataflow::Ls, (2, 3), (4, 6, 12));
+    }
+
+    #[test]
+    fn rs_matches_dense() {
+        check_functional(Dataflow::Rs, (2, 3), (6, 6, 4));
+    }
+
+    #[test]
+    fn single_chip_degenerates_to_dense() {
+        check_functional(Dataflow::Os, (1, 1), (4, 4, 4));
+    }
+
+    #[test]
+    fn schedule_flops_equal_problem_flops() {
+        let mesh = Torus2d::new(2, 4);
+        let shape = GemmShape::new(64, 32, 16);
+        for df in Dataflow::ALL {
+            let problem = GemmProblem::new(shape, df);
+            let prog = Collective.schedule(&mesh, problem, 2).unwrap();
+            assert_eq!(prog.total_flops(), shape.flops(), "{df}");
+        }
+    }
+
+    #[test]
+    fn schedule_rejects_indivisible_problems() {
+        let mesh = Torus2d::new(3, 3);
+        let problem = GemmProblem::new(GemmShape::new(4, 4, 4), Dataflow::Os);
+        assert!(Collective.schedule(&mesh, problem, 2).is_err());
+    }
+}

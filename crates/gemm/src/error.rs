@@ -1,0 +1,80 @@
+//! Error type shared by the distributed GeMM algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why an algorithm cannot run a given problem on a given mesh.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GemmError {
+    /// A matrix dimension is not divisible as the algorithm requires.
+    Indivisible {
+        /// Which quantity failed to divide (e.g. `"K/Pc by S*B"`).
+        what: String,
+        /// The dimension value.
+        dim: usize,
+        /// The required divisor.
+        by: usize,
+    },
+    /// The mesh shape is unsupported (e.g. Cannon on a non-square mesh).
+    UnsupportedMesh {
+        /// Human-readable requirement.
+        requirement: String,
+    },
+    /// The dataflow is unsupported by this algorithm.
+    UnsupportedDataflow {
+        /// The algorithm's name.
+        algorithm: String,
+    },
+}
+
+impl fmt::Display for GemmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GemmError::Indivisible { what, dim, by } => {
+                write!(f, "{what}: {dim} is not divisible by {by}")
+            }
+            GemmError::UnsupportedMesh { requirement } => {
+                write!(f, "unsupported mesh shape: {requirement}")
+            }
+            GemmError::UnsupportedDataflow { algorithm } => {
+                write!(f, "dataflow not supported by {algorithm}")
+            }
+        }
+    }
+}
+
+impl Error for GemmError {}
+
+/// Checks divisibility, producing a [`GemmError::Indivisible`] otherwise.
+pub(crate) fn ensure_divides(what: &str, dim: usize, by: usize) -> Result<usize, GemmError> {
+    if by == 0 || !dim.is_multiple_of(by) {
+        Err(GemmError::Indivisible {
+            what: what.to_string(),
+            dim,
+            by,
+        })
+    } else {
+        Ok(dim / by)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_divides_ok() {
+        assert_eq!(ensure_divides("K by P", 12, 4), Ok(3));
+    }
+
+    #[test]
+    fn ensure_divides_err_message() {
+        let err = ensure_divides("K by P", 10, 4).unwrap_err();
+        assert_eq!(err.to_string(), "K by P: 10 is not divisible by 4");
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert!(ensure_divides("x", 10, 0).is_err());
+    }
+}

@@ -1,0 +1,490 @@
+//! The MeshSlice 2D GeMM algorithm (§3.1, Figure 5).
+//!
+//! MeshSlice slices every moving matrix shard into `S` blocked sub-shards
+//! (Algorithm 2) and runs `S` loop iterations, each performing *partial*
+//! AllGather / ReduceScatter collectives and a partial GeMM. Software
+//! pipelining overlaps the collectives of one iteration with the GeMM of
+//! another — in **both** mesh directions, which no prior algorithm achieves
+//! (Cannon needs square meshes, SUMMA pays fine-grain synchronization,
+//! Collective cannot overlap at all, and Wang overlaps one direction only).
+
+use meshslice_collectives::{all_gather, reduce_scatter};
+use meshslice_mesh::Torus2d;
+use meshslice_sim::{CollectiveKind, OpId, Program, ProgramBuilder};
+use meshslice_tensor::gemm as dense;
+use meshslice_tensor::shard::ShardGrid;
+use meshslice_tensor::slice::{
+    slice_cols, slice_rows, unslice_cols_into, unslice_rows_into, SliceSpec,
+};
+use meshslice_tensor::{GemmShape, Matrix};
+
+use crate::algorithm::{check_inputs, DistributedGemm};
+use crate::collective::grid_state;
+use crate::error::{ensure_divides, GemmError};
+use crate::problem::{Dataflow, GemmProblem};
+
+/// The MeshSlice algorithm with slice count `S` and block size `B`.
+///
+/// `S` controls communication granularity: larger values shrink the
+/// non-overlapped prologue/epilogue but add per-iteration launch and
+/// synchronization overhead (§3.1). `B` is the architecture's efficient
+/// memory-access block (8 for TPUs, which read 128×8 chunks).
+///
+/// # Example
+///
+/// ```
+/// use meshslice_gemm::{Dataflow, DistributedGemm, GemmProblem, MeshSlice};
+/// use meshslice_mesh::Torus2d;
+/// use meshslice_tensor::GemmShape;
+///
+/// # fn main() -> Result<(), meshslice_gemm::GemmError> {
+/// let mesh = Torus2d::new(2, 2);
+/// let problem = GemmProblem::new(GemmShape::new(8, 8, 16), Dataflow::Os);
+/// let algo = MeshSlice::new(2, 2);
+/// let (a, b) = problem.random_inputs(&mesh, 0);
+/// let c = algo.execute(&mesh, problem, &a, &b)?;
+/// assert!(c.assemble().approx_eq(&problem.reference(&a.assemble(), &b.assemble()), 1e-4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MeshSlice {
+    slice_count: usize,
+    block: usize,
+}
+
+impl MeshSlice {
+    /// Creates a MeshSlice instance with `S = slice_count` and block `B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(slice_count: usize, block: usize) -> Self {
+        assert!(slice_count > 0, "slice count must be positive");
+        assert!(block > 0, "block size must be positive");
+        MeshSlice { slice_count, block }
+    }
+
+    /// Creates an instance with the TPU block size (`B = 8`).
+    pub fn with_tpu_block(slice_count: usize) -> Self {
+        MeshSlice::new(slice_count, 8)
+    }
+
+    /// The slice count `S`.
+    pub fn slice_count(&self) -> usize {
+        self.slice_count
+    }
+
+    /// The block size `B`.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    fn spec(&self) -> SliceSpec {
+        SliceSpec::new(self.slice_count, self.block)
+    }
+
+    /// The two local extents the slicing applies to, per dataflow:
+    /// OS slices `K` on both inputs, LS slices `N`, RS slices `M`.
+    fn sliced_extents(&self, mesh: &Torus2d, problem: GemmProblem) -> [(String, usize); 2] {
+        let GemmShape { m, n, k } = problem.shape;
+        let (pr, pc) = (mesh.rows(), mesh.cols());
+        match problem.dataflow {
+            Dataflow::Os => [
+                ("K/Pc (A sub-shard)".into(), k / pc),
+                ("K/Pr (B sub-shard)".into(), k / pr),
+            ],
+            Dataflow::Ls => [
+                ("N/Pr (B sub-shard)".into(), n / pr),
+                ("N/Pc (C sub-shard)".into(), n / pc),
+            ],
+            Dataflow::Rs => [
+                ("M/Pc (A sub-shard)".into(), m / pc),
+                ("M/Pr (C sub-shard)".into(), m / pr),
+            ],
+        }
+    }
+}
+
+impl Default for MeshSlice {
+    /// `S = 1`, `B = 8`: degenerates to the Collective algorithm.
+    fn default() -> Self {
+        MeshSlice::with_tpu_block(1)
+    }
+}
+
+impl DistributedGemm for MeshSlice {
+    fn name(&self) -> &str {
+        "MeshSlice"
+    }
+
+    fn check(&self, mesh: &Torus2d, problem: GemmProblem) -> Result<(), GemmError> {
+        problem.check_divisible(mesh.shape())?;
+        let unit = self.slice_count * self.block;
+        for (what, extent) in self.sliced_extents(mesh, problem) {
+            ensure_divides(&format!("{what} by S*B"), extent, unit)?;
+        }
+        Ok(())
+    }
+
+    fn execute(
+        &self,
+        mesh: &Torus2d,
+        problem: GemmProblem,
+        a: &ShardGrid,
+        b: &ShardGrid,
+    ) -> Result<ShardGrid, GemmError> {
+        self.check(mesh, problem)?;
+        check_inputs(mesh, problem, a, b);
+        let spec = self.spec();
+        let s_count = self.slice_count;
+        let a_state = grid_state(a);
+        let b_state = grid_state(b);
+        let (cr, cc) = problem.c_shard_dims(mesh.shape());
+        let mut c_state: Vec<Matrix> = vec![Matrix::zeros(cr, cc); mesh.num_chips()];
+
+        for s in 0..s_count {
+            match problem.dataflow {
+                Dataflow::Os => {
+                    // A_s = slice_col(A_ij); B_s = slice_row(B_ij);
+                    // A' = AG_col(A_s); B' = AG_row(B_s); C_ij += A'·B'.
+                    let a_s: Vec<Matrix> = a_state.iter().map(|x| slice_cols(x, spec, s)).collect();
+                    let b_s: Vec<Matrix> = b_state.iter().map(|x| slice_rows(x, spec, s)).collect();
+                    let ga = all_gather(mesh, problem.a_axis().unwrap(), &a_s);
+                    let gb = all_gather(mesh, problem.b_axis().unwrap(), &b_s);
+                    for (c, (x, y)) in c_state.iter_mut().zip(ga.iter().zip(&gb)) {
+                        dense::matmul_acc(c, x, y);
+                    }
+                }
+                Dataflow::Ls => {
+                    // B_s = slice_row(B_ij); B' = AG_row(B_s);
+                    // C' = A_ij·(B')ᵀ; C_s = RdS_col(C').
+                    let b_s: Vec<Matrix> = b_state.iter().map(|x| slice_rows(x, spec, s)).collect();
+                    let gb = all_gather(mesh, problem.b_axis().unwrap(), &b_s);
+                    let partial: Vec<Matrix> = a_state
+                        .iter()
+                        .zip(&gb)
+                        .map(|(x, y)| dense::matmul_a_bt(x, y))
+                        .collect();
+                    let scattered = reduce_scatter(mesh, problem.c_axis().unwrap(), &partial);
+                    for (c, cs) in c_state.iter_mut().zip(&scattered) {
+                        unslice_cols_into(c, spec, s, cs);
+                    }
+                }
+                Dataflow::Rs => {
+                    // A_s = slice_col(A_ij); A' = AG_col(A_s);
+                    // C' = (A')ᵀ·B_ij; C_s = RdS_row(C').
+                    let a_s: Vec<Matrix> = a_state.iter().map(|x| slice_cols(x, spec, s)).collect();
+                    let ga = all_gather(mesh, problem.a_axis().unwrap(), &a_s);
+                    let partial: Vec<Matrix> = ga
+                        .iter()
+                        .zip(&b_state)
+                        .map(|(x, y)| dense::matmul_at_b(x, y))
+                        .collect();
+                    let scattered = reduce_scatter(mesh, problem.c_axis().unwrap(), &partial);
+                    for (c, cs) in c_state.iter_mut().zip(&scattered) {
+                        unslice_rows_into(c, spec, s, cs);
+                    }
+                }
+            }
+        }
+        Ok(ShardGrid::from_shards(mesh.rows(), mesh.cols(), c_state))
+    }
+
+    fn schedule(
+        &self,
+        mesh: &Torus2d,
+        problem: GemmProblem,
+        elem_bytes: usize,
+    ) -> Result<Program, GemmError> {
+        let mut b = ProgramBuilder::new(mesh);
+        self.schedule_chained(&mut b, problem, elem_bytes, &[], &[])?;
+        Ok(b.build())
+    }
+}
+
+impl MeshSlice {
+    /// Appends this pass's schedule into an existing builder, returning
+    /// the last partial-GeMM op of every chip.
+    ///
+    /// `prev_gemms` (empty, or one entry per chip) are compute-order
+    /// predecessors: every GeMM of this pass runs after them, modeling the
+    /// data flow between consecutive training passes. `prefetch_after`
+    /// (empty, or one entry per chip) bounds how early this pass's slicing
+    /// and communication may start — pass `p − 2`'s GeMMs for classic
+    /// double buffering, so pass `p`'s communication overlaps pass
+    /// `p − 1`'s compute without crowding earlier passes. This is the
+    /// building block of fused multi-pass schedules (see the
+    /// `ext_fused_pipeline` ablation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError`] if the mesh, dataflow, or dimensions are
+    /// unsupported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prev_gemms` or `prefetch_after` is neither empty nor one
+    /// entry per chip.
+    pub fn schedule_chained(
+        &self,
+        b: &mut ProgramBuilder,
+        problem: GemmProblem,
+        elem_bytes: usize,
+        prev_gemms: &[OpId],
+        prefetch_after: &[OpId],
+    ) -> Result<Vec<OpId>, GemmError> {
+        let mesh = b.mesh().clone();
+        let mesh = &mesh;
+        self.check(mesh, problem)?;
+        assert!(
+            prev_gemms.is_empty() || prev_gemms.len() == mesh.num_chips(),
+            "prev_gemms must be empty or one op per chip"
+        );
+        assert!(
+            prefetch_after.is_empty() || prefetch_after.len() == mesh.num_chips(),
+            "prefetch_after must be empty or one op per chip"
+        );
+        let prefetch_dep = |chip: meshslice_mesh::ChipId| -> Vec<OpId> {
+            prefetch_after
+                .get(chip.index())
+                .copied()
+                .into_iter()
+                .collect()
+        };
+        let s_count = self.slice_count as u64;
+        let shape = problem.shape;
+        let (pr, pc) = (mesh.rows(), mesh.cols());
+        let mesh_shape = mesh.shape();
+        let a_sub = problem.a_shard_bytes(mesh_shape, elem_bytes) / s_count;
+        let b_sub = problem.b_shard_bytes(mesh_shape, elem_bytes) / s_count;
+        let c_sub = problem.c_shard_bytes(mesh_shape, elem_bytes) / s_count;
+        // With S = 1 the algorithm *is* Collective: real implementations
+        // skip the identity slicing, and so does the schedule.
+        let slicing = self.slice_count > 1;
+        // Per-chip compute-order chain, seeded with the previous pass.
+        let mut last_gemm: Vec<Option<OpId>> = if prev_gemms.is_empty() {
+            vec![None; mesh.num_chips()]
+        } else {
+            prev_gemms.iter().copied().map(Some).collect()
+        };
+
+        for s in 0..self.slice_count {
+            match problem.dataflow {
+                Dataflow::Os => {
+                    let tag_a = b.next_tag();
+                    let tag_b = b.next_tag();
+                    let local =
+                        GemmShape::new(shape.m / pr, shape.n / pc, shape.k / self.slice_count);
+                    for chip in mesh.chips() {
+                        let a_deps = if slicing {
+                            vec![b.slice_copy(chip, a_sub, &prefetch_dep(chip))]
+                        } else {
+                            prefetch_dep(chip)
+                        };
+                        let ag_a = b.collective(
+                            chip,
+                            tag_a,
+                            CollectiveKind::AllGather,
+                            problem.a_axis().unwrap(),
+                            a_sub,
+                            2,
+                            &a_deps,
+                        );
+                        let b_deps = if slicing {
+                            vec![b.slice_copy(chip, b_sub, &prefetch_dep(chip))]
+                        } else {
+                            prefetch_dep(chip)
+                        };
+                        let ag_b = b.collective(
+                            chip,
+                            tag_b,
+                            CollectiveKind::AllGather,
+                            problem.b_axis().unwrap(),
+                            b_sub,
+                            2,
+                            &b_deps,
+                        );
+                        let mut gemm_deps = vec![ag_a, ag_b];
+                        gemm_deps.extend(last_gemm[chip.index()]);
+                        last_gemm[chip.index()] = Some(b.gemm(chip, local, &gemm_deps));
+                    }
+                }
+                Dataflow::Ls => {
+                    let tag_b = b.next_tag();
+                    let tag_c = b.next_tag();
+                    let local =
+                        GemmShape::new(shape.m / pr, shape.n / self.slice_count, shape.k / pc);
+                    for chip in mesh.chips() {
+                        let b_deps = if slicing {
+                            vec![b.slice_copy(chip, b_sub, &prefetch_dep(chip))]
+                        } else {
+                            prefetch_dep(chip)
+                        };
+                        let ag_b = b.collective(
+                            chip,
+                            tag_b,
+                            CollectiveKind::AllGather,
+                            problem.b_axis().unwrap(),
+                            b_sub,
+                            2,
+                            &b_deps,
+                        );
+                        let mut gemm_deps = vec![ag_b];
+                        gemm_deps.extend(last_gemm[chip.index()]);
+                        let gemm = b.gemm(chip, local, &gemm_deps);
+                        last_gemm[chip.index()] = Some(gemm);
+                        let rds = b.collective(
+                            chip,
+                            tag_c,
+                            CollectiveKind::ReduceScatter,
+                            problem.c_axis().unwrap(),
+                            c_sub,
+                            2,
+                            &[gemm],
+                        );
+                        if slicing {
+                            b.slice_copy(chip, c_sub, &[rds]);
+                        }
+                    }
+                }
+                Dataflow::Rs => {
+                    let tag_a = b.next_tag();
+                    let tag_c = b.next_tag();
+                    let local =
+                        GemmShape::new(shape.m / self.slice_count, shape.n / pc, shape.k / pr);
+                    for chip in mesh.chips() {
+                        let a_deps = if slicing {
+                            vec![b.slice_copy(chip, a_sub, &prefetch_dep(chip))]
+                        } else {
+                            prefetch_dep(chip)
+                        };
+                        let ag_a = b.collective(
+                            chip,
+                            tag_a,
+                            CollectiveKind::AllGather,
+                            problem.a_axis().unwrap(),
+                            a_sub,
+                            2,
+                            &a_deps,
+                        );
+                        let mut gemm_deps = vec![ag_a];
+                        gemm_deps.extend(last_gemm[chip.index()]);
+                        let gemm = b.gemm(chip, local, &gemm_deps);
+                        last_gemm[chip.index()] = Some(gemm);
+                        let rds = b.collective(
+                            chip,
+                            tag_c,
+                            CollectiveKind::ReduceScatter,
+                            problem.c_axis().unwrap(),
+                            c_sub,
+                            2,
+                            &[gemm],
+                        );
+                        if slicing {
+                            b.slice_copy(chip, c_sub, &[rds]);
+                        }
+                    }
+                }
+            }
+            let _ = s;
+        }
+        Ok(last_gemm
+            .into_iter()
+            .map(|g| g.expect("every chip computed at least one partial GeMM"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_functional(
+        df: Dataflow,
+        mesh: (usize, usize),
+        shape: (usize, usize, usize),
+        s: usize,
+        block: usize,
+    ) {
+        let mesh = Torus2d::new(mesh.0, mesh.1);
+        let problem = GemmProblem::new(GemmShape::new(shape.0, shape.1, shape.2), df);
+        let algo = MeshSlice::new(s, block);
+        let (a, b) = problem.random_inputs(&mesh, 99);
+        let c = algo.execute(&mesh, problem, &a, &b).unwrap();
+        let expect = problem.reference(&a.assemble(), &b.assemble());
+        assert!(
+            c.assemble().approx_eq(&expect, 1e-4),
+            "{df} S={s} B={block}: max diff {}",
+            c.assemble().max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn os_matches_dense() {
+        // K/Pc = 24/3 = 8, K/Pr = 24/2 = 12... both must divide by S*B = 4.
+        check_functional(Dataflow::Os, (2, 3), (4, 6, 24), 2, 2);
+    }
+
+    #[test]
+    fn ls_matches_dense() {
+        // N/Pr = 24/2 = 12, N/Pc = 24/3 = 8; S*B = 4 divides both.
+        check_functional(Dataflow::Ls, (2, 3), (4, 24, 6), 2, 2);
+    }
+
+    #[test]
+    fn rs_matches_dense() {
+        check_functional(Dataflow::Rs, (2, 3), (24, 6, 4), 2, 2);
+    }
+
+    #[test]
+    fn slice_count_one_equals_collective() {
+        check_functional(Dataflow::Os, (2, 2), (4, 4, 8), 1, 2);
+    }
+
+    #[test]
+    fn deep_slicing_still_correct() {
+        check_functional(Dataflow::Os, (2, 2), (4, 4, 32), 8, 2);
+    }
+
+    #[test]
+    fn rejects_unsliceable_k() {
+        let mesh = Torus2d::new(2, 2);
+        // K/Pc = 6 is not divisible by S*B = 4.
+        let problem = GemmProblem::new(GemmShape::new(4, 4, 12), Dataflow::Os);
+        let err = MeshSlice::new(2, 2).check(&mesh, problem).unwrap_err();
+        assert!(matches!(err, GemmError::Indivisible { .. }));
+    }
+
+    #[test]
+    fn schedule_flops_equal_problem_flops() {
+        let mesh = Torus2d::new(2, 4);
+        let shape = GemmShape::new(64, 64, 64);
+        for df in Dataflow::ALL {
+            let problem = GemmProblem::new(shape, df);
+            let prog = MeshSlice::new(4, 2).schedule(&mesh, problem, 2).unwrap();
+            assert_eq!(prog.total_flops(), shape.flops(), "{df}");
+        }
+    }
+
+    #[test]
+    fn schedule_with_s1_has_no_slice_ops() {
+        let mesh = Torus2d::new(2, 2);
+        let problem = GemmProblem::new(GemmShape::new(32, 32, 32), Dataflow::Os);
+        let prog = MeshSlice::new(1, 8).schedule(&mesh, problem, 2).unwrap();
+        let has_slice = prog
+            .ops()
+            .iter()
+            .any(|op| matches!(op.kind, meshslice_sim::OpKind::SliceCopy { .. }));
+        assert!(!has_slice);
+    }
+
+    #[test]
+    fn schedule_op_count_scales_with_s() {
+        let mesh = Torus2d::new(2, 2);
+        let problem = GemmProblem::new(GemmShape::new(64, 64, 64), Dataflow::Os);
+        let p2 = MeshSlice::new(2, 2).schedule(&mesh, problem, 2).unwrap();
+        let p4 = MeshSlice::new(4, 2).schedule(&mesh, problem, 2).unwrap();
+        assert_eq!(p4.len(), 2 * p2.len());
+    }
+}

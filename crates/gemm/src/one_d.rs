@@ -1,0 +1,360 @@
+//! The 1D baselines: tensor parallelism and fully-sharded data parallelism
+//! (§4.3).
+//!
+//! Both run on a ring of `n` chips, expressed as the degenerate torus
+//! `Torus2d::new(n, 1)`. A ring chip has only two usable ICI links, so the
+//! rotations run bidirectionally (both ring directions at once). Both
+//! baselines overlap communication with computation using Wang's method:
+//! the AllGather is decomposed into SendRecv exchanges interleaved with
+//! partial GeMMs.
+//!
+//! Shard layouts (documented because they differ from the 2D convention):
+//!
+//! - [`OneDimTp`] (sequence-parallel 1D TP): `A` is row-sharded
+//!   (`M/n × K`), `B` is **column**-sharded (`K × N/n`, stored as the
+//!   `(i, 0)` shard of the grid), and the output is column-sharded
+//!   (`M × N/n`). Every chip gathers all of `A` — the traffic that makes
+//!   1D TP unscalable.
+//! - [`Fsdp`]: `A` is row-sharded (`M/n × K`), the weight `B` is
+//!   row-sharded (`K/n × N`) and gathered, and the output is row-sharded
+//!   (`M/n × N`).
+
+use meshslice_collectives::all_gather;
+use meshslice_mesh::{CommAxis, LinkDir, Torus2d};
+use meshslice_sim::{OpId, Program, ProgramBuilder};
+use meshslice_tensor::gemm as dense;
+use meshslice_tensor::shard::ShardGrid;
+use meshslice_tensor::{GemmShape, Matrix};
+
+use crate::algorithm::DistributedGemm;
+use crate::error::{ensure_divides, GemmError};
+use crate::problem::{Dataflow, GemmProblem};
+
+/// 1D tensor parallelism with sequence parallelism (the most popular TP
+/// method for LLMs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OneDimTp {
+    unroll: Option<usize>,
+}
+
+/// Fully-sharded data parallelism: the weight matrix is sharded and
+/// gathered right before use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Fsdp {
+    unroll: Option<usize>,
+}
+
+impl OneDimTp {
+    /// Full decomposition: one partial GeMM per received shard.
+    pub fn new() -> Self {
+        OneDimTp::default()
+    }
+
+    /// Merges partial GeMMs into `groups` unrolled groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is zero.
+    pub fn with_unroll(groups: usize) -> Self {
+        assert!(groups > 0, "unroll group count must be positive");
+        OneDimTp {
+            unroll: Some(groups),
+        }
+    }
+}
+
+impl Fsdp {
+    /// Full decomposition: one partial GeMM per received shard.
+    pub fn new() -> Self {
+        Fsdp::default()
+    }
+
+    /// Merges partial GeMMs into `groups` unrolled groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is zero.
+    pub fn with_unroll(groups: usize) -> Self {
+        assert!(groups > 0, "unroll group count must be positive");
+        Fsdp {
+            unroll: Some(groups),
+        }
+    }
+}
+
+fn check_ring(mesh: &Torus2d, problem: GemmProblem, algorithm: &str) -> Result<(), GemmError> {
+    if problem.dataflow != Dataflow::Os {
+        return Err(GemmError::UnsupportedDataflow {
+            algorithm: format!("{algorithm} (output-stationary storage only)"),
+        });
+    }
+    if mesh.cols() != 1 {
+        return Err(GemmError::UnsupportedMesh {
+            requirement: format!("{algorithm} runs on a ring (Pc = 1), got {}", mesh.shape()),
+        });
+    }
+    Ok(())
+}
+
+/// Builds a bidirectional rotation schedule: `n − 1` shard exchanges split
+/// over the two ring directions, with one partial GeMM per arrival (plus
+/// one for the local shard), optionally merged into unrolled groups.
+fn rotation_schedule(
+    mesh: &Torus2d,
+    shard_bytes: u64,
+    per_arrival: GemmShape,
+    merge_dim: fn(GemmShape, usize) -> GemmShape,
+    groups: Option<usize>,
+) -> Program {
+    let n = mesh.rows();
+    let mut b = ProgramBuilder::new(mesh);
+    let fwd = (n - 1).div_ceil(2);
+    let bwd = (n - 1) / 2;
+    let total = n; // panels including the local one
+    let groups = match groups {
+        Some(g) if g <= total && total.is_multiple_of(g) => g,
+        _ => total,
+    };
+    let per_group = total / groups;
+    for chip in mesh.chips() {
+        // Two independent SendRecv chains, one per direction; each step
+        // sends half the traffic of a unidirectional rotation.
+        let mut fwd_prev: Option<OpId> = None;
+        let mut bwd_prev: Option<OpId> = None;
+        let mut fwd_done = 0usize;
+        let mut bwd_done = 0usize;
+        let mut arrivals = 0usize; // received shards (excluding local)
+        for g in 0..groups {
+            let target = ((g + 1) * per_group - 1).min(n - 1);
+            while arrivals < target {
+                // Alternate directions so arrivals interleave evenly.
+                if fwd_done <= bwd_done && fwd_done < fwd {
+                    let deps: Vec<OpId> = fwd_prev.into_iter().collect();
+                    fwd_prev = Some(b.send_recv(chip, LinkDir::RowPlus, shard_bytes, &deps));
+                    fwd_done += 1;
+                } else if bwd_done < bwd {
+                    let deps: Vec<OpId> = bwd_prev.into_iter().collect();
+                    bwd_prev = Some(b.send_recv(chip, LinkDir::RowMinus, shard_bytes, &deps));
+                    bwd_done += 1;
+                } else {
+                    let deps: Vec<OpId> = fwd_prev.into_iter().collect();
+                    fwd_prev = Some(b.send_recv(chip, LinkDir::RowPlus, shard_bytes, &deps));
+                    fwd_done += 1;
+                }
+                arrivals += 1;
+            }
+            let mut deps: Vec<OpId> = Vec::new();
+            deps.extend(fwd_prev);
+            deps.extend(bwd_prev);
+            b.gemm(chip, merge_dim(per_arrival, per_group), &deps);
+        }
+    }
+    b.build()
+}
+
+impl DistributedGemm for OneDimTp {
+    fn name(&self) -> &str {
+        "1D TP"
+    }
+
+    fn check(&self, mesh: &Torus2d, problem: GemmProblem) -> Result<(), GemmError> {
+        check_ring(mesh, problem, "1D TP")?;
+        let n = mesh.rows();
+        ensure_divides("M by ring size", problem.shape.m, n)?;
+        ensure_divides("N by ring size", problem.shape.n, n)?;
+        Ok(())
+    }
+
+    fn execute(
+        &self,
+        mesh: &Torus2d,
+        problem: GemmProblem,
+        a: &ShardGrid,
+        b: &ShardGrid,
+    ) -> Result<ShardGrid, GemmError> {
+        self.check(mesh, problem)?;
+        let n = mesh.rows();
+        let GemmShape { m, n: nn, k } = problem.shape;
+        assert_eq!(a.global_dims(), (m, k), "A must be row-sharded M x K");
+        assert_eq!(
+            b.shard_dims(),
+            (k, nn / n),
+            "B shards must be K x N/n column slices"
+        );
+        // AllGather the activations, then one local GeMM per chip against
+        // its weight column slice.
+        let a_state: Vec<Matrix> = a.iter().map(|(_, s)| s.clone()).collect();
+        let ga = all_gather(mesh, CommAxis::InterRow, &a_state);
+        let c: Vec<Matrix> = (0..n)
+            .map(|i| dense::matmul(&ga[i], b.shard(i, 0)))
+            .collect();
+        Ok(ShardGrid::from_shards(n, 1, c))
+    }
+
+    fn schedule(
+        &self,
+        mesh: &Torus2d,
+        problem: GemmProblem,
+        elem_bytes: usize,
+    ) -> Result<Program, GemmError> {
+        self.check(mesh, problem)?;
+        let n = mesh.rows();
+        let GemmShape { m, n: nn, k } = problem.shape;
+        let shard_bytes = (m / n * k * elem_bytes) as u64;
+        // Each arrival contributes an M/n row panel of this chip's output
+        // column block.
+        let per_arrival = GemmShape::new(m / n, nn / n, k);
+        Ok(rotation_schedule(
+            mesh,
+            shard_bytes,
+            per_arrival,
+            |s, c| GemmShape::new(s.m * c, s.n, s.k),
+            self.unroll,
+        ))
+    }
+}
+
+impl DistributedGemm for Fsdp {
+    fn name(&self) -> &str {
+        "FSDP"
+    }
+
+    fn check(&self, mesh: &Torus2d, problem: GemmProblem) -> Result<(), GemmError> {
+        check_ring(mesh, problem, "FSDP")?;
+        let n = mesh.rows();
+        ensure_divides("M by ring size", problem.shape.m, n)?;
+        ensure_divides("K by ring size", problem.shape.k, n)?;
+        Ok(())
+    }
+
+    fn execute(
+        &self,
+        mesh: &Torus2d,
+        problem: GemmProblem,
+        a: &ShardGrid,
+        b: &ShardGrid,
+    ) -> Result<ShardGrid, GemmError> {
+        self.check(mesh, problem)?;
+        let n = mesh.rows();
+        let GemmShape { m, n: nn, k } = problem.shape;
+        assert_eq!(a.global_dims(), (m, k), "A must be row-sharded M x K");
+        assert_eq!(b.global_dims(), (k, nn), "B must be row-sharded K x N");
+        let b_state: Vec<Matrix> = b.iter().map(|(_, s)| s.clone()).collect();
+        let gb = all_gather(mesh, CommAxis::InterRow, &b_state);
+        let c: Vec<Matrix> = (0..n)
+            .map(|i| dense::matmul(a.shard(i, 0), &gb[i]))
+            .collect();
+        Ok(ShardGrid::from_shards(n, 1, c))
+    }
+
+    fn schedule(
+        &self,
+        mesh: &Torus2d,
+        problem: GemmProblem,
+        elem_bytes: usize,
+    ) -> Result<Program, GemmError> {
+        self.check(mesh, problem)?;
+        let n = mesh.rows();
+        let GemmShape { m, n: nn, k } = problem.shape;
+        let shard_bytes = (k / n * nn * elem_bytes) as u64;
+        // Each arriving weight shard contributes a K/n contraction panel.
+        let per_arrival = GemmShape::new(m / n, nn, k / n);
+        Ok(rotation_schedule(
+            mesh,
+            shard_bytes,
+            per_arrival,
+            |s, c| GemmShape::new(s.m, s.n, s.k * c),
+            self.unroll,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshslice_tensor::shard::{partition_cols, partition_rows};
+
+    #[test]
+    fn one_d_tp_matches_dense() {
+        let n = 4;
+        let mesh = Torus2d::new(n, 1);
+        let shape = GemmShape::new(8, 12, 6);
+        let problem = GemmProblem::new(shape, Dataflow::Os);
+        let a_global = Matrix::random(8, 6, 1);
+        let b_global = Matrix::random(6, 12, 2);
+        let a = ShardGrid::from_shards(n, 1, partition_rows(&a_global, n));
+        let b = ShardGrid::from_shards(n, 1, partition_cols(&b_global, n));
+        let c = OneDimTp::new().execute(&mesh, problem, &a, &b).unwrap();
+        let expect = dense::matmul(&a_global, &b_global);
+        // Chip i holds C[:, i-range].
+        for i in 0..n {
+            let block = expect.block(0, i * 3, 8, 3);
+            assert!(c.shard(i, 0).approx_eq(&block, 1e-4));
+        }
+    }
+
+    #[test]
+    fn fsdp_matches_dense() {
+        let n = 3;
+        let mesh = Torus2d::new(n, 1);
+        let shape = GemmShape::new(6, 4, 9);
+        let problem = GemmProblem::new(shape, Dataflow::Os);
+        let a_global = Matrix::random(6, 9, 3);
+        let b_global = Matrix::random(9, 4, 4);
+        let a = ShardGrid::from_shards(n, 1, partition_rows(&a_global, n));
+        let b = ShardGrid::from_shards(n, 1, partition_rows(&b_global, n));
+        let c = Fsdp::new().execute(&mesh, problem, &a, &b).unwrap();
+        let expect = dense::matmul(&a_global, &b_global);
+        assert!(c.assemble().approx_eq(&expect, 1e-4));
+    }
+
+    #[test]
+    fn both_reject_2d_meshes() {
+        let mesh = Torus2d::new(2, 2);
+        let problem = GemmProblem::new(GemmShape::new(8, 8, 8), Dataflow::Os);
+        assert!(OneDimTp::new().check(&mesh, problem).is_err());
+        assert!(Fsdp::new().check(&mesh, problem).is_err());
+    }
+
+    #[test]
+    fn schedules_preserve_flops() {
+        let mesh = Torus2d::new(8, 1);
+        let shape = GemmShape::new(64, 64, 64);
+        let problem = GemmProblem::new(shape, Dataflow::Os);
+        for prog in [
+            OneDimTp::new().schedule(&mesh, problem, 2).unwrap(),
+            Fsdp::new().schedule(&mesh, problem, 2).unwrap(),
+            OneDimTp::with_unroll(4)
+                .schedule(&mesh, problem, 2)
+                .unwrap(),
+            Fsdp::with_unroll(2).schedule(&mesh, problem, 2).unwrap(),
+        ] {
+            assert_eq!(prog.total_flops(), shape.flops());
+        }
+    }
+
+    #[test]
+    fn rotation_uses_both_link_directions() {
+        let mesh = Torus2d::new(8, 1);
+        let shape = GemmShape::new(64, 64, 64);
+        let problem = GemmProblem::new(shape, Dataflow::Os);
+        let prog = OneDimTp::new().schedule(&mesh, problem, 2).unwrap();
+        let dirs: std::collections::HashSet<_> = prog
+            .ops()
+            .iter()
+            .filter_map(|op| match op.kind {
+                meshslice_sim::OpKind::SendRecv { dir, .. } => Some(dir),
+                _ => None,
+            })
+            .collect();
+        assert!(dirs.contains(&LinkDir::RowPlus));
+        assert!(dirs.contains(&LinkDir::RowMinus));
+        // n - 1 = 7 exchanges per chip.
+        let sends = prog
+            .ops()
+            .iter()
+            .filter(|op| matches!(op.kind, meshslice_sim::OpKind::SendRecv { .. }))
+            .count();
+        assert_eq!(sends, 8 * 7);
+    }
+}

@@ -1,0 +1,609 @@
+//! Wang et al.'s overlapped 2D GeMM (the state-of-the-art baseline).
+//!
+//! Wang decomposes the collective communication of **one** mesh direction
+//! into SendRecv exchanges that software-pipeline with partial GeMMs; the
+//! other direction's collective stays whole and is exposed as a prologue
+//! (AllGather) or epilogue (ReduceScatter). Decomposing *both* directions
+//! would require Cannon's algorithm, with its square-mesh and skew costs —
+//! the gap MeshSlice closes.
+//!
+//! The paper applies loop unrolling to Wang so that its iteration count
+//! matches MeshSlice's tuned slice count; [`Wang::with_unroll`] models
+//! this by merging adjacent partial GeMMs.
+
+use meshslice_collectives::{all_gather, reduce_scatter, shift};
+use meshslice_mesh::{CommAxis, Torus2d};
+use meshslice_sim::{OpId, Program, ProgramBuilder};
+use meshslice_tensor::gemm as dense;
+use meshslice_tensor::shard::ShardGrid;
+use meshslice_tensor::{GemmShape, Matrix};
+
+use crate::algorithm::{check_inputs, DistributedGemm};
+use crate::collective::grid_state;
+use crate::error::{ensure_divides, GemmError};
+use crate::problem::{Dataflow, GemmProblem};
+
+/// Which direction's collective Wang decomposes into SendRecv exchanges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WangOverlap {
+    /// Pick the direction with the larger traffic cost (hide the big one).
+    #[default]
+    Auto,
+    /// Overlap the inter-row (vertical) communication.
+    InterRow,
+    /// Overlap the inter-column (horizontal) communication.
+    InterCol,
+}
+
+/// Wang et al.'s algorithm.
+///
+/// # Example
+///
+/// ```
+/// use meshslice_gemm::{Dataflow, DistributedGemm, GemmProblem, Wang};
+/// use meshslice_mesh::Torus2d;
+/// use meshslice_tensor::GemmShape;
+///
+/// # fn main() -> Result<(), meshslice_gemm::GemmError> {
+/// let mesh = Torus2d::new(2, 2);
+/// let problem = GemmProblem::new(GemmShape::new(8, 8, 8), Dataflow::Os);
+/// let (a, b) = problem.random_inputs(&mesh, 11);
+/// let c = Wang::new().execute(&mesh, problem, &a, &b)?;
+/// assert!(c.assemble().approx_eq(&problem.reference(&a.assemble(), &b.assemble()), 1e-4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Wang {
+    overlap: WangOverlap,
+    unroll: Option<usize>,
+}
+
+impl Wang {
+    /// Wang with automatic overlap-direction selection and full
+    /// decomposition (one GeMM per arrival).
+    pub fn new() -> Self {
+        Wang::default()
+    }
+
+    /// Sets the overlap direction explicitly.
+    pub fn with_overlap(overlap: WangOverlap) -> Self {
+        Wang {
+            overlap,
+            unroll: None,
+        }
+    }
+
+    /// Merges the partial GeMMs into `groups` unrolled groups (must divide
+    /// the overlapped ring length, otherwise full decomposition is used).
+    pub fn with_unroll(mut self, groups: usize) -> Self {
+        assert!(groups > 0, "unroll group count must be positive");
+        self.unroll = Some(groups);
+        self
+    }
+
+    /// Resolves the overlap axis for a problem on a mesh.
+    ///
+    /// For `Auto`, the decomposed (hidden) direction is the one whose ring
+    /// collective moves more bytes: `(P − 1) × shard_bytes` per §2.3.1.
+    pub fn resolve_overlap(&self, mesh: &Torus2d, problem: GemmProblem) -> CommAxis {
+        match self.overlap {
+            WangOverlap::InterRow => CommAxis::InterRow,
+            WangOverlap::InterCol => CommAxis::InterCol,
+            WangOverlap::Auto => {
+                let cost = |axis: CommAxis| -> u64 {
+                    let len = mesh.ring_len(axis) as u64;
+                    let bytes = [
+                        (problem.a_axis(), problem.a_shard_bytes(mesh.shape(), 1)),
+                        (problem.b_axis(), problem.b_shard_bytes(mesh.shape(), 1)),
+                        (problem.c_axis(), problem.c_shard_bytes(mesh.shape(), 1)),
+                    ]
+                    .into_iter()
+                    .filter(|(ax, _)| *ax == Some(axis))
+                    .map(|(_, b)| b)
+                    .sum::<u64>();
+                    (len - 1) * bytes
+                };
+                if cost(CommAxis::InterRow) >= cost(CommAxis::InterCol) {
+                    CommAxis::InterRow
+                } else {
+                    CommAxis::InterCol
+                }
+            }
+        }
+    }
+
+    fn groups_for(&self, ring: usize) -> usize {
+        match self.unroll {
+            Some(g) if g <= ring && ring.is_multiple_of(g) => g,
+            _ => ring,
+        }
+    }
+}
+
+/// Ring reduce-scatter with interleaved per-panel compute: at round `t`,
+/// the chip at ring position `c` computes its contribution to panel
+/// `(c + p − 1 − t) mod p`, adds the accumulator received from upstream,
+/// and passes it on. After `p` rounds every chip holds its own panel fully
+/// reduced.
+fn ring_reduce(
+    mesh: &Torus2d,
+    axis: CommAxis,
+    contribution: impl Fn(usize, usize) -> Matrix,
+) -> Vec<Matrix> {
+    let p = mesh.ring_len(axis);
+    let position = |chip: usize| {
+        let coord = mesh.coord_of(meshslice_mesh::ChipId(chip));
+        match axis {
+            CommAxis::InterRow => coord.row,
+            CommAxis::InterCol => coord.col,
+        }
+    };
+    let mut carried: Option<Vec<Matrix>> = None;
+    for t in 0..p {
+        let acc: Vec<Matrix> = (0..mesh.num_chips())
+            .map(|chip| {
+                let q = (position(chip) + p - 1 - t) % p;
+                let contr = contribution(chip, q);
+                match &carried {
+                    None => contr,
+                    Some(rcv) => &rcv[chip] + &contr,
+                }
+            })
+            .collect();
+        if t + 1 < p {
+            carried = Some(shift(mesh, axis, 1, &acc));
+        } else {
+            return acc;
+        }
+    }
+    unreachable!("loop always returns on the last round")
+}
+
+impl DistributedGemm for Wang {
+    fn name(&self) -> &str {
+        "Wang"
+    }
+
+    fn check(&self, mesh: &Torus2d, problem: GemmProblem) -> Result<(), GemmError> {
+        problem.check_divisible(mesh.shape())?;
+        let overlap = self.resolve_overlap(mesh, problem);
+        // The rotated panels further split one dimension by the ring
+        // length of the overlapped direction.
+        let ring = mesh.ring_len(overlap);
+        match (problem.dataflow, overlap) {
+            (Dataflow::Os, CommAxis::InterCol) => {
+                ensure_divides("K by Pc (Wang panels)", problem.shape.k, mesh.cols())?;
+            }
+            (Dataflow::Os, CommAxis::InterRow) => {
+                ensure_divides("K by Pr (Wang panels)", problem.shape.k, mesh.rows())?;
+            }
+            (Dataflow::Ls, CommAxis::InterCol) => {
+                ensure_divides("N by Pc (Wang panels)", problem.shape.n, mesh.cols())?;
+            }
+            (Dataflow::Ls, CommAxis::InterRow) => {
+                ensure_divides("N by Pr (Wang panels)", problem.shape.n, mesh.rows())?;
+            }
+            (Dataflow::Rs, CommAxis::InterRow) => {
+                ensure_divides("M by Pr (Wang panels)", problem.shape.m, mesh.rows())?;
+            }
+            (Dataflow::Rs, CommAxis::InterCol) => {
+                ensure_divides("M by Pc (Wang panels)", problem.shape.m, mesh.cols())?;
+            }
+        }
+        let _ = ring;
+        Ok(())
+    }
+
+    fn execute(
+        &self,
+        mesh: &Torus2d,
+        problem: GemmProblem,
+        a: &ShardGrid,
+        b: &ShardGrid,
+    ) -> Result<ShardGrid, GemmError> {
+        self.check(mesh, problem)?;
+        check_inputs(mesh, problem, a, b);
+        let overlap = self.resolve_overlap(mesh, problem);
+        let shape = problem.shape;
+        let (pr, pc) = (mesh.rows(), mesh.cols());
+        let a_state = grid_state(a);
+        let b_state = grid_state(b);
+        let row_of = |chip: usize| mesh.coord_of(meshslice_mesh::ChipId(chip)).row;
+        let col_of = |chip: usize| mesh.coord_of(meshslice_mesh::ChipId(chip)).col;
+
+        let c_state: Vec<Matrix> = match (problem.dataflow, overlap) {
+            (Dataflow::Os, CommAxis::InterCol) => {
+                // Exposed: AG_row(B). Overlapped: rotate A shards along the
+                // row, multiplying against the matching K panel of B_*j.
+                let gb = all_gather(mesh, CommAxis::InterRow, &b_state);
+                let k_p = shape.k / pc;
+                let mut a_cur = a_state;
+                let mut c: Vec<Matrix> =
+                    vec![Matrix::zeros(shape.m / pr, shape.n / pc); mesh.num_chips()];
+                for t in 0..pc {
+                    for chip in 0..mesh.num_chips() {
+                        let src = (col_of(chip) + pc - t) % pc;
+                        let b_rows = gb[chip].block(src * k_p, 0, k_p, shape.n / pc);
+                        dense::matmul_acc(&mut c[chip], &a_cur[chip], &b_rows);
+                    }
+                    if t + 1 < pc {
+                        a_cur = shift(mesh, CommAxis::InterCol, 1, &a_cur);
+                    }
+                }
+                c
+            }
+            (Dataflow::Os, CommAxis::InterRow) => {
+                let ga = all_gather(mesh, CommAxis::InterCol, &a_state);
+                let k_p = shape.k / pr;
+                let mut b_cur = b_state;
+                let mut c: Vec<Matrix> =
+                    vec![Matrix::zeros(shape.m / pr, shape.n / pc); mesh.num_chips()];
+                for t in 0..pr {
+                    for chip in 0..mesh.num_chips() {
+                        let src = (row_of(chip) + pr - t) % pr;
+                        let a_cols = ga[chip].block(0, src * k_p, shape.m / pr, k_p);
+                        dense::matmul_acc(&mut c[chip], &a_cols, &b_cur[chip]);
+                    }
+                    if t + 1 < pr {
+                        b_cur = shift(mesh, CommAxis::InterRow, 1, &b_cur);
+                    }
+                }
+                c
+            }
+            (Dataflow::Ls, CommAxis::InterCol) => {
+                // Exposed: AG_row(B). Overlapped: ring reduce-scatter of C
+                // along the row, one N panel per round.
+                let gb = all_gather(mesh, CommAxis::InterRow, &b_state);
+                let n_p = shape.n / pc;
+                ring_reduce(mesh, CommAxis::InterCol, |chip, q| {
+                    let b_rows = gb[chip].block(q * n_p, 0, n_p, shape.k / pc);
+                    dense::matmul_a_bt(&a_state[chip], &b_rows)
+                })
+            }
+            (Dataflow::Ls, CommAxis::InterRow) => {
+                // Overlapped: rotate B shards along the column, building the
+                // full partial C'. Exposed: RdS_col at the end.
+                let n_p = shape.n / pr;
+                let mut b_cur = b_state;
+                let mut partial: Vec<Matrix> =
+                    vec![Matrix::zeros(shape.m / pr, shape.n); mesh.num_chips()];
+                for t in 0..pr {
+                    for chip in 0..mesh.num_chips() {
+                        let src = (row_of(chip) + pr - t) % pr;
+                        let block = dense::matmul_a_bt(&a_state[chip], &b_cur[chip]);
+                        partial[chip].add_block(0, src * n_p, &block);
+                    }
+                    if t + 1 < pr {
+                        b_cur = shift(mesh, CommAxis::InterRow, 1, &b_cur);
+                    }
+                }
+                reduce_scatter(mesh, CommAxis::InterCol, &partial)
+            }
+            (Dataflow::Rs, CommAxis::InterRow) => {
+                // Exposed: AG_col(A). Overlapped: ring reduce-scatter of C
+                // along the column, one M panel per round.
+                let ga = all_gather(mesh, CommAxis::InterCol, &a_state);
+                let m_p = shape.m / pr;
+                ring_reduce(mesh, CommAxis::InterRow, |chip, q| {
+                    let a_cols = ga[chip].block(0, q * m_p, shape.k / pr, m_p);
+                    dense::matmul_at_b(&a_cols, &b_state[chip])
+                })
+            }
+            (Dataflow::Rs, CommAxis::InterCol) => {
+                let m_p = shape.m / pc;
+                let mut a_cur = a_state;
+                let mut partial: Vec<Matrix> =
+                    vec![Matrix::zeros(shape.m, shape.n / pc); mesh.num_chips()];
+                for t in 0..pc {
+                    for chip in 0..mesh.num_chips() {
+                        let src = (col_of(chip) + pc - t) % pc;
+                        let block = dense::matmul_at_b(&a_cur[chip], &b_state[chip]);
+                        partial[chip].add_block(src * m_p, 0, &block);
+                    }
+                    if t + 1 < pc {
+                        a_cur = shift(mesh, CommAxis::InterCol, 1, &a_cur);
+                    }
+                }
+                reduce_scatter(mesh, CommAxis::InterRow, &partial)
+            }
+        };
+        Ok(ShardGrid::from_shards(pr, pc, c_state))
+    }
+
+    fn schedule(
+        &self,
+        mesh: &Torus2d,
+        problem: GemmProblem,
+        elem_bytes: usize,
+    ) -> Result<Program, GemmError> {
+        self.check(mesh, problem)?;
+        let overlap = self.resolve_overlap(mesh, problem);
+        let exposed = overlap.opposite();
+        let ring = mesh.ring_len(overlap);
+        let shape = problem.shape;
+        let (pr, pc) = (mesh.rows(), mesh.cols());
+        let ms = mesh.shape();
+        let a_bytes = problem.a_shard_bytes(ms, elem_bytes);
+        let b_bytes = problem.b_shard_bytes(ms, elem_bytes);
+        let c_bytes = problem.c_shard_bytes(ms, elem_bytes);
+        let sr_dir = overlap.forward_link();
+        let mut b = ProgramBuilder::new(mesh);
+        let exposed_tag = b.next_tag();
+
+        // The rotation either carries an input shard towards the partial
+        // GeMMs, or carries the C accumulator of a compute-interleaved ring
+        // reduce-scatter (the LS/RS variants where the reduction direction
+        // is the overlapped one).
+        let ring_reduce_rotation = matches!(
+            (problem.dataflow, overlap),
+            (Dataflow::Ls, CommAxis::InterCol) | (Dataflow::Rs, CommAxis::InterRow)
+        );
+        // Unrolling chunked accumulators is not modeled; it only applies
+        // to the input-rotation variants.
+        let groups = if ring_reduce_rotation {
+            ring
+        } else {
+            self.groups_for(ring)
+        };
+        let per_group = ring / groups;
+
+        // Per-arrival (rotated) GeMM shape, rotated payload bytes, and
+        // whether an exposed ReduceScatter follows the loop.
+        let (panel_shape, rot_bytes, rds_after): (GemmShape, u64, bool) =
+            match (problem.dataflow, overlap) {
+                (Dataflow::Os, CommAxis::InterCol) => (
+                    GemmShape::new(shape.m / pr, shape.n / pc, shape.k / pc),
+                    a_bytes,
+                    false,
+                ),
+                (Dataflow::Os, CommAxis::InterRow) => (
+                    GemmShape::new(shape.m / pr, shape.n / pc, shape.k / pr),
+                    b_bytes,
+                    false,
+                ),
+                (Dataflow::Ls, CommAxis::InterCol) => (
+                    GemmShape::new(shape.m / pr, shape.n / pc, shape.k / pc),
+                    c_bytes,
+                    false,
+                ),
+                (Dataflow::Rs, CommAxis::InterRow) => (
+                    GemmShape::new(shape.m / pr, shape.n / pc, shape.k / pr),
+                    c_bytes,
+                    false,
+                ),
+                (Dataflow::Ls, CommAxis::InterRow) => (
+                    GemmShape::new(shape.m / pr, shape.n / pr, shape.k / pc),
+                    b_bytes,
+                    true,
+                ),
+                (Dataflow::Rs, CommAxis::InterCol) => (
+                    GemmShape::new(shape.m / pc, shape.n / pc, shape.k / pr),
+                    a_bytes,
+                    true,
+                ),
+            };
+        // Grouping merges panels along the dimension the rotation splits;
+        // FLOPs stay constant because exactly one dimension scales.
+        let merged_shape = |count: usize| -> GemmShape {
+            match problem.dataflow {
+                Dataflow::Os => GemmShape::new(panel_shape.m, panel_shape.n, panel_shape.k * count),
+                Dataflow::Ls => GemmShape::new(panel_shape.m, panel_shape.n * count, panel_shape.k),
+                Dataflow::Rs => GemmShape::new(panel_shape.m * count, panel_shape.n, panel_shape.k),
+            }
+        };
+
+        // The exposed collective: an AllGather prologue, or a ReduceScatter
+        // epilogue when the gathered input's rotation was overlapped.
+        let (exposed_is_ag, exposed_bytes) = match (problem.dataflow, rds_after) {
+            (Dataflow::Os, _) => (
+                true,
+                if overlap == CommAxis::InterCol {
+                    b_bytes
+                } else {
+                    a_bytes
+                },
+            ),
+            (Dataflow::Ls, false) => (true, b_bytes),
+            (Dataflow::Rs, false) => (true, a_bytes),
+            (_, true) => (false, c_bytes),
+        };
+
+        // The rotation runs bidirectionally: both ring links carry shards
+        // at once, like the TPU collectives it decomposes.
+        let fwd_dir = sr_dir;
+        let bwd_dir = overlap.backward_link();
+        for chip in mesh.chips() {
+            let ag = if exposed_is_ag {
+                Some(b.collective(
+                    chip,
+                    exposed_tag,
+                    meshslice_sim::CollectiveKind::AllGather,
+                    exposed,
+                    exposed_bytes,
+                    2,
+                    &[],
+                ))
+            } else {
+                None
+            };
+            let mut last_gemm: Option<OpId> = None;
+            if ring_reduce_rotation {
+                // Two accumulators circulate in opposite directions, each
+                // covering half the output panels: per round a chip adds
+                // its contribution (a partial GeMM) and passes the
+                // accumulator on.
+                for (dir, panels) in [(fwd_dir, ring.div_ceil(2)), (bwd_dir, ring / 2)] {
+                    let mut last_sr: Option<OpId> = None;
+                    for p in 0..panels {
+                        let mut deps: Vec<OpId> = Vec::new();
+                        deps.extend(ag);
+                        deps.extend(last_sr);
+                        let gemm = b.gemm(chip, merged_shape(1), &deps);
+                        last_gemm = Some(gemm);
+                        if p + 1 < panels {
+                            let deps: Vec<OpId> =
+                                last_sr.into_iter().chain(std::iter::once(gemm)).collect();
+                            last_sr = Some(b.send_recv(chip, dir, rot_bytes, &deps));
+                        }
+                    }
+                }
+            } else {
+                // Input rotation: shards arrive alternately from both ring
+                // directions; group g's GeMM waits for the arrivals it
+                // consumes (the chip's own shard is panel 0).
+                let mut fwd_prev: Option<OpId> = None;
+                let mut bwd_prev: Option<OpId> = None;
+                let fwd_total = (ring - 1).div_ceil(2);
+                let bwd_total = (ring - 1) / 2;
+                let (mut fwd_done, mut bwd_done) = (0usize, 0usize);
+                let mut arrivals = 0usize;
+                for g in 0..groups {
+                    let target = (g + 1) * per_group - 1;
+                    while arrivals < target {
+                        if fwd_done <= bwd_done && fwd_done < fwd_total {
+                            let deps: Vec<OpId> = fwd_prev.into_iter().collect();
+                            fwd_prev = Some(b.send_recv(chip, fwd_dir, rot_bytes, &deps));
+                            fwd_done += 1;
+                        } else if bwd_done < bwd_total {
+                            let deps: Vec<OpId> = bwd_prev.into_iter().collect();
+                            bwd_prev = Some(b.send_recv(chip, bwd_dir, rot_bytes, &deps));
+                            bwd_done += 1;
+                        } else {
+                            let deps: Vec<OpId> = fwd_prev.into_iter().collect();
+                            fwd_prev = Some(b.send_recv(chip, fwd_dir, rot_bytes, &deps));
+                            fwd_done += 1;
+                        }
+                        arrivals += 1;
+                    }
+                    let mut deps: Vec<OpId> = Vec::new();
+                    deps.extend(ag);
+                    deps.extend(fwd_prev);
+                    deps.extend(bwd_prev);
+                    last_gemm = Some(b.gemm(chip, merged_shape(per_group), &deps));
+                }
+            }
+            if !exposed_is_ag {
+                let deps: Vec<OpId> = last_gemm.into_iter().collect();
+                b.collective(
+                    chip,
+                    exposed_tag,
+                    meshslice_sim::CollectiveKind::ReduceScatter,
+                    exposed,
+                    exposed_bytes,
+                    2,
+                    &deps,
+                );
+            }
+        }
+        Ok(b.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_functional(
+        df: Dataflow,
+        overlap: WangOverlap,
+        mesh: (usize, usize),
+        shape: (usize, usize, usize),
+    ) {
+        let mesh = Torus2d::new(mesh.0, mesh.1);
+        let problem = GemmProblem::new(GemmShape::new(shape.0, shape.1, shape.2), df);
+        let algo = Wang::with_overlap(overlap);
+        let (a, b) = problem.random_inputs(&mesh, 77);
+        let c = algo.execute(&mesh, problem, &a, &b).unwrap();
+        let expect = problem.reference(&a.assemble(), &b.assemble());
+        assert!(
+            c.assemble().approx_eq(&expect, 1e-4),
+            "{df} overlap {overlap:?}: max diff {}",
+            c.assemble().max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn os_both_overlap_directions_match_dense() {
+        check_functional(Dataflow::Os, WangOverlap::InterCol, (2, 3), (4, 6, 12));
+        check_functional(Dataflow::Os, WangOverlap::InterRow, (2, 3), (4, 6, 12));
+    }
+
+    #[test]
+    fn ls_both_overlap_directions_match_dense() {
+        check_functional(Dataflow::Ls, WangOverlap::InterCol, (2, 3), (4, 12, 6));
+        check_functional(Dataflow::Ls, WangOverlap::InterRow, (2, 3), (4, 12, 6));
+    }
+
+    #[test]
+    fn rs_both_overlap_directions_match_dense() {
+        check_functional(Dataflow::Rs, WangOverlap::InterRow, (3, 2), (12, 4, 6));
+        check_functional(Dataflow::Rs, WangOverlap::InterCol, (3, 2), (12, 4, 6));
+    }
+
+    #[test]
+    fn auto_overlap_matches_dense() {
+        check_functional(Dataflow::Os, WangOverlap::Auto, (4, 2), (8, 8, 8));
+    }
+
+    #[test]
+    fn auto_hides_the_larger_direction() {
+        // A (M x K) is far larger than B: A flows inter-column, so Auto
+        // must overlap InterCol when its traffic dominates.
+        let mesh = Torus2d::new(2, 8);
+        let problem = GemmProblem::new(GemmShape::new(4096, 64, 256), Dataflow::Os);
+        assert_eq!(
+            Wang::new().resolve_overlap(&mesh, problem),
+            CommAxis::InterCol
+        );
+        // B (K x N) far larger: overlap InterRow.
+        let problem2 = GemmProblem::new(GemmShape::new(64, 4096, 256), Dataflow::Os);
+        let mesh2 = Torus2d::new(8, 2);
+        assert_eq!(
+            Wang::new().resolve_overlap(&mesh2, problem2),
+            CommAxis::InterRow
+        );
+    }
+
+    #[test]
+    fn schedule_flops_equal_problem_flops() {
+        let mesh = Torus2d::new(2, 4);
+        let shape = GemmShape::new(64, 64, 64);
+        for df in Dataflow::ALL {
+            for overlap in [
+                WangOverlap::InterRow,
+                WangOverlap::InterCol,
+                WangOverlap::Auto,
+            ] {
+                let problem = GemmProblem::new(shape, df);
+                let prog = Wang::with_overlap(overlap)
+                    .schedule(&mesh, problem, 2)
+                    .unwrap();
+                assert_eq!(prog.total_flops(), shape.flops(), "{df} {overlap:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unrolling_preserves_flops_and_reduces_gemm_count() {
+        let mesh = Torus2d::new(8, 1);
+        let shape = GemmShape::new(64, 64, 64);
+        let problem = GemmProblem::new(shape, Dataflow::Os);
+        let full = Wang::with_overlap(WangOverlap::InterRow)
+            .schedule(&mesh, problem, 2)
+            .unwrap();
+        let unrolled = Wang::with_overlap(WangOverlap::InterRow)
+            .with_unroll(2)
+            .schedule(&mesh, problem, 2)
+            .unwrap();
+        assert_eq!(full.total_flops(), unrolled.total_flops());
+        let count = |p: &Program| {
+            p.ops()
+                .iter()
+                .filter(|o| matches!(o.kind, meshslice_sim::OpKind::Gemm { .. }))
+                .count()
+        };
+        assert_eq!(count(&full), 8 * 8);
+        assert_eq!(count(&unrolled), 8 * 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based correctness tests: every distributed algorithm must
+//! compute the same result as dense GeMM, for random shapes, meshes, and
+//! dataflows.
+
+use meshslice_gemm::{
+    Cannon, Collective, Dataflow, DistributedGemm, Fsdp, GemmProblem, MeshSlice, OneDimTp, Summa,
+    Wang,
+};
+use meshslice_mesh::Torus2d;
+use meshslice_tensor::gemm::matmul;
+use meshslice_tensor::shard::{partition_cols, partition_rows, ShardGrid};
+use meshslice_tensor::{GemmShape, Matrix};
+use proptest::prelude::*;
+
+fn dataflow() -> impl Strategy<Value = Dataflow> {
+    prop_oneof![Just(Dataflow::Os), Just(Dataflow::Ls), Just(Dataflow::Rs)]
+}
+
+/// Runs an algorithm functionally and compares against the dense reference.
+fn check(algo: &dyn DistributedGemm, mesh: &Torus2d, problem: GemmProblem, seed: u64) {
+    let (a, b) = problem.random_inputs(mesh, seed);
+    let c = algo
+        .execute(mesh, problem, &a, &b)
+        .unwrap_or_else(|e| panic!("{} failed on {problem}: {e}", algo.name()));
+    let expect = problem.reference(&a.assemble(), &b.assemble());
+    let got = c.assemble();
+    assert!(
+        got.approx_eq(&expect, 1e-3),
+        "{} wrong on {problem}: max diff {}",
+        algo.name(),
+        got.max_abs_diff(&expect)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn collective_matches_dense(
+        pr in 1usize..4, pc in 1usize..4,
+        mu in 1usize..3, nu in 1usize..3, ku in 1usize..3,
+        df in dataflow(), seed in any::<u64>(),
+    ) {
+        let mesh = Torus2d::new(pr, pc);
+        // Dimensions chosen as multiples of pr*pc so every dataflow's
+        // storage layout divides evenly.
+        let unit = pr * pc;
+        let shape = GemmShape::new(mu * unit, nu * unit, ku * unit);
+        check(&Collective, &mesh, GemmProblem::new(shape, df), seed);
+    }
+
+    #[test]
+    fn meshslice_matches_dense(
+        pr in 1usize..4, pc in 1usize..4,
+        s in 1usize..4, blk in 1usize..3,
+        scale in 1usize..3,
+        df in dataflow(), seed in any::<u64>(),
+    ) {
+        let mesh = Torus2d::new(pr, pc);
+        // Every dimension a multiple of pr*pc*s*blk keeps all slicing and
+        // sharding constraints satisfiable.
+        let unit = pr * pc * s * blk * scale;
+        let shape = GemmShape::new(unit, unit, unit);
+        let algo = MeshSlice::new(s, blk);
+        check(&algo, &mesh, GemmProblem::new(shape, df), seed);
+    }
+
+    #[test]
+    fn summa_matches_dense(
+        pr in 1usize..4, pc in 1usize..4,
+        panel_mult in 1usize..3,
+        df in dataflow(), seed in any::<u64>(),
+    ) {
+        let mesh = Torus2d::new(pr, pc);
+        let panels = {
+            // lcm(pr, pc) * panel_mult
+            let gcd = |mut a: usize, mut b: usize| { while b != 0 { let t = a % b; a = b; b = t; } a };
+            pr / gcd(pr, pc) * pc * panel_mult
+        };
+        let unit = pr * pc * panels;
+        let shape = GemmShape::new(unit, unit, unit);
+        let algo = Summa::new(panels);
+        check(&algo, &mesh, GemmProblem::new(shape, df), seed);
+    }
+
+    #[test]
+    fn cannon_matches_dense(
+        p in 1usize..5, scale in 1usize..3, seed in any::<u64>(),
+    ) {
+        let mesh = Torus2d::new(p, p);
+        let shape = GemmShape::new(p * scale, p * scale, p * scale);
+        check(&Cannon, &mesh, GemmProblem::new(shape, Dataflow::Os), seed);
+    }
+
+    #[test]
+    fn wang_matches_dense(
+        pr in 1usize..4, pc in 1usize..4,
+        df in dataflow(), seed in any::<u64>(),
+        scale in 1usize..3,
+    ) {
+        let mesh = Torus2d::new(pr, pc);
+        let unit = pr * pc * scale;
+        let shape = GemmShape::new(unit, unit, unit);
+        check(&Wang::new(), &mesh, GemmProblem::new(shape, df), seed);
+    }
+
+    #[test]
+    fn one_d_baselines_match_dense(
+        n in 1usize..6, scale in 1usize..3, seed in any::<u64>(),
+    ) {
+        let mesh = Torus2d::new(n, 1);
+        let dim = n * scale * 2;
+        let shape = GemmShape::new(dim, dim, dim);
+        let problem = GemmProblem::new(shape, Dataflow::Os);
+        let a_global = Matrix::random(dim, dim, seed);
+        let b_global = Matrix::random(dim, dim, seed.wrapping_add(9));
+        let expect = matmul(&a_global, &b_global);
+
+        let a = ShardGrid::from_shards(n, 1, partition_rows(&a_global, n));
+        let b_col = ShardGrid::from_shards(n, 1, partition_cols(&b_global, n));
+        let c_tp = OneDimTp::new().execute(&mesh, problem, &a, &b_col).unwrap();
+        for i in 0..n {
+            let block = expect.block(0, i * dim / n, dim, dim / n);
+            prop_assert!(c_tp.shard(i, 0).approx_eq(&block, 1e-3));
+        }
+
+        let b_row = ShardGrid::from_shards(n, 1, partition_rows(&b_global, n));
+        let c_fsdp = Fsdp::new().execute(&mesh, problem, &a, &b_row).unwrap();
+        prop_assert!(c_fsdp.assemble().approx_eq(&expect, 1e-3));
+    }
+
+    #[test]
+    fn all_algorithms_agree_with_each_other(
+        pr in 1usize..3, pc in 1usize..3, seed in any::<u64>(),
+    ) {
+        let mesh = Torus2d::new(pr, pc);
+        let unit = 2 * pr * pc;
+        let shape = GemmShape::new(unit, unit, unit);
+        let problem = GemmProblem::new(shape, Dataflow::Os);
+        let (a, b) = problem.random_inputs(&mesh, seed);
+        let reference = Collective.execute(&mesh, problem, &a, &b).unwrap().assemble();
+        let algos: Vec<Box<dyn DistributedGemm>> = vec![
+            Box::new(MeshSlice::new(2, 1)),
+            Box::new(Summa::auto(&mesh)),
+            Box::new(Wang::new()),
+        ];
+        for algo in &algos {
+            let c = algo.execute(&mesh, problem, &a, &b).unwrap().assemble();
+            prop_assert!(
+                c.approx_eq(&reference, 1e-3),
+                "{} diverges from Collective",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn schedules_always_preserve_flops(
+        pr in 1usize..4, pc in 1usize..4,
+        df in dataflow(),
+        s in 1usize..3,
+    ) {
+        let mesh = Torus2d::new(pr, pc);
+        let unit = 4 * pr * pc * s;
+        let shape = GemmShape::new(unit, unit, unit);
+        let problem = GemmProblem::new(shape, df);
+        let algos: Vec<Box<dyn DistributedGemm>> = vec![
+            Box::new(Collective),
+            Box::new(MeshSlice::new(s, 2)),
+            Box::new(Summa::auto(&mesh)),
+            Box::new(Wang::new()),
+        ];
+        for algo in algos {
+            let prog = algo.schedule(&mesh, problem, 2).unwrap();
+            prop_assert_eq!(prog.total_flops(), shape.flops(), "{}", algo.name());
+        }
+    }
+}

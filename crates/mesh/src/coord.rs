@@ -1,0 +1,88 @@
+//! Chip identifiers and mesh coordinates.
+
+use std::fmt;
+
+/// A dense chip identifier in `0..num_chips`, row-major over the mesh.
+///
+/// `ChipId` is a newtype so chip indices cannot be confused with mesh
+/// dimensions, ring positions, or task indices.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChipId(pub usize);
+
+impl ChipId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for ChipId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chip{}", self.0)
+    }
+}
+
+impl fmt::Display for ChipId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<ChipId> for usize {
+    fn from(id: ChipId) -> usize {
+        id.0
+    }
+}
+
+/// A position in the mesh: `(row, col)`.
+///
+/// The chip at `Coord::new(i, j)` stores shard `X_ij` of every matrix, per
+/// the paper's §2.3.1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord {
+    /// Mesh row index, `0..Pr`.
+    pub row: usize,
+    /// Mesh column index, `0..Pc`.
+    pub col: usize,
+}
+
+impl Coord {
+    /// Creates a coordinate from `(row, col)`.
+    pub fn new(row: usize, col: usize) -> Self {
+        Coord { row, col }
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_id_is_transparent() {
+        assert_eq!(ChipId(3).index(), 3);
+        assert_eq!(usize::from(ChipId(9)), 9);
+        assert_eq!(format!("{:?}", ChipId(2)), "chip2");
+    }
+
+    #[test]
+    fn coord_display() {
+        assert_eq!(Coord::new(1, 2).to_string(), "(1,2)");
+    }
+
+    #[test]
+    fn coord_ordering_is_row_major() {
+        assert!(Coord::new(0, 5) < Coord::new(1, 0));
+    }
+}

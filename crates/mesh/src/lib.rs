@@ -1,0 +1,36 @@
+//! 2D-torus mesh topology for the MeshSlice reproduction.
+//!
+//! 2D tensor parallelism runs on a cluster of chips connected as a 2D torus
+//! ([`Torus2d`]). Every chip is identified by a [`ChipId`] or equivalently a
+//! [`Coord`] (mesh row, mesh column), and owns four inter-chip interconnect
+//! (ICI) links, one per [`LinkDir`].
+//!
+//! Collective communication happens on *rings*: the chips of one mesh row
+//! (a horizontal ring, used by the paper's `AG_col`/`RdS_col` inter-column
+//! operations) or one mesh column (a vertical ring, used by `AG_row`/
+//! `RdS_row` inter-row operations). [`CommAxis`] names the two options with
+//! the paper's subscript convention.
+//!
+//! # Example
+//!
+//! ```
+//! use meshslice_mesh::{CommAxis, Coord, Torus2d};
+//!
+//! let mesh = Torus2d::new(4, 2);
+//! assert_eq!(mesh.num_chips(), 8);
+//! let ring = mesh.ring_through(Coord::new(1, 0), CommAxis::InterRow);
+//! assert_eq!(ring.len(), 4); // the whole column of chip (1, 0)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coord;
+mod ring;
+mod shape;
+mod torus;
+
+pub use coord::{ChipId, Coord};
+pub use ring::{CommAxis, LinkDir, Ring};
+pub use shape::MeshShape;
+pub use torus::Torus2d;

@@ -1,0 +1,144 @@
+//! Mesh shapes and their enumeration.
+
+use std::fmt;
+
+/// The shape of a 2D mesh: `Pr` rows × `Pc` columns.
+///
+/// The mesh shape is one of the three hyperparameters the MeshSlice LLM
+/// autotuner optimizes (§3.2.2): it determines the ring lengths of the two
+/// communication directions and therefore the traffic cost of a 2D GeMM.
+///
+/// # Example
+///
+/// ```
+/// use meshslice_mesh::MeshShape;
+///
+/// let shapes = MeshShape::factorizations(8);
+/// assert_eq!(shapes.len(), 4); // 1x8, 2x4, 4x2, 8x1
+/// assert!(MeshShape::new(4, 2).num_chips() == 8);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MeshShape {
+    /// Number of mesh rows, `Pr`.
+    pub rows: usize,
+    /// Number of mesh columns, `Pc`.
+    pub cols: usize,
+}
+
+impl MeshShape {
+    /// Creates a shape from `(rows, cols)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
+        MeshShape { rows, cols }
+    }
+
+    /// Total number of chips, `Pr · Pc`.
+    pub fn num_chips(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the mesh is square (`Pr == Pc`), as Cannon's algorithm
+    /// requires.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// The transposed shape, `Pc × Pr`.
+    pub fn transposed(&self) -> MeshShape {
+        MeshShape::new(self.cols, self.rows)
+    }
+
+    /// All `(rows, cols)` factorizations of `num_chips`, in increasing row
+    /// order (e.g. `16 → 1x16, 2x8, 4x4, 8x2, 16x1`).
+    pub fn factorizations(num_chips: usize) -> Vec<MeshShape> {
+        (1..=num_chips)
+            .filter(|r| num_chips.is_multiple_of(*r))
+            .map(|r| MeshShape::new(r, num_chips / r))
+            .collect()
+    }
+
+    /// The factorizations with both dimensions at least `min_dim`.
+    ///
+    /// Physical 2D tori need at least 2 chips per dimension for the wrap
+    /// links to be distinct; pass `min_dim = 1` to include degenerate rings.
+    pub fn factorizations_min(num_chips: usize, min_dim: usize) -> Vec<MeshShape> {
+        MeshShape::factorizations(num_chips)
+            .into_iter()
+            .filter(|s| s.rows >= min_dim && s.cols >= min_dim)
+            .collect()
+    }
+
+    /// The square shape for `num_chips` if one exists (Cannon's requirement).
+    pub fn square(num_chips: usize) -> Option<MeshShape> {
+        let r = (num_chips as f64).sqrt().round() as usize;
+        (r * r == num_chips).then(|| MeshShape::new(r, r))
+    }
+}
+
+impl fmt::Debug for MeshShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MeshShape({}x{})", self.rows, self.cols)
+    }
+}
+
+impl fmt::Display for MeshShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorizations_cover_all_divisors() {
+        let shapes = MeshShape::factorizations(16);
+        assert_eq!(
+            shapes,
+            vec![
+                MeshShape::new(1, 16),
+                MeshShape::new(2, 8),
+                MeshShape::new(4, 4),
+                MeshShape::new(8, 2),
+                MeshShape::new(16, 1),
+            ]
+        );
+        assert!(shapes.iter().all(|s| s.num_chips() == 16));
+    }
+
+    #[test]
+    fn factorizations_min_filters_degenerate_shapes() {
+        let shapes = MeshShape::factorizations_min(16, 2);
+        assert_eq!(shapes.len(), 3);
+        assert!(shapes.iter().all(|s| s.rows >= 2 && s.cols >= 2));
+    }
+
+    #[test]
+    fn square_detection() {
+        assert_eq!(MeshShape::square(256), Some(MeshShape::new(16, 16)));
+        assert_eq!(MeshShape::square(32), None);
+        assert!(MeshShape::new(4, 4).is_square());
+        assert!(!MeshShape::new(4, 2).is_square());
+    }
+
+    #[test]
+    fn transpose_swaps_dimensions() {
+        assert_eq!(MeshShape::new(8, 2).transposed(), MeshShape::new(2, 8));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(MeshShape::new(32, 8).to_string(), "32x8");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        MeshShape::new(0, 4);
+    }
+}

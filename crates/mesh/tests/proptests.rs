@@ -1,0 +1,99 @@
+//! Property-based tests for the torus topology.
+
+use meshslice_mesh::{ChipId, CommAxis, Coord, LinkDir, MeshShape, Torus2d};
+use proptest::prelude::*;
+
+fn mesh_dims() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..9, 1usize..9)
+}
+
+proptest! {
+    #[test]
+    fn chip_ids_and_coords_are_bijective((r, c) in mesh_dims()) {
+        let mesh = Torus2d::new(r, c);
+        for chip in mesh.chips() {
+            prop_assert_eq!(mesh.chip_at(mesh.coord_of(chip)), chip);
+        }
+        for i in 0..r {
+            for j in 0..c {
+                let coord = Coord::new(i, j);
+                prop_assert_eq!(mesh.coord_of(mesh.chip_at(coord)), coord);
+            }
+        }
+    }
+
+    #[test]
+    fn walking_a_full_ring_returns_home(
+        (r, c) in mesh_dims(),
+        dir_idx in 0usize..4,
+    ) {
+        let mesh = Torus2d::new(r, c);
+        let dir = LinkDir::ALL[dir_idx];
+        let steps = match dir.axis() {
+            CommAxis::InterRow => r,
+            CommAxis::InterCol => c,
+        };
+        for chip in mesh.chips() {
+            let mut cur = mesh.coord_of(chip);
+            for _ in 0..steps {
+                cur = mesh.neighbor(cur, dir);
+            }
+            prop_assert_eq!(cur, mesh.coord_of(chip));
+        }
+    }
+
+    #[test]
+    fn opposite_directions_cancel((r, c) in mesh_dims(), chip in 0usize..64) {
+        let mesh = Torus2d::new(r, c);
+        let chip = ChipId(chip % mesh.num_chips());
+        let coord = mesh.coord_of(chip);
+        for dir in LinkDir::ALL {
+            prop_assert_eq!(mesh.neighbor(mesh.neighbor(coord, dir), dir.opposite()), coord);
+        }
+    }
+
+    #[test]
+    fn rings_partition_chips_and_follow_links((r, c) in mesh_dims()) {
+        let mesh = Torus2d::new(r, c);
+        for axis in [CommAxis::InterRow, CommAxis::InterCol] {
+            let rings = mesh.rings(axis);
+            let mut seen: Vec<ChipId> =
+                rings.iter().flat_map(|r| r.members().iter().copied()).collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, mesh.chips().collect::<Vec<_>>());
+            for ring in rings {
+                for &chip in ring.members() {
+                    prop_assert_eq!(
+                        ring.next(chip),
+                        mesh.neighbor_chip(chip, axis.forward_link())
+                    );
+                    prop_assert_eq!(ring.prev(ring.next(chip)), chip);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factorizations_multiply_back(n in 1usize..2049) {
+        for shape in MeshShape::factorizations(n) {
+            prop_assert_eq!(shape.num_chips(), n);
+            prop_assert_eq!(shape.transposed().transposed(), shape);
+        }
+        // A square shape exists iff n is a perfect square.
+        let root = (n as f64).sqrt().round() as usize;
+        prop_assert_eq!(MeshShape::square(n).is_some(), root * root == n);
+    }
+
+    #[test]
+    fn ring_positions_are_consistent((r, c) in mesh_dims(), steps in 0usize..20) {
+        let mesh = Torus2d::new(r, c);
+        let ring = mesh.ring_through(Coord::new(0, 0), CommAxis::InterRow);
+        let start = ring.members()[0];
+        let direct = ring.step_from(start, steps);
+        let mut walked = start;
+        for _ in 0..steps {
+            walked = ring.next(walked);
+        }
+        prop_assert_eq!(direct, walked);
+    }
+}

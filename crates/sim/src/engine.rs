@@ -1,0 +1,772 @@
+//! The discrete-event execution engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use meshslice_mesh::Torus2d;
+
+use crate::config::{NetworkModel, SimConfig};
+use crate::hbm::HbmChannel;
+use crate::lower::{lower, Category, ExecGraph, Resource};
+use crate::program::{OpId, Program};
+use crate::report::{SimReport, TimeBreakdown};
+use crate::time::Duration;
+
+/// Completion record of one program operation (from
+/// [`Engine::run_traced`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpTrace {
+    /// The operation.
+    pub op: OpId,
+    /// The chip it ran on.
+    pub chip: meshslice_mesh::ChipId,
+    /// Simulation time at which the operation completed.
+    pub completed: Duration,
+}
+
+/// Executes [`Program`]s on a simulated cluster.
+///
+/// The engine is deterministic: events are ordered by (time, insertion
+/// sequence) and all state updates are single-threaded, so repeated runs of
+/// the same program produce identical reports.
+///
+/// # Example
+///
+/// ```
+/// use meshslice_mesh::Torus2d;
+/// use meshslice_sim::{Engine, GemmShape, ProgramBuilder, SimConfig};
+///
+/// let mesh = Torus2d::new(1, 1);
+/// let mut b = ProgramBuilder::new(&mesh);
+/// b.gemm(meshslice_mesh::ChipId(0), GemmShape::new(1024, 1024, 1024), &[]);
+/// let report = Engine::new(mesh, SimConfig::tpu_v4()).run(&b.build());
+/// assert!(report.flop_utilization() > 0.5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Engine {
+    mesh: Torus2d,
+    config: SimConfig,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Event {
+    /// The post-resource synchronization delay elapsed.
+    SyncDone(usize),
+    /// The fixed busy timer of a node elapsed.
+    TimerDone(usize),
+    /// A chip's HBM channel may have completed flows.
+    HbmWake { chip: usize, version: u64 },
+    /// The shared fabric may have completed flows.
+    FabricWake { version: u64 },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Phase {
+    Blocked,
+    Queued,
+    Syncing,
+    Busy { parts_left: u8, busy_start: f64 },
+    Done,
+}
+
+#[derive(Clone, Debug, Default)]
+struct ResourceState {
+    busy: bool,
+    queue: VecDeque<usize>,
+}
+
+struct Run<'a> {
+    nodes: &'a ExecGraph,
+    deps_left: Vec<usize>,
+    dependents: Vec<Vec<usize>>,
+    phase: Vec<Phase>,
+    compute_units: Vec<ResourceState>,
+    links: Vec<[ResourceState; 4]>,
+    hbm: Vec<HbmChannel>,
+    /// Fluid channel of the shared fabric (logical-mesh mode only).
+    fabric: Option<HbmChannel>,
+    heap: BinaryHeap<Reverse<(crate::time::Time, u64, usize)>>,
+    events: Vec<Event>,
+    seq: u64,
+    makespan: f64,
+    buckets: Buckets,
+    completed: usize,
+    finish_time: Vec<f64>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Buckets {
+    compute: f64,
+    slice: f64,
+    comm_launch: f64,
+    comm_sync: f64,
+    comm_transfer: f64,
+}
+
+impl Engine {
+    /// Creates an engine for the given mesh and hardware model.
+    pub fn new(mesh: Torus2d, config: SimConfig) -> Self {
+        Engine { mesh, config }
+    }
+
+    /// The mesh this engine simulates.
+    pub fn mesh(&self) -> &Torus2d {
+        &self.mesh
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs a program to completion and reports timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program deadlocks (a dependency cycle), which would
+    /// indicate a bug in the schedule builder.
+    pub fn run(&self, program: &Program) -> SimReport {
+        self.run_traced(program).0
+    }
+
+    /// Like [`run`](Self::run), but also returns the completion time of
+    /// every program operation — useful for timeline visualization and
+    /// for debugging schedules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program deadlocks.
+    pub fn run_traced(&self, program: &Program) -> (SimReport, Vec<OpTrace>) {
+        if let Err(op) = program.validate_acyclic() {
+            panic!("program has a dependency cycle through op {op}");
+        }
+        let graph = lower(&self.mesh, &self.config, program);
+        let n = graph.nodes.len();
+        let chips = self.mesh.num_chips();
+
+        let mut dependents = vec![Vec::new(); n];
+        let mut deps_left = vec![0usize; n];
+        for (i, node) in graph.nodes.iter().enumerate() {
+            deps_left[i] = node.deps.len();
+            for &d in &node.deps {
+                dependents[d].push(i);
+            }
+        }
+
+        let mut run = Run {
+            nodes: &graph,
+            deps_left,
+            dependents,
+            phase: vec![Phase::Blocked; n],
+            compute_units: vec![ResourceState::default(); chips],
+            links: vec![Default::default(); chips],
+            hbm: (0..chips)
+                .map(|_| HbmChannel::new(self.config.hbm_bandwidth))
+                .collect(),
+            fabric: match self.config.network {
+                NetworkModel::PhysicalTorus => None,
+                NetworkModel::SharedFabric {
+                    bisection_bandwidth,
+                } => Some(HbmChannel::new(bisection_bandwidth)),
+            },
+            heap: BinaryHeap::new(),
+            events: Vec::new(),
+            seq: 0,
+            makespan: 0.0,
+            buckets: Buckets::default(),
+            completed: 0,
+            finish_time: vec![0.0; n],
+        };
+
+        // Snapshot the roots before starting any of them: zero-duration
+        // roots can complete instantly and make further nodes ready
+        // (through the normal dependency path), which must not be
+        // re-readied by this loop.
+        let roots: Vec<usize> = (0..n).filter(|&i| run.deps_left[i] == 0).collect();
+        for i in roots {
+            if run.phase[i] == Phase::Blocked {
+                run.ready(i, 0.0);
+            }
+        }
+        while let Some(Reverse((t, _, ev_idx))) = run.heap.pop() {
+            let t = t.as_secs();
+            run.dispatch(run.events[ev_idx], t);
+        }
+        assert_eq!(
+            run.completed, n,
+            "program deadlocked: {} of {n} nodes completed",
+            run.completed
+        );
+
+        let report = SimReport::new(
+            Duration::from_secs(run.makespan),
+            chips,
+            self.config.peak_flops,
+            program.total_flops(),
+            TimeBreakdown {
+                compute: Duration::from_secs(run.buckets.compute),
+                slice: Duration::from_secs(run.buckets.slice),
+                comm_launch: Duration::from_secs(run.buckets.comm_launch),
+                comm_sync: Duration::from_secs(run.buckets.comm_sync),
+                comm_transfer: Duration::from_secs(run.buckets.comm_transfer),
+            },
+        );
+        let traces = graph
+            .op_exit
+            .iter()
+            .enumerate()
+            .map(|(op_idx, &exit)| OpTrace {
+                op: OpId(op_idx),
+                chip: program.ops()[op_idx].chip,
+                completed: Duration::from_secs(run.finish_time[exit]),
+            })
+            .collect();
+        (report, traces)
+    }
+}
+
+impl<'a> Run<'a> {
+    fn schedule(&mut self, t: f64, event: Event) {
+        let idx = self.events.len();
+        self.events.push(event);
+        self.seq += 1;
+        self.heap
+            .push(Reverse((crate::time::Time::from_secs(t), self.seq, idx)));
+    }
+
+    fn dispatch(&mut self, event: Event, t: f64) {
+        match event {
+            Event::SyncDone(node) => {
+                if self.phase[node] == Phase::Syncing {
+                    self.begin_busy(node, t);
+                }
+            }
+            Event::TimerDone(node) => self.part_done(node, t),
+            Event::HbmWake { chip, version } => {
+                if self.hbm[chip].version() != version {
+                    return; // stale wake-up
+                }
+                self.hbm[chip].advance(t);
+                let (done, _) = self.hbm[chip].take_completed();
+                for node in done {
+                    self.part_done(node, t);
+                }
+                self.reschedule_hbm(chip, t);
+            }
+            Event::FabricWake { version } => {
+                let Some(fabric) = self.fabric.as_mut() else {
+                    return;
+                };
+                if fabric.version() != version {
+                    return; // stale wake-up
+                }
+                fabric.advance(t);
+                let (done, _) = fabric.take_completed();
+                for node in done {
+                    self.part_done(node, t);
+                }
+                self.reschedule_fabric(t);
+            }
+        }
+    }
+
+    fn reschedule_hbm(&mut self, chip: usize, t: f64) {
+        if let Some(dt) = self.hbm[chip].next_completion_in() {
+            let version = self.hbm[chip].version();
+            self.schedule(t + dt, Event::HbmWake { chip, version });
+        }
+    }
+
+    fn reschedule_fabric(&mut self, t: f64) {
+        if let Some(fabric) = self.fabric.as_ref() {
+            if let Some(dt) = fabric.next_completion_in() {
+                let version = fabric.version();
+                self.schedule(t + dt, Event::FabricWake { version });
+            }
+        }
+    }
+
+    fn resource_state(&mut self, node: usize) -> Option<&mut ResourceState> {
+        let chip = self.nodes.nodes[node].chip;
+        match self.nodes.nodes[node].resource {
+            Resource::None => None,
+            Resource::Compute => Some(&mut self.compute_units[chip]),
+            Resource::Link(dir) => Some(&mut self.links[chip][dir.index()]),
+        }
+    }
+
+    fn ready(&mut self, node: usize, t: f64) {
+        debug_assert_eq!(
+            self.phase[node],
+            Phase::Blocked,
+            "node {node} readied twice"
+        );
+        let acquired = match self.resource_state(node) {
+            None => true,
+            Some(rs) => {
+                if rs.busy {
+                    rs.queue.push_back(node);
+                    false
+                } else {
+                    rs.busy = true;
+                    true
+                }
+            }
+        };
+        if acquired {
+            self.begin_sync(node, t);
+        } else {
+            self.phase[node] = Phase::Queued;
+        }
+    }
+
+    fn begin_sync(&mut self, node: usize, t: f64) {
+        let sync = self.nodes.nodes[node].sync;
+        if sync > 0.0 {
+            self.phase[node] = Phase::Syncing;
+            self.schedule(t + sync, Event::SyncDone(node));
+        } else {
+            self.begin_busy(node, t);
+        }
+    }
+
+    fn begin_busy(&mut self, node: usize, t: f64) {
+        let info = &self.nodes.nodes[node];
+        self.buckets.comm_sync += info.sync;
+        let fabric_active = self.fabric.is_some() && info.fabric_bytes > 0.0;
+        let mut parts = 0u8;
+        if info.timer > 0.0 {
+            parts += 1;
+        }
+        if info.flow_bytes > 0.0 {
+            parts += 1;
+        }
+        if fabric_active {
+            parts += 1;
+        }
+        if parts == 0 {
+            self.phase[node] = Phase::Busy {
+                parts_left: 0,
+                busy_start: t,
+            };
+            self.complete(node, t);
+            return;
+        }
+        self.phase[node] = Phase::Busy {
+            parts_left: parts,
+            busy_start: t,
+        };
+        let (timer, flow_bytes, flow_cap, chip, fabric_bytes) = (
+            info.timer,
+            info.flow_bytes,
+            info.flow_cap,
+            info.chip,
+            info.fabric_bytes,
+        );
+        if timer > 0.0 {
+            self.schedule(t + timer, Event::TimerDone(node));
+        }
+        if flow_bytes > 0.0 {
+            self.hbm[chip].advance(t);
+            let (done, _) = self.hbm[chip].take_completed();
+            for d in done {
+                self.part_done(d, t);
+            }
+            self.hbm[chip].add_flow(node, flow_bytes, flow_cap);
+            self.reschedule_hbm(chip, t);
+        }
+        if fabric_active {
+            let fabric = self.fabric.as_mut().expect("fabric_active checked");
+            fabric.advance(t);
+            let (done, _) = fabric.take_completed();
+            for d in done {
+                self.part_done(d, t);
+            }
+            let fabric = self.fabric.as_mut().expect("fabric_active checked");
+            // Per-transfer injection stays capped at the link rate.
+            fabric.add_flow(node, fabric_bytes, self.nodes.nodes[node].flow_cap / 2.0);
+            self.reschedule_fabric(t);
+        }
+    }
+
+    fn part_done(&mut self, node: usize, t: f64) {
+        if let Phase::Busy {
+            parts_left,
+            busy_start,
+        } = self.phase[node]
+        {
+            if parts_left <= 1 {
+                self.phase[node] = Phase::Busy {
+                    parts_left: 0,
+                    busy_start,
+                };
+                self.complete(node, t);
+            } else {
+                self.phase[node] = Phase::Busy {
+                    parts_left: parts_left - 1,
+                    busy_start,
+                };
+            }
+        } else {
+            panic!(
+                "part completion for node {node} in phase {:?}",
+                self.phase[node]
+            );
+        }
+    }
+
+    fn complete(&mut self, node: usize, t: f64) {
+        let busy_start = match self.phase[node] {
+            Phase::Busy { busy_start, .. } => busy_start,
+            ref p => panic!("completing node {node} in phase {p:?}"),
+        };
+        let info = &self.nodes.nodes[node];
+        let busy = t - busy_start;
+        match info.category {
+            Category::Compute => self.buckets.compute += busy,
+            Category::Slice => self.buckets.slice += busy,
+            Category::CommLaunch => self.buckets.comm_launch += busy,
+            Category::CommTransfer => self.buckets.comm_transfer += busy,
+        }
+        self.phase[node] = Phase::Done;
+        self.completed += 1;
+        self.finish_time[node] = t;
+        self.makespan = self.makespan.max(t);
+
+        let handoff = match self.resource_state(node) {
+            Some(rs) => {
+                rs.busy = false;
+                let next = rs.queue.pop_front();
+                if next.is_some() {
+                    rs.busy = true;
+                }
+                next
+            }
+            None => None,
+        };
+        if let Some(next) = handoff {
+            self.begin_sync(next, t);
+        }
+
+        let deps = std::mem::take(&mut self.dependents[node]);
+        for d in &deps {
+            self.deps_left[*d] -= 1;
+            if self.deps_left[*d] == 0 {
+                self.ready(*d, t);
+            }
+        }
+        self.dependents[node] = deps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use crate::GemmShape;
+    use meshslice_mesh::{ChipId, CommAxis, LinkDir};
+
+    fn cfg() -> SimConfig {
+        SimConfig::tpu_v4()
+    }
+
+    #[test]
+    fn empty_program_finishes_instantly() {
+        let mesh = Torus2d::new(2, 2);
+        let b = ProgramBuilder::new(&mesh);
+        let report = Engine::new(mesh, cfg()).run(&b.build());
+        assert_eq!(report.makespan().as_secs(), 0.0);
+    }
+
+    #[test]
+    fn single_gemm_matches_compute_model() {
+        let mesh = Torus2d::new(1, 1);
+        let shape = GemmShape::new(4096, 4096, 4096);
+        let mut b = ProgramBuilder::new(&mesh);
+        b.gemm(ChipId(0), shape, &[]);
+        let report = Engine::new(mesh, cfg()).run(&b.build());
+        let expect = cfg().gemm_flop_time(shape).as_secs() + cfg().t_kernel_launch.as_secs();
+        // HBM streaming of a large square GeMM is far below the flop time,
+        // so the makespan equals the compute model exactly.
+        assert!((report.makespan().as_secs() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependent_gemms_serialize() {
+        let mesh = Torus2d::new(1, 1);
+        let shape = GemmShape::new(1024, 1024, 1024);
+        let mut b = ProgramBuilder::new(&mesh);
+        let g1 = b.gemm(ChipId(0), shape, &[]);
+        b.gemm(ChipId(0), shape, &[g1]);
+        let report = Engine::new(mesh.clone(), cfg()).run(&b.build());
+
+        let mut b2 = ProgramBuilder::new(&mesh);
+        b2.gemm(ChipId(0), shape, &[]);
+        let single = Engine::new(mesh, cfg()).run(&b2.build());
+        let ratio = report.makespan().as_secs() / single.makespan().as_secs();
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn independent_gemms_on_one_chip_also_serialize() {
+        // The compute unit is exclusive.
+        let mesh = Torus2d::new(1, 1);
+        let shape = GemmShape::new(1024, 1024, 1024);
+        let mut b = ProgramBuilder::new(&mesh);
+        b.gemm(ChipId(0), shape, &[]);
+        b.gemm(ChipId(0), shape, &[]);
+        let report = Engine::new(mesh, cfg()).run(&b.build());
+        let one = cfg().gemm_flop_time(shape).as_secs() + cfg().t_kernel_launch.as_secs();
+        assert!(report.makespan().as_secs() > 1.9 * one);
+    }
+
+    #[test]
+    fn gemms_on_different_chips_run_in_parallel() {
+        let mesh = Torus2d::new(1, 2);
+        let shape = GemmShape::new(1024, 1024, 1024);
+        let mut b = ProgramBuilder::new(&mesh);
+        b.gemm(ChipId(0), shape, &[]);
+        b.gemm(ChipId(1), shape, &[]);
+        let report = Engine::new(mesh, cfg()).run(&b.build());
+        let one = cfg().gemm_flop_time(shape).as_secs() + cfg().t_kernel_launch.as_secs();
+        assert!((report.makespan().as_secs() - one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_all_gather_takes_p_minus_1_steps() {
+        let mesh = Torus2d::new(8, 1);
+        let shard: u64 = 1 << 20; // 1 MiB
+        let mut b = ProgramBuilder::new(&mesh);
+        let tag = b.next_tag();
+        for chip in mesh.chips() {
+            b.all_gather(chip, tag, CommAxis::InterRow, shard, &[]);
+        }
+        let report = Engine::new(mesh, cfg()).run(&b.build());
+        let c = cfg();
+        let staging = shard as f64 / c.hbm_bandwidth;
+        let expect = c.t_launch.as_secs()
+            + 7.0 * (c.t_sync.as_secs() + staging + shard as f64 / c.link_bandwidth);
+        assert!(
+            (report.makespan().as_secs() - expect).abs() < 1e-9,
+            "makespan {} vs {expect}",
+            report.makespan().as_secs()
+        );
+    }
+
+    #[test]
+    fn bidirectional_all_gather_is_nearly_twice_as_fast() {
+        let shard: u64 = 1 << 22;
+        let run = |lanes: u8| {
+            let mesh = Torus2d::new(8, 1);
+            let mut b = ProgramBuilder::new(&mesh);
+            let tag = b.next_tag();
+            for chip in mesh.chips() {
+                b.collective(
+                    chip,
+                    tag,
+                    crate::CollectiveKind::AllGather,
+                    CommAxis::InterRow,
+                    shard,
+                    lanes,
+                    &[],
+                );
+            }
+            Engine::new(mesh, cfg())
+                .run(&b.build())
+                .makespan()
+                .as_secs()
+        };
+        let uni = run(1);
+        let bi = run(2);
+        assert!(bi < 0.6 * uni, "bi {bi} vs uni {uni}");
+    }
+
+    #[test]
+    fn late_chip_delays_the_ring() {
+        // One chip computes before joining the collective; the whole ring
+        // finishes later than launch + steps because step k waits for the
+        // upstream chip's step k-1.
+        let mesh = Torus2d::new(4, 1);
+        let shard: u64 = 1 << 20;
+        let shape = GemmShape::new(2048, 2048, 2048);
+        let mut b = ProgramBuilder::new(&mesh);
+        let tag = b.next_tag();
+        for chip in mesh.chips() {
+            if chip == ChipId(0) {
+                let g = b.gemm(chip, shape, &[]);
+                b.all_gather(chip, tag, CommAxis::InterRow, shard, &[g]);
+            } else {
+                b.all_gather(chip, tag, CommAxis::InterRow, shard, &[]);
+            }
+        }
+        let report = Engine::new(mesh, cfg()).run(&b.build());
+        let c = cfg();
+        let gemm_time = c.gemm_flop_time(shape).as_secs() + c.t_kernel_launch.as_secs();
+        let collective =
+            c.t_launch.as_secs() + 3.0 * (c.t_sync.as_secs() + shard as f64 / c.link_bandwidth);
+        // Lower bound: the straggler's own timeline.
+        assert!(report.makespan().as_secs() >= gemm_time + collective - 1e-9);
+    }
+
+    #[test]
+    fn hbm_contention_stretches_transfers() {
+        // A chip streaming a memory-bound GeMM while sending over a link
+        // slows the link transfer only if HBM is saturated; with a narrow
+        // HBM the makespan must exceed the uncontended link time.
+        let narrow = SimConfig {
+            hbm_bandwidth: 60e9, // below 2 x link demand + compute demand
+            ..cfg()
+        };
+        let mesh = Torus2d::new(1, 1);
+        let bytes: u64 = 1 << 26;
+        let mut b = ProgramBuilder::new(&mesh);
+        b.send_recv(ChipId(0), LinkDir::RowPlus, bytes, &[]);
+        b.slice_copy(ChipId(0), bytes, &[]);
+        let report = Engine::new(mesh.clone(), narrow.clone()).run(&b.build());
+
+        let mut b2 = ProgramBuilder::new(&mesh);
+        b2.send_recv(ChipId(0), LinkDir::RowPlus, bytes, &[]);
+        let alone = Engine::new(mesh, narrow).run(&b2.build());
+        assert!(report.makespan() > alone.makespan());
+    }
+
+    #[test]
+    fn no_overlap_mode_serializes_comm_and_compute() {
+        let mesh = Torus2d::new(4, 1);
+        let shard: u64 = 8 << 20;
+        let shape = GemmShape::new(4096, 4096, 4096);
+        let build = || {
+            let mut b = ProgramBuilder::new(&Torus2d::new(4, 1));
+            let tag = 99;
+            for chip in Torus2d::new(4, 1).chips() {
+                b.all_gather(chip, tag, CommAxis::InterRow, shard, &[]);
+                b.gemm(chip, shape, &[]);
+            }
+            b.build()
+        };
+        let overlapped = Engine::new(mesh.clone(), cfg()).run(&build());
+        let serial_cfg = SimConfig {
+            overlap_collectives: false,
+            ..cfg()
+        };
+        let serial = Engine::new(mesh, serial_cfg).run(&build());
+        assert!(serial.makespan() > overlapped.makespan());
+        // Serial is at least the sum of both phases.
+        let c = cfg();
+        let comm =
+            c.t_launch.as_secs() + 3.0 * (c.t_sync.as_secs() + shard as f64 / c.link_bandwidth);
+        let comp = c.gemm_flop_time(shape).as_secs();
+        assert!(serial.makespan().as_secs() >= comm + comp - 1e-9);
+    }
+
+    #[test]
+    fn report_utilization_reflects_compute_fraction() {
+        let mesh = Torus2d::new(1, 1);
+        let shape = GemmShape::new(8192, 8192, 8192);
+        let mut b = ProgramBuilder::new(&mesh);
+        b.gemm(ChipId(0), shape, &[]);
+        let report = Engine::new(mesh, cfg()).run(&b.build());
+        let util = report.flop_utilization();
+        assert!(util > 0.8 && util <= 1.0, "utilization {util}");
+    }
+
+    #[test]
+    fn shared_fabric_contention_slows_collectives() {
+        // The same program under a physical torus, a generous fabric, and
+        // a starved fabric: torus == generous < starved.
+        let build = || {
+            let mesh = Torus2d::new(4, 4);
+            let mut b = ProgramBuilder::new(&mesh);
+            let tag = b.next_tag();
+            for chip in mesh.chips() {
+                b.all_gather(chip, tag, CommAxis::InterRow, 8 << 20, &[]);
+            }
+            b.build()
+        };
+        let mesh = Torus2d::new(4, 4);
+        let torus = Engine::new(mesh.clone(), cfg()).run(&build());
+        // 16 chips x 1 active lane each: plenty of bisection.
+        let generous = Engine::new(
+            mesh.clone(),
+            crate::SimConfig::gpu_logical_mesh(100e9 * 64.0),
+        )
+        .run(&build());
+        let starved = Engine::new(mesh, crate::SimConfig::gpu_logical_mesh(100e9)).run(&build());
+        assert!(
+            (generous.makespan().as_secs() - torus.makespan().as_secs()).abs() < 1e-9,
+            "generous fabric should match the torus"
+        );
+        assert!(
+            starved.makespan().as_secs() > 2.0 * torus.makespan().as_secs(),
+            "starved fabric {} vs torus {}",
+            starved.makespan(),
+            torus.makespan()
+        );
+    }
+
+    #[test]
+    fn fabric_contention_grows_with_concurrent_rings() {
+        // Two concurrent collectives on different axes share the fabric;
+        // on a physical torus they are independent.
+        let build = || {
+            let mesh = Torus2d::new(4, 4);
+            let mut b = ProgramBuilder::new(&mesh);
+            let t1 = b.next_tag();
+            let t2 = b.next_tag();
+            for chip in mesh.chips() {
+                b.all_gather(chip, t1, CommAxis::InterRow, 8 << 20, &[]);
+                b.all_gather(chip, t2, CommAxis::InterCol, 8 << 20, &[]);
+            }
+            b.build()
+        };
+        let mesh = Torus2d::new(4, 4);
+        // Fabric sized to fit exactly one ring's worth of transfers.
+        let fabric_cfg = crate::SimConfig::gpu_logical_mesh(16.0 * 50e9);
+        let torus = Engine::new(mesh.clone(), cfg()).run(&build());
+        let fabric = Engine::new(mesh, fabric_cfg).run(&build());
+        assert!(fabric.makespan() > torus.makespan());
+    }
+
+    #[test]
+    fn traced_run_reports_every_op_within_the_makespan() {
+        let mesh = Torus2d::new(2, 2);
+        let mut b = ProgramBuilder::new(&mesh);
+        let tag = b.next_tag();
+        for chip in mesh.chips() {
+            let ag = b.all_gather(chip, tag, CommAxis::InterRow, 1 << 20, &[]);
+            b.gemm(chip, GemmShape::new(512, 512, 512), &[ag]);
+        }
+        let program = b.build();
+        let (report, traces) = Engine::new(mesh, cfg()).run_traced(&program);
+        assert_eq!(traces.len(), program.len());
+        for t in &traces {
+            assert!(t.completed <= report.makespan());
+        }
+        // Each chip's GeMM completes after its AllGather.
+        for pair in traces.chunks(2) {
+            assert!(pair[1].completed >= pair[0].completed);
+            assert_eq!(pair[0].chip, pair[1].chip);
+        }
+    }
+
+    #[test]
+    fn deterministic_repeated_runs() {
+        let build = || {
+            let mesh = Torus2d::new(4, 4);
+            let mut b = ProgramBuilder::new(&mesh);
+            let tag_a = b.next_tag();
+            let tag_b = b.next_tag();
+            for chip in mesh.chips() {
+                let ag1 = b.all_gather(chip, tag_a, CommAxis::InterRow, 1 << 20, &[]);
+                let ag2 = b.all_gather(chip, tag_b, CommAxis::InterCol, 1 << 19, &[]);
+                b.gemm(chip, GemmShape::new(512, 512, 512), &[ag1, ag2]);
+            }
+            b.build()
+        };
+        let mesh = Torus2d::new(4, 4);
+        let r1 = Engine::new(mesh.clone(), cfg()).run(&build());
+        let r2 = Engine::new(mesh, cfg()).run(&build());
+        assert_eq!(r1.makespan(), r2.makespan());
+        assert_eq!(r1.totals().comm_transfer, r2.totals().comm_transfer);
+    }
+}

@@ -1,0 +1,260 @@
+//! Fluid-flow (processor-sharing) model of a chip's HBM bandwidth.
+//!
+//! The compute cores and the NIC of a chip share HBM (§4.1, Figure 8).
+//! Every active transfer is a *flow* with a byte count and an individual
+//! rate cap (e.g. a NIC flow cannot exceed its link bandwidth even when HBM
+//! is idle). At any instant the HBM capacity is divided among active flows
+//! by progressive filling ("water-filling"): flows are capped at the lesser
+//! of their own cap and a fair share of the remaining capacity.
+//!
+//! The engine advances a channel lazily: whenever a flow is added or the
+//! scheduled wake-up fires, [`HbmChannel::advance`] applies the piecewise-
+//! constant rates since the previous update.
+
+/// Bytes of slack within which a flow counts as finished (absorbs f64
+/// rounding in rate × time products).
+const COMPLETION_EPS: f64 = 1e-3;
+
+#[derive(Clone, Debug)]
+struct Flow {
+    /// The engine-side identifier (an exec-graph node index).
+    node: usize,
+    remaining: f64,
+    cap: f64,
+    rate: f64,
+}
+
+/// One chip's shared HBM channel.
+#[derive(Clone, Debug)]
+pub(crate) struct HbmChannel {
+    capacity: f64,
+    flows: Vec<Flow>,
+    last_update: f64,
+    version: u64,
+}
+
+impl HbmChannel {
+    /// Creates a channel with the given capacity in bytes/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not positive.
+    pub(crate) fn new(capacity: f64) -> Self {
+        assert!(capacity > 0.0, "HBM capacity must be positive");
+        HbmChannel {
+            capacity,
+            flows: Vec::new(),
+            last_update: 0.0,
+            version: 0,
+        }
+    }
+
+    /// Whether any flow is active.
+    #[cfg(test)]
+    pub(crate) fn is_idle(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// The wake-up version, bumped on every reconfiguration. Events carry
+    /// the version they were scheduled with; stale events are ignored.
+    pub(crate) fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Applies the current rates over `now − last_update`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if time moves backwards by more than rounding error.
+    pub(crate) fn advance(&mut self, now: f64) {
+        let dt = now - self.last_update;
+        assert!(dt > -1e-12, "HBM channel time went backwards by {dt}");
+        let dt = dt.max(0.0);
+        for f in &mut self.flows {
+            f.remaining = (f.remaining - f.rate * dt).max(0.0);
+        }
+        self.last_update = now;
+    }
+
+    /// Adds a flow of `bytes` with individual rate cap `cap`, starting now.
+    ///
+    /// Callers must [`advance`](Self::advance) to `now` first (the engine
+    /// helper does). Returns the new version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` or `cap` is not positive.
+    pub(crate) fn add_flow(&mut self, node: usize, bytes: f64, cap: f64) -> u64 {
+        assert!(bytes > 0.0, "flow must carry bytes");
+        assert!(cap > 0.0, "flow cap must be positive");
+        self.flows.push(Flow {
+            node,
+            remaining: bytes,
+            cap,
+            rate: 0.0,
+        });
+        self.recompute();
+        self.version += 1;
+        self.version
+    }
+
+    /// Removes finished flows (remaining ≤ epsilon) and returns their node
+    /// ids; recomputes rates if any were removed. Returns the new version
+    /// alongside.
+    pub(crate) fn take_completed(&mut self) -> (Vec<usize>, u64) {
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.flows.len() {
+            if self.flows[i].remaining <= COMPLETION_EPS {
+                done.push(self.flows.swap_remove(i).node);
+            } else {
+                i += 1;
+            }
+        }
+        if !done.is_empty() {
+            self.recompute();
+            self.version += 1;
+        }
+        // Deterministic completion order regardless of swap_remove.
+        done.sort_unstable();
+        (done, self.version)
+    }
+
+    /// Seconds until the next flow completes at current rates, if any flow
+    /// is active.
+    pub(crate) fn next_completion_in(&self) -> Option<f64> {
+        self.flows
+            .iter()
+            .map(|f| {
+                debug_assert!(f.rate > 0.0, "active flow with zero rate");
+                (f.remaining / f.rate).max(0.0)
+            })
+            .min_by(f64::total_cmp)
+    }
+
+    /// Water-filling rate allocation: each flow gets
+    /// `min(cap, fair share of remaining capacity)`, with the slack of
+    /// cap-limited flows redistributed to the others.
+    fn recompute(&mut self) {
+        let mut order: Vec<usize> = (0..self.flows.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.flows[a]
+                .cap
+                .total_cmp(&self.flows[b].cap)
+                .then(self.flows[a].node.cmp(&self.flows[b].node))
+        });
+        let mut remaining_capacity = self.capacity;
+        let mut left = order.len();
+        for idx in order {
+            let fair = remaining_capacity / left as f64;
+            let rate = self.flows[idx].cap.min(fair);
+            self.flows[idx].rate = rate;
+            remaining_capacity -= rate;
+            left -= 1;
+        }
+    }
+
+    #[cfg(test)]
+    fn rate_of(&self, node: usize) -> f64 {
+        self.flows
+            .iter()
+            .find(|f| f.node == node)
+            .map(|f| f.rate)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_runs_at_its_cap() {
+        let mut ch = HbmChannel::new(100.0);
+        ch.add_flow(0, 50.0, 10.0);
+        assert_eq!(ch.rate_of(0), 10.0);
+        assert_eq!(ch.next_completion_in(), Some(5.0));
+    }
+
+    #[test]
+    fn uncapped_flows_share_fairly() {
+        let mut ch = HbmChannel::new(100.0);
+        ch.add_flow(0, 100.0, 1000.0);
+        ch.add_flow(1, 100.0, 1000.0);
+        assert_eq!(ch.rate_of(0), 50.0);
+        assert_eq!(ch.rate_of(1), 50.0);
+    }
+
+    #[test]
+    fn capped_flow_slack_goes_to_others() {
+        let mut ch = HbmChannel::new(100.0);
+        ch.add_flow(0, 100.0, 20.0); // NIC-like, capped low
+        ch.add_flow(1, 100.0, 1000.0); // compute-like
+        assert_eq!(ch.rate_of(0), 20.0);
+        assert_eq!(ch.rate_of(1), 80.0);
+    }
+
+    #[test]
+    fn advance_reduces_remaining_and_completes() {
+        let mut ch = HbmChannel::new(100.0);
+        ch.add_flow(7, 100.0, 50.0);
+        let dt = ch.next_completion_in().unwrap();
+        assert_eq!(dt, 2.0);
+        ch.advance(2.0);
+        let (done, _) = ch.take_completed();
+        assert_eq!(done, vec![7]);
+        assert!(ch.is_idle());
+    }
+
+    #[test]
+    fn contention_stretches_completion() {
+        let mut ch = HbmChannel::new(100.0);
+        ch.add_flow(0, 100.0, 100.0);
+        // Alone: 1s. Add a competitor at t=0: both at 50 B/s -> 2s.
+        ch.add_flow(1, 100.0, 100.0);
+        assert_eq!(ch.next_completion_in(), Some(2.0));
+        ch.advance(2.0);
+        let (done, _) = ch.take_completed();
+        assert_eq!(done, vec![0, 1]);
+    }
+
+    #[test]
+    fn departure_speeds_up_survivor() {
+        let mut ch = HbmChannel::new(100.0);
+        ch.add_flow(0, 50.0, 100.0);
+        ch.add_flow(1, 200.0, 100.0);
+        // Both run at 50 B/s. Flow 0 finishes at t=1.
+        ch.advance(1.0);
+        let (done, _) = ch.take_completed();
+        assert_eq!(done, vec![0]);
+        // Flow 1 has 150 left and now runs at its cap of 100.
+        assert_eq!(ch.rate_of(1), 100.0);
+        assert_eq!(ch.next_completion_in(), Some(1.5));
+    }
+
+    #[test]
+    fn version_changes_on_reconfiguration() {
+        let mut ch = HbmChannel::new(10.0);
+        let v1 = ch.add_flow(0, 10.0, 10.0);
+        let v2 = ch.add_flow(1, 10.0, 10.0);
+        assert_ne!(v1, v2);
+        assert_eq!(ch.version(), v2);
+    }
+
+    #[test]
+    fn overlapping_demand_beyond_capacity_saturates() {
+        let mut ch = HbmChannel::new(90.0);
+        ch.add_flow(0, 10.0, 50.0);
+        ch.add_flow(1, 10.0, 50.0);
+        ch.add_flow(2, 10.0, 50.0);
+        let total: f64 = [0, 1, 2].iter().map(|&n| ch.rate_of(n)).sum();
+        assert!((total - 90.0).abs() < 1e-9);
+        assert_eq!(ch.rate_of(0), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must carry bytes")]
+    fn zero_byte_flow_panics() {
+        HbmChannel::new(10.0).add_flow(0, 0.0, 1.0);
+    }
+}

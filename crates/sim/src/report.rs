@@ -1,0 +1,259 @@
+//! Simulation results and time breakdowns.
+
+use std::fmt;
+
+use crate::time::Duration;
+
+/// Per-category busy-time totals, summed across all chips.
+///
+/// These are the categories of the paper's Figure 10: operation *launch*
+/// overhead, shard *transfer* time, and chip *synchronization* time, plus
+/// the compute-side buckets.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TimeBreakdown {
+    /// GeMM execution on the systolic arrays.
+    pub compute: Duration,
+    /// Blocked slicing copies (the MeshSlice `slice_col` / `slice_row`).
+    pub slice: Duration,
+    /// Communication operation launch overheads.
+    pub comm_launch: Duration,
+    /// Ring-step and pipeline-stage synchronizations.
+    pub comm_sync: Duration,
+    /// Shard transfer occupancy (including pipeline bubbles).
+    pub comm_transfer: Duration,
+}
+
+impl TimeBreakdown {
+    /// Total communication time (`launch + sync + transfer`).
+    pub fn comm_total(&self) -> Duration {
+        self.comm_launch + self.comm_sync + self.comm_transfer
+    }
+
+    /// Element-wise sum of two breakdowns.
+    pub fn merged(&self, other: &TimeBreakdown) -> TimeBreakdown {
+        TimeBreakdown {
+            compute: self.compute + other.compute,
+            slice: self.slice + other.slice,
+            comm_launch: self.comm_launch + other.comm_launch,
+            comm_sync: self.comm_sync + other.comm_sync,
+            comm_transfer: self.comm_transfer + other.comm_transfer,
+        }
+    }
+}
+
+/// The result of one simulation run.
+///
+/// # Example
+///
+/// ```
+/// use meshslice_mesh::{ChipId, Torus2d};
+/// use meshslice_sim::{Engine, GemmShape, ProgramBuilder, SimConfig};
+///
+/// let mesh = Torus2d::new(1, 1);
+/// let mut b = ProgramBuilder::new(&mesh);
+/// b.gemm(ChipId(0), GemmShape::new(2048, 2048, 2048), &[]);
+/// let report = Engine::new(mesh, SimConfig::tpu_v4()).run(&b.build());
+/// println!("{report}");
+/// assert!(report.flop_utilization() > 0.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimReport {
+    makespan: Duration,
+    num_chips: usize,
+    peak_flops: f64,
+    total_flops: u64,
+    totals: TimeBreakdown,
+}
+
+impl SimReport {
+    pub(crate) fn new(
+        makespan: Duration,
+        num_chips: usize,
+        peak_flops: f64,
+        total_flops: u64,
+        totals: TimeBreakdown,
+    ) -> Self {
+        SimReport {
+            makespan,
+            num_chips,
+            peak_flops,
+            total_flops,
+            totals,
+        }
+    }
+
+    /// Wall-clock duration of the run (completion of the last node).
+    pub fn makespan(&self) -> Duration {
+        self.makespan
+    }
+
+    /// Number of chips in the simulated cluster.
+    pub fn num_chips(&self) -> usize {
+        self.num_chips
+    }
+
+    /// FLOPs executed by all GeMM operations of the program.
+    pub fn total_flops(&self) -> u64 {
+        self.total_flops
+    }
+
+    /// Cluster-wide busy-time totals per category.
+    pub fn totals(&self) -> &TimeBreakdown {
+        &self.totals
+    }
+
+    /// Average per-chip busy time per category.
+    pub fn per_chip(&self) -> TimeBreakdown {
+        let div = |d: Duration| Duration::from_secs(d.as_secs() / self.num_chips as f64);
+        TimeBreakdown {
+            compute: div(self.totals.compute),
+            slice: div(self.totals.slice),
+            comm_launch: div(self.totals.comm_launch),
+            comm_sync: div(self.totals.comm_sync),
+            comm_transfer: div(self.totals.comm_transfer),
+        }
+    }
+
+    /// Achieved FLOP utilization: executed FLOPs divided by what the whole
+    /// cluster could execute at peak over the makespan (the metric of the
+    /// paper's Figures 9, 11, 12).
+    ///
+    /// Returns 0 for an empty run.
+    pub fn flop_utilization(&self) -> f64 {
+        let capacity = self.peak_flops * self.num_chips as f64 * self.makespan.as_secs();
+        if capacity == 0.0 {
+            0.0
+        } else {
+            self.total_flops as f64 / capacity
+        }
+    }
+
+    /// Communication time relative to computation time, per category
+    /// (`launch`, `transfer`, `sync`) — the bars of the paper's Figure 10.
+    ///
+    /// Returns zeros if the program performed no computation.
+    pub fn comm_relative_to_compute(&self) -> (f64, f64, f64) {
+        let compute = self.totals.compute.as_secs();
+        if compute == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.totals.comm_launch.as_secs() / compute,
+            self.totals.comm_transfer.as_secs() / compute,
+            self.totals.comm_sync.as_secs() / compute,
+        )
+    }
+
+    /// Combines reports of *sequentially executed* programs (e.g. the
+    /// twelve FC-layer GeMMs of one training step): makespans add, FLOPs
+    /// add, and breakdowns merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reports disagree on cluster size or peak FLOPs, or if
+    /// `reports` is empty.
+    pub fn merge_serial(reports: &[SimReport]) -> SimReport {
+        assert!(!reports.is_empty(), "cannot merge zero reports");
+        let first = &reports[0];
+        let mut makespan = Duration::ZERO;
+        let mut total_flops = 0u64;
+        let mut totals = TimeBreakdown::default();
+        for r in reports {
+            assert_eq!(r.num_chips, first.num_chips, "cluster size mismatch");
+            assert!(
+                (r.peak_flops - first.peak_flops).abs() < 1e-3,
+                "peak FLOPs mismatch"
+            );
+            makespan += r.makespan;
+            total_flops += r.total_flops;
+            totals = totals.merged(&r.totals);
+        }
+        SimReport {
+            makespan,
+            num_chips: first.num_chips,
+            peak_flops: first.peak_flops,
+            total_flops,
+            totals,
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let per = self.per_chip();
+        write!(
+            f,
+            "makespan {} | util {:.1}% | per-chip compute {} slice {} launch {} sync {} transfer {}",
+            self.makespan,
+            self.flop_utilization() * 100.0,
+            per.compute,
+            per.slice,
+            per.comm_launch,
+            per.comm_sync,
+            per.comm_transfer,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(makespan: f64, flops: u64, compute: f64) -> SimReport {
+        SimReport::new(
+            Duration::from_secs(makespan),
+            4,
+            100.0,
+            flops,
+            TimeBreakdown {
+                compute: Duration::from_secs(compute),
+                slice: Duration::ZERO,
+                comm_launch: Duration::from_secs(1.0),
+                comm_sync: Duration::from_secs(2.0),
+                comm_transfer: Duration::from_secs(3.0),
+            },
+        )
+    }
+
+    #[test]
+    fn utilization_formula() {
+        let r = report(1.0, 200, 1.0);
+        // 200 flops / (100 flops/s * 4 chips * 1 s) = 0.5.
+        assert!((r.flop_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_chip_divides_totals() {
+        let r = report(1.0, 0, 8.0);
+        assert!((r.per_chip().compute.as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_relative_to_compute_ratios() {
+        let r = report(1.0, 0, 2.0);
+        let (l, t, s) = r.comm_relative_to_compute();
+        assert!((l - 0.5).abs() < 1e-12);
+        assert!((t - 1.5).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_serial_adds_everything() {
+        let merged = SimReport::merge_serial(&[report(1.0, 100, 2.0), report(2.0, 50, 4.0)]);
+        assert_eq!(merged.makespan(), Duration::from_secs(3.0));
+        assert_eq!(merged.total_flops(), 150);
+        assert_eq!(merged.totals().compute, Duration::from_secs(6.0));
+        assert_eq!(merged.totals().comm_total(), Duration::from_secs(12.0));
+    }
+
+    #[test]
+    fn display_mentions_utilization() {
+        assert!(report(1.0, 100, 1.0).to_string().contains("util"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge zero reports")]
+    fn merging_nothing_panics() {
+        SimReport::merge_serial(&[]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Simulation time.
+//!
+//! Times and durations are `f64` seconds wrapped in newtypes with *total*
+//! ordering (`f64::total_cmp`), so they can key the event heap. All event
+//! processing is single-threaded and performed in a deterministic order, so
+//! simulations are bit-reproducible.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute simulation time, in seconds since the start of the run.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Time(f64);
+
+/// A span of simulation time, in seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Duration(f64);
+
+impl Time {
+    /// The start of the simulation.
+    pub const ZERO: Time = Time(0.0);
+
+    /// Creates a time from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid time {secs}");
+        Time(secs)
+    }
+
+    /// The time as seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Duration {
+    /// A zero-length duration.
+    pub const ZERO: Duration = Duration(0.0);
+
+    /// Creates a duration from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration {secs}");
+        Duration(secs)
+    }
+
+    /// Creates a duration from microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is negative or not finite.
+    pub fn from_micros(us: f64) -> Self {
+        Duration::from_secs(us * 1e-6)
+    }
+
+    /// The duration as seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The duration as microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Eq for Time {}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Eq for Duration {}
+
+impl Ord for Duration {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for Duration {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+
+    fn add(self, d: Duration) -> Time {
+        Time(self.0 + d.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+
+    /// The span between two times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self` by more than rounding error.
+    fn sub(self, rhs: Time) -> Duration {
+        let d = self.0 - rhs.0;
+        assert!(d > -1e-12, "negative duration {d}");
+        Duration(d.max(0.0))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.0 * 1e6)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.0 * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = Time::from_secs(1.0) + Duration::from_secs(0.5);
+        assert_eq!(t.as_secs(), 1.5);
+        assert_eq!((t - Time::from_secs(1.0)).as_secs(), 0.5);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = Time::from_secs(1.0);
+        let b = Time::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn micros_conversion() {
+        let d = Duration::from_micros(2.5);
+        assert!((d.as_secs() - 2.5e-6).abs() < 1e-15);
+        assert!((d.as_micros() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_panics() {
+        Duration::from_secs(-1.0);
+    }
+
+    #[test]
+    fn display_in_microseconds() {
+        assert_eq!(Duration::from_micros(1.0).to_string(), "1.000us");
+    }
+}

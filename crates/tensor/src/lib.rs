@@ -1,0 +1,35 @@
+//! Dense matrix primitives for the MeshSlice reproduction.
+//!
+//! This crate provides the numeric substrate every other crate builds on:
+//!
+//! - [`Matrix`]: a dense, row-major `f32` matrix with block/concat utilities.
+//! - [`gemm`]: reference GeMM kernels (`C = AB`, `C = ABᵀ`, `C = AᵀB`) used to
+//!   verify the distributed algorithms numerically.
+//! - [`slice`](mod@slice): the blocked `slice_col` / `slice_row` operations of the paper's
+//!   Algorithm 2, the heart of the MeshSlice 2D GeMM algorithm.
+//! - [`shard`]: partitioning a matrix into a `Pr × Pc` grid of shards and
+//!   reassembling it, as required by 2D tensor parallelism.
+//! - [`shape`]: GeMM problem shapes and their FLOP/byte accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use meshslice_tensor::{Matrix, gemm};
+//!
+//! let a = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f32);
+//! let b = Matrix::identity(3);
+//! let c = gemm::matmul(&a, &b);
+//! assert!(c.approx_eq(&a, 1e-6));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gemm;
+mod matrix;
+pub mod shape;
+pub mod shard;
+pub mod slice;
+
+pub use matrix::Matrix;
+pub use shape::GemmShape;

@@ -1,0 +1,339 @@
+//! Blocked shard slicing — the paper's Algorithm 2.
+//!
+//! MeshSlice partitions each local matrix shard into `S` *sub-shards* and
+//! processes one sub-shard per loop iteration. A naive slicing that takes
+//! every `S`-th column vector would produce strided, non-contiguous memory
+//! accesses, so the paper blocks the slicing: columns (or rows) are grouped
+//! into blocks of `B` contiguous vectors (`B = 8` on TPUs, which access
+//! memory in 128×8 chunks), and block `j` belongs to sub-shard `j mod S`.
+//!
+//! Formally, `slice_cols(X, spec, s)` reshapes an `R × C` matrix into
+//! `<R, C/(S·B), S, B>` and selects `[:, :, s, :]`, exactly as in
+//! Algorithm 2 of the paper.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Matrix;
+
+/// Parameters of the blocked slicing operation.
+///
+/// # Example
+///
+/// ```
+/// use meshslice_tensor::slice::SliceSpec;
+///
+/// let spec = SliceSpec::new(4, 2); // S = 4 sub-shards, blocks of B = 2
+/// assert!(spec.validates(16).is_ok());
+/// assert!(spec.validates(12).is_err()); // 12 is not a multiple of S·B = 8
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SliceSpec {
+    slice_count: usize,
+    block: usize,
+}
+
+/// Error returned when a [`SliceSpec`] cannot slice a dimension.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvalidSliceError {
+    dim: usize,
+    slice_count: usize,
+    block: usize,
+}
+
+impl fmt::Display for InvalidSliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dimension {} is not a positive multiple of slice_count {} x block {}",
+            self.dim, self.slice_count, self.block
+        )
+    }
+}
+
+impl Error for InvalidSliceError {}
+
+impl SliceSpec {
+    /// Creates a spec with `slice_count` sub-shards and block size `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(slice_count: usize, block: usize) -> Self {
+        assert!(slice_count > 0, "slice count must be positive");
+        assert!(block > 0, "block size must be positive");
+        SliceSpec { slice_count, block }
+    }
+
+    /// The number of sub-shards `S`.
+    pub fn slice_count(&self) -> usize {
+        self.slice_count
+    }
+
+    /// The block size `B` (contiguous vectors per block).
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Checks that a dimension of extent `dim` can be sliced by this spec,
+    /// i.e. that `dim` is a positive multiple of `S · B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidSliceError`] when the divisibility requirement of
+    /// Algorithm 2 is not met.
+    pub fn validates(&self, dim: usize) -> Result<(), InvalidSliceError> {
+        let unit = self.slice_count * self.block;
+        if dim == 0 || !dim.is_multiple_of(unit) {
+            Err(InvalidSliceError {
+                dim,
+                slice_count: self.slice_count,
+                block: self.block,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The slice counts that can legally slice a dimension of extent `dim`
+    /// with this spec's block size, in increasing order.
+    ///
+    /// Per the paper, "the user can then choose any slice count S from the
+    /// divisors of C/B".
+    pub fn legal_slice_counts(dim: usize, block: usize) -> Vec<usize> {
+        if block == 0 || dim == 0 || !dim.is_multiple_of(block) {
+            return Vec::new();
+        }
+        let blocks = dim / block;
+        (1..=blocks).filter(|s| blocks.is_multiple_of(*s)).collect()
+    }
+
+    fn assert_valid(&self, dim: usize, what: &str) {
+        assert!(
+            self.validates(dim).is_ok(),
+            "{what} extent {dim} is not a multiple of S*B = {}*{}",
+            self.slice_count,
+            self.block
+        );
+    }
+}
+
+/// Returns the (ascending) indices selected by sub-shard `s` in a dimension
+/// of extent `dim`: all `i` with `(i / B) mod S == s`.
+///
+/// # Panics
+///
+/// Panics if `s >= spec.slice_count()` or the extent is not sliceable.
+pub fn sliced_indices(dim: usize, spec: SliceSpec, s: usize) -> Vec<usize> {
+    assert!(s < spec.slice_count(), "sub-shard index out of range");
+    spec.assert_valid(dim, "dimension");
+    (0..dim)
+        .filter(|i| (i / spec.block()) % spec.slice_count() == s)
+        .collect()
+}
+
+/// Extracts sub-shard `s`: every block of `B` columns whose block index is
+/// congruent to `s` modulo `S`, concatenated in ascending order.
+///
+/// The result has `x.cols() / S` columns. This is `slice_col` of the paper's
+/// Figure 5 / Algorithm 2.
+///
+/// # Panics
+///
+/// Panics if `s >= spec.slice_count()` or `x.cols()` is not a multiple of
+/// `S · B`.
+///
+/// # Example
+///
+/// ```
+/// use meshslice_tensor::{Matrix, slice::{slice_cols, SliceSpec}};
+///
+/// let x = Matrix::from_fn(1, 8, |_, j| j as f32);
+/// let spec = SliceSpec::new(2, 2); // S = 2, B = 2
+/// let s0 = slice_cols(&x, spec, 0);
+/// assert_eq!(s0.as_slice(), &[0.0, 1.0, 4.0, 5.0]);
+/// let s1 = slice_cols(&x, spec, 1);
+/// assert_eq!(s1.as_slice(), &[2.0, 3.0, 6.0, 7.0]);
+/// ```
+pub fn slice_cols(x: &Matrix, spec: SliceSpec, s: usize) -> Matrix {
+    assert!(s < spec.slice_count(), "sub-shard index out of range");
+    spec.assert_valid(x.cols(), "column");
+    let b = spec.block();
+    let groups = x.cols() / (spec.slice_count() * b);
+    let mut out = Matrix::zeros(x.rows(), x.cols() / spec.slice_count());
+    for g in 0..groups {
+        let src_col = (g * spec.slice_count() + s) * b;
+        let block = x.block(0, src_col, x.rows(), b);
+        out.set_block(0, g * b, &block);
+    }
+    out
+}
+
+/// Extracts sub-shard `s` of the rows: every block of `B` rows whose block
+/// index is congruent to `s` modulo `S`, stacked in ascending order.
+///
+/// The result has `x.rows() / S` rows. This is `slice_row` of the paper's
+/// Figure 5.
+///
+/// # Panics
+///
+/// Panics if `s >= spec.slice_count()` or `x.rows()` is not a multiple of
+/// `S · B`.
+pub fn slice_rows(x: &Matrix, spec: SliceSpec, s: usize) -> Matrix {
+    assert!(s < spec.slice_count(), "sub-shard index out of range");
+    spec.assert_valid(x.rows(), "row");
+    let b = spec.block();
+    let groups = x.rows() / (spec.slice_count() * b);
+    let mut out = Matrix::zeros(x.rows() / spec.slice_count(), x.cols());
+    for g in 0..groups {
+        let src_row = (g * spec.slice_count() + s) * b;
+        let block = x.block(src_row, 0, b, x.cols());
+        out.set_block(g * b, 0, &block);
+    }
+    out
+}
+
+/// Scatters sub-shard `s` back into the columns it was sliced from —
+/// the inverse of [`slice_cols`].
+///
+/// MeshSlice LS/RS use this to write the reduce-scattered partial outputs
+/// `C_s` into the stationary output shard `C_ij`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with the spec.
+pub fn unslice_cols_into(dst: &mut Matrix, spec: SliceSpec, s: usize, src: &Matrix) {
+    assert!(s < spec.slice_count(), "sub-shard index out of range");
+    spec.assert_valid(dst.cols(), "column");
+    assert_eq!(dst.rows(), src.rows(), "row count mismatch");
+    assert_eq!(
+        src.cols() * spec.slice_count(),
+        dst.cols(),
+        "sub-shard width inconsistent with slice count"
+    );
+    let b = spec.block();
+    let groups = dst.cols() / (spec.slice_count() * b);
+    for g in 0..groups {
+        let dst_col = (g * spec.slice_count() + s) * b;
+        let block = src.block(0, g * b, src.rows(), b);
+        dst.set_block(0, dst_col, &block);
+    }
+}
+
+/// Scatters sub-shard `s` back into the rows it was sliced from — the
+/// inverse of [`slice_rows`].
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with the spec.
+pub fn unslice_rows_into(dst: &mut Matrix, spec: SliceSpec, s: usize, src: &Matrix) {
+    assert!(s < spec.slice_count(), "sub-shard index out of range");
+    spec.assert_valid(dst.rows(), "row");
+    assert_eq!(dst.cols(), src.cols(), "column count mismatch");
+    assert_eq!(
+        src.rows() * spec.slice_count(),
+        dst.rows(),
+        "sub-shard height inconsistent with slice count"
+    );
+    let b = spec.block();
+    let groups = dst.rows() / (spec.slice_count() * b);
+    for g in 0..groups {
+        let dst_row = (g * spec.slice_count() + s) * b;
+        let block = src.block(g * b, 0, b, src.cols());
+        dst.set_block(dst_row, 0, &block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_cols_selects_round_robin_blocks() {
+        // 12 columns, S = 3, B = 2: blocks [0,1] [2,3] [4,5] [6,7] [8,9] [10,11]
+        // belong to sub-shards 0,1,2,0,1,2.
+        let x = Matrix::from_fn(2, 12, |_, j| j as f32);
+        let spec = SliceSpec::new(3, 2);
+        assert_eq!(slice_cols(&x, spec, 0).row(0), &[0.0, 1.0, 6.0, 7.0]);
+        assert_eq!(slice_cols(&x, spec, 1).row(0), &[2.0, 3.0, 8.0, 9.0]);
+        assert_eq!(slice_cols(&x, spec, 2).row(0), &[4.0, 5.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn slice_rows_matches_transposed_slice_cols() {
+        let x = Matrix::random(12, 5, 3);
+        let spec = SliceSpec::new(2, 3);
+        for s in 0..2 {
+            let by_rows = slice_rows(&x, spec, s);
+            let by_cols = slice_cols(&x.transpose(), spec, s).transpose();
+            assert_eq!(by_rows, by_cols);
+        }
+    }
+
+    #[test]
+    fn sub_shards_partition_all_columns() {
+        let spec = SliceSpec::new(4, 2);
+        let mut seen: Vec<usize> = (0..4).flat_map(|s| sliced_indices(24, spec, s)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unslice_cols_round_trips() {
+        let x = Matrix::random(4, 24, 9);
+        let spec = SliceSpec::new(3, 4);
+        let mut rebuilt = Matrix::zeros(4, 24);
+        for s in 0..3 {
+            let sub = slice_cols(&x, spec, s);
+            assert_eq!(sub.cols(), 8);
+            unslice_cols_into(&mut rebuilt, spec, s, &sub);
+        }
+        assert_eq!(rebuilt, x);
+    }
+
+    #[test]
+    fn unslice_rows_round_trips() {
+        let x = Matrix::random(24, 4, 10);
+        let spec = SliceSpec::new(4, 3);
+        let mut rebuilt = Matrix::zeros(24, 4);
+        for s in 0..4 {
+            unslice_rows_into(&mut rebuilt, spec, s, &slice_rows(&x, spec, s));
+        }
+        assert_eq!(rebuilt, x);
+    }
+
+    #[test]
+    fn slice_count_one_is_identity() {
+        let x = Matrix::random(4, 8, 2);
+        let spec = SliceSpec::new(1, 2);
+        assert_eq!(slice_cols(&x, spec, 0), x);
+        assert_eq!(slice_rows(&x, spec, 0), x);
+    }
+
+    #[test]
+    fn legal_slice_counts_are_divisors_of_blocks() {
+        // dim = 48, B = 8 -> 6 blocks -> S in {1, 2, 3, 6}.
+        assert_eq!(SliceSpec::legal_slice_counts(48, 8), vec![1, 2, 3, 6]);
+        assert!(SliceSpec::legal_slice_counts(10, 3).is_empty());
+    }
+
+    #[test]
+    fn validates_reports_errors() {
+        let spec = SliceSpec::new(4, 2);
+        assert!(spec.validates(8).is_ok());
+        let err = spec.validates(9).unwrap_err();
+        assert!(err.to_string().contains("not a positive multiple"));
+    }
+
+    #[test]
+    #[should_panic(expected = "sub-shard index out of range")]
+    fn out_of_range_sub_shard_panics() {
+        slice_cols(&Matrix::zeros(1, 8), SliceSpec::new(2, 2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn unsliceable_extent_panics() {
+        slice_cols(&Matrix::zeros(1, 10), SliceSpec::new(2, 2), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the tensor substrate.
+
+use meshslice_tensor::gemm::{matmul, matmul_a_bt, matmul_acc, matmul_at_b};
+use meshslice_tensor::shard::ShardGrid;
+use meshslice_tensor::slice::{
+    slice_cols, slice_rows, sliced_indices, unslice_cols_into, unslice_rows_into, SliceSpec,
+};
+use meshslice_tensor::{GemmShape, Matrix};
+use proptest::prelude::*;
+
+/// Small positive dimension.
+fn dim() -> impl Strategy<Value = usize> {
+    1usize..12
+}
+
+proptest! {
+    #[test]
+    fn matmul_is_associative_with_identity(
+        (m, k) in (dim(), dim()),
+        seed in any::<u64>(),
+    ) {
+        let a = Matrix::random(m, k, seed);
+        prop_assert!(matmul(&a, &Matrix::identity(k)).approx_eq(&a, 1e-5));
+        prop_assert!(matmul(&Matrix::identity(m), &a).approx_eq(&a, 1e-5));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        (m, k, n) in (dim(), dim(), dim()),
+        s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>(),
+    ) {
+        let a = Matrix::random(m, k, s1);
+        let b = Matrix::random(k, n, s2);
+        let c = Matrix::random(k, n, s3);
+        let lhs = matmul(&a, &(&b + &c));
+        let rhs = &matmul(&a, &b) + &matmul(&a, &c);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-4));
+    }
+
+    #[test]
+    fn transpose_variants_agree(
+        (m, k, n) in (dim(), dim(), dim()),
+        s1 in any::<u64>(), s2 in any::<u64>(),
+    ) {
+        let a = Matrix::random(m, k, s1);
+        let b = Matrix::random(k, n, s2);
+        let reference = matmul(&a, &b);
+        // A·Bᵀ with B pre-transposed.
+        prop_assert!(matmul_a_bt(&a, &b.transpose()).approx_eq(&reference, 1e-4));
+        // Aᵀ·B with A pre-transposed.
+        prop_assert!(matmul_at_b(&a.transpose(), &b).approx_eq(&reference, 1e-4));
+    }
+
+    #[test]
+    fn matmul_acc_is_linear(
+        (m, k, n) in (dim(), dim(), dim()),
+        s1 in any::<u64>(), s2 in any::<u64>(),
+    ) {
+        let a = Matrix::random(m, k, s1);
+        let b = Matrix::random(k, n, s2);
+        let mut acc = Matrix::zeros(m, n);
+        matmul_acc(&mut acc, &a, &b);
+        matmul_acc(&mut acc, &a, &b);
+        let mut doubled = matmul(&a, &b);
+        doubled.scale(2.0);
+        prop_assert!(acc.approx_eq(&doubled, 1e-4));
+    }
+
+    #[test]
+    fn slicing_partitions_columns(
+        s in 1usize..5,
+        b in 1usize..5,
+        groups in 1usize..4,
+        rows in dim(),
+        seed in any::<u64>(),
+    ) {
+        let cols = s * b * groups;
+        let x = Matrix::random(rows, cols, seed);
+        let spec = SliceSpec::new(s, b);
+        // Every column appears in exactly one sub-shard, and unslicing
+        // reconstructs the original matrix.
+        let mut rebuilt = Matrix::zeros(rows, cols);
+        let mut index_count = 0;
+        for sub in 0..s {
+            let part = slice_cols(&x, spec, sub);
+            prop_assert_eq!(part.cols(), cols / s);
+            unslice_cols_into(&mut rebuilt, spec, sub, &part);
+            index_count += sliced_indices(cols, spec, sub).len();
+        }
+        prop_assert_eq!(index_count, cols);
+        prop_assert_eq!(rebuilt, x);
+    }
+
+    #[test]
+    fn slicing_partitions_rows(
+        s in 1usize..5,
+        b in 1usize..5,
+        groups in 1usize..4,
+        cols in dim(),
+        seed in any::<u64>(),
+    ) {
+        let rows = s * b * groups;
+        let x = Matrix::random(rows, cols, seed);
+        let spec = SliceSpec::new(s, b);
+        let mut rebuilt = Matrix::zeros(rows, cols);
+        for sub in 0..s {
+            unslice_rows_into(&mut rebuilt, spec, sub, &slice_rows(&x, spec, sub));
+        }
+        prop_assert_eq!(rebuilt, x);
+    }
+
+    #[test]
+    fn sliced_gemm_equals_dense_gemm(
+        s in 1usize..4,
+        b in 1usize..4,
+        groups in 1usize..3,
+        (m, n) in (dim(), dim()),
+        s1 in any::<u64>(), s2 in any::<u64>(),
+    ) {
+        // The essence of the paper's Algorithm 1: summing the partial
+        // products of matching sub-shards of A's columns and B's rows
+        // reproduces the dense product.
+        let k = s * b * groups;
+        let a = Matrix::random(m, k, s1);
+        let bmat = Matrix::random(k, n, s2);
+        let spec = SliceSpec::new(s, b);
+        let mut c = Matrix::zeros(m, n);
+        for sub in 0..s {
+            let a_s = slice_cols(&a, spec, sub);
+            let b_s = slice_rows(&bmat, spec, sub);
+            matmul_acc(&mut c, &a_s, &b_s);
+        }
+        prop_assert!(c.approx_eq(&matmul(&a, &bmat), 1e-4));
+    }
+
+    #[test]
+    fn shard_grid_round_trips(
+        pr in 1usize..5,
+        pc in 1usize..5,
+        (r, c) in (1usize..4, 1usize..4),
+        seed in any::<u64>(),
+    ) {
+        let x = Matrix::random(pr * r, pc * c, seed);
+        let grid = ShardGrid::partition(&x, pr, pc);
+        prop_assert_eq!(grid.shard_dims(), (r, c));
+        prop_assert_eq!(grid.assemble(), x);
+    }
+
+    #[test]
+    fn backward_shapes_preserve_flops(m in 1usize..100, n in 1usize..100, k in 1usize..100) {
+        let s = GemmShape::new(m, n, k);
+        prop_assert_eq!(s.flops(), s.backward_data().flops());
+        prop_assert_eq!(s.flops(), s.backward_weight().flops());
+        prop_assert_eq!(s.transposed().transposed(), s);
+    }
+}

@@ -1,0 +1,97 @@
+//! The MeshSlice LLM autotuner end to end: phase 1 picks the dataflow of
+//! every FC layer (Table 1), phase 2 co-optimizes the mesh shape and the
+//! per-pass slice counts with the analytical cost models — then the plan
+//! is validated against the cluster simulator.
+//!
+//! ```text
+//! cargo run --release --example autotune_llm [gpt3|megatron] [chips]
+//! ```
+
+use meshslice::autotuner::Autotuner;
+use meshslice::llm::{LlmConfig, TrainingSetup};
+use meshslice::report::Table;
+use meshslice::training::{end_to_end, simulate_fc_step, Algorithm};
+use meshslice::SimConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let model = match args.next().as_deref() {
+        Some("megatron") => LlmConfig::megatron_nlg(),
+        _ => LlmConfig::gpt3(),
+    };
+    let chips: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(256);
+    let setup = TrainingSetup::weak_scaling(chips);
+    let cfg = SimConfig::tpu_v4();
+
+    println!("autotuning {model} for a {chips}-chip TPUv4 cluster");
+    println!(
+        "training setup: batch {}, sequence {}, {} tokens per step",
+        setup.batch,
+        setup.seq_len,
+        setup.tokens()
+    );
+    println!("~{:.0}B parameters", model.param_count() as f64 / 1e9);
+    println!();
+
+    let tuner = Autotuner::new(cfg.clone());
+
+    // Phase 1: dataflows.
+    println!("phase 1 — dataflow selection (largest matrix stays stationary):");
+    for (layer, st) in tuner.phase1(&model, setup) {
+        println!(
+            "  {:>4} ({} -> {}): {st:?}-stationary",
+            layer.name, layer.input_dim, layer.output_dim
+        );
+    }
+    println!();
+
+    // Phase 2: mesh shape + slice counts.
+    let plan = tuner.tune(&model, setup, chips);
+    println!(
+        "phase 2 — chosen mesh shape: {} (searched {} candidates)",
+        plan.mesh_shape,
+        Autotuner::candidate_meshes(chips).len()
+    );
+    let mut table = Table::new(vec![
+        "layer".into(),
+        "pass".into(),
+        "dataflow".into(),
+        "GeMM (MxNxK)".into(),
+        "slice count S".into(),
+    ]);
+    for layer in &plan.layers {
+        for pass in &layer.passes {
+            table.row(vec![
+                layer.layer.name.to_string(),
+                pass.pass.to_string(),
+                pass.problem.dataflow.to_string(),
+                pass.problem.shape.to_string(),
+                pass.slice_count.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!(
+        "estimated FC time per transformer block: {:.3} ms",
+        plan.estimated_block_time.as_secs() * 1e3
+    );
+
+    // Validate against the simulator.
+    let fc = simulate_fc_step(&model, setup, chips, Algorithm::MeshSlice, &cfg)
+        .expect("MeshSlice runs everywhere");
+    let e2e = end_to_end(&model, setup, chips, &fc, &cfg);
+    println!(
+        "simulated FC time per block:             {:.3} ms ({:.1}% FLOP utilization)",
+        fc.block_time().as_secs() * 1e3,
+        fc.utilization() * 100.0
+    );
+    println!(
+        "estimate error vs simulation: {:.1}%",
+        (plan.estimated_block_time.as_secs() / fc.block_time().as_secs() - 1.0).abs() * 100.0
+    );
+    println!(
+        "end-to-end training step ({} layers, incl. non-FC ops): {:.1} ms",
+        model.layers,
+        e2e.step.as_secs() * 1e3
+    );
+}

@@ -1,0 +1,69 @@
+//! Simulate full LLM training steps across cluster sizes and estimate
+//! training throughput: the workload of the paper's introduction — how
+//! far can 2D tensor parallelism scale an LLM?
+//!
+//! ```text
+//! cargo run --release --example train_llm [gpt3|megatron]
+//! ```
+
+use meshslice::llm::{LlmConfig, TrainingSetup};
+use meshslice::report::{pct, Table};
+use meshslice::training::{end_to_end, simulate_fc_step, Algorithm};
+use meshslice::SimConfig;
+
+fn main() {
+    let model = match std::env::args().nth(1).as_deref() {
+        Some("megatron") => LlmConfig::megatron_nlg(),
+        _ => LlmConfig::gpt3(),
+    };
+    let cfg = SimConfig::tpu_v4();
+    println!(
+        "simulated training of {model} (~{:.0}B params) with MeshSlice 2D TP",
+        model.param_count() as f64 / 1e9
+    );
+    println!();
+
+    let mut table = Table::new(vec![
+        "chips".into(),
+        "batch".into(),
+        "mesh".into(),
+        "FC util".into(),
+        "step time".into(),
+        "tokens/s".into(),
+        "vs 8-way 1D TP".into(),
+    ]);
+    for chips in [16usize, 32, 64, 128, 256] {
+        let setup = TrainingSetup::weak_scaling(chips);
+        let Some(fc) = simulate_fc_step(&model, setup, chips, Algorithm::MeshSlice, &cfg) else {
+            continue;
+        };
+        let e2e = end_to_end(&model, setup, chips, &fc, &cfg);
+        let tokens_per_s = setup.tokens() as f64 / e2e.step.as_secs();
+
+        // Reference point: the conventional 8-way 1D TP cluster would need
+        // chips/8 data-parallel replicas; its TP communication alone caps
+        // the per-replica speed.
+        let oned = simulate_fc_step(&model, setup, 8, Algorithm::OneDimTp, &cfg);
+        let speedup = oned.map(|o| {
+            // Per-chip FC throughput ratio (both normalized per chip).
+            let ms = fc.utilization();
+            let od = o.utilization();
+            format!("{:.2}x / chip", ms / od)
+        });
+        table.row(vec![
+            chips.to_string(),
+            setup.batch.to_string(),
+            fc.mesh_shape.to_string(),
+            pct(fc.utilization()),
+            format!("{:.1} ms", e2e.step.as_secs() * 1e3),
+            format!("{tokens_per_s:.0}"),
+            speedup.unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!("{table}");
+    println!("weak scaling: batch = chips/2, sequence length 2048 (Megatron-NLG recipe);");
+    println!(
+        "step time covers all {} transformer blocks, FC + non-FC operations.",
+        model.layers
+    );
+}

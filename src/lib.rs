@@ -1,0 +1,10 @@
+//! Workspace root crate: re-exports the MeshSlice reproduction crates so the
+//! integration tests in `tests/` and the runnable binaries in `examples/`
+//! can exercise the whole stack through one dependency.
+
+pub use meshslice;
+pub use meshslice_collectives as collectives;
+pub use meshslice_gemm as gemm;
+pub use meshslice_mesh as mesh;
+pub use meshslice_sim as sim;
+pub use meshslice_tensor as tensor;

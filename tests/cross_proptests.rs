@@ -1,0 +1,95 @@
+//! Cross-crate property tests: random problems through the full stack.
+
+use meshslice::{
+    Collective, Dataflow, DistributedGemm, Engine, GemmProblem, GemmShape, MeshSlice, SimConfig,
+    Summa, Wang,
+};
+use meshslice_mesh::Torus2d;
+use proptest::prelude::*;
+
+fn dataflow() -> impl Strategy<Value = Dataflow> {
+    prop_oneof![Just(Dataflow::Os), Just(Dataflow::Ls), Just(Dataflow::Rs)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Simulated makespan is bounded below by the per-chip ideal compute
+    /// time and by the busiest link's transfer time, for every algorithm.
+    #[test]
+    fn makespan_respects_resource_lower_bounds(
+        pr in 1usize..4, pc in 1usize..4,
+        df in dataflow(),
+        s in 1usize..3,
+    ) {
+        let mesh = Torus2d::new(pr, pc);
+        let cfg = SimConfig::tpu_v4();
+        let unit = 8 * pr * pc * s;
+        let shape = GemmShape::new(unit * 4, unit * 4, unit * 4);
+        let problem = GemmProblem::new(shape, df);
+        let algos: Vec<Box<dyn DistributedGemm>> = vec![
+            Box::new(MeshSlice::new(s, 4)),
+            Box::new(Collective),
+            Box::new(Wang::new()),
+            Box::new(Summa::auto(&mesh)),
+        ];
+        let ideal = shape.flops() as f64 / (cfg.peak_flops * mesh.num_chips() as f64);
+        for algo in algos {
+            let program = algo.schedule(&mesh, problem, 2).unwrap();
+            let report = Engine::new(mesh.clone(), cfg.clone()).run(&program);
+            prop_assert!(
+                report.makespan().as_secs() >= ideal,
+                "{}: makespan {} < ideal {ideal}",
+                algo.name(),
+                report.makespan().as_secs()
+            );
+            prop_assert!(report.flop_utilization() <= 1.0);
+            prop_assert_eq!(report.total_flops(), shape.flops());
+        }
+    }
+
+    /// Functional execution of the tuned MeshSlice configuration matches
+    /// dense GeMM for arbitrary problems.
+    #[test]
+    fn tuned_meshslice_remains_correct(
+        pr in 1usize..4, pc in 1usize..4,
+        df in dataflow(),
+        s in 1usize..4, blk in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mesh = Torus2d::new(pr, pc);
+        let unit = pr * pc * s * blk;
+        let shape = GemmShape::new(2 * unit, 2 * unit, 2 * unit);
+        let problem = GemmProblem::new(shape, df);
+        let algo = MeshSlice::new(s, blk);
+        let (a, b) = problem.random_inputs(&mesh, seed);
+        let c = algo.execute(&mesh, problem, &a, &b).unwrap();
+        let reference = problem.reference(&a.assemble(), &b.assemble());
+        prop_assert!(c.assemble().approx_eq(&reference, 1e-3));
+    }
+
+    /// Slower links never make a simulated program faster (monotonicity
+    /// of the hardware model).
+    #[test]
+    fn slower_links_never_speed_things_up(
+        pr in 2usize..4, pc in 2usize..4,
+        df in dataflow(),
+    ) {
+        let mesh = Torus2d::new(pr, pc);
+        let unit = 8 * pr * pc;
+        let shape = GemmShape::new(unit * 4, unit * 4, unit * 4);
+        let problem = GemmProblem::new(shape, df);
+        let program = MeshSlice::new(2, 4).schedule(&mesh, problem, 2).unwrap();
+        let fast = Engine::new(
+            mesh.clone(),
+            SimConfig { link_bandwidth: 100e9, ..SimConfig::tpu_v4() },
+        )
+        .run(&program);
+        let slow = Engine::new(
+            mesh,
+            SimConfig { link_bandwidth: 10e9, ..SimConfig::tpu_v4() },
+        )
+        .run(&program);
+        prop_assert!(slow.makespan() >= fast.makespan());
+    }
+}

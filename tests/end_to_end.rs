@@ -1,0 +1,169 @@
+//! Integration tests spanning the whole stack: tensor substrate →
+//! collectives → algorithms → simulator → autotuner → experiments.
+
+use meshslice::autotuner::Autotuner;
+use meshslice::llm::{LlmConfig, TrainingSetup};
+use meshslice::training::{end_to_end, simulate_fc_step, Algorithm};
+use meshslice::{
+    Cannon, Collective, Dataflow, DistributedGemm, Engine, GemmProblem, GemmShape, MeshSlice,
+    SimConfig, Summa, Wang,
+};
+use meshslice_mesh::Torus2d;
+
+fn tiny_model() -> LlmConfig {
+    LlmConfig {
+        name: "Tiny".to_string(),
+        hidden: 512,
+        heads: 8,
+        layers: 2,
+        ffn_mult: 4,
+    }
+}
+
+fn tiny_setup() -> TrainingSetup {
+    TrainingSetup {
+        batch: 4,
+        seq_len: 512,
+    }
+}
+
+#[test]
+fn every_2d_algorithm_computes_the_same_product() {
+    let mesh = Torus2d::new(2, 2);
+    let problem = GemmProblem::new(GemmShape::new(32, 32, 32), Dataflow::Os);
+    let (a, b) = problem.random_inputs(&mesh, 42);
+    let reference = problem.reference(&a.assemble(), &b.assemble());
+    let algos: Vec<Box<dyn DistributedGemm>> = vec![
+        Box::new(MeshSlice::new(4, 2)),
+        Box::new(Collective),
+        Box::new(Wang::new()),
+        Box::new(Summa::auto(&mesh)),
+        Box::new(Cannon),
+    ];
+    for algo in algos {
+        let c = algo.execute(&mesh, problem, &a, &b).unwrap();
+        assert!(
+            c.assemble().approx_eq(&reference, 1e-4),
+            "{} diverges",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn functional_and_schedule_agree_on_work() {
+    // The schedule's GeMM FLOPs must equal the problem's FLOPs — the
+    // timing layer simulates exactly the work the functional layer does.
+    let mesh = Torus2d::new(2, 4);
+    let shape = GemmShape::new(64, 64, 64);
+    for df in [Dataflow::Os, Dataflow::Ls, Dataflow::Rs] {
+        let problem = GemmProblem::new(shape, df);
+        let algos: Vec<Box<dyn DistributedGemm>> = vec![
+            Box::new(MeshSlice::new(2, 2)),
+            Box::new(Collective),
+            Box::new(Wang::new()),
+            Box::new(Summa::auto(&mesh)),
+        ];
+        for algo in algos {
+            let program = algo.schedule(&mesh, problem, 2).unwrap();
+            assert_eq!(program.total_flops(), shape.flops(), "{} {df}", algo.name());
+        }
+    }
+}
+
+#[test]
+fn simulated_time_never_beats_ideal_compute() {
+    let mesh = Torus2d::new(2, 2);
+    let cfg = SimConfig::tpu_v4();
+    let shape = GemmShape::new(1024, 1024, 1024);
+    let problem = GemmProblem::new(shape, Dataflow::Os);
+    let program = MeshSlice::new(4, 8).schedule(&mesh, problem, 2).unwrap();
+    let report = Engine::new(mesh, cfg.clone()).run(&program);
+    let ideal = shape.flops() as f64 / (cfg.peak_flops * 4.0);
+    assert!(report.makespan().as_secs() >= ideal);
+    assert!(report.flop_utilization() <= 1.0);
+}
+
+#[test]
+fn autotuned_plan_executes_and_beats_untuned() {
+    let cfg = SimConfig::tpu_v4();
+    let model = tiny_model();
+    let setup = tiny_setup();
+    let tuner = Autotuner::new(cfg.clone());
+    let plan = tuner.tune(&model, setup, 8);
+    // Every tuned pass must be schedulable and simulate without deadlock.
+    let mesh = Torus2d::from_shape(plan.mesh_shape);
+    for layer in &plan.layers {
+        for pass in &layer.passes {
+            let algo = MeshSlice::with_tpu_block(pass.slice_count);
+            let algo = if algo.check(&mesh, pass.problem).is_ok() {
+                algo
+            } else {
+                MeshSlice::new(pass.slice_count, 1)
+            };
+            let program = algo.schedule(&mesh, pass.problem, cfg.elem_bytes).unwrap();
+            let report = Engine::new(mesh.clone(), cfg.clone()).run(&program);
+            assert!(report.makespan().as_secs() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn meshslice_wins_the_tiny_training_race() {
+    let cfg = SimConfig::tpu_v4();
+    let model = tiny_model();
+    let setup = tiny_setup();
+    let ms = simulate_fc_step(&model, setup, 8, Algorithm::MeshSlice, &cfg).unwrap();
+    for algo in [Algorithm::Collective, Algorithm::OneDimTp, Algorithm::Fsdp] {
+        let other = simulate_fc_step(&model, setup, 8, algo, &cfg).unwrap();
+        assert!(
+            ms.block_time() <= other.block_time(),
+            "MeshSlice {} vs {algo} {}",
+            ms.block_time(),
+            other.block_time()
+        );
+    }
+}
+
+#[test]
+fn end_to_end_composition_is_consistent() {
+    let cfg = SimConfig::tpu_v4();
+    let model = tiny_model();
+    let setup = tiny_setup();
+    let fc = simulate_fc_step(&model, setup, 4, Algorithm::MeshSlice, &cfg).unwrap();
+    let e2e = end_to_end(&model, setup, 4, &fc, &cfg);
+    let per_block = e2e.fc_block.as_secs() + e2e.non_fc_block.as_secs();
+    assert!((e2e.step.as_secs() - per_block * model.layers as f64).abs() < 1e-9);
+}
+
+#[test]
+fn no_overlap_mode_is_never_faster() {
+    let model = tiny_model();
+    let setup = tiny_setup();
+    let overlap = SimConfig::tpu_v4();
+    let serial = SimConfig {
+        overlap_collectives: false,
+        ..SimConfig::tpu_v4()
+    };
+    for algo in [Algorithm::MeshSlice, Algorithm::Collective, Algorithm::Wang] {
+        let fast = simulate_fc_step(&model, setup, 4, algo, &overlap).unwrap();
+        let slow = simulate_fc_step(&model, setup, 4, algo, &serial).unwrap();
+        assert!(
+            slow.block_time() >= fast.block_time(),
+            "{algo}: serial {} < overlapped {}",
+            slow.block_time(),
+            fast.block_time()
+        );
+    }
+}
+
+#[test]
+fn deterministic_experiment_results() {
+    let cfg = SimConfig::tpu_v4();
+    let model = tiny_model();
+    let setup = tiny_setup();
+    let a = simulate_fc_step(&model, setup, 8, Algorithm::MeshSlice, &cfg).unwrap();
+    let b = simulate_fc_step(&model, setup, 8, Algorithm::MeshSlice, &cfg).unwrap();
+    assert_eq!(a.block_time(), b.block_time());
+    assert_eq!(a.mesh_shape, b.mesh_shape);
+}

@@ -1,0 +1,180 @@
+//! Integration tests asserting the paper's qualitative findings — the
+//! *shape* of the evaluation — at test-friendly scales.
+
+use meshslice::costmodel::CostModel;
+use meshslice::experiments::{
+    comm_model_validation, dataflow_ablation, slice_count_sweep, traffic_25d_example,
+};
+use meshslice::llm::{LlmConfig, TrainingSetup};
+use meshslice::training::{simulate_fc_step, Algorithm};
+use meshslice::{Dataflow, GemmProblem, GemmShape, MeshShape, SimConfig};
+
+fn model() -> LlmConfig {
+    LlmConfig {
+        name: "Tiny".to_string(),
+        hidden: 1024,
+        heads: 8,
+        layers: 2,
+        ffn_mult: 4,
+    }
+}
+
+/// A bandwidth-starved configuration that makes 16 chips behave like the
+/// paper's 256 (communication-dominant), keeping tests fast.
+fn comm_heavy() -> SimConfig {
+    SimConfig {
+        link_bandwidth: 8e9,
+        ..SimConfig::tpu_v4()
+    }
+}
+
+#[test]
+fn meshslice_beats_all_baselines_when_comm_matters() {
+    // Figure 9's headline at miniature scale.
+    let cfg = comm_heavy();
+    let m = model();
+    let setup = TrainingSetup {
+        batch: 8,
+        seq_len: 512,
+    };
+    let ms = simulate_fc_step(&m, setup, 16, Algorithm::MeshSlice, &cfg).unwrap();
+    for algo in [
+        Algorithm::Collective,
+        Algorithm::Wang,
+        Algorithm::Summa,
+        Algorithm::Cannon,
+        Algorithm::OneDimTp,
+        Algorithm::Fsdp,
+    ] {
+        let other = simulate_fc_step(&m, setup, 16, algo, &cfg).unwrap();
+        assert!(
+            ms.block_time().as_secs() < other.block_time().as_secs() * 1.001,
+            "MeshSlice {} !< {algo} {}",
+            ms.block_time(),
+            other.block_time()
+        );
+    }
+}
+
+#[test]
+fn one_d_baselines_scale_worse_than_2d() {
+    // §2.2: 1D TP traffic grows linearly with chips; 2D only with the
+    // ring lengths. Compare utilization decay from 4 to 16 chips.
+    let cfg = comm_heavy();
+    let m = model();
+    let util = |algo, chips| {
+        let setup = TrainingSetup {
+            batch: chips / 2,
+            seq_len: 512,
+        };
+        simulate_fc_step(&m, setup, chips, algo, &cfg)
+            .unwrap()
+            .utilization()
+    };
+    let oned_decay = util(Algorithm::OneDimTp, 4) / util(Algorithm::OneDimTp, 16);
+    let ms_decay = util(Algorithm::MeshSlice, 4) / util(Algorithm::MeshSlice, 16);
+    assert!(
+        oned_decay > ms_decay,
+        "1D decay {oned_decay} should exceed MeshSlice decay {ms_decay}"
+    );
+}
+
+#[test]
+fn summa_synchronization_overhead_grows_quadratically() {
+    // §2.3.3: SUMMA's total synchronization count grows as O(P²).
+    let cm = CostModel::new(SimConfig::tpu_v4());
+    // Hold per-chip work constant (weak scaling) and double the ring.
+    let t8 = cm.summa_time(
+        MeshShape::new(8, 8),
+        GemmProblem::new(GemmShape::new(4096, 4096, 4096), Dataflow::Os),
+        8,
+        2,
+    );
+    let t16 = cm.summa_time(
+        MeshShape::new(16, 16),
+        GemmProblem::new(GemmShape::new(8192, 8192, 8192), Dataflow::Os),
+        16,
+        2,
+    );
+    // Per-chip compute identical; SUMMA's overhead more than doubles.
+    assert!(t16.as_secs() > 1.5 * t8.as_secs());
+}
+
+#[test]
+fn dataflow_optimization_never_hurts() {
+    // Table 2 at miniature scale.
+    let row = dataflow_ablation(&model(), 16, &comm_heavy());
+    assert!(row.optimized >= row.not_optimized * 0.999);
+}
+
+#[test]
+fn cost_model_and_simulator_agree_on_the_slice_count_optimum() {
+    // Figure 14's MATCH property at a small scale.
+    let rows = slice_count_sweep(&model(), MeshShape::new(4, 4), &[1, 2, 4, 8], &comm_heavy());
+    let best_est = rows
+        .iter()
+        .max_by(|a, b| a.estimated.total_cmp(&b.estimated))
+        .unwrap();
+    let best_sim = rows
+        .iter()
+        .max_by(|a, b| a.simulated.total_cmp(&b.simulated))
+        .unwrap();
+    // What matters is rank quality (§5.2): deploying the cost model's
+    // choice must cost at most 2% of the simulated optimum.
+    assert!(
+        best_est.simulated >= 0.98 * best_sim.simulated,
+        "cost model picks S={} ({}), simulator S={} ({})",
+        best_est.requested_s,
+        best_est.simulated,
+        best_sim.requested_s,
+        best_sim.simulated
+    );
+    // And slicing must beat no slicing in a comm-heavy regime.
+    assert!(best_sim.requested_s > 1);
+}
+
+#[test]
+fn comm_cost_model_error_is_small() {
+    // Figure 15: the linear model fits ring collectives well.
+    let rows = comm_model_validation(&[model()], &SimConfig::tpu_v4());
+    for r in rows {
+        assert!(
+            r.error() < 0.15,
+            "{}: error {:.1}%",
+            r.label,
+            r.error() * 100.0
+        );
+    }
+}
+
+#[test]
+fn traffic_example_reproduces_the_papers_factors() {
+    // §7: ~1.6 GB vs ~336 MB per chip.
+    let rows = traffic_25d_example(2);
+    let r25 = rows[0].per_chip_bytes as f64;
+    let rms = rows[1].per_chip_bytes as f64;
+    assert!((r25 / 1.6e9 - 1.0).abs() < 0.15, "2.5D {r25}");
+    assert!((rms / 3.36e8 - 1.0).abs() < 0.15, "MeshSlice+DP {rms}");
+}
+
+#[test]
+fn wang_degenerates_towards_collective_when_fully_comm_bound() {
+    // Figure 12 at 256 chips: with nothing to hide behind, overlap stops
+    // paying.
+    let starved = SimConfig {
+        link_bandwidth: 2e9,
+        ..SimConfig::tpu_v4()
+    };
+    let m = model();
+    let setup = TrainingSetup {
+        batch: 4,
+        seq_len: 512,
+    };
+    let wang = simulate_fc_step(&m, setup, 16, Algorithm::Wang, &starved).unwrap();
+    let coll = simulate_fc_step(&m, setup, 16, Algorithm::Collective, &starved).unwrap();
+    let ratio = wang.block_time().as_secs() / coll.block_time().as_secs();
+    assert!(
+        (0.8..1.4).contains(&ratio),
+        "Wang/Collective ratio {ratio} should approach 1 when comm-bound"
+    );
+}
