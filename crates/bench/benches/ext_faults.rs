@@ -1,0 +1,56 @@
+//! Extension study: straggler-severity × slice-count sensitivity of the
+//! MeshSlice FC block under seeded fault injection.
+//!
+//! For each straggler severity, one chip (location drawn per seed) runs
+//! its compute that many times slower; every slice count is scored by the
+//! p95 simulated makespan across the draws. The grid shows whether the
+//! fault-free optimal slice count stays optimal as the cluster gets
+//! noisier — i.e. how robust the autotuner's nominal choice is.
+
+use meshslice::autotuner::Autotuner;
+use meshslice::experiments::straggler_sensitivity;
+use meshslice::llm::TrainingSetup;
+use meshslice::report::Table;
+use meshslice_bench::{banner, models, quick_mode, save_artifact, sim_config};
+
+fn main() {
+    let cfg = sim_config();
+    let (chips, seeds) = if quick_mode() { (16, 2) } else { (64, 8) };
+    let severities = [1.0, 1.25, 1.5, 2.0, 3.0];
+    let s_values = [1usize, 2, 4, 8];
+    for model in models() {
+        banner(
+            "Extension (faults)",
+            &format!(
+                "straggler sensitivity of the FC block, {chips} chips, {seeds} seeds — {}",
+                model.name
+            ),
+        );
+        let tuner = Autotuner::new(cfg.clone());
+        let mesh = tuner
+            .tune(&model, TrainingSetup::weak_scaling(chips), chips)
+            .mesh_shape;
+        let grid = straggler_sensitivity(&model, mesh, &s_values, &severities, seeds, 42, &cfg);
+        let mut header = vec!["slowdown".to_string()];
+        header.extend(s_values.iter().map(|s| format!("S={s} p95 (ms)")));
+        let mut table = Table::new(header);
+        for row in grid.chunks(s_values.len()) {
+            let best = row
+                .iter()
+                .min_by(|a, b| a.p95.as_secs().total_cmp(&b.p95.as_secs()))
+                .map(|p| p.requested_s);
+            let mut cells = vec![format!("{:.2}", row[0].severity)];
+            cells.extend(row.iter().map(|p| {
+                let mark = if Some(p.requested_s) == best { "*" } else { "" };
+                format!("{:.3}{mark}", p.p95.as_secs() * 1e3)
+            }));
+            table.row(cells);
+        }
+        println!("mesh {mesh} (nominal autotuner choice); '*' = best S per row");
+        println!("{table}");
+        save_artifact(
+            &table,
+            &format!("ext_faults_{}", model.name.to_ascii_lowercase()),
+        );
+    }
+}

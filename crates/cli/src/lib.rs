@@ -9,6 +9,8 @@
 //! meshslice sweep-mesh gpt3 256
 //! meshslice sweep-slice gpt3 32x8
 //! meshslice plan3d gpt3 512 256
+//! meshslice faults --model gpt3 --chips 64 --straggler 1.5 --seeds 8
+//! meshslice trace --model gpt3 --mesh 4x4 --out trace.json
 //! meshslice traffic
 //! ```
 //!
@@ -22,12 +24,18 @@ use std::error::Error;
 use std::fmt;
 
 use meshslice::autotuner::Autotuner;
-use meshslice::experiments::{mesh_shape_sweep, slice_count_sweep, traffic_25d_example};
+use meshslice::experiments::{
+    mesh_shape_sweep, slice_count_sweep, straggler_sensitivity, traffic_25d_example,
+};
 use meshslice::llm::{LlmConfig, TrainingSetup};
 use meshslice::parallelism::{plan_cluster, PlanOptions};
 use meshslice::report::{pct, pct_opt, Table};
 use meshslice::training::{end_to_end, simulate_fc_step, Algorithm};
-use meshslice::{MeshShape, SimConfig};
+use meshslice::{
+    Dataflow, DistributedGemm, Engine, GemmProblem, GemmShape, MeshShape, MeshSlice, SimConfig,
+};
+use meshslice_mesh::Torus2d;
+use meshslice_sim::{NodeSpan, OpKind, Program};
 
 /// A parsed CLI invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -87,6 +95,29 @@ pub enum Command {
         /// Cluster size.
         chips: usize,
     },
+    /// `faults [--model M] [--chips N] [--straggler F] [--seeds K]`:
+    /// straggler-severity × slice-count sensitivity grid under seeded
+    /// fault injection.
+    Faults {
+        /// Target model.
+        model: Model,
+        /// Cluster size.
+        chips: usize,
+        /// Compute slowdown of the injected straggler (>= 1).
+        straggler: f64,
+        /// Number of seeded fault draws per grid cell.
+        seeds: usize,
+    },
+    /// `trace [--model M] [--mesh RxC] [--out FILE]`: run one FC GeMM
+    /// with span collection and emit Chrome trace-event JSON.
+    Trace {
+        /// Target model.
+        model: Model,
+        /// Mesh shape, e.g. `4x4`.
+        mesh: MeshShape,
+        /// Output file; stdout when absent.
+        out: Option<String>,
+    },
     /// `traffic`: the §7 2.5D-vs-MeshSlice+DP traffic example.
     Traffic,
     /// `help`: usage text.
@@ -135,6 +166,8 @@ USAGE:
     meshslice plan3d      <gpt3|megatron> <chips> <global_batch>
     meshslice memory      <gpt3|megatron> <chips>
     meshslice inference   <gpt3|megatron> <chips>
+    meshslice faults      [--model gpt3|megatron] [--chips N] [--straggler F] [--seeds K]
+    meshslice trace       [--model gpt3|megatron] [--mesh RxC] [--out FILE]
     meshslice traffic
     meshslice help";
 
@@ -161,12 +194,70 @@ fn parse_mesh(s: &str) -> Result<MeshShape, UsageError> {
     ))
 }
 
+fn parse_f64(s: &str, what: &str) -> Result<f64, UsageError> {
+    s.parse()
+        .map_err(|_| UsageError(format!("invalid {what} '{s}'")))
+}
+
+fn parse_faults(args: &[String]) -> Result<Command, UsageError> {
+    let (mut model, mut chips, mut straggler, mut seeds) = (Model::Gpt3, 16, 2.0, 4);
+    let mut it = args.iter().map(String::as_str);
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| UsageError(format!("flag {flag} needs a value")))?;
+        match flag {
+            "--model" => model = parse_model(value)?,
+            "--chips" => chips = parse_usize(value, "chip count")?,
+            "--straggler" => straggler = parse_f64(value, "straggler slowdown")?,
+            "--seeds" => seeds = parse_usize(value, "seed count")?,
+            other => return Err(UsageError(format!("unknown flag '{other}'"))),
+        }
+    }
+    if straggler.is_nan() || straggler < 1.0 {
+        return Err(UsageError(format!(
+            "straggler slowdown must be >= 1, got {straggler}"
+        )));
+    }
+    if seeds == 0 {
+        return Err(UsageError("seed count must be positive".into()));
+    }
+    Ok(Command::Faults {
+        model,
+        chips,
+        straggler,
+        seeds,
+    })
+}
+
+fn parse_trace(args: &[String]) -> Result<Command, UsageError> {
+    let (mut model, mut mesh, mut out) = (Model::Gpt3, MeshShape::new(4, 4), None);
+    let mut it = args.iter().map(String::as_str);
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| UsageError(format!("flag {flag} needs a value")))?;
+        match flag {
+            "--model" => model = parse_model(value)?,
+            "--mesh" => mesh = parse_mesh(value)?,
+            "--out" => out = Some(value.to_string()),
+            other => return Err(UsageError(format!("unknown flag '{other}'"))),
+        }
+    }
+    Ok(Command::Trace { model, mesh, out })
+}
+
 /// Parses the argument list (without the program name).
 ///
 /// # Errors
 ///
 /// Returns a [`UsageError`] describing the problem plus the usage text.
 pub fn parse(args: &[String]) -> Result<Command, UsageError> {
+    match args.first().map(String::as_str) {
+        Some("faults") => return parse_faults(&args[1..]),
+        Some("trace") => return parse_trace(&args[1..]),
+        _ => {}
+    }
     let mut it = args.iter().map(String::as_str);
     let cmd = it.next().unwrap_or("help");
     let mut need = |what: &str| -> Result<&str, UsageError> {
@@ -355,6 +446,85 @@ pub fn execute(cmd: Command) {
             println!("decode latency per transformer block, {model} on {chips} chips:");
             println!("{t}");
         }
+        Command::Faults {
+            model,
+            chips,
+            straggler,
+            seeds,
+        } => {
+            let model = model.config();
+            let setup = TrainingSetup::weak_scaling(chips);
+            let tuner = Autotuner::new(cfg.clone());
+            let mesh = tuner.tune(&model, setup, chips).mesh_shape;
+            // A severity ladder around the requested slowdown, so the
+            // table shows where the simulated-optimal S starts to shift.
+            let mut severities = vec![
+                1.0,
+                1.0 + (straggler - 1.0) / 2.0,
+                straggler,
+                1.0 + 2.0 * (straggler - 1.0),
+            ];
+            severities.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+            let s_values = [1usize, 2, 4, 8];
+            let grid = straggler_sensitivity(&model, mesh, &s_values, &severities, seeds, 42, &cfg);
+            println!(
+                "{model} on {chips} chips (mesh {mesh}), one straggler chip, {seeds} seeded draws:"
+            );
+            let mut header = vec!["slowdown".to_string()];
+            header.extend(s_values.iter().map(|s| format!("S={s}")));
+            let mut t = Table::new(header);
+            for row in grid.chunks(s_values.len()) {
+                let best = row
+                    .iter()
+                    .min_by(|a, b| a.p95.as_secs().total_cmp(&b.p95.as_secs()))
+                    .map(|p| p.requested_s);
+                let mut cells = vec![format!("{:.2}x", row[0].severity)];
+                cells.extend(row.iter().map(|p| {
+                    let mark = if Some(p.requested_s) == best { "*" } else { "" };
+                    format!("{:.3} ms{mark}", p.p95.as_secs() * 1e3)
+                }));
+                t.row(cells);
+            }
+            println!("{t}");
+            println!("p95 FC-block makespan; '*' marks the best slice count per row.");
+        }
+        Command::Trace { model, mesh, out } => {
+            let model = model.config();
+            let torus = Torus2d::from_shape(mesh);
+            let setup = TrainingSetup::weak_scaling(mesh.num_chips());
+            let problem = GemmProblem::new(
+                GemmShape::new(setup.tokens(), model.ffn_mult * model.hidden, model.hidden),
+                Dataflow::Os,
+            );
+            let mut scheduled = None;
+            'search: for s in [8usize, 4, 2, 1] {
+                for block in [8usize, 1] {
+                    if let Ok(p) =
+                        MeshSlice::new(s, block).schedule(&torus, problem, cfg.elem_bytes)
+                    {
+                        scheduled = Some((p, s));
+                        break 'search;
+                    }
+                }
+            }
+            let Some((program, s_used)) = scheduled else {
+                println!("no legal MeshSlice schedule for {model} FC1 on mesh {mesh}");
+                return;
+            };
+            let (report, spans) = Engine::new(torus, cfg.clone()).run_spans(&program);
+            let json = chrome_trace_json(&program, &spans);
+            match out {
+                Some(path) => match std::fs::write(&path, &json) {
+                    Ok(()) => println!(
+                        "{model} FC1 on mesh {mesh}, S = {s_used}: {} spans, makespan {:.3} ms -> {path}",
+                        spans.len(),
+                        report.makespan().as_secs() * 1e3
+                    ),
+                    Err(e) => println!("cannot write {path}: {e}"),
+                },
+                None => println!("{json}"),
+            }
+        }
         Command::Traffic => {
             let mut t = Table::new(vec!["method".into(), "torus".into(), "traffic/chip".into()]);
             for r in traffic_25d_example(cfg.elem_bytes) {
@@ -367,6 +537,59 @@ pub fn execute(cmd: Command) {
             println!("{t}");
         }
     }
+}
+
+/// Renders engine spans as Chrome trace-event JSON (the `chrome://tracing`
+/// / Perfetto format): one process per chip, one thread per execution lane
+/// (compute, the four link directions, host), and one complete (`"X"`)
+/// event per busy interval, labeled with the program op it belongs to.
+pub fn chrome_trace_json(program: &Program, spans: &[NodeSpan]) -> String {
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let label = |span: &NodeSpan| -> String {
+        let idx = span.op.index();
+        if idx >= program.len() {
+            return span.kind.name().to_string();
+        }
+        match &program.ops()[idx].kind {
+            OpKind::Gemm { shape } => format!("gemm {shape:?}"),
+            OpKind::SliceCopy { bytes } => format!("slice {bytes} B"),
+            OpKind::Collective { kind, axis, .. } => format!("{kind:?} {axis}"),
+            OpKind::SendRecv { dir, .. } => format!("sendrecv {dir:?}"),
+            OpKind::PipelinedBcast { axis, .. } => format!("bcast {axis}"),
+        }
+    };
+    let mut events = Vec::new();
+    let mut lanes: Vec<(usize, usize, &'static str)> = spans
+        .iter()
+        .map(|s| (s.chip.index(), s.track.lane(), s.track.name()))
+        .collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    let mut last_chip = usize::MAX;
+    for (chip, lane, name) in lanes {
+        if chip != last_chip {
+            events.push(format!(
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{chip},\"args\":{{\"name\":\"chip {chip}\"}}}}"
+            ));
+            last_chip = chip;
+        }
+        events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{chip},\"tid\":{lane},\"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        ));
+    }
+    for span in spans {
+        let ts = span.start.as_secs() * 1e6;
+        let dur = (span.end.as_secs() - span.start.as_secs()) * 1e6;
+        events.push(format!(
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{ts},\"dur\":{dur}}}",
+            escape(&label(span)),
+            span.kind.name(),
+            span.chip.index(),
+            span.track.lane(),
+        ));
+    }
+    format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
 }
 
 #[cfg(test)]
@@ -460,5 +683,87 @@ mod tests {
         // Smoke: these must not panic.
         execute(Command::Help);
         execute(Command::Traffic);
+    }
+
+    #[test]
+    fn parses_faults_flags_in_any_order() {
+        assert_eq!(
+            parse(&args(
+                "faults --seeds 8 --model megatron --straggler 1.5 --chips 64"
+            ))
+            .unwrap(),
+            Command::Faults {
+                model: Model::Megatron,
+                chips: 64,
+                straggler: 1.5,
+                seeds: 8
+            }
+        );
+        // Defaults apply when flags are omitted.
+        assert_eq!(
+            parse(&args("faults")).unwrap(),
+            Command::Faults {
+                model: Model::Gpt3,
+                chips: 16,
+                straggler: 2.0,
+                seeds: 4
+            }
+        );
+        assert!(parse(&args("faults --straggler 0.5")).is_err());
+        assert!(parse(&args("faults --seeds 0")).is_err());
+        assert!(parse(&args("faults --chips")).is_err());
+        assert!(parse(&args("faults --frobnicate 3")).is_err());
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        assert_eq!(
+            parse(&args("trace --model gpt3 --mesh 2x4 --out /tmp/t.json")).unwrap(),
+            Command::Trace {
+                model: Model::Gpt3,
+                mesh: MeshShape::new(2, 4),
+                out: Some("/tmp/t.json".into())
+            }
+        );
+        assert_eq!(
+            parse(&args("trace")).unwrap(),
+            Command::Trace {
+                model: Model::Gpt3,
+                mesh: MeshShape::new(4, 4),
+                out: None
+            }
+        );
+        assert!(parse(&args("trace --mesh 44")).is_err());
+    }
+
+    #[test]
+    fn trace_writes_perfetto_loadable_json() {
+        let path = std::env::temp_dir().join("meshslice_cli_trace_test.json");
+        execute(Command::Trace {
+            model: Model::Gpt3,
+            mesh: MeshShape::new(2, 2),
+            out: Some(path.to_str().unwrap().to_string()),
+        });
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"chip 0\""));
+        assert!(json.contains("\"name\":\"compute\""));
+        // Every duration event carries ts and dur fields.
+        let x_events = json.matches("\"ph\":\"X\"").count();
+        assert!(x_events > 0);
+        assert_eq!(json.matches("\"dur\":").count(), x_events);
+    }
+
+    #[test]
+    fn faults_grid_prints_without_panicking() {
+        execute(Command::Faults {
+            model: Model::Gpt3,
+            chips: 4,
+            straggler: 1.5,
+            seeds: 1,
+        });
     }
 }

@@ -15,9 +15,9 @@
 //! mesh shapes and iteration counts) so the evaluation comparisons are
 //! fair, as required by §4.2.
 
-use meshslice_gemm::{Dataflow, GemmProblem};
-use meshslice_mesh::MeshShape;
-use meshslice_sim::{Duration, SimConfig};
+use meshslice_gemm::{Dataflow, DistributedGemm, GemmProblem, MeshSlice};
+use meshslice_mesh::{MeshShape, Torus2d};
+use meshslice_sim::{ClusterProfile, Duration, Engine, SimConfig, SimReport};
 use meshslice_tensor::slice::SliceSpec;
 use meshslice_tensor::GemmShape;
 
@@ -402,6 +402,204 @@ impl Autotuner {
         }
         Some((total, layers))
     }
+
+    /// Simulates one transformer block's twelve FC GeMMs with MeshSlice at
+    /// a requested slice count (clamped per pass to the largest legal
+    /// value), serially merged. Returns `None` if any pass does not divide
+    /// over the mesh.
+    ///
+    /// The simulation runs under `cfg`, which may carry a
+    /// [`ClusterProfile`] — this is the primitive the robustness-aware
+    /// tuning scores candidates with.
+    pub fn simulate_block(
+        &self,
+        model: &LlmConfig,
+        setup: TrainingSetup,
+        mesh_shape: MeshShape,
+        requested_s: usize,
+        cfg: &SimConfig,
+    ) -> Option<SimReport> {
+        let mesh = Torus2d::from_shape(mesh_shape);
+        let mut reports = Vec::new();
+        for layer in model.fc_layers() {
+            let stationary = choose_stationary(setup.tokens(), layer.input_dim, layer.output_dim);
+            for problem in pass_problems(
+                stationary,
+                setup.tokens(),
+                layer.input_dim,
+                layer.output_dim,
+            ) {
+                problem.check_divisible(mesh_shape).ok()?;
+                let legal = self.legal_slice_counts(mesh_shape, problem);
+                let actual = legal
+                    .iter()
+                    .copied()
+                    .filter(|&x| x <= requested_s)
+                    .max()
+                    .unwrap_or(1);
+                let block = if legal.contains(&actual) {
+                    self.block
+                } else {
+                    1
+                };
+                let program = MeshSlice::new(actual, block)
+                    .schedule(&mesh, problem, cfg.elem_bytes)
+                    .ok()?;
+                reports.push(Engine::new(mesh.clone(), cfg.clone()).run(&program));
+            }
+        }
+        Some(SimReport::merge_serial(&reports))
+    }
+
+    /// Robustness-aware phase 2: scores every (mesh shape, slice count)
+    /// candidate by *simulating* the FC block under each perturbation
+    /// profile and ranking by the chosen objective, instead of trusting
+    /// the fault-free analytical model.
+    ///
+    /// Dataflows still come from phase 1; `s_values` is the requested
+    /// slice-count grid (clamped per pass). Candidates are returned
+    /// sorted, best first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or no candidate is feasible.
+    pub fn tune_robust(
+        &self,
+        model: &LlmConfig,
+        setup: TrainingSetup,
+        chips: usize,
+        s_values: &[usize],
+        profiles: &[ClusterProfile],
+        objective: RobustObjective,
+    ) -> RobustPlan {
+        assert!(
+            !profiles.is_empty(),
+            "robust tuning needs at least one perturbation draw"
+        );
+        let base = self.cost.config();
+        let mut candidates = Vec::new();
+        for mesh in Self::candidate_meshes(chips) {
+            for &s in s_values {
+                let Some(nominal) = self.simulate_block(model, setup, mesh, s, base) else {
+                    continue;
+                };
+                let per_draw: Vec<Duration> = profiles
+                    .iter()
+                    .map(|p| {
+                        let cfg = base.clone().with_faults(p.clone());
+                        self.simulate_block(model, setup, mesh, s, &cfg)
+                            .expect("feasible at nominal, so feasible under faults")
+                            .makespan()
+                    })
+                    .collect();
+                candidates.push(RobustCandidate {
+                    mesh_shape: mesh,
+                    requested_s: s,
+                    nominal: nominal.makespan(),
+                    score: objective.score(&per_draw),
+                    per_draw,
+                });
+            }
+        }
+        assert!(
+            !candidates.is_empty(),
+            "no feasible (mesh, slice count) candidate for this model"
+        );
+        candidates.sort_by(|a, b| {
+            a.score
+                .cmp(&b.score)
+                .then(a.nominal.cmp(&b.nominal))
+                .then(a.requested_s.cmp(&b.requested_s))
+        });
+        RobustPlan {
+            objective,
+            candidates,
+        }
+    }
+}
+
+/// How [`Autotuner::tune_robust`] aggregates per-draw makespans into one
+/// candidate score.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RobustObjective {
+    /// Worst-case makespan across draws.
+    Worst,
+    /// 95th-percentile makespan across draws.
+    P95,
+    /// Mean makespan across draws.
+    Mean,
+}
+
+impl RobustObjective {
+    /// Aggregates a non-empty sample of makespans.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn score(&self, samples: &[Duration]) -> Duration {
+        assert!(!samples.is_empty(), "cannot score zero samples");
+        match self {
+            RobustObjective::Worst => *samples.iter().max().expect("non-empty"),
+            RobustObjective::Mean => Duration::from_secs(
+                samples.iter().map(|d| d.as_secs()).sum::<f64>() / samples.len() as f64,
+            ),
+            RobustObjective::P95 => {
+                let mut sorted: Vec<Duration> = samples.to_vec();
+                sorted.sort();
+                let idx = ((0.95 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+                sorted[idx]
+            }
+        }
+    }
+
+    /// Short label (for tables and CLI output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RobustObjective::Worst => "worst",
+            RobustObjective::P95 => "p95",
+            RobustObjective::Mean => "mean",
+        }
+    }
+}
+
+/// One scored (mesh shape, slice count) candidate of a robust tuning run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RobustCandidate {
+    /// The candidate mesh shape.
+    pub mesh_shape: MeshShape,
+    /// The requested slice count (clamped per pass when simulating).
+    pub requested_s: usize,
+    /// Simulated fault-free FC block makespan.
+    pub nominal: Duration,
+    /// The objective's aggregate over the perturbation draws.
+    pub score: Duration,
+    /// Simulated makespan under each draw, in profile order.
+    pub per_draw: Vec<Duration>,
+}
+
+impl RobustCandidate {
+    /// The candidate's slowdown under perturbation relative to its own
+    /// fault-free makespan (`score / nominal`, `>= 1` in practice).
+    pub fn degradation(&self) -> f64 {
+        self.score.as_secs() / self.nominal.as_secs()
+    }
+}
+
+/// The result of [`Autotuner::tune_robust`]: all feasible candidates,
+/// scored and sorted (best first).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RobustPlan {
+    /// The objective candidates were ranked by.
+    pub objective: RobustObjective,
+    /// Scored candidates, best first.
+    pub candidates: Vec<RobustCandidate>,
+}
+
+impl RobustPlan {
+    /// The winning candidate.
+    pub fn best(&self) -> &RobustCandidate {
+        &self.candidates[0]
+    }
 }
 
 /// The two local extents MeshSlice slices, per dataflow (mirrors
@@ -534,5 +732,83 @@ mod tests {
             .estimate_on_mesh(&model, setup, plan.mesh_shape)
             .unwrap();
         assert_eq!(t, plan.estimated_block_time);
+    }
+
+    fn tiny() -> LlmConfig {
+        LlmConfig {
+            name: "Tiny".to_string(),
+            hidden: 256,
+            heads: 4,
+            layers: 2,
+            ffn_mult: 4,
+        }
+    }
+
+    #[test]
+    fn robust_objective_scores_samples() {
+        let samples: Vec<Duration> = [3.0, 1.0, 2.0, 4.0]
+            .iter()
+            .map(|&s| Duration::from_secs(s))
+            .collect();
+        assert_eq!(
+            RobustObjective::Worst.score(&samples),
+            Duration::from_secs(4.0)
+        );
+        assert_eq!(
+            RobustObjective::P95.score(&samples),
+            Duration::from_secs(4.0)
+        );
+        assert_eq!(
+            RobustObjective::Mean.score(&samples),
+            Duration::from_secs(2.5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot score zero samples")]
+    fn robust_objective_rejects_empty_samples() {
+        RobustObjective::Worst.score(&[]);
+    }
+
+    #[test]
+    fn ideal_profiles_score_exactly_the_nominal_makespan() {
+        let tuner = Autotuner::new(SimConfig::tpu_v4());
+        let setup = TrainingSetup::weak_scaling(4);
+        let profiles = vec![ClusterProfile::ideal(4); 2];
+        let plan = tuner.tune_robust(
+            &tiny(),
+            setup,
+            4,
+            &[1, 2],
+            &profiles,
+            RobustObjective::Worst,
+        );
+        assert!(!plan.candidates.is_empty());
+        for c in &plan.candidates {
+            // An ideal profile takes the exact no-fault engine path, so
+            // every draw reproduces the nominal run bit-for-bit.
+            assert_eq!(c.score, c.nominal, "{:?} S={}", c.mesh_shape, c.requested_s);
+            assert_eq!(c.degradation(), 1.0);
+        }
+    }
+
+    #[test]
+    fn straggler_profiles_raise_the_robust_score() {
+        let tuner = Autotuner::new(SimConfig::tpu_v4());
+        let setup = TrainingSetup::weak_scaling(4);
+        let profiles = vec![ClusterProfile::ideal(4).with_compute_slowdown(0, 2.0)];
+        let plan = tuner.tune_robust(&tiny(), setup, 4, &[1, 2], &profiles, RobustObjective::P95);
+        let best = plan.best();
+        assert!(
+            best.score > best.nominal,
+            "score {} vs nominal {}",
+            best.score,
+            best.nominal
+        );
+        assert!(best.degradation() > 1.0);
+        // Candidates come back sorted by score.
+        for pair in plan.candidates.windows(2) {
+            assert!(pair[0].score <= pair[1].score);
+        }
     }
 }

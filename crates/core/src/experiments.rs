@@ -10,7 +10,7 @@ use meshslice_mesh::{MeshShape, Torus2d};
 use meshslice_sim::{Duration, Engine, SimConfig, SimReport};
 use meshslice_tensor::GemmShape;
 
-use crate::autotuner::{pass_problems, Autotuner, Stationary};
+use crate::autotuner::{pass_problems, Autotuner, RobustObjective, Stationary};
 use crate::llm::{LlmConfig, TrainingSetup};
 use crate::training::{simulate_fc_step, Algorithm};
 
@@ -705,6 +705,74 @@ pub fn traffic_25d_example(elem_bytes: usize) -> Vec<Traffic25dPoint> {
     ]
 }
 
+/// One cell of the straggler-sensitivity grid: a (severity, slice count)
+/// pair with simulated makespans across seeded straggler draws.
+#[derive(Clone, Debug)]
+pub struct StragglerPoint {
+    /// Straggler compute-slowdown factor (1.0 = fault-free row).
+    pub severity: f64,
+    /// Requested MeshSlice slice count (clamped per pass).
+    pub requested_s: usize,
+    /// Fault-free FC block makespan at this slice count.
+    pub nominal: Duration,
+    /// 95th-percentile makespan across the seeded draws.
+    pub p95: Duration,
+    /// Worst-case makespan across the seeded draws.
+    pub worst: Duration,
+}
+
+/// Straggler-severity × slice-count sensitivity grid: for each severity, a
+/// single straggler chip (location drawn per seed) slows its compute by
+/// the factor, and every slice count is scored by p95/worst simulated
+/// makespan of one FC block on the fixed mesh. Rows share seeds, so the
+/// per-row argmin shows how the simulated-optimal `S` shifts as the
+/// cluster gets noisier.
+///
+/// Results are grouped by severity in the order given; within a row, by
+/// slice count in the order given.
+pub fn straggler_sensitivity(
+    model: &LlmConfig,
+    mesh_shape: MeshShape,
+    s_values: &[usize],
+    severities: &[f64],
+    num_seeds: usize,
+    base_seed: u64,
+    cfg: &SimConfig,
+) -> Vec<StragglerPoint> {
+    let chips = mesh_shape.num_chips();
+    let setup = TrainingSetup::weak_scaling(chips);
+    let tuner = Autotuner::new(cfg.clone());
+    let mut grid = Vec::new();
+    for &severity in severities {
+        let spec = meshslice_faults::FaultSpec::stragglers(1, severity);
+        let profiles = spec.sample_profiles(chips, base_seed, num_seeds);
+        for &s in s_values {
+            let nominal = tuner
+                .simulate_block(model, setup, mesh_shape, s, cfg)
+                .expect("grid mesh must divide the model's FC GeMMs")
+                .makespan();
+            let draws: Vec<Duration> = profiles
+                .iter()
+                .map(|p| {
+                    let faulted = cfg.clone().with_faults(p.clone());
+                    tuner
+                        .simulate_block(model, setup, mesh_shape, s, &faulted)
+                        .expect("feasible at nominal")
+                        .makespan()
+                })
+                .collect();
+            grid.push(StragglerPoint {
+                severity,
+                requested_s: s,
+                nominal,
+                p95: RobustObjective::P95.score(&draws),
+                worst: RobustObjective::Worst.score(&draws),
+            });
+        }
+    }
+    grid
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -794,6 +862,36 @@ mod tests {
                 r.estimated,
                 r.simulated
             );
+        }
+    }
+
+    #[test]
+    fn straggler_sensitivity_grid_is_complete_and_ordered() {
+        let pts = straggler_sensitivity(
+            &tiny(),
+            MeshShape::new(2, 2),
+            &[1, 2],
+            &[1.0, 2.0],
+            2,
+            7,
+            &fast_cfg(),
+        );
+        assert_eq!(pts.len(), 4);
+        for p in &pts {
+            assert!(p.nominal > Duration::ZERO);
+            // The worst draw is at least as slow as the 95th percentile,
+            // which is at least as slow as the fault-free run.
+            assert!(p.worst >= p.p95);
+            assert!(p.p95 >= p.nominal);
+        }
+        // Severity 1.0 means the sampled profiles are ideal, so the
+        // seeded draws reproduce the nominal run exactly.
+        for p in pts.iter().filter(|p| p.severity == 1.0) {
+            assert_eq!(p.p95, p.nominal);
+        }
+        // A 2x straggler must actually hurt.
+        for p in pts.iter().filter(|p| p.severity == 2.0) {
+            assert!(p.worst > p.nominal);
         }
     }
 

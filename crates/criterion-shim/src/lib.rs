@@ -1,0 +1,214 @@
+//! A vendored, dependency-free subset of the `criterion` benchmarking
+//! API.
+//!
+//! The workspace builds in hermetic environments with no registry
+//! access, so the slice of `criterion` the microbenchmarks use is
+//! implemented here and wired in via Cargo dependency renaming
+//! (`criterion = { path = "crates/criterion-shim", package =
+//! "meshslice-criterion-shim" }`). Bench files keep their upstream
+//! imports unchanged.
+//!
+//! Measurement is intentionally simple: a short warm-up sizes the batch
+//! so one sample lasts a few milliseconds, then several samples are
+//! timed and the per-iteration mean/min are reported. There are no
+//! statistical comparisons against saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+/// Number of measured samples per benchmark.
+const SAMPLES: usize = 7;
+
+/// Entry point for registering and running benchmarks.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _parent: self }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        bencher.report(&id.label);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new<P: Display>(function_name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timer handed to the benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, keeping its output alive via a sink so the
+    /// optimizer cannot delete the work.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: find how many iterations fill one sample window.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || batch >= 1 << 20 {
+                break;
+            }
+            // Grow geometrically toward the target window.
+            batch = if elapsed.is_zero() {
+                batch * 8
+            } else {
+                let scale = SAMPLE_TARGET.as_secs_f64() / elapsed.as_secs_f64();
+                (batch as f64 * scale.clamp(1.5, 8.0)).ceil() as u64
+            };
+        }
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let sample = start.elapsed();
+            total += sample;
+            min = min.min(sample);
+        }
+        let denom = (SAMPLES as u64 * batch) as f64;
+        self.mean_ns = total.as_nanos() as f64 / denom;
+        self.min_ns = min.as_nanos() as f64 / batch as f64;
+        self.iters = SAMPLES as u64 * batch;
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("  {label}: no measurement (b.iter never called)");
+            return;
+        }
+        println!(
+            "  {label}: mean {} (min {}, {} iters)",
+            fmt_ns(self.mean_ns),
+            fmt_ns(self.min_ns),
+            self.iters
+        );
+    }
+}
+
+/// Formats nanoseconds with an engineering-friendly unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main`, running each registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| {
+            b.iter(|| std::hint::black_box(1u64) + std::hint::black_box(2u64))
+        });
+    }
+
+    #[test]
+    fn group_api_matches_upstream_shape() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        for n in [1usize, 2] {
+            group.bench_with_input(BenchmarkId::new("sum", n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<usize>())
+            });
+        }
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("matmul", 64).label, "matmul/64");
+    }
+}

@@ -1,0 +1,426 @@
+//! Deterministic fault-injection models for the MeshSlice simulator.
+//!
+//! The simulator (`meshslice-sim`) consumes a concrete
+//! [`ClusterProfile`] — *which* chips are slow, *which* links degraded,
+//! *when* outages happen. This crate generates such profiles from
+//! compact stochastic descriptions: a [`FaultSpec`] combines fixed
+//! stragglers, heavy-tailed compute jitter, per-link bandwidth
+//! degradation, and transient link outages, and [`FaultSpec::sample`]
+//! draws one profile from a seed.
+//!
+//! Sampling is fully deterministic: the same `(spec, num_chips, seed)`
+//! triple always yields the same profile, so any simulated result is
+//! reproducible from its seed. The draw *structure* is also independent
+//! of the continuous parameters — changing only a severity value (e.g.
+//! `straggler_slowdown`) rescales the same underlying draw instead of
+//! re-rolling it, which makes simulated makespans monotone in severity
+//! for a fixed seed and lets sensitivity sweeps vary one knob cleanly.
+//!
+//! # Example
+//!
+//! ```
+//! use meshslice_faults::FaultSpec;
+//!
+//! let spec = FaultSpec::stragglers(2, 1.5);
+//! let profile = spec.sample(16, 42);
+//! assert_eq!(profile, spec.sample(16, 42)); // same seed, same draw
+//! let slow_chips = (0..16)
+//!     .filter(|&c| profile.compute_slowdown(c) > 1.0)
+//!     .count();
+//! assert_eq!(slow_chips, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use meshslice_mesh::LinkDir;
+use meshslice_sim::{ClusterProfile, LinkOutage};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Distribution of per-chip compute jitter multipliers (all `>= 1`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum JitterModel {
+    /// No jitter: every non-straggler chip runs at nominal speed.
+    None,
+    /// `exp(sigma * |z|)` with `z` standard normal — a folded log-normal,
+    /// concentrated near 1 with a moderate upper tail.
+    LogNormal {
+        /// Log-scale spread; 0.05–0.2 is a realistic range.
+        sigma: f64,
+    },
+    /// `1 + scale * (x - 1)` with `x` Pareto(alpha, 1) — the heavy tail
+    /// observed in large-fleet straggler studies.
+    Pareto {
+        /// Tail exponent; smaller is heavier. Must be positive.
+        alpha: f64,
+        /// Scales the excess over 1. Must be non-negative.
+        scale: f64,
+    },
+}
+
+impl JitterModel {
+    /// Draws one multiplier `>= 1`.
+    fn draw(&self, rng: &mut StdRng) -> f64 {
+        // Every arm consumes the same number of uniform draws so the RNG
+        // stream stays aligned when only distribution parameters change.
+        let u1 = unit_open(rng);
+        let u2 = unit_open(rng);
+        match *self {
+            JitterModel::None => 1.0,
+            JitterModel::LogNormal { sigma } => {
+                // Box-Muller; fold the normal to keep multipliers >= 1.
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (sigma * z.abs()).exp()
+            }
+            JitterModel::Pareto { alpha, scale } => {
+                let x = u1.powf(-1.0 / alpha);
+                1.0 + scale * (x - 1.0)
+            }
+        }
+    }
+}
+
+/// A stochastic description of cluster variability, sampled into concrete
+/// [`ClusterProfile`]s.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Number of fixed straggler chips.
+    pub stragglers: usize,
+    /// Compute-time multiplier of each straggler (`>= 1`).
+    pub straggler_slowdown: f64,
+    /// Jitter applied to *every* chip (stragglers compound on top).
+    pub jitter: JitterModel,
+    /// Probability that any given link direction is statically degraded.
+    pub link_degrade_prob: f64,
+    /// Lower bound of the degraded-link bandwidth multiplier; degraded
+    /// links draw uniformly from `[link_floor, 1)`.
+    pub link_floor: f64,
+    /// Expected number of transient outages per link over the horizon.
+    pub outages_per_link: f64,
+    /// Duration of each outage window, seconds.
+    pub outage_duration: f64,
+    /// Bandwidth multiplier during an outage, in `(0, 1]`.
+    pub outage_floor: f64,
+    /// Time horizon outage start times are drawn from, seconds.
+    pub horizon: f64,
+}
+
+impl FaultSpec {
+    /// The empty spec: sampling it yields the ideal profile.
+    pub fn none() -> Self {
+        FaultSpec {
+            stragglers: 0,
+            straggler_slowdown: 1.0,
+            jitter: JitterModel::None,
+            link_degrade_prob: 0.0,
+            link_floor: 0.5,
+            outages_per_link: 0.0,
+            outage_duration: 0.0,
+            outage_floor: 0.1,
+            horizon: 1.0,
+        }
+    }
+
+    /// `count` fixed stragglers, each `slowdown`× slower; nothing else.
+    pub fn stragglers(count: usize, slowdown: f64) -> Self {
+        FaultSpec {
+            stragglers: count,
+            straggler_slowdown: slowdown,
+            ..FaultSpec::none()
+        }
+    }
+
+    /// Adds compute jitter on every chip.
+    pub fn with_jitter(self, jitter: JitterModel) -> Self {
+        FaultSpec { jitter, ..self }
+    }
+
+    /// Makes each link direction degraded with probability `prob`, drawing
+    /// its multiplier uniformly from `[floor, 1)`.
+    pub fn with_link_degradation(self, prob: f64, floor: f64) -> Self {
+        FaultSpec {
+            link_degrade_prob: prob,
+            link_floor: floor,
+            ..self
+        }
+    }
+
+    /// Adds transient outages: `per_link` expected windows of `duration`
+    /// seconds at `floor`× bandwidth, with start times over `[0, horizon)`.
+    pub fn with_outages(self, per_link: f64, duration: f64, floor: f64, horizon: f64) -> Self {
+        FaultSpec {
+            outages_per_link: per_link,
+            outage_duration: duration,
+            outage_floor: floor,
+            horizon,
+            ..self
+        }
+    }
+
+    /// Draws one concrete profile for a `num_chips` cluster.
+    ///
+    /// Deterministic in `(self, num_chips, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters (negative probabilities,
+    /// slowdowns below 1, floors outside `(0, 1]`, …).
+    pub fn sample(&self, num_chips: usize, seed: u64) -> ClusterProfile {
+        self.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut profile = ClusterProfile::ideal(num_chips);
+
+        // Per-chip jitter (drawn for every chip in every model so the
+        // stream is parameter-independent).
+        for chip in 0..num_chips {
+            let m = self.jitter.draw(&mut rng);
+            if m > 1.0 {
+                profile.set_compute_slowdown(chip, m);
+            }
+        }
+
+        // Straggler selection: a partial Fisher-Yates shuffle picks the
+        // straggler set independently of the slowdown value, so raising
+        // the severity slows the *same* chips further.
+        let count = self.stragglers.min(num_chips);
+        let mut order: Vec<usize> = (0..num_chips).collect();
+        for i in 0..count {
+            let j = rng.gen_range(i..num_chips);
+            order.swap(i, j);
+        }
+        if self.straggler_slowdown > 1.0 {
+            for &chip in order.iter().take(count) {
+                let jittered = profile.compute_slowdown(chip);
+                profile.set_compute_slowdown(chip, jittered * self.straggler_slowdown);
+            }
+        }
+
+        // Static link degradation. The hit/level pair is drawn for every
+        // link regardless of the probability, again to keep the stream
+        // aligned across parameter changes.
+        for chip in 0..num_chips {
+            for dir in LinkDir::ALL {
+                let hit = rng.gen_bool(self.link_degrade_prob);
+                let level = unit_open(&mut rng);
+                if hit {
+                    let m = self.link_floor + level * (1.0 - self.link_floor);
+                    profile.set_link_multiplier(chip, dir, m.min(1.0));
+                }
+            }
+        }
+
+        // Transient outages: per link, floor(expected) windows plus one
+        // more with the fractional probability; starts uniform over the
+        // horizon, overlapping draws dropped (windows on one link rarely
+        // collide for realistic rates).
+        if self.outages_per_link > 0.0 && self.outage_duration > 0.0 {
+            let whole = self.outages_per_link.floor() as usize;
+            let frac = self.outages_per_link.fract();
+            for chip in 0..num_chips {
+                for dir in LinkDir::ALL {
+                    let extra = rng.gen_bool(frac) as usize;
+                    let span = (self.horizon - self.outage_duration).max(0.0);
+                    let mut starts: Vec<f64> = (0..whole + extra)
+                        .map(|_| unit_open(&mut rng) * span)
+                        .collect();
+                    starts.sort_by(f64::total_cmp);
+                    let mut last_end = f64::NEG_INFINITY;
+                    for start in starts {
+                        if start < last_end {
+                            continue;
+                        }
+                        let end = start + self.outage_duration;
+                        profile.add_outage(
+                            chip,
+                            dir,
+                            LinkOutage::new(start, end, self.outage_floor),
+                        );
+                        last_end = end;
+                    }
+                }
+            }
+        }
+
+        profile
+    }
+
+    /// Draws `n` profiles from consecutive seeds `base_seed..base_seed+n`.
+    pub fn sample_profiles(
+        &self,
+        num_chips: usize,
+        base_seed: u64,
+        n: usize,
+    ) -> Vec<ClusterProfile> {
+        (0..n as u64)
+            .map(|i| self.sample(num_chips, base_seed.wrapping_add(i)))
+            .collect()
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.straggler_slowdown >= 1.0 && self.straggler_slowdown.is_finite(),
+            "straggler slowdown {} must be >= 1",
+            self.straggler_slowdown
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.link_degrade_prob),
+            "link degrade probability {} must be in [0, 1]",
+            self.link_degrade_prob
+        );
+        assert!(
+            self.link_floor > 0.0 && self.link_floor <= 1.0,
+            "link floor {} must be in (0, 1]",
+            self.link_floor
+        );
+        assert!(
+            self.outage_floor > 0.0 && self.outage_floor <= 1.0,
+            "outage floor {} must be in (0, 1]",
+            self.outage_floor
+        );
+        assert!(
+            self.outages_per_link >= 0.0 && self.outage_duration >= 0.0,
+            "outage rate/duration must be non-negative"
+        );
+        assert!(
+            self.horizon > 0.0 && self.horizon.is_finite(),
+            "horizon {} must be positive",
+            self.horizon
+        );
+        if let JitterModel::LogNormal { sigma } = self.jitter {
+            assert!(sigma >= 0.0, "jitter sigma {sigma} must be non-negative");
+        }
+        if let JitterModel::Pareto { alpha, scale } = self.jitter {
+            assert!(alpha > 0.0, "Pareto alpha {alpha} must be positive");
+            assert!(scale >= 0.0, "Pareto scale {scale} must be non-negative");
+        }
+    }
+}
+
+/// A uniform draw in the open interval `(0, 1)` — safe for `ln` and
+/// `powf(-1/alpha)`.
+fn unit_open(rng: &mut StdRng) -> f64 {
+    loop {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_samples_ideal() {
+        let p = FaultSpec::none().sample(16, 7);
+        assert!(p.is_ideal());
+    }
+
+    #[test]
+    fn same_seed_same_profile() {
+        let spec = FaultSpec::stragglers(2, 1.8)
+            .with_jitter(JitterModel::LogNormal { sigma: 0.1 })
+            .with_link_degradation(0.2, 0.4)
+            .with_outages(1.5, 1e-3, 0.1, 0.1);
+        assert_eq!(spec.sample(32, 99), spec.sample(32, 99));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = FaultSpec::stragglers(2, 1.8);
+        assert_ne!(spec.sample(32, 1), spec.sample(32, 2));
+    }
+
+    #[test]
+    fn straggler_count_is_exact() {
+        let spec = FaultSpec::stragglers(3, 2.0);
+        let p = spec.sample(16, 5);
+        let slow = (0..16).filter(|&c| p.compute_slowdown(c) > 1.0).count();
+        assert_eq!(slow, 3);
+        // More stragglers than chips saturates at the chip count.
+        let p = FaultSpec::stragglers(99, 2.0).sample(4, 5);
+        assert!((0..4).all(|c| p.compute_slowdown(c) > 1.0));
+    }
+
+    #[test]
+    fn severity_rescales_the_same_draw() {
+        // Same seed, different severities: the same chips straggle, and
+        // every chip's slowdown is monotone in the severity.
+        let mild = FaultSpec::stragglers(2, 1.2).sample(16, 11);
+        let harsh = FaultSpec::stragglers(2, 2.5).sample(16, 11);
+        for chip in 0..16 {
+            let (a, b) = (mild.compute_slowdown(chip), harsh.compute_slowdown(chip));
+            assert_eq!(a > 1.0, b > 1.0, "straggler set changed with severity");
+            assert!(b >= a);
+        }
+    }
+
+    #[test]
+    fn jitter_multipliers_are_at_least_one() {
+        for (i, jitter) in [
+            JitterModel::LogNormal { sigma: 0.3 },
+            JitterModel::Pareto {
+                alpha: 2.0,
+                scale: 0.5,
+            },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let p = FaultSpec::none().with_jitter(jitter).sample(64, i as u64);
+            for chip in 0..64 {
+                assert!(p.compute_slowdown(chip) >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn link_degradation_respects_the_floor() {
+        let p = FaultSpec::none()
+            .with_link_degradation(1.0, 0.6)
+            .sample(8, 3);
+        for chip in 0..8 {
+            for dir in LinkDir::ALL {
+                let m = p.base_link_multiplier(chip, dir);
+                assert!((0.6..=1.0).contains(&m), "multiplier {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn outages_fit_the_horizon_and_do_not_overlap() {
+        let spec = FaultSpec::none().with_outages(3.0, 2e-3, 0.1, 0.05);
+        let p = spec.sample(8, 17);
+        let mut saw_any = false;
+        for chip in 0..8 {
+            for dir in LinkDir::ALL {
+                let mut last_end = f64::NEG_INFINITY;
+                for w in p.outages(chip, dir) {
+                    saw_any = true;
+                    assert!(w.start >= last_end);
+                    assert!(w.end <= 0.05 + 1e-12);
+                    assert!((w.end - w.start - 2e-3).abs() < 1e-12);
+                    last_end = w.end;
+                }
+            }
+        }
+        assert!(saw_any, "expected some outages at rate 3 per link");
+    }
+
+    #[test]
+    fn sample_profiles_uses_consecutive_seeds() {
+        let spec = FaultSpec::stragglers(1, 1.5);
+        let many = spec.sample_profiles(8, 100, 3);
+        assert_eq!(many.len(), 3);
+        assert_eq!(many[0], spec.sample(8, 100));
+        assert_eq!(many[2], spec.sample(8, 102));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn sub_unity_slowdown_panics() {
+        FaultSpec::stragglers(1, 0.5).sample(4, 0);
+    }
+}

@@ -1,0 +1,449 @@
+//! A vendored, dependency-free subset of the `proptest` API.
+//!
+//! The workspace builds in hermetic environments with no registry access,
+//! so the slice of `proptest` the test suites actually use is implemented
+//! here and wired in via Cargo dependency renaming (`proptest = { path =
+//! "crates/proptest-shim", package = "meshslice-proptest-shim" }`). Test
+//! files keep writing `use proptest::prelude::*` unchanged.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **Deterministic**: every case is derived from a hash of the test's
+//!   module path and name plus the case index, so a failure reproduces
+//!   on every run and in CI, with no persistence files.
+//! - **No shrinking**: a failing case reports the case index; since
+//!   generation is deterministic the inputs can be recovered by
+//!   re-running.
+//! - **Smaller combinator set**: ranges, tuples, [`Just`], [`any`],
+//!   [`prop_oneof!`], and function-returning-`impl Strategy` patterns —
+//!   exactly what the suites use.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration. Only `cases` is interpreted.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property assertion, carrying its rendered message.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps a rendered failure message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The deterministic per-case generator handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derives the generator for one case of one named test.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the fully-qualified test name, mixed with the index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        let mut rng = TestRng {
+            state: h ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        };
+        // One warm-up step so near-identical seeds decorrelate.
+        rng.next_u64();
+        rng
+    }
+
+    /// Returns the next 64 random bits (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Draws a value in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample an empty range");
+        self.next_u64() % bound
+    }
+}
+
+/// A source of values for one property argument.
+///
+/// Unlike upstream proptest there is no value tree: strategies draw a
+/// concrete value directly, and reproduction relies on deterministic
+/// seeding rather than shrinking.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        (**self).pick(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn pick(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.pick(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical whole-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one value from the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u64, u32, u16, u8, usize, i64, i32);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values spanning many magnitudes, occasionally negative.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let exp = (rng.next_u64() % 61) as i32 - 30;
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * unit * 2f64.powi(exp)
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the entire domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Uniform choice between boxed alternative strategies ([`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].pick(rng)
+    }
+}
+
+/// Boxes a strategy, for heterogeneous collections ([`prop_oneof!`]).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Uniformly picks one of several strategies each case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strategy)),+])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Declares deterministic property tests.
+///
+/// Supports the upstream form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn my_property(x in 0usize..10, (a, b) in (0u64..5, 0u64..5)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($config:expr)) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $pat = $crate::Strategy::pick(&($strategy), &mut __proptest_rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "property `{}` failed at deterministic case {}/{}:\n{}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        err
+                    );
+                }
+            }
+        }
+        $crate::__proptest_each! { ($config) $($rest)* }
+    };
+}
+
+/// Rough equivalent of `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..5, 1usize..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Range strategies stay within bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in 1u64..512) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..512).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_helpers(
+            (a, b) in pair(),
+            flag in prop_oneof![Just(true), Just(false)],
+            seed in any::<u64>(),
+        ) {
+            prop_assert!(a < 5 && b < 5);
+            prop_assert_eq!(flag, flag);
+            prop_assert_eq!(seed.wrapping_add(1).wrapping_sub(1), seed);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::TestRng::for_case("mod::test", 3);
+        let mut b = crate::TestRng::for_case("mod::test", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::for_case("mod::test", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at deterministic case")]
+    fn failing_property_panics_with_case_index() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -2,6 +2,7 @@
 
 use meshslice_tensor::GemmShape;
 
+use crate::perturb::ClusterProfile;
 use crate::time::Duration;
 
 /// How the chips are interconnected.
@@ -63,6 +64,11 @@ pub struct SimConfig {
     pub overlap_collectives: bool,
     /// The interconnect model (physical torus vs shared fabric).
     pub network: NetworkModel,
+    /// Optional cluster-variability profile: per-chip compute slowdowns,
+    /// degraded links, and transient link outages. `None` (the default)
+    /// simulates the ideal cluster; an
+    /// [ideal profile](ClusterProfile::is_ideal) behaves identically.
+    pub faults: Option<ClusterProfile>,
 }
 
 impl SimConfig {
@@ -81,6 +87,16 @@ impl SimConfig {
             summa_packets: 16,
             overlap_collectives: true,
             network: NetworkModel::PhysicalTorus,
+            faults: None,
+        }
+    }
+
+    /// Returns this configuration with the given variability profile
+    /// installed.
+    pub fn with_faults(self, profile: ClusterProfile) -> Self {
+        SimConfig {
+            faults: Some(profile),
+            ..self
         }
     }
 

@@ -3,11 +3,12 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use meshslice_mesh::Torus2d;
+use meshslice_mesh::{ChipId, LinkDir, Torus2d};
 
 use crate::config::{NetworkModel, SimConfig};
 use crate::hbm::HbmChannel;
 use crate::lower::{lower, Category, ExecGraph, Resource};
+use crate::perturb::ClusterProfile;
 use crate::program::{OpId, Program};
 use crate::report::{SimReport, TimeBreakdown};
 use crate::time::Duration;
@@ -22,6 +23,84 @@ pub struct OpTrace {
     pub chip: meshslice_mesh::ChipId,
     /// Simulation time at which the operation completed.
     pub completed: Duration,
+}
+
+/// The execution lane a trace span occupies on its chip.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanTrack {
+    /// The chip's compute unit.
+    Compute,
+    /// One of the four ICI link directions.
+    Link(LinkDir),
+    /// No exclusive resource (launch overheads, join points).
+    Host,
+}
+
+impl SpanTrack {
+    /// A stable per-chip lane index (compute, four links, host).
+    pub fn lane(&self) -> usize {
+        match self {
+            SpanTrack::Compute => 0,
+            SpanTrack::Link(dir) => 1 + dir.index(),
+            SpanTrack::Host => 5,
+        }
+    }
+
+    /// Human-readable lane label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanTrack::Compute => "compute",
+            SpanTrack::Link(LinkDir::RowPlus) => "link row+",
+            SpanTrack::Link(LinkDir::RowMinus) => "link row-",
+            SpanTrack::Link(LinkDir::ColPlus) => "link col+",
+            SpanTrack::Link(LinkDir::ColMinus) => "link col-",
+            SpanTrack::Host => "host",
+        }
+    }
+}
+
+/// What kind of work a trace span performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A GeMM kernel.
+    Compute,
+    /// A slicing / layout-change copy kernel.
+    Slice,
+    /// Communication launch overhead.
+    CommLaunch,
+    /// A ring-step (or pipelined-broadcast) transfer.
+    CommTransfer,
+}
+
+impl SpanKind {
+    /// Human-readable category label (matches the report buckets).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanKind::Compute => "compute",
+            SpanKind::Slice => "slice",
+            SpanKind::CommLaunch => "comm_launch",
+            SpanKind::CommTransfer => "comm_transfer",
+        }
+    }
+}
+
+/// One busy interval of one execution lane, from
+/// [`Engine::run_spans`]. Spans carry the program op they belong to, so a
+/// timeline can be labeled with op-level names.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeSpan {
+    /// The program operation this span was lowered from.
+    pub op: OpId,
+    /// The chip the span ran on.
+    pub chip: ChipId,
+    /// The lane it occupied.
+    pub track: SpanTrack,
+    /// The kind of work performed.
+    pub kind: SpanKind,
+    /// Busy-interval start (after any synchronization delay).
+    pub start: Duration,
+    /// Busy-interval end.
+    pub end: Duration,
 }
 
 /// Executes [`Program`]s on a simulated cluster.
@@ -58,6 +137,9 @@ enum Event {
     HbmWake { chip: usize, version: u64 },
     /// The shared fabric may have completed flows.
     FabricWake { version: u64 },
+    /// A link-outage window of one chip starts or ends: in-flight
+    /// transfers on that chip's links must be re-rated.
+    FaultEdge { chip: usize },
 }
 
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -77,6 +159,10 @@ struct ResourceState {
 
 struct Run<'a> {
     nodes: &'a ExecGraph,
+    /// Active variability profile. `None` when the config carries no
+    /// profile *or* an ideal one — the fault hooks then cost nothing and
+    /// the simulation is bit-for-bit the unperturbed one.
+    profile: Option<&'a ClusterProfile>,
     deps_left: Vec<usize>,
     dependents: Vec<Vec<usize>>,
     phase: Vec<Phase>,
@@ -92,6 +178,9 @@ struct Run<'a> {
     buckets: Buckets,
     completed: usize,
     finish_time: Vec<f64>,
+    /// When set, every finished busy interval is recorded as a span.
+    collect_spans: bool,
+    spans: Vec<NodeSpan>,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -137,12 +226,52 @@ impl Engine {
     ///
     /// Panics if the program deadlocks.
     pub fn run_traced(&self, program: &Program) -> (SimReport, Vec<OpTrace>) {
+        let (report, traces, _) = self.run_inner(program, false);
+        (report, traces)
+    }
+
+    /// Like [`run`](Self::run), but also returns every busy interval of
+    /// every execution lane (compute unit, link directions, host), sorted
+    /// by chip, lane, and start time — the raw material for a Chrome
+    /// trace-event timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program deadlocks.
+    pub fn run_spans(&self, program: &Program) -> (SimReport, Vec<NodeSpan>) {
+        let (report, _, mut spans) = self.run_inner(program, true);
+        spans.sort_by(|a, b| {
+            (a.chip.index(), a.track.lane())
+                .cmp(&(b.chip.index(), b.track.lane()))
+                .then(a.start.as_secs().total_cmp(&b.start.as_secs()))
+        });
+        (report, spans)
+    }
+
+    fn run_inner(
+        &self,
+        program: &Program,
+        collect_spans: bool,
+    ) -> (SimReport, Vec<OpTrace>, Vec<NodeSpan>) {
         if let Err(op) = program.validate_acyclic() {
             panic!("program has a dependency cycle through op {op}");
         }
         let graph = lower(&self.mesh, &self.config, program);
         let n = graph.nodes.len();
         let chips = self.mesh.num_chips();
+        let profile = self.config.faults.as_ref();
+        if let Some(p) = profile {
+            assert_eq!(
+                p.num_chips(),
+                chips,
+                "fault profile covers {} chips but the mesh has {chips}",
+                p.num_chips()
+            );
+        }
+        // An ideal profile would only multiply by exactly 1.0 everywhere;
+        // dropping it keeps the unperturbed fast path and makes the
+        // bit-for-bit equivalence structural.
+        let profile = profile.filter(|p| !p.is_ideal());
 
         let mut dependents = vec![Vec::new(); n];
         let mut deps_left = vec![0usize; n];
@@ -155,6 +284,7 @@ impl Engine {
 
         let mut run = Run {
             nodes: &graph,
+            profile,
             deps_left,
             dependents,
             phase: vec![Phase::Blocked; n],
@@ -176,7 +306,19 @@ impl Engine {
             buckets: Buckets::default(),
             completed: 0,
             finish_time: vec![0.0; n],
+            collect_spans,
+            spans: Vec::new(),
         };
+
+        // Outage boundaries are known up front; scheduling them as events
+        // re-rates in-flight transfers exactly at each edge.
+        if let Some(p) = profile {
+            for chip in 0..chips {
+                for edge in p.edge_times(chip) {
+                    run.schedule(edge, Event::FaultEdge { chip });
+                }
+            }
+        }
 
         // Snapshot the roots before starting any of them: zero-duration
         // roots can complete instantly and make further nodes ready
@@ -221,7 +363,7 @@ impl Engine {
                 completed: Duration::from_secs(run.finish_time[exit]),
             })
             .collect();
-        (report, traces)
+        (report, traces, run.spans)
     }
 }
 
@@ -267,6 +409,68 @@ impl<'a> Run<'a> {
                 }
                 self.reschedule_fabric(t);
             }
+            Event::FaultEdge { chip } => {
+                // An outage window on one of this chip's links starts or
+                // ends: settle the chip's HBM channel up to now, then
+                // re-rate its in-flight link transfers.
+                self.hbm[chip].advance(t);
+                let (done, _) = self.hbm[chip].take_completed();
+                for node in done {
+                    self.part_done(node, t);
+                }
+                self.retune_chip_links(chip, t);
+                self.reschedule_hbm(chip, t);
+                if self.fabric.is_some() {
+                    let fabric = self.fabric.as_mut().expect("checked");
+                    fabric.advance(t);
+                    let (done, _) = fabric.take_completed();
+                    for node in done {
+                        self.part_done(node, t);
+                    }
+                    self.retune_fabric_links(chip, t);
+                    self.reschedule_fabric(t);
+                }
+            }
+        }
+    }
+
+    /// Re-rates the in-flight link flows of one chip's HBM channel to the
+    /// profile's current bandwidth multipliers. Flows of other resources
+    /// (GeMM/slice streaming) are untouched.
+    fn retune_chip_links(&mut self, chip: usize, t: f64) {
+        let Some(profile) = self.profile else { return };
+        let graph = self.nodes;
+        self.hbm[chip].retune_caps(|node| {
+            let info = &graph.nodes[node];
+            match info.resource {
+                Resource::Link(dir) => {
+                    Some(info.flow_cap * profile.link_multiplier_at(chip, dir, t))
+                }
+                _ => None,
+            }
+        });
+    }
+
+    /// Same as [`retune_chip_links`](Self::retune_chip_links) but for the
+    /// shared-fabric flows injected by that chip.
+    fn retune_fabric_links(&mut self, chip: usize, t: f64) {
+        let Some(profile) = self.profile else { return };
+        let graph = self.nodes;
+        if let Some(fabric) = self.fabric.as_mut() {
+            fabric.retune_caps(|node| {
+                let info = &graph.nodes[node];
+                if info.chip != chip {
+                    return None;
+                }
+                match info.resource {
+                    Resource::Link(dir) => {
+                        // Fabric injection is capped at half the HBM-side
+                        // cap (the link wire rate), scaled the same way.
+                        Some(info.flow_cap * profile.link_multiplier_at(chip, dir, t) / 2.0)
+                    }
+                    _ => None,
+                }
+            });
         }
     }
 
@@ -356,13 +560,24 @@ impl<'a> Run<'a> {
             parts_left: parts,
             busy_start: t,
         };
-        let (timer, flow_bytes, flow_cap, chip, fabric_bytes) = (
+        let (mut timer, flow_bytes, mut flow_cap, chip, fabric_bytes) = (
             info.timer,
             info.flow_bytes,
             info.flow_cap,
             info.chip,
             info.fabric_bytes,
         );
+        if let Some(profile) = self.profile {
+            // Variability hooks: a straggler chip stretches compute-unit
+            // timers; a degraded (or in-outage) link lowers the rate cap
+            // of its transfer flows. Outage edges later re-rate in-flight
+            // flows via `Event::FaultEdge`.
+            match info.resource {
+                Resource::Compute => timer *= profile.compute_slowdown(chip),
+                Resource::Link(dir) => flow_cap *= profile.link_multiplier_at(chip, dir, t),
+                Resource::None => {}
+            }
+        }
         if timer > 0.0 {
             self.schedule(t + timer, Event::TimerDone(node));
         }
@@ -384,7 +599,7 @@ impl<'a> Run<'a> {
             }
             let fabric = self.fabric.as_mut().expect("fabric_active checked");
             // Per-transfer injection stays capped at the link rate.
-            fabric.add_flow(node, fabric_bytes, self.nodes.nodes[node].flow_cap / 2.0);
+            fabric.add_flow(node, fabric_bytes, flow_cap / 2.0);
             self.reschedule_fabric(t);
         }
     }
@@ -427,6 +642,25 @@ impl<'a> Run<'a> {
             Category::Slice => self.buckets.slice += busy,
             Category::CommLaunch => self.buckets.comm_launch += busy,
             Category::CommTransfer => self.buckets.comm_transfer += busy,
+        }
+        if self.collect_spans && busy > 0.0 {
+            self.spans.push(NodeSpan {
+                op: OpId(info.op),
+                chip: ChipId(info.chip),
+                track: match info.resource {
+                    Resource::Compute => SpanTrack::Compute,
+                    Resource::Link(dir) => SpanTrack::Link(dir),
+                    Resource::None => SpanTrack::Host,
+                },
+                kind: match info.category {
+                    Category::Compute => SpanKind::Compute,
+                    Category::Slice => SpanKind::Slice,
+                    Category::CommLaunch => SpanKind::CommLaunch,
+                    Category::CommTransfer => SpanKind::CommTransfer,
+                },
+                start: Duration::from_secs(busy_start),
+                end: Duration::from_secs(t),
+            });
         }
         self.phase[node] = Phase::Done;
         self.completed += 1;
@@ -747,6 +981,170 @@ mod tests {
             assert!(pair[1].completed >= pair[0].completed);
             assert_eq!(pair[0].chip, pair[1].chip);
         }
+    }
+
+    #[test]
+    fn ideal_profile_is_bit_for_bit_identical() {
+        let build = || {
+            let mesh = Torus2d::new(4, 4);
+            let mut b = ProgramBuilder::new(&mesh);
+            let tag = b.next_tag();
+            for chip in mesh.chips() {
+                let ag = b.all_gather(chip, tag, CommAxis::InterRow, 1 << 20, &[]);
+                b.gemm(chip, GemmShape::new(1024, 1024, 1024), &[ag]);
+            }
+            b.build()
+        };
+        let mesh = Torus2d::new(4, 4);
+        let baseline = Engine::new(mesh.clone(), cfg()).run(&build());
+        let ideal_cfg = cfg().with_faults(crate::ClusterProfile::ideal(16));
+        let ideal = Engine::new(mesh, ideal_cfg).run(&build());
+        assert_eq!(baseline, ideal);
+    }
+
+    #[test]
+    fn straggler_chip_stretches_the_makespan() {
+        let build = || {
+            let mesh = Torus2d::new(2, 2);
+            let mut b = ProgramBuilder::new(&mesh);
+            for chip in mesh.chips() {
+                b.gemm(chip, GemmShape::new(2048, 2048, 2048), &[]);
+            }
+            b.build()
+        };
+        let mesh = Torus2d::new(2, 2);
+        let baseline = Engine::new(mesh.clone(), cfg()).run(&build());
+        let slow_cfg =
+            cfg().with_faults(crate::ClusterProfile::ideal(4).with_compute_slowdown(3, 2.0));
+        let slowed = Engine::new(mesh, slow_cfg).run(&build());
+        let ratio = slowed.makespan().as_secs() / baseline.makespan().as_secs();
+        // Compute dominates this program, so a 2x straggler on the
+        // critical path roughly doubles the makespan.
+        assert!(ratio > 1.9 && ratio < 2.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn degraded_link_slows_the_ring() {
+        let build = || {
+            let mesh = Torus2d::new(4, 1);
+            let mut b = ProgramBuilder::new(&mesh);
+            let tag = b.next_tag();
+            for chip in mesh.chips() {
+                b.all_gather(chip, tag, CommAxis::InterRow, 4 << 20, &[]);
+            }
+            b.build()
+        };
+        let mesh = Torus2d::new(4, 1);
+        let baseline = Engine::new(mesh.clone(), cfg()).run(&build());
+        // The ring flows forward over RowPlus; halving one chip's RowPlus
+        // bandwidth gates every ring step behind the slow hop.
+        let degraded_cfg = cfg().with_faults(crate::ClusterProfile::ideal(4).with_link_multiplier(
+            1,
+            LinkDir::RowPlus,
+            0.5,
+        ));
+        let degraded = Engine::new(mesh, degraded_cfg).run(&build());
+        assert!(
+            degraded.makespan().as_secs() > 1.3 * baseline.makespan().as_secs(),
+            "degraded {} vs baseline {}",
+            degraded.makespan(),
+            baseline.makespan()
+        );
+    }
+
+    #[test]
+    fn outage_rerates_an_in_flight_transfer() {
+        // A single long transfer; an outage window in its middle drops the
+        // link to 10% for a known interval. During the window the flow
+        // falls behind by window * (1 - floor) * rate bytes, which it
+        // recovers at the full rate afterwards — so the completion shifts
+        // by exactly window * (1 - floor).
+        let mesh = Torus2d::new(1, 1);
+        let bytes: u64 = 65_000_000_000; // 1 s uncontended at 65 GB/s
+        let build = || {
+            let mut b = ProgramBuilder::new(&Torus2d::new(1, 1));
+            b.send_recv(ChipId(0), LinkDir::RowPlus, bytes, &[]);
+            b.build()
+        };
+        let baseline = Engine::new(mesh.clone(), cfg()).run(&build());
+        let window = 0.05;
+        let floor = 0.1;
+        let start = baseline.makespan().as_secs() / 2.0;
+        let outage_cfg = cfg().with_faults(crate::ClusterProfile::ideal(1).with_outage(
+            0,
+            LinkDir::RowPlus,
+            crate::LinkOutage::new(start, start + window, floor),
+        ));
+        let outage = Engine::new(mesh, outage_cfg).run(&build());
+        let expect = baseline.makespan().as_secs() + window * (1.0 - floor);
+        assert!(
+            (outage.makespan().as_secs() - expect).abs() < 1e-6,
+            "outage makespan {} vs expected {expect}",
+            outage.makespan().as_secs()
+        );
+    }
+
+    #[test]
+    fn outage_after_completion_changes_nothing() {
+        let mesh = Torus2d::new(1, 1);
+        let build = || {
+            let mut b = ProgramBuilder::new(&Torus2d::new(1, 1));
+            b.send_recv(ChipId(0), LinkDir::RowPlus, 1 << 20, &[]);
+            b.build()
+        };
+        let baseline = Engine::new(mesh.clone(), cfg()).run(&build());
+        let late = baseline.makespan().as_secs() + 1.0;
+        let outage_cfg = cfg().with_faults(crate::ClusterProfile::ideal(1).with_outage(
+            0,
+            LinkDir::RowPlus,
+            crate::LinkOutage::new(late, late + 0.1, 0.1),
+        ));
+        let unaffected = Engine::new(mesh, outage_cfg).run(&build());
+        assert_eq!(baseline.makespan(), unaffected.makespan());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault profile covers")]
+    fn profile_chip_count_mismatch_panics() {
+        let mesh = Torus2d::new(2, 2);
+        let b = ProgramBuilder::new(&mesh);
+        let bad = cfg().with_faults(crate::ClusterProfile::ideal(3));
+        Engine::new(mesh, bad).run(&b.build());
+    }
+
+    #[test]
+    fn spans_cover_every_busy_interval() {
+        let mesh = Torus2d::new(2, 2);
+        let mut b = ProgramBuilder::new(&mesh);
+        let tag = b.next_tag();
+        for chip in mesh.chips() {
+            let ag = b.all_gather(chip, tag, CommAxis::InterRow, 1 << 20, &[]);
+            b.gemm(chip, GemmShape::new(512, 512, 512), &[ag]);
+        }
+        let program = b.build();
+        let (report, spans) = Engine::new(mesh, cfg()).run_spans(&program);
+        assert!(!spans.is_empty());
+        for s in &spans {
+            assert!(s.end > s.start);
+            assert!(s.end <= report.makespan());
+            assert!(s.op.index() < program.len());
+        }
+        // One compute span per chip (the GeMM), on the compute lane.
+        let compute: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Compute)
+            .collect();
+        assert_eq!(compute.len(), 4);
+        assert!(compute.iter().all(|s| s.track == SpanTrack::Compute));
+        // Spans on one lane never overlap (exclusive resources).
+        for pair in spans.windows(2) {
+            if pair[0].chip == pair[1].chip && pair[0].track == pair[1].track {
+                assert!(pair[1].start.as_secs() >= pair[0].end.as_secs() - 1e-12);
+            }
+        }
+        // The traced and span-collecting runs agree on timing.
+        let plain = Engine::new(Torus2d::new(2, 2), cfg()).run(&program);
+        assert_eq!(plain, report);
     }
 
     #[test]

@@ -120,6 +120,31 @@ impl HbmChannel {
         (done, self.version)
     }
 
+    /// Re-rates in-flight flows: `new_cap` maps a node id to its new
+    /// individual cap (or `None` to leave the flow untouched). Recomputes
+    /// rates and bumps the version only if some cap actually changed, so
+    /// calling this with identity caps is a no-op.
+    ///
+    /// Callers must [`advance`](Self::advance) to `now` first, exactly as
+    /// for [`add_flow`](Self::add_flow).
+    pub(crate) fn retune_caps(&mut self, mut new_cap: impl FnMut(usize) -> Option<f64>) -> u64 {
+        let mut changed = false;
+        for f in &mut self.flows {
+            if let Some(cap) = new_cap(f.node) {
+                assert!(cap > 0.0, "flow cap must be positive");
+                if cap != f.cap {
+                    f.cap = cap;
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            self.recompute();
+            self.version += 1;
+        }
+        self.version
+    }
+
     /// Seconds until the next flow completes at current rates, if any flow
     /// is active.
     pub(crate) fn next_completion_in(&self) -> Option<f64> {
@@ -256,5 +281,21 @@ mod tests {
     #[should_panic(expected = "must carry bytes")]
     fn zero_byte_flow_panics() {
         HbmChannel::new(10.0).add_flow(0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn retune_caps_rerates_in_flight_flows() {
+        let mut ch = HbmChannel::new(100.0);
+        let v0 = ch.add_flow(0, 100.0, 50.0);
+        assert_eq!(ch.next_completion_in(), Some(2.0));
+        // Halfway through, the link degrades to a tenth of its rate.
+        ch.advance(1.0);
+        let v1 = ch.retune_caps(|node| (node == 0).then_some(5.0));
+        assert_ne!(v0, v1, "cap change must bump the version");
+        assert_eq!(ch.rate_of(0), 5.0);
+        assert_eq!(ch.next_completion_in(), Some(10.0));
+        // Identity retune: no version bump.
+        let v2 = ch.retune_caps(|node| (node == 0).then_some(5.0));
+        assert_eq!(v1, v2);
     }
 }

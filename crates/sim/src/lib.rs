@@ -44,12 +44,14 @@ mod config;
 mod engine;
 mod hbm;
 mod lower;
+mod perturb;
 mod program;
 mod report;
 mod time;
 
 pub use config::{NetworkModel, SimConfig};
-pub use engine::{Engine, OpTrace};
+pub use engine::{Engine, NodeSpan, OpTrace, SpanKind, SpanTrack};
+pub use perturb::{ClusterProfile, LinkOutage};
 pub use program::{CollectiveKind, OpId, OpKind, Program, ProgramBuilder};
 pub use report::{SimReport, TimeBreakdown};
 pub use time::{Duration, Time};

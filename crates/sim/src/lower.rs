@@ -42,6 +42,9 @@ pub(crate) enum Category {
 #[derive(Clone, Debug)]
 pub(crate) struct Node {
     pub(crate) chip: usize,
+    /// Index of the program op this node was lowered from (set by
+    /// [`lower`] after each op expands; used for trace-span attribution).
+    pub(crate) op: usize,
     pub(crate) resource: Resource,
     /// Synchronization delay after acquiring the resource, attributed to
     /// the `comm_sync` bucket.
@@ -95,6 +98,7 @@ impl<'a> Lowerer<'a> {
     fn zero_node(&mut self, chip: usize, deps: Vec<usize>) -> usize {
         self.push(Node {
             chip,
+            op: usize::MAX,
             resource: Resource::None,
             sync: 0.0,
             timer: 0.0,
@@ -110,6 +114,7 @@ impl<'a> Lowerer<'a> {
         let t = self.cfg.t_launch.as_secs();
         self.push(Node {
             chip,
+            op: usize::MAX,
             resource: Resource::None,
             sync: 0.0,
             timer: t,
@@ -140,6 +145,7 @@ impl<'a> Lowerer<'a> {
         };
         let n = self.push(Node {
             chip,
+            op: usize::MAX,
             resource: Resource::Link(dir),
             sync: self.cfg.t_sync.as_secs() + staging,
             timer: 0.0,
@@ -219,8 +225,9 @@ pub(crate) fn lower(mesh: &Torus2d, cfg: &SimConfig, program: &Program) -> ExecG
     let mut op_nodes: Vec<(usize, usize)> = Vec::with_capacity(program.ops().len());
     let mut groups: HashMap<u64, CollectiveGroup> = HashMap::new();
 
-    for op in program.ops() {
+    for (op_idx, op) in program.ops().iter().enumerate() {
         let chip = op.chip.index();
+        let node_start = lw.nodes.len();
         let mut deps: Vec<usize> = op.deps.iter().map(|d| op_nodes[d.index()].1).collect();
         if !cfg.overlap_collectives {
             // Real-hardware mode (§5.3): the compiler serializes every
@@ -234,6 +241,7 @@ pub(crate) fn lower(mesh: &Torus2d, cfg: &SimConfig, program: &Program) -> ExecG
                 let timer = cfg.t_kernel_launch.as_secs() + cfg.gemm_flop_time(*shape).as_secs();
                 let n = lw.push(Node {
                     chip,
+                    op: usize::MAX,
                     resource: Resource::Compute,
                     sync: 0.0,
                     timer,
@@ -248,6 +256,7 @@ pub(crate) fn lower(mesh: &Torus2d, cfg: &SimConfig, program: &Program) -> ExecG
             OpKind::SliceCopy { bytes } => {
                 let n = lw.push(Node {
                     chip,
+                    op: usize::MAX,
                     resource: Resource::Compute,
                     sync: 0.0,
                     timer: cfg.t_kernel_launch.as_secs(),
@@ -315,6 +324,7 @@ pub(crate) fn lower(mesh: &Torus2d, cfg: &SimConfig, program: &Program) -> ExecG
                     };
                     let n = lw.push(Node {
                         chip,
+                        op: usize::MAX,
                         resource: Resource::Link(dir),
                         sync: stages * cfg.t_sync.as_secs(),
                         timer: 0.0,
@@ -329,6 +339,9 @@ pub(crate) fn lower(mesh: &Torus2d, cfg: &SimConfig, program: &Program) -> ExecG
                 }
             }
         };
+        for node in node_start..lw.nodes.len() {
+            lw.nodes[node].op = op_idx;
+        }
         lw.chip_chain[chip] = Some(entry_exit.1);
         op_nodes.push(entry_exit);
     }

@@ -160,9 +160,15 @@ impl SimReport {
         let mut totals = TimeBreakdown::default();
         for r in reports {
             assert_eq!(r.num_chips, first.num_chips, "cluster size mismatch");
+            // Relative tolerance: peak FLOPs are O(1e14), where an
+            // absolute 1e-3 window is meaninglessly tight (and on tiny
+            // test configs it would be far too loose).
+            let tol = first.peak_flops.abs().max(f64::MIN_POSITIVE) * 1e-9;
             assert!(
-                (r.peak_flops - first.peak_flops).abs() < 1e-3,
-                "peak FLOPs mismatch"
+                (r.peak_flops - first.peak_flops).abs() <= tol,
+                "peak FLOPs mismatch: {} vs {}",
+                r.peak_flops,
+                first.peak_flops
             );
             makespan += r.makespan;
             total_flops += r.total_flops;
@@ -255,5 +261,29 @@ mod tests {
     #[should_panic(expected = "cannot merge zero reports")]
     fn merging_nothing_panics() {
         SimReport::merge_serial(&[]);
+    }
+
+    #[test]
+    fn merge_serial_uses_relative_peak_flops_tolerance() {
+        // At TPU scale (~1e14 FLOP/s) a one-ULP difference is ~1e-2 in
+        // absolute terms — far beyond the old absolute 1e-3 window, but
+        // well within a relative one.
+        let mut a = report(1.0, 100, 2.0);
+        let mut b = report(2.0, 50, 4.0);
+        a.peak_flops = 272e12;
+        b.peak_flops = 272e12 * (1.0 + 1e-15);
+        assert_ne!(a.peak_flops, b.peak_flops);
+        let merged = SimReport::merge_serial(&[a, b]);
+        assert_eq!(merged.makespan(), Duration::from_secs(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "peak FLOPs mismatch")]
+    fn merge_serial_rejects_genuinely_different_peaks() {
+        let mut a = report(1.0, 100, 2.0);
+        let mut b = report(2.0, 50, 4.0);
+        a.peak_flops = 272e12;
+        b.peak_flops = 275e12;
+        SimReport::merge_serial(&[a, b]);
     }
 }

@@ -1,0 +1,138 @@
+//! Property tests for the fault-injection subsystem: seeded determinism,
+//! zero-fault transparency, monotone response to fault severity, and
+//! composition with the no-collective-overlap execution mode.
+
+use meshslice::{Dataflow, DistributedGemm, Engine, GemmProblem, GemmShape, MeshSlice, SimConfig};
+use meshslice_faults::FaultSpec;
+use meshslice_mesh::Torus2d;
+use meshslice_sim::{ClusterProfile, SimReport};
+use proptest::prelude::*;
+
+/// Runs one MeshSlice GeMM sized to divide the mesh, under an optional
+/// fault profile.
+fn run(pr: usize, pc: usize, s: usize, profile: Option<ClusterProfile>) -> SimReport {
+    let mesh = Torus2d::new(pr, pc);
+    let mut cfg = SimConfig::tpu_v4();
+    cfg.faults = profile;
+    let unit = 8 * pr * pc * s;
+    let problem = GemmProblem::new(GemmShape::new(unit * 4, unit * 4, unit * 4), Dataflow::Os);
+    let program = MeshSlice::new(s, 4).schedule(&mesh, problem, 2).unwrap();
+    Engine::new(mesh, cfg).run(&program)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The same seed yields the same profile and, through the engine, a
+    /// bit-for-bit identical report.
+    #[test]
+    fn same_seed_is_fully_deterministic(
+        pr in 1usize..4, pc in 1usize..4, s in 1usize..3,
+        severity in 1.0f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = FaultSpec::stragglers(1, severity)
+            .with_link_degradation(0.5, 0.6)
+            .with_outages(0.5, 1e-4, 0.25, 1e-2);
+        let p1 = spec.sample(pr * pc, seed);
+        let p2 = spec.sample(pr * pc, seed);
+        prop_assert_eq!(&p1, &p2);
+        let r1 = run(pr, pc, s, Some(p1));
+        let r2 = run(pr, pc, s, Some(p2));
+        prop_assert_eq!(r1, r2);
+    }
+
+    /// A zero-fault spec samples the ideal profile, and an ideal profile
+    /// reproduces the baseline run exactly.
+    #[test]
+    fn zero_fault_profile_is_transparent(
+        pr in 1usize..4, pc in 1usize..4, s in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let profile = FaultSpec::none().sample(pr * pc, seed);
+        prop_assert!(profile.is_ideal());
+        let baseline = run(pr, pc, s, None);
+        let faulted = run(pr, pc, s, Some(profile));
+        prop_assert_eq!(baseline, faulted);
+    }
+
+    /// For a fixed seed (hence a fixed straggler location), the makespan
+    /// is monotone non-decreasing in the straggler's compute slowdown.
+    #[test]
+    fn makespan_is_monotone_in_straggler_severity(
+        pr in 1usize..4, pc in 1usize..4, s in 1usize..3,
+        base in 1.0f64..2.0, delta in 0.0f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let mild = FaultSpec::stragglers(1, base).sample(pr * pc, seed);
+        let harsh = FaultSpec::stragglers(1, base + delta).sample(pr * pc, seed);
+        let m_mild = run(pr, pc, s, Some(mild)).makespan().as_secs();
+        let m_harsh = run(pr, pc, s, Some(harsh)).makespan().as_secs();
+        prop_assert!(
+            m_harsh >= m_mild - 1e-9,
+            "severity {} -> {m_mild}, severity {} -> {m_harsh}",
+            base, base + delta
+        );
+    }
+
+    /// For a fixed seed, raising the degraded-link bandwidth floor (more
+    /// bandwidth everywhere) never increases the makespan.
+    #[test]
+    fn makespan_does_not_increase_with_link_bandwidth(
+        pr in 1usize..4, pc in 1usize..4, s in 1usize..3,
+        low in 0.3f64..0.8, frac in 0.1f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let high = low + frac * (0.99 - low);
+        let slow = FaultSpec::none().with_link_degradation(1.0, low).sample(pr * pc, seed);
+        let fast = FaultSpec::none().with_link_degradation(1.0, high).sample(pr * pc, seed);
+        let m_slow = run(pr, pc, s, Some(slow)).makespan().as_secs();
+        let m_fast = run(pr, pc, s, Some(fast)).makespan().as_secs();
+        prop_assert!(
+            m_slow >= m_fast - 1e-9,
+            "floor {low} -> {m_slow}, floor {high} -> {m_fast}"
+        );
+    }
+}
+
+/// Faults compose with the §5.3 no-collective-overlap mode: a straggler
+/// chip serializes its (slowed) compute with its communication, so the
+/// makespan is bounded below by the slowed compute alone and the run is
+/// never faster than its overlapped counterpart.
+#[test]
+fn straggler_composes_with_no_overlap_mode() {
+    let mesh = Torus2d::new(2, 2);
+    let mut cfg = SimConfig::tpu_v4();
+    cfg.overlap_collectives = false;
+    let unit = 8 * 4 * 2;
+    let problem = GemmProblem::new(GemmShape::new(unit * 4, unit * 4, unit * 4), Dataflow::Os);
+    let program = MeshSlice::new(2, 4).schedule(&mesh, problem, 2).unwrap();
+
+    let slowdown = 3.0;
+    let profile = ClusterProfile::ideal(4).with_compute_slowdown(0, slowdown);
+
+    let base = Engine::new(mesh.clone(), cfg.clone()).run(&program);
+    let faulted = Engine::new(mesh.clone(), cfg.clone().with_faults(profile.clone())).run(&program);
+    let mut overlapped_cfg = cfg.clone();
+    overlapped_cfg.overlap_collectives = true;
+    let overlapped = Engine::new(mesh, overlapped_cfg.with_faults(profile)).run(&program);
+
+    // The straggler's serialized compute alone is a lower bound: its
+    // fault-free compute busy time (uniform across chips) times the
+    // slowdown.
+    let compute_per_chip = base.totals().compute.as_secs() / 4.0;
+    assert!(
+        faulted.makespan().as_secs() >= slowdown * compute_per_chip - 1e-9,
+        "faulted no-overlap makespan {} < slowed compute {}",
+        faulted.makespan().as_secs(),
+        slowdown * compute_per_chip
+    );
+    assert!(faulted.makespan() > base.makespan());
+    // Serializing communication with the slowed compute can only hurt.
+    assert!(
+        faulted.makespan().as_secs() >= overlapped.makespan().as_secs() - 1e-9,
+        "no-overlap {} vs overlapped {}",
+        faulted.makespan().as_secs(),
+        overlapped.makespan().as_secs()
+    );
+}
