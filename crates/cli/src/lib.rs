@@ -6,11 +6,15 @@
 //! ```text
 //! meshslice autotune gpt3 256
 //! meshslice compare megatron 64
+//! meshslice compare baseline.json tuned.json
 //! meshslice sweep-mesh gpt3 256
 //! meshslice sweep-slice gpt3 32x8
 //! meshslice plan3d gpt3 512 256
+//! meshslice memory gpt3 256
+//! meshslice inference megatron 64
 //! meshslice faults --model gpt3 --chips 64 --straggler 1.5 --seeds 8
-//! meshslice trace --model gpt3 --mesh 4x4 --out trace.json
+//! meshslice trace --model gpt3 --mesh 4x4 --out trace.json --sort
+//! meshslice metrics --model gpt3 --mesh 4x4 --format json --out run.json
 //! meshslice traffic
 //! ```
 //!
@@ -36,6 +40,7 @@ use meshslice::{
 };
 use meshslice_mesh::Torus2d;
 use meshslice_sim::{NodeSpan, OpKind, Program};
+use meshslice_telemetry::{Json, PathKind, RunDiff, RunMetrics, BUCKET_LABELS};
 
 /// A parsed CLI invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -108,8 +113,8 @@ pub enum Command {
         /// Number of seeded fault draws per grid cell.
         seeds: usize,
     },
-    /// `trace [--model M] [--mesh RxC] [--out FILE]`: run one FC GeMM
-    /// with span collection and emit Chrome trace-event JSON.
+    /// `trace [--model M] [--mesh RxC] [--out FILE] [--sort]`: run one FC
+    /// GeMM with span collection and emit Chrome trace-event JSON.
     Trace {
         /// Target model.
         model: Model,
@@ -117,6 +122,37 @@ pub enum Command {
         mesh: MeshShape,
         /// Output file; stdout when absent.
         out: Option<String>,
+        /// Emit events in canonical `(chip, lane, start)` order so two
+        /// runs of the same schedule produce byte-identical traces.
+        sort: bool,
+    },
+    /// `metrics [--model M] [--mesh RxC] [--s N] [--windows N]
+    /// [--format F] [--out FILE] [--tunelog FILE]`: instrument one FC
+    /// GeMM and report critical-path attribution, overlap efficiency,
+    /// and per-lane utilization.
+    Metrics {
+        /// Target model.
+        model: Model,
+        /// Mesh shape, e.g. `4x4`.
+        mesh: MeshShape,
+        /// Slice count to instrument; the analytical best when absent.
+        s: Option<usize>,
+        /// Number of utilization time-series windows.
+        windows: usize,
+        /// Output format for the artifact.
+        format: MetricsFormat,
+        /// Also write the JSON artifact here.
+        out: Option<String>,
+        /// Run the logged autotuner and write the candidate log here.
+        tunelog: Option<String>,
+    },
+    /// `compare <runA.json> <runB.json>`: diff two metric artifacts
+    /// written by `metrics --out`.
+    CompareRuns {
+        /// Baseline artifact path.
+        a: String,
+        /// Candidate artifact path.
+        b: String,
     },
     /// `traffic`: the §7 2.5D-vs-MeshSlice+DP traffic example.
     Traffic,
@@ -140,6 +176,25 @@ impl Model {
             Model::Megatron => LlmConfig::megatron_nlg(),
         }
     }
+
+    /// The canonical CLI spelling, used as the `model` meta label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::Gpt3 => "gpt3",
+            Model::Megatron => "megatron",
+        }
+    }
+}
+
+/// Output format of the `metrics` subcommand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Human-readable tables.
+    Text,
+    /// The JSON artifact (`schemas/metrics.schema.json`).
+    Json,
+    /// Prometheus text exposition format.
+    Prometheus,
 }
 
 /// Errors produced while parsing a command line.
@@ -154,6 +209,24 @@ impl fmt::Display for UsageError {
 
 impl Error for UsageError {}
 
+/// Every subcommand the CLI dispatches on, in the order [`USAGE`] lists
+/// them. The help-coverage test asserts each one is both parseable and
+/// documented, so this list cannot drift from [`parse`].
+pub const SUBCOMMANDS: [&str; 12] = [
+    "autotune",
+    "compare",
+    "sweep-mesh",
+    "sweep-slice",
+    "plan3d",
+    "memory",
+    "inference",
+    "faults",
+    "trace",
+    "metrics",
+    "traffic",
+    "help",
+];
+
 /// The usage text printed by `help` and on parse errors.
 pub const USAGE: &str = "\
 meshslice — 2D tensor parallelism autotuner & cluster simulator
@@ -161,13 +234,16 @@ meshslice — 2D tensor parallelism autotuner & cluster simulator
 USAGE:
     meshslice autotune    <gpt3|megatron> <chips>
     meshslice compare     <gpt3|megatron> <chips>
+    meshslice compare     <runA.json> <runB.json>
     meshslice sweep-mesh  <gpt3|megatron> <chips>
     meshslice sweep-slice <gpt3|megatron> <RxC>
     meshslice plan3d      <gpt3|megatron> <chips> <global_batch>
     meshslice memory      <gpt3|megatron> <chips>
     meshslice inference   <gpt3|megatron> <chips>
     meshslice faults      [--model gpt3|megatron] [--chips N] [--straggler F] [--seeds K]
-    meshslice trace       [--model gpt3|megatron] [--mesh RxC] [--out FILE]
+    meshslice trace       [--model gpt3|megatron] [--mesh RxC] [--out FILE] [--sort]
+    meshslice metrics     [--model gpt3|megatron] [--mesh RxC] [--s N] [--windows N]
+                          [--format text|json|prometheus] [--out FILE] [--tunelog FILE]
     meshslice traffic
     meshslice help";
 
@@ -231,9 +307,13 @@ fn parse_faults(args: &[String]) -> Result<Command, UsageError> {
 }
 
 fn parse_trace(args: &[String]) -> Result<Command, UsageError> {
-    let (mut model, mut mesh, mut out) = (Model::Gpt3, MeshShape::new(4, 4), None);
+    let (mut model, mut mesh, mut out, mut sort) = (Model::Gpt3, MeshShape::new(4, 4), None, false);
     let mut it = args.iter().map(String::as_str);
     while let Some(flag) = it.next() {
+        if flag == "--sort" {
+            sort = true;
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| UsageError(format!("flag {flag} needs a value")))?;
@@ -244,7 +324,60 @@ fn parse_trace(args: &[String]) -> Result<Command, UsageError> {
             other => return Err(UsageError(format!("unknown flag '{other}'"))),
         }
     }
-    Ok(Command::Trace { model, mesh, out })
+    Ok(Command::Trace {
+        model,
+        mesh,
+        out,
+        sort,
+    })
+}
+
+fn parse_metrics(args: &[String]) -> Result<Command, UsageError> {
+    let mut model = Model::Gpt3;
+    let mut mesh = MeshShape::new(4, 4);
+    let mut s = None;
+    let mut windows = 16;
+    let mut format = MetricsFormat::Text;
+    let mut out = None;
+    let mut tunelog = None;
+    let mut it = args.iter().map(String::as_str);
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| UsageError(format!("flag {flag} needs a value")))?;
+        match flag {
+            "--model" => model = parse_model(value)?,
+            "--mesh" => mesh = parse_mesh(value)?,
+            "--s" => s = Some(parse_usize(value, "slice count")?),
+            "--windows" => windows = parse_usize(value, "window count")?,
+            "--format" => {
+                format = match value {
+                    "text" => MetricsFormat::Text,
+                    "json" => MetricsFormat::Json,
+                    "prometheus" | "prom" => MetricsFormat::Prometheus,
+                    other => return Err(UsageError(format!("unknown format '{other}'"))),
+                }
+            }
+            "--out" => out = Some(value.to_string()),
+            "--tunelog" => tunelog = Some(value.to_string()),
+            other => return Err(UsageError(format!("unknown flag '{other}'"))),
+        }
+    }
+    if windows == 0 {
+        return Err(UsageError("window count must be positive".into()));
+    }
+    if s == Some(0) {
+        return Err(UsageError("slice count must be positive".into()));
+    }
+    Ok(Command::Metrics {
+        model,
+        mesh,
+        s,
+        windows,
+        format,
+        out,
+        tunelog,
+    })
 }
 
 /// Parses the argument list (without the program name).
@@ -256,6 +389,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     match args.first().map(String::as_str) {
         Some("faults") => return parse_faults(&args[1..]),
         Some("trace") => return parse_trace(&args[1..]),
+        Some("metrics") => return parse_metrics(&args[1..]),
         _ => {}
     }
     let mut it = args.iter().map(String::as_str);
@@ -269,10 +403,23 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             model: parse_model(need("model")?)?,
             chips: parse_usize(need("chips")?, "chip count")?,
         }),
-        "compare" => Ok(Command::Compare {
-            model: parse_model(need("model")?)?,
-            chips: parse_usize(need("chips")?, "chip count")?,
-        }),
+        // `compare` is overloaded: two model/chips positionals simulate
+        // the algorithm comparison; two non-model arguments are treated
+        // as metric-artifact paths and diffed.
+        "compare" => {
+            let first = need("model or run file")?;
+            let second = need("chips or run file")?;
+            match parse_model(first) {
+                Ok(model) => Ok(Command::Compare {
+                    model,
+                    chips: parse_usize(second, "chip count")?,
+                }),
+                Err(_) => Ok(Command::CompareRuns {
+                    a: first.to_string(),
+                    b: second.to_string(),
+                }),
+            }
+        }
         "sweep-mesh" => Ok(Command::SweepMesh {
             model: parse_model(need("model")?)?,
             chips: parse_usize(need("chips")?, "chip count")?,
@@ -488,23 +635,20 @@ pub fn execute(cmd: Command) {
             println!("{t}");
             println!("p95 FC-block makespan; '*' marks the best slice count per row.");
         }
-        Command::Trace { model, mesh, out } => {
+        Command::Trace {
+            model,
+            mesh,
+            out,
+            sort,
+        } => {
             let model = model.config();
             let torus = Torus2d::from_shape(mesh);
-            let setup = TrainingSetup::weak_scaling(mesh.num_chips());
-            let problem = GemmProblem::new(
-                GemmShape::new(setup.tokens(), model.ffn_mult * model.hidden, model.hidden),
-                Dataflow::Os,
-            );
+            let problem = fc1_problem(&model, mesh);
             let mut scheduled = None;
-            'search: for s in [8usize, 4, 2, 1] {
-                for block in [8usize, 1] {
-                    if let Ok(p) =
-                        MeshSlice::new(s, block).schedule(&torus, problem, cfg.elem_bytes)
-                    {
-                        scheduled = Some((p, s));
-                        break 'search;
-                    }
+            for s in [8usize, 4, 2, 1] {
+                if let Some(p) = schedule_fc1_at(&torus, problem, s, cfg.elem_bytes) {
+                    scheduled = Some((p, s));
+                    break;
                 }
             }
             let Some((program, s_used)) = scheduled else {
@@ -512,7 +656,11 @@ pub fn execute(cmd: Command) {
                 return;
             };
             let (report, spans) = Engine::new(torus, cfg.clone()).run_spans(&program);
-            let json = chrome_trace_json(&program, &spans);
+            let json = if sort {
+                chrome_trace_json_sorted(&program, &spans)
+            } else {
+                chrome_trace_json(&program, &spans)
+            };
             match out {
                 Some(path) => match std::fs::write(&path, &json) {
                     Ok(()) => println!(
@@ -525,6 +673,123 @@ pub fn execute(cmd: Command) {
                 None => println!("{json}"),
             }
         }
+        Command::Metrics {
+            model,
+            mesh,
+            s,
+            windows,
+            format,
+            out,
+            tunelog,
+        } => {
+            let config = model.config();
+            let problem = fc1_problem(&config, mesh);
+            let tuner = Autotuner::new(cfg.clone());
+            let (best_s, _) = tuner.best_slice_count(mesh, problem, cfg.elem_bytes);
+            let s_used = s.unwrap_or(best_s);
+            let Some(m) = fc1_metrics(model, mesh, s_used, windows, &cfg) else {
+                println!(
+                    "no legal MeshSlice schedule for {config} FC1 at S = {s_used} on mesh {mesh}"
+                );
+                return;
+            };
+            match format {
+                MetricsFormat::Json => println!("{}", m.to_json().to_string_pretty()),
+                MetricsFormat::Prometheus => print!("{}", m.to_prometheus()),
+                MetricsFormat::Text => {
+                    println!(
+                        "{config} FC1 on mesh {mesh}, S = {s_used} (analytical best {best_s})"
+                    );
+                    println!(
+                        "makespan {:.3} ms | flop util {} | overlap {}",
+                        m.makespan * 1e3,
+                        pct(m.flop_utilization),
+                        pct(m.overlap_efficiency)
+                    );
+                    let mut svals = tuner.legal_slice_counts(mesh, problem);
+                    if !svals.contains(&1) {
+                        svals.insert(0, 1);
+                    }
+                    let mut t = Table::new(vec![
+                        "S".into(),
+                        "makespan".into(),
+                        "overlap".into(),
+                        "FC util".into(),
+                    ]);
+                    for cand in svals {
+                        if let Some(cm) = fc1_metrics(model, mesh, cand, 1, &cfg) {
+                            let mark = if cand == best_s { "*" } else { "" };
+                            t.row(vec![
+                                format!("{cand}{mark}"),
+                                format!("{:.3} ms", cm.makespan * 1e3),
+                                pct(cm.overlap_efficiency),
+                                pct(cm.flop_utilization),
+                            ]);
+                        }
+                    }
+                    println!("\noverlap vs slice count ('*' = analytical best):");
+                    println!("{t}");
+                    let mut t = Table::new(vec![
+                        "kind".into(),
+                        "cluster busy".into(),
+                        "critical path".into(),
+                    ]);
+                    for (i, label) in BUCKET_LABELS.iter().enumerate() {
+                        t.row(vec![
+                            label.to_string(),
+                            format!("{:.3} ms", m.buckets[i] * 1e3),
+                            format!("{:.3} ms", m.critical_path.get(PathKind::ALL[i]) * 1e3),
+                        ]);
+                    }
+                    println!("busy time & critical-path attribution:");
+                    println!("{t}");
+                    println!(
+                        "critical path total {:.3} ms (makespan {:.3} ms)",
+                        m.critical_path.total() * 1e3,
+                        m.makespan * 1e3
+                    );
+                    println!("\ntop hotspots (critical-path time per chip & kind):");
+                    for h in m.hotspots.iter().take(5) {
+                        println!(
+                            "  chip {:>3} {:<13} {:.3} ms",
+                            h.chip,
+                            h.kind.label(),
+                            h.seconds * 1e3
+                        );
+                    }
+                    println!(
+                        "op slack min/mean/max: {:.3} / {:.3} / {:.3} ms",
+                        m.slack.0 * 1e3,
+                        m.slack.1 * 1e3,
+                        m.slack.2 * 1e3
+                    );
+                }
+            }
+            if let Some(path) = out {
+                match std::fs::write(&path, m.to_json().to_string_pretty()) {
+                    Ok(()) => println!("metrics artifact -> {path}"),
+                    Err(e) => println!("cannot write {path}: {e}"),
+                }
+            }
+            if let Some(path) = tunelog {
+                let setup = TrainingSetup::weak_scaling(mesh.num_chips());
+                match tuner.tune_on_mesh_logged(&config, setup, mesh) {
+                    Some((_, log)) => {
+                        println!("\n{log}");
+                        match std::fs::write(&path, log.to_json().to_string_pretty()) {
+                            Ok(()) => println!("tune log -> {path}"),
+                            Err(e) => println!("cannot write {path}: {e}"),
+                        }
+                    }
+                    None => println!("cannot tune: a pass does not divide over mesh {mesh}"),
+                }
+            }
+        }
+        Command::CompareRuns { a, b } => match (load_metrics(&a), load_metrics(&b)) {
+            (Ok(ma), Ok(mb)) => print!("{}", RunDiff::new(ma, mb)),
+            (Err(e), _) => println!("cannot load {a}: {e}"),
+            (_, Err(e)) => println!("cannot load {b}: {e}"),
+        },
         Command::Traffic => {
             let mut t = Table::new(vec!["method".into(), "torus".into(), "traffic/chip".into()]);
             for r in traffic_25d_example(cfg.elem_bytes) {
@@ -537,6 +802,60 @@ pub fn execute(cmd: Command) {
             println!("{t}");
         }
     }
+}
+
+/// The FC1 forward GeMM of `model` under weak scaling on `mesh` — the
+/// problem the observability commands (`trace`, `metrics`) instrument.
+fn fc1_problem(model: &LlmConfig, mesh: MeshShape) -> GemmProblem {
+    let setup = TrainingSetup::weak_scaling(mesh.num_chips());
+    GemmProblem::new(
+        GemmShape::new(setup.tokens(), model.ffn_mult * model.hidden, model.hidden),
+        Dataflow::Os,
+    )
+}
+
+/// Schedules `problem` at slice count `s`, preferring the sliced block
+/// size and falling back to `block = 1`.
+fn schedule_fc1_at(
+    torus: &Torus2d,
+    problem: GemmProblem,
+    s: usize,
+    elem_bytes: usize,
+) -> Option<Program> {
+    [8usize, 1].iter().find_map(|&block| {
+        MeshSlice::new(s, block)
+            .schedule(torus, problem, elem_bytes)
+            .ok()
+    })
+}
+
+/// Instruments one FC1 forward GeMM of `model` on `mesh` at slice count
+/// `s` and collects the metric artifact, labeled with model, mesh, and
+/// slice count. Returns `None` when no MeshSlice schedule is legal.
+pub fn fc1_metrics(
+    model: Model,
+    mesh: MeshShape,
+    s: usize,
+    windows: usize,
+    cfg: &SimConfig,
+) -> Option<RunMetrics> {
+    let config = model.config();
+    let torus = Torus2d::from_shape(mesh);
+    let problem = fc1_problem(&config, mesh);
+    let program = schedule_fc1_at(&torus, problem, s, cfg.elem_bytes)?;
+    let (report, spans, timeline) = Engine::new(torus, cfg.clone()).run_instrumented(&program);
+    Some(
+        RunMetrics::collect(&report, &spans, &timeline, program.len(), windows)
+            .with_meta("model", model.name())
+            .with_meta("mesh", &mesh.to_string())
+            .with_meta("slice_count", &s.to_string()),
+    )
+}
+
+/// Reads a metric artifact written by `metrics --out`.
+fn load_metrics(path: &str) -> Result<RunMetrics, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    RunMetrics::from_json(&Json::parse(&text)?)
 }
 
 /// Renders engine spans as Chrome trace-event JSON (the `chrome://tracing`
@@ -571,11 +890,17 @@ pub fn chrome_trace_json(program: &Program, spans: &[NodeSpan]) -> String {
             events.push(format!(
                 "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{chip},\"args\":{{\"name\":\"chip {chip}\"}}}}"
             ));
+            events.push(format!(
+                "{{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":{chip},\"args\":{{\"sort_index\":{chip}}}}}"
+            ));
             last_chip = chip;
         }
         events.push(format!(
             "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{chip},\"tid\":{lane},\"args\":{{\"name\":\"{}\"}}}}",
             escape(name)
+        ));
+        events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":{chip},\"tid\":{lane},\"args\":{{\"sort_index\":{lane}}}}}"
         ));
     }
     for span in spans {
@@ -590,6 +915,21 @@ pub fn chrome_trace_json(program: &Program, spans: &[NodeSpan]) -> String {
         ));
     }
     format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
+}
+
+/// Like [`chrome_trace_json`], but with duration events in canonical
+/// `(chip, lane, start, end, op)` order rather than engine completion
+/// order, so two runs of the same schedule serialize byte-identically.
+pub fn chrome_trace_json_sorted(program: &Program, spans: &[NodeSpan]) -> String {
+    let mut sorted = spans.to_vec();
+    sorted.sort_by(|a, b| {
+        (a.chip.index(), a.track.lane())
+            .cmp(&(b.chip.index(), b.track.lane()))
+            .then(a.start.as_secs().total_cmp(&b.start.as_secs()))
+            .then(a.end.as_secs().total_cmp(&b.end.as_secs()))
+            .then(a.op.index().cmp(&b.op.index()))
+    });
+    chrome_trace_json(program, &sorted)
 }
 
 #[cfg(test)]
@@ -722,7 +1062,8 @@ mod tests {
             Command::Trace {
                 model: Model::Gpt3,
                 mesh: MeshShape::new(2, 4),
-                out: Some("/tmp/t.json".into())
+                out: Some("/tmp/t.json".into()),
+                sort: false
             }
         );
         assert_eq!(
@@ -730,10 +1071,98 @@ mod tests {
             Command::Trace {
                 model: Model::Gpt3,
                 mesh: MeshShape::new(4, 4),
-                out: None
+                out: None,
+                sort: false
+            }
+        );
+        // --sort takes no value and composes with other flags.
+        assert_eq!(
+            parse(&args("trace --sort --mesh 2x2")).unwrap(),
+            Command::Trace {
+                model: Model::Gpt3,
+                mesh: MeshShape::new(2, 2),
+                out: None,
+                sort: true
             }
         );
         assert!(parse(&args("trace --mesh 44")).is_err());
+    }
+
+    #[test]
+    fn parses_metrics_flags() {
+        assert_eq!(
+            parse(&args("metrics")).unwrap(),
+            Command::Metrics {
+                model: Model::Gpt3,
+                mesh: MeshShape::new(4, 4),
+                s: None,
+                windows: 16,
+                format: MetricsFormat::Text,
+                out: None,
+                tunelog: None
+            }
+        );
+        assert_eq!(
+            parse(&args(
+                "metrics --model megatron --mesh 2x4 --s 4 --windows 8 \
+                 --format json --out /tmp/m.json --tunelog /tmp/t.json"
+            ))
+            .unwrap(),
+            Command::Metrics {
+                model: Model::Megatron,
+                mesh: MeshShape::new(2, 4),
+                s: Some(4),
+                windows: 8,
+                format: MetricsFormat::Json,
+                out: Some("/tmp/m.json".into()),
+                tunelog: Some("/tmp/t.json".into())
+            }
+        );
+        assert!(parse(&args("metrics --format yaml")).is_err());
+        assert!(parse(&args("metrics --windows 0")).is_err());
+        assert!(parse(&args("metrics --s 0")).is_err());
+        assert!(parse(&args("metrics --out")).is_err());
+    }
+
+    #[test]
+    fn compare_dispatches_on_the_first_argument() {
+        assert_eq!(
+            parse(&args("compare gpt3 16")).unwrap(),
+            Command::Compare {
+                model: Model::Gpt3,
+                chips: 16
+            }
+        );
+        assert_eq!(
+            parse(&args("compare a.json b.json")).unwrap(),
+            Command::CompareRuns {
+                a: "a.json".into(),
+                b: "b.json".into()
+            }
+        );
+        // A model with a malformed chip count is still a usage error,
+        // not a silent fall-through to the run diff.
+        assert!(parse(&args("compare gpt3 b.json")).is_err());
+        assert!(parse(&args("compare a.json")).is_err());
+    }
+
+    #[test]
+    fn help_covers_every_subcommand() {
+        for cmd in SUBCOMMANDS {
+            assert!(
+                USAGE.contains(&format!("meshslice {cmd}")),
+                "usage text is missing '{cmd}'"
+            );
+            // Each subcommand must be recognized by the parser: invoking
+            // it bare may complain about missing arguments, never about
+            // an unknown command.
+            if let Err(e) = parse(&[cmd.to_string()]) {
+                assert!(
+                    !e.to_string().contains("unknown command"),
+                    "parse does not recognize '{cmd}'"
+                );
+            }
+        }
     }
 
     #[test]
@@ -743,6 +1172,7 @@ mod tests {
             model: Model::Gpt3,
             mesh: MeshShape::new(2, 2),
             out: Some(path.to_str().unwrap().to_string()),
+            sort: false,
         });
         let json = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).ok();
@@ -755,6 +1185,91 @@ mod tests {
         let x_events = json.matches("\"ph\":\"X\"").count();
         assert!(x_events > 0);
         assert_eq!(json.matches("\"dur\":").count(), x_events);
+    }
+
+    #[test]
+    fn sorted_trace_is_deterministic_and_carries_sort_indices() {
+        let cfg = SimConfig::tpu_v4();
+        let mesh = MeshShape::new(2, 2);
+        let torus = Torus2d::from_shape(mesh);
+        let problem = fc1_problem(&Model::Gpt3.config(), mesh);
+        let program = schedule_fc1_at(&torus, problem, 2, cfg.elem_bytes).unwrap();
+        let engine = Engine::new(torus, cfg);
+        let (_, spans_a) = engine.run_spans(&program);
+        let (_, spans_b) = engine.run_spans(&program);
+        let a = chrome_trace_json_sorted(&program, &spans_a);
+        assert_eq!(a, chrome_trace_json_sorted(&program, &spans_b));
+        assert!(a.contains("\"name\":\"process_sort_index\""));
+        assert!(a.contains("\"name\":\"thread_sort_index\""));
+    }
+
+    #[test]
+    fn metrics_critical_path_sums_to_the_makespan() {
+        let cfg = SimConfig::tpu_v4();
+        let m = fc1_metrics(Model::Gpt3, MeshShape::new(2, 2), 2, 8, &cfg).unwrap();
+        assert!(m.makespan > 0.0);
+        assert!(
+            (m.critical_path.total() - m.makespan).abs() < 1e-9 * m.makespan,
+            "critical path {} vs makespan {}",
+            m.critical_path.total(),
+            m.makespan
+        );
+        assert!((0.0..=1.0).contains(&m.overlap_efficiency));
+    }
+
+    #[test]
+    fn overlap_efficiency_rises_from_one_slice_to_the_tuned_count() {
+        let cfg = SimConfig::tpu_v4();
+        let mesh = MeshShape::new(4, 4);
+        let problem = fc1_problem(&Model::Gpt3.config(), mesh);
+        let tuner = Autotuner::new(cfg.clone());
+        let (best_s, _) = tuner.best_slice_count(mesh, problem, cfg.elem_bytes);
+        assert!(best_s > 1, "tuning should pick S > 1 on a 4x4 mesh");
+        let mut svals: Vec<usize> = tuner
+            .legal_slice_counts(mesh, problem)
+            .into_iter()
+            .filter(|&s| s <= best_s)
+            .collect();
+        if !svals.contains(&1) {
+            svals.insert(0, 1);
+        }
+        let overlaps: Vec<f64> = svals
+            .iter()
+            .map(|&s| {
+                fc1_metrics(Model::Gpt3, mesh, s, 1, &cfg)
+                    .unwrap()
+                    .overlap_efficiency
+            })
+            .collect();
+        for w in overlaps.windows(2) {
+            assert!(
+                w[1] > w[0],
+                "overlap efficiency not strictly increasing: {overlaps:?} at S {svals:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compare_runs_diffs_two_artifacts() {
+        let cfg = SimConfig::tpu_v4();
+        let dir = std::env::temp_dir();
+        let pa = dir.join("meshslice_cli_cmp_a.json");
+        let pb = dir.join("meshslice_cli_cmp_b.json");
+        for (path, s) in [(&pa, 1usize), (&pb, 2usize)] {
+            let m = fc1_metrics(Model::Gpt3, MeshShape::new(2, 2), s, 4, &cfg).unwrap();
+            std::fs::write(path, m.to_json().to_string_pretty()).unwrap();
+        }
+        let a = load_metrics(pa.to_str().unwrap()).unwrap();
+        let b = load_metrics(pb.to_str().unwrap()).unwrap();
+        std::fs::remove_file(&pa).ok();
+        std::fs::remove_file(&pb).ok();
+        let diff = RunDiff::new(a, b);
+        let text = diff.to_string();
+        assert!(text.contains("makespan"));
+        assert!(text.contains("slice_count=1"));
+        assert!(text.contains("slice_count=2"));
+        // Loading a missing file reports an error instead of panicking.
+        assert!(load_metrics("/nonexistent/meshslice.json").is_err());
     }
 
     #[test]

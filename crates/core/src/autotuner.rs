@@ -18,6 +18,7 @@
 use meshslice_gemm::{Dataflow, DistributedGemm, GemmProblem, MeshSlice};
 use meshslice_mesh::{MeshShape, Torus2d};
 use meshslice_sim::{ClusterProfile, Duration, Engine, SimConfig, SimReport};
+use meshslice_telemetry::{TuneCandidate, TuneLog};
 use meshslice_tensor::slice::SliceSpec;
 use meshslice_tensor::GemmShape;
 
@@ -403,6 +404,83 @@ impl Autotuner {
         Some((total, layers))
     }
 
+    /// Phase 2 on a fixed mesh, with full cost-model attribution: every
+    /// legal slice count of every FC pass is priced analytically *and*
+    /// simulated, and both numbers land in a [`TuneLog`] — the paper's
+    /// Figure 15 predicted-vs-measured error analysis as a queryable
+    /// artifact. The chosen candidate per pass is the analytical argmin,
+    /// exactly matching [`best_slice_count`](Self::best_slice_count).
+    ///
+    /// Returns `None` if any pass does not divide over the mesh.
+    pub fn tune_on_mesh_logged(
+        &self,
+        model: &LlmConfig,
+        setup: TrainingSetup,
+        mesh_shape: MeshShape,
+    ) -> Option<(Vec<LayerPlan>, TuneLog)> {
+        let eb = self.cost.config().elem_bytes;
+        let mesh = Torus2d::from_shape(mesh_shape);
+        let engine = Engine::new(mesh.clone(), self.cost.config().clone());
+        let mut log = TuneLog::default();
+        let mut layers = Vec::new();
+        for layer in model.fc_layers() {
+            let stationary = choose_stationary(setup.tokens(), layer.input_dim, layer.output_dim);
+            let problems = pass_problems(
+                stationary,
+                setup.tokens(),
+                layer.input_dim,
+                layer.output_dim,
+            );
+            let mut passes = Vec::new();
+            for (pass, problem) in Pass::ALL.into_iter().zip(problems) {
+                problem.check_divisible(mesh_shape).ok()?;
+                let (chosen_s, _) = self.best_slice_count(mesh_shape, problem, eb);
+                let mut candidates = self.legal_slice_counts(mesh_shape, problem);
+                if !candidates.contains(&1) {
+                    candidates.insert(0, 1);
+                }
+                for s in candidates {
+                    let block = if self.legal_slice_counts(mesh_shape, problem).contains(&s) {
+                        self.block
+                    } else {
+                        1
+                    };
+                    let program = MeshSlice::new(s, block).schedule(&mesh, problem, eb).ok()?;
+                    let report = engine.run(&program);
+                    log.push(TuneCandidate {
+                        mesh_rows: mesh_shape.rows,
+                        mesh_cols: mesh_shape.cols,
+                        label: format!("{}/{}", layer.name, pass),
+                        dataflow: problem.dataflow.to_string(),
+                        slice_count: s,
+                        predicted: self
+                            .cost
+                            .meshslice_time(mesh_shape, problem, s, eb)
+                            .as_secs(),
+                        simulated: report.makespan().as_secs(),
+                        predicted_comm: self
+                            .cost
+                            .meshslice_comm_time(mesh_shape, problem, s, eb)
+                            .as_secs(),
+                        simulated_comm: report.totals().comm_total().as_secs(),
+                        chosen: s == chosen_s,
+                    });
+                }
+                passes.push(PassPlan {
+                    pass,
+                    problem,
+                    slice_count: chosen_s,
+                });
+            }
+            layers.push(LayerPlan {
+                layer,
+                stationary,
+                passes: [passes[0], passes[1], passes[2]],
+            });
+        }
+        Some((layers, log))
+    }
+
     /// Simulates one transformer block's twelve FC GeMMs with MeshSlice at
     /// a requested slice count (clamped per pass to the largest legal
     /// value), serially merged. Returns `None` if any pass does not divide
@@ -741,6 +819,56 @@ mod tests {
             heads: 4,
             layers: 2,
             ffn_mult: 4,
+        }
+    }
+
+    #[test]
+    fn logged_tuning_records_every_candidate() {
+        let tuner = Autotuner::new(SimConfig::tpu_v4());
+        let model = tiny();
+        let setup = TrainingSetup::weak_scaling(4);
+        let mesh = MeshShape::new(2, 2);
+        let (layers, log) = tuner.tune_on_mesh_logged(&model, setup, mesh).unwrap();
+        assert_eq!(layers.len(), 4);
+        // Every (layer, pass) contributed at least the S=1 candidate, and
+        // exactly one candidate per (layer, pass) is marked chosen.
+        for layer in &layers {
+            for plan in &layer.passes {
+                let label = format!("{}/{}", layer.layer.name, plan.pass);
+                let of_pass: Vec<_> = log.candidates.iter().filter(|c| c.label == label).collect();
+                assert!(!of_pass.is_empty(), "no candidates for {label}");
+                assert_eq!(
+                    of_pass.iter().filter(|c| c.chosen).count(),
+                    1,
+                    "chosen count for {label}"
+                );
+                // The chosen candidate matches the plan's slice count.
+                let chosen = of_pass.iter().find(|c| c.chosen).unwrap();
+                assert_eq!(chosen.slice_count, plan.slice_count);
+            }
+        }
+        // Every candidate has both a prediction and a simulation.
+        for c in &log.candidates {
+            assert!(c.predicted > 0.0, "{}: no prediction", c.label);
+            assert!(c.simulated > 0.0, "{}: no simulation", c.label);
+            assert!(c.rel_error().is_finite());
+        }
+    }
+
+    #[test]
+    fn logged_tuning_matches_the_analytical_plan() {
+        // The chosen S per pass must agree with tune()'s choice for the
+        // same mesh.
+        let tuner = Autotuner::new(SimConfig::tpu_v4());
+        let model = tiny();
+        let setup = TrainingSetup::weak_scaling(4);
+        let mesh = MeshShape::new(2, 2);
+        let (layers, _) = tuner.tune_on_mesh_logged(&model, setup, mesh).unwrap();
+        let (_, expected) = tuner.estimate_on_mesh(&model, setup, mesh).unwrap();
+        for (got, want) in layers.iter().zip(&expected) {
+            for (g, w) in got.passes.iter().zip(&want.passes) {
+                assert_eq!(g.slice_count, w.slice_count);
+            }
         }
     }
 

@@ -103,6 +103,56 @@ pub struct NodeSpan {
     pub end: Duration,
 }
 
+/// The realized schedule of one lowered node, from
+/// [`Engine::run_instrumented`].
+///
+/// A record captures every instant that matters for critical-path
+/// analysis: when the node's dependencies were satisfied (`ready`), when it
+/// acquired its exclusive resource (`acquired`), when its synchronization
+/// delay elapsed and the busy interval began (`busy_start`), and when it
+/// completed (`finish`). `deps` are indices into the same record vector;
+/// `res_pred` names the node that released this node's resource to it, when
+/// the node had to queue for the resource.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeRecord {
+    /// The program operation this node was lowered from.
+    pub op: OpId,
+    /// The chip the node ran on.
+    pub chip: ChipId,
+    /// The execution lane it occupied.
+    pub track: SpanTrack,
+    /// The kind of work performed while busy.
+    pub kind: SpanKind,
+    /// Synchronization delay paid after acquiring the resource.
+    pub sync: Duration,
+    /// When the last dependency completed.
+    pub ready: Duration,
+    /// When the node acquired its resource (equals `ready` unless it
+    /// queued).
+    pub acquired: Duration,
+    /// When the busy interval began (`acquired` plus the sync delay).
+    pub busy_start: Duration,
+    /// When the node completed.
+    pub finish: Duration,
+    /// Dependency node indices (into [`RunTimeline::nodes`]).
+    pub deps: Vec<usize>,
+    /// The node that handed this node its resource, if it had to wait.
+    pub res_pred: Option<usize>,
+}
+
+/// The full realized schedule of a run: one [`NodeRecord`] per lowered
+/// node, in lowering order. Produced by [`Engine::run_instrumented`]; the
+/// raw material for critical-path extraction and slack analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunTimeline {
+    /// Per-node records, indexed by lowered-node id.
+    pub nodes: Vec<NodeRecord>,
+    /// Node indices in the order they completed. A valid topological
+    /// order of both dependency and resource-handoff edges; its reverse
+    /// drives the backward (slack) pass.
+    pub finish_seq: Vec<usize>,
+}
+
 /// Executes [`Program`]s on a simulated cluster.
 ///
 /// The engine is deterministic: events are ordered by (time, insertion
@@ -181,6 +231,22 @@ struct Run<'a> {
     /// When set, every finished busy interval is recorded as a span.
     collect_spans: bool,
     spans: Vec<NodeSpan>,
+    /// When set, per-node schedule instants are kept for [`RunTimeline`].
+    ready_time: Vec<f64>,
+    acquire_time: Vec<f64>,
+    busy_start_time: Vec<f64>,
+    res_pred: Vec<Option<usize>>,
+    finish_seq: Vec<usize>,
+    /// Per-chip completed compute-unit busy time (the cumulative measure
+    /// used for overlap accounting; always on, O(1) per node).
+    compute_cum: Vec<f64>,
+    /// Busy-interval start of the chip's currently active compute node.
+    compute_since: Vec<Option<f64>>,
+    /// Compute measure snapshot taken when a transfer node went busy.
+    overlap_at_start: Vec<f64>,
+    /// Total comm-transfer busy time that ran while the same chip's
+    /// compute unit was busy (the paper's "hidden" communication).
+    overlapped: f64,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -218,6 +284,24 @@ impl Engine {
         self.run_traced(program).0
     }
 
+    /// Like [`run_spans`](Self::run_spans), but additionally returns the
+    /// full realized schedule: one [`NodeRecord`] per lowered node with
+    /// ready/acquire/busy/finish instants, dependency edges, and resource
+    /// handoffs — everything critical-path extraction needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program deadlocks.
+    pub fn run_instrumented(&self, program: &Program) -> (SimReport, Vec<NodeSpan>, RunTimeline) {
+        let (report, _, mut spans, timeline) = self.run_inner(program, true, true);
+        spans.sort_by(|a, b| {
+            (a.chip.index(), a.track.lane())
+                .cmp(&(b.chip.index(), b.track.lane()))
+                .then(a.start.as_secs().total_cmp(&b.start.as_secs()))
+        });
+        (report, spans, timeline)
+    }
+
     /// Like [`run`](Self::run), but also returns the completion time of
     /// every program operation — useful for timeline visualization and
     /// for debugging schedules.
@@ -226,7 +310,7 @@ impl Engine {
     ///
     /// Panics if the program deadlocks.
     pub fn run_traced(&self, program: &Program) -> (SimReport, Vec<OpTrace>) {
-        let (report, traces, _) = self.run_inner(program, false);
+        let (report, traces, _, _) = self.run_inner(program, false, false);
         (report, traces)
     }
 
@@ -239,7 +323,7 @@ impl Engine {
     ///
     /// Panics if the program deadlocks.
     pub fn run_spans(&self, program: &Program) -> (SimReport, Vec<NodeSpan>) {
-        let (report, _, mut spans) = self.run_inner(program, true);
+        let (report, _, mut spans, _) = self.run_inner(program, true, false);
         spans.sort_by(|a, b| {
             (a.chip.index(), a.track.lane())
                 .cmp(&(b.chip.index(), b.track.lane()))
@@ -252,7 +336,8 @@ impl Engine {
         &self,
         program: &Program,
         collect_spans: bool,
-    ) -> (SimReport, Vec<OpTrace>, Vec<NodeSpan>) {
+        collect_nodes: bool,
+    ) -> (SimReport, Vec<OpTrace>, Vec<NodeSpan>, RunTimeline) {
         if let Err(op) = program.validate_acyclic() {
             panic!("program has a dependency cycle through op {op}");
         }
@@ -308,6 +393,15 @@ impl Engine {
             finish_time: vec![0.0; n],
             collect_spans,
             spans: Vec::new(),
+            ready_time: vec![0.0; n],
+            acquire_time: vec![0.0; n],
+            busy_start_time: vec![0.0; n],
+            res_pred: vec![None; n],
+            finish_seq: Vec::with_capacity(n),
+            compute_cum: vec![0.0; chips],
+            compute_since: vec![None; chips],
+            overlap_at_start: vec![0.0; n],
+            overlapped: 0.0,
         };
 
         // Outage boundaries are known up front; scheduling them as events
@@ -352,6 +446,7 @@ impl Engine {
                 comm_sync: Duration::from_secs(run.buckets.comm_sync),
                 comm_transfer: Duration::from_secs(run.buckets.comm_transfer),
             },
+            Duration::from_secs(run.overlapped),
         );
         let traces = graph
             .op_exit
@@ -363,7 +458,45 @@ impl Engine {
                 completed: Duration::from_secs(run.finish_time[exit]),
             })
             .collect();
-        (report, traces, run.spans)
+        let timeline = if collect_nodes {
+            let nodes = graph
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, node)| NodeRecord {
+                    op: OpId(node.op),
+                    chip: ChipId(node.chip),
+                    track: match node.resource {
+                        Resource::Compute => SpanTrack::Compute,
+                        Resource::Link(dir) => SpanTrack::Link(dir),
+                        Resource::None => SpanTrack::Host,
+                    },
+                    kind: match node.category {
+                        Category::Compute => SpanKind::Compute,
+                        Category::Slice => SpanKind::Slice,
+                        Category::CommLaunch => SpanKind::CommLaunch,
+                        Category::CommTransfer => SpanKind::CommTransfer,
+                    },
+                    sync: Duration::from_secs(node.sync),
+                    ready: Duration::from_secs(run.ready_time[i]),
+                    acquired: Duration::from_secs(run.acquire_time[i]),
+                    busy_start: Duration::from_secs(run.busy_start_time[i]),
+                    finish: Duration::from_secs(run.finish_time[i]),
+                    deps: node.deps.clone(),
+                    res_pred: run.res_pred[i],
+                })
+                .collect();
+            RunTimeline {
+                nodes,
+                finish_seq: run.finish_seq,
+            }
+        } else {
+            RunTimeline {
+                nodes: Vec::new(),
+                finish_seq: Vec::new(),
+            }
+        };
+        (report, traces, run.spans, timeline)
     }
 }
 
@@ -499,12 +632,20 @@ impl<'a> Run<'a> {
         }
     }
 
+    /// The chip's cumulative compute-unit busy time at instant `t` (a
+    /// monotone measure; the overlap of an interval `[s, t]` with the
+    /// chip's compute-busy set is exactly `measure(t) − measure(s)`).
+    fn compute_measure(&self, chip: usize, t: f64) -> f64 {
+        self.compute_cum[chip] + self.compute_since[chip].map_or(0.0, |s| t - s)
+    }
+
     fn ready(&mut self, node: usize, t: f64) {
         debug_assert_eq!(
             self.phase[node],
             Phase::Blocked,
             "node {node} readied twice"
         );
+        self.ready_time[node] = t;
         let acquired = match self.resource_state(node) {
             None => true,
             Some(rs) => {
@@ -525,6 +666,7 @@ impl<'a> Run<'a> {
     }
 
     fn begin_sync(&mut self, node: usize, t: f64) {
+        self.acquire_time[node] = t;
         let sync = self.nodes.nodes[node].sync;
         if sync > 0.0 {
             self.phase[node] = Phase::Syncing;
@@ -536,7 +678,17 @@ impl<'a> Run<'a> {
 
     fn begin_busy(&mut self, node: usize, t: f64) {
         let info = &self.nodes.nodes[node];
+        self.busy_start_time[node] = t;
         self.buckets.comm_sync += info.sync;
+        match (info.resource, info.category) {
+            // The compute unit is exclusive, so at most one node per chip
+            // is ever active here.
+            (Resource::Compute, _) => self.compute_since[info.chip] = Some(t),
+            (_, Category::CommTransfer) => {
+                self.overlap_at_start[node] = self.compute_measure(info.chip, t);
+            }
+            _ => {}
+        }
         let fabric_active = self.fabric.is_some() && info.fabric_bytes > 0.0;
         let mut parts = 0u8;
         if info.timer > 0.0 {
@@ -643,6 +795,20 @@ impl<'a> Run<'a> {
             Category::CommLaunch => self.buckets.comm_launch += busy,
             Category::CommTransfer => self.buckets.comm_transfer += busy,
         }
+        match (info.resource, info.category) {
+            (Resource::Compute, _) => {
+                self.compute_cum[info.chip] += busy;
+                self.compute_since[info.chip] = None;
+            }
+            (_, Category::CommTransfer) => {
+                // Transfer time covered by the chip's compute-busy set over
+                // this node's busy interval — communication the schedule
+                // actually hid under computation.
+                let hidden = self.compute_measure(info.chip, t) - self.overlap_at_start[node];
+                self.overlapped += hidden.max(0.0);
+            }
+            _ => {}
+        }
         if self.collect_spans && busy > 0.0 {
             self.spans.push(NodeSpan {
                 op: OpId(info.op),
@@ -663,6 +829,7 @@ impl<'a> Run<'a> {
             });
         }
         self.phase[node] = Phase::Done;
+        self.finish_seq.push(node);
         self.completed += 1;
         self.finish_time[node] = t;
         self.makespan = self.makespan.max(t);
@@ -679,6 +846,7 @@ impl<'a> Run<'a> {
             None => None,
         };
         if let Some(next) = handoff {
+            self.res_pred[next] = Some(node);
             self.begin_sync(next, t);
         }
 
@@ -1145,6 +1313,166 @@ mod tests {
         // The traced and span-collecting runs agree on timing.
         let plain = Engine::new(Torus2d::new(2, 2), cfg()).run(&program);
         assert_eq!(plain, report);
+    }
+
+    #[test]
+    fn overlap_is_zero_without_concurrent_compute() {
+        // Pure communication: nothing to hide the transfers under.
+        let mesh = Torus2d::new(4, 1);
+        let mut b = ProgramBuilder::new(&mesh);
+        let tag = b.next_tag();
+        for chip in mesh.chips() {
+            b.all_gather(chip, tag, CommAxis::InterRow, 1 << 20, &[]);
+        }
+        let report = Engine::new(mesh, cfg()).run(&b.build());
+        assert_eq!(report.overlapped_comm(), Duration::ZERO);
+        assert_eq!(report.overlap_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn overlap_counts_comm_hidden_under_compute() {
+        // Independent AllGather + long GeMM per chip: the transfers run
+        // entirely under the compute shadow.
+        let mesh = Torus2d::new(4, 1);
+        let mut b = ProgramBuilder::new(&mesh);
+        let tag = b.next_tag();
+        for chip in mesh.chips() {
+            b.all_gather(chip, tag, CommAxis::InterRow, 1 << 20, &[]);
+            b.gemm(chip, GemmShape::new(8192, 8192, 8192), &[]);
+        }
+        let report = Engine::new(mesh, cfg()).run(&b.build());
+        let eff = report.overlap_efficiency();
+        assert!(eff > 0.9 && eff <= 1.0, "overlap efficiency {eff}");
+    }
+
+    #[test]
+    fn no_overlap_mode_hides_nothing() {
+        let mesh = Torus2d::new(4, 1);
+        let mut b = ProgramBuilder::new(&mesh);
+        let tag = b.next_tag();
+        for chip in mesh.chips() {
+            b.all_gather(chip, tag, CommAxis::InterRow, 1 << 20, &[]);
+            b.gemm(chip, GemmShape::new(2048, 2048, 2048), &[]);
+        }
+        let serial_cfg = SimConfig {
+            overlap_collectives: false,
+            ..cfg()
+        };
+        let report = Engine::new(mesh, serial_cfg).run(&b.build());
+        assert!(report.totals().comm_transfer > Duration::ZERO);
+        assert!(
+            report.overlapped_comm().as_secs() < 1e-12,
+            "serialized run hid {}",
+            report.overlapped_comm()
+        );
+    }
+
+    #[test]
+    fn overlap_equals_span_intersection() {
+        // The O(1)-per-node overlap accounting must agree with the
+        // explicit geometry: intersect every transfer span with the
+        // owning chip's compute-lane spans.
+        let mesh = Torus2d::new(4, 2);
+        let mut b = ProgramBuilder::new(&mesh);
+        let tag = b.next_tag();
+        let tag2 = b.next_tag();
+        for chip in mesh.chips() {
+            b.all_gather(chip, tag, CommAxis::InterRow, 2 << 20, &[]);
+            b.gemm(chip, GemmShape::new(4096, 4096, 4096), &[]);
+            b.reduce_scatter(chip, tag2, CommAxis::InterCol, 1 << 20, &[]);
+        }
+        let program = b.build();
+        let (report, spans) = Engine::new(mesh, cfg()).run_spans(&program);
+        let mut recomputed = 0.0;
+        for t in spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::CommTransfer && s.end > s.start)
+        {
+            for c in spans
+                .iter()
+                .filter(|s| s.chip == t.chip && s.track == SpanTrack::Compute)
+            {
+                let lo = t.start.as_secs().max(c.start.as_secs());
+                let hi = t.end.as_secs().min(c.end.as_secs());
+                recomputed += (hi - lo).max(0.0);
+            }
+        }
+        assert!(report.overlapped_comm().as_secs() > 0.0);
+        assert!(
+            (report.overlapped_comm().as_secs() - recomputed).abs() < 1e-9,
+            "engine {} vs spans {recomputed}",
+            report.overlapped_comm().as_secs()
+        );
+    }
+
+    #[test]
+    fn instrumented_timeline_orders_every_node() {
+        let mesh = Torus2d::new(2, 2);
+        let mut b = ProgramBuilder::new(&mesh);
+        let tag = b.next_tag();
+        for chip in mesh.chips() {
+            let ag = b.all_gather(chip, tag, CommAxis::InterRow, 1 << 20, &[]);
+            b.gemm(chip, GemmShape::new(1024, 1024, 1024), &[ag]);
+        }
+        let program = b.build();
+        let (report, _, timeline) = Engine::new(mesh, cfg()).run_instrumented(&program);
+        assert!(!timeline.nodes.is_empty());
+        assert_eq!(timeline.finish_seq.len(), timeline.nodes.len());
+        let eps = 1e-12;
+        for rec in &timeline.nodes {
+            assert!(rec.ready <= rec.acquired);
+            assert!(rec.acquired <= rec.busy_start);
+            assert!(rec.busy_start <= rec.finish);
+            assert!(rec.finish <= report.makespan());
+            // The busy interval starts exactly after the sync delay.
+            assert!(
+                (rec.busy_start.as_secs() - rec.acquired.as_secs() - rec.sync.as_secs()).abs()
+                    < 1e-9
+            );
+            // Ready means every dependency has finished.
+            for &d in &rec.deps {
+                assert!(timeline.nodes[d].finish.as_secs() <= rec.ready.as_secs() + eps);
+            }
+            // A resource predecessor releases the lane at acquisition time.
+            if let Some(p) = rec.res_pred {
+                assert_eq!(timeline.nodes[p].track, rec.track);
+                assert_eq!(timeline.nodes[p].chip, rec.chip);
+                assert_eq!(timeline.nodes[p].finish, rec.acquired);
+            }
+        }
+        // finish_seq is a permutation ordered by completion time.
+        let mut seen = vec![false; timeline.nodes.len()];
+        let mut prev = Duration::ZERO;
+        for &i in &timeline.finish_seq {
+            assert!(!seen[i]);
+            seen[i] = true;
+            assert!(timeline.nodes[i].finish >= prev);
+            prev = timeline.nodes[i].finish;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // The last completion is the makespan.
+        assert_eq!(
+            timeline.nodes[*timeline.finish_seq.last().unwrap()].finish,
+            report.makespan()
+        );
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_run() {
+        let mesh = Torus2d::new(2, 2);
+        let mut b = ProgramBuilder::new(&mesh);
+        let tag = b.next_tag();
+        for chip in mesh.chips() {
+            let ag = b.all_gather(chip, tag, CommAxis::InterRow, 1 << 20, &[]);
+            b.gemm(chip, GemmShape::new(512, 512, 512), &[ag]);
+        }
+        let program = b.build();
+        let plain = Engine::new(Torus2d::new(2, 2), cfg()).run(&program);
+        let (report, spans, timeline) =
+            Engine::new(Torus2d::new(2, 2), cfg()).run_instrumented(&program);
+        assert_eq!(plain, report);
+        assert!(!spans.is_empty());
+        assert_eq!(timeline.nodes.len(), timeline.finish_seq.len());
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub struct SimReport {
     peak_flops: f64,
     total_flops: u64,
     totals: TimeBreakdown,
+    overlapped_comm: Duration,
 }
 
 impl SimReport {
@@ -72,6 +73,7 @@ impl SimReport {
         peak_flops: f64,
         total_flops: u64,
         totals: TimeBreakdown,
+        overlapped_comm: Duration,
     ) -> Self {
         SimReport {
             makespan,
@@ -79,6 +81,7 @@ impl SimReport {
             peak_flops,
             total_flops,
             totals,
+            overlapped_comm,
         }
     }
 
@@ -128,6 +131,26 @@ impl SimReport {
         }
     }
 
+    /// Shard-transfer time that elapsed while the owning chip's compute
+    /// unit was simultaneously busy — communication the schedule hid
+    /// under computation.
+    pub fn overlapped_comm(&self) -> Duration {
+        self.overlapped_comm
+    }
+
+    /// Fraction of shard-transfer time hidden under computation, in
+    /// `[0, 1]` — the paper's headline overlap quantity (Figure 4).
+    ///
+    /// Returns 0 for a run with no shard transfers.
+    pub fn overlap_efficiency(&self) -> f64 {
+        let transfer = self.totals.comm_transfer.as_secs();
+        if transfer == 0.0 {
+            0.0
+        } else {
+            (self.overlapped_comm.as_secs() / transfer).clamp(0.0, 1.0)
+        }
+    }
+
     /// Communication time relative to computation time, per category
     /// (`launch`, `transfer`, `sync`) — the bars of the paper's Figure 10.
     ///
@@ -158,6 +181,7 @@ impl SimReport {
         let mut makespan = Duration::ZERO;
         let mut total_flops = 0u64;
         let mut totals = TimeBreakdown::default();
+        let mut overlapped_comm = Duration::ZERO;
         for r in reports {
             assert_eq!(r.num_chips, first.num_chips, "cluster size mismatch");
             // Relative tolerance: peak FLOPs are O(1e14), where an
@@ -173,6 +197,7 @@ impl SimReport {
             makespan += r.makespan;
             total_flops += r.total_flops;
             totals = totals.merged(&r.totals);
+            overlapped_comm += r.overlapped_comm;
         }
         SimReport {
             makespan,
@@ -180,6 +205,7 @@ impl SimReport {
             peak_flops: first.peak_flops,
             total_flops,
             totals,
+            overlapped_comm,
         }
     }
 }
@@ -189,9 +215,10 @@ impl fmt::Display for SimReport {
         let per = self.per_chip();
         write!(
             f,
-            "makespan {} | util {:.1}% | per-chip compute {} slice {} launch {} sync {} transfer {}",
+            "makespan {} | util {:.1}% | overlap {:.1}% | per-chip compute {} slice {} launch {} sync {} transfer {}",
             self.makespan,
             self.flop_utilization() * 100.0,
+            self.overlap_efficiency() * 100.0,
             per.compute,
             per.slice,
             per.comm_launch,
@@ -218,6 +245,7 @@ mod tests {
                 comm_sync: Duration::from_secs(2.0),
                 comm_transfer: Duration::from_secs(3.0),
             },
+            Duration::from_secs(1.5),
         )
     }
 
@@ -250,6 +278,33 @@ mod tests {
         assert_eq!(merged.total_flops(), 150);
         assert_eq!(merged.totals().compute, Duration::from_secs(6.0));
         assert_eq!(merged.totals().comm_total(), Duration::from_secs(12.0));
+    }
+
+    #[test]
+    fn overlap_efficiency_is_hidden_over_transfer() {
+        // 1.5 s hidden out of 3.0 s of transfer.
+        let r = report(1.0, 0, 2.0);
+        assert!((r.overlap_efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_efficiency_of_transfer_free_run_is_zero() {
+        let r = SimReport::new(
+            Duration::from_secs(1.0),
+            4,
+            100.0,
+            10,
+            TimeBreakdown::default(),
+            Duration::ZERO,
+        );
+        assert_eq!(r.overlap_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn merge_serial_adds_overlapped_comm() {
+        let merged = SimReport::merge_serial(&[report(1.0, 100, 2.0), report(2.0, 50, 4.0)]);
+        assert_eq!(merged.overlapped_comm(), Duration::from_secs(3.0));
+        assert!((merged.overlap_efficiency() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Observability layer over the MeshSlice simulator.
+//!
+//! The simulator reports end-of-run totals; this crate answers *why* a
+//! schedule's makespan is what it is:
+//!
+//! - [`CriticalPath`] walks the realized schedule backwards from the
+//!   last node to finish and attributes every critical nanosecond to a
+//!   `(chip, op, kind)` — plus per-node and per-op slack from a CPM-style
+//!   backward pass ([`node_slacks`], [`op_slacks`]).
+//! - [`RunMetrics`] aggregates a run into per-lane busy fractions,
+//!   windowed utilization time series, the five Figure 10 buckets, and
+//!   the overlap efficiency scalar, with JSON and Prometheus exports.
+//! - [`TuneLog`] records predicted-vs-simulated makespan for every
+//!   autotuner candidate (the paper's Figure 15 error analysis).
+//! - [`RunDiff`] compares two metric artifacts with an ASCII per-lane
+//!   utilization heatmap.
+//!
+//! Everything is built on [`meshslice_sim::Engine::run_instrumented`],
+//! works under fault profiles, and serializes through the dependency-free
+//! [`Json`] value.
+//!
+//! # Example
+//!
+//! ```
+//! use meshslice_mesh::{CommAxis, Torus2d};
+//! use meshslice_sim::{Engine, GemmShape, ProgramBuilder, SimConfig};
+//! use meshslice_telemetry::{CriticalPath, RunMetrics};
+//!
+//! let mesh = Torus2d::new(2, 2);
+//! let mut b = ProgramBuilder::new(&mesh);
+//! let tag = b.next_tag();
+//! for chip in mesh.chips() {
+//!     let ag = b.all_gather(chip, tag, CommAxis::InterRow, 1 << 20, &[]);
+//!     b.gemm(chip, GemmShape::new(512, 512, 512), &[ag]);
+//! }
+//! let program = b.build();
+//! let (report, spans, timeline) =
+//!     Engine::new(mesh, SimConfig::tpu_v4()).run_instrumented(&program);
+//! let path = CriticalPath::extract(&timeline);
+//! assert!((path.attribution().total() - report.makespan().as_secs()).abs() < 1e-9);
+//! let metrics = RunMetrics::collect(&report, &spans, &timeline, program.len(), 16);
+//! assert!(metrics.overlap_efficiency >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod critical_path;
+mod diff;
+mod json;
+mod metrics;
+mod schema;
+mod tunelog;
+
+pub use critical_path::{
+    node_slacks, op_slacks, CriticalPath, PathAttribution, PathKind, PathSegment,
+};
+pub use diff::RunDiff;
+pub use json::Json;
+pub use metrics::{
+    spans_overlap_and_buckets, Hotspot, LaneStat, RunMetrics, WindowStat, BUCKET_LABELS,
+    LANE_LABELS,
+};
+pub use schema::validate;
+pub use tunelog::{TuneCandidate, TuneLog};

@@ -1,0 +1,133 @@
+//! A small structural JSON-schema checker.
+//!
+//! Supports the subset of JSON Schema the CI smoke job needs to validate
+//! metric artifacts: `type` (including `"integer"`), `properties`,
+//! `required`, `items`, `enum`, and `minimum`/`maximum` bounds. Unknown
+//! keywords are ignored, as the spec prescribes.
+
+use crate::json::Json;
+
+/// Validates `value` against `schema`, returning every violation as a
+/// `(json-pointer-ish path, message)` pair. An empty vector means the
+/// document conforms.
+pub fn validate(schema: &Json, value: &Json) -> Vec<(String, String)> {
+    let mut errors = Vec::new();
+    check(schema, value, "$", &mut errors);
+    errors
+}
+
+fn type_name(value: &Json) -> &'static str {
+    match value {
+        Json::Null => "null",
+        Json::Bool(_) => "boolean",
+        Json::Num(_) => "number",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+fn matches_type(value: &Json, ty: &str) -> bool {
+    match ty {
+        "integer" => matches!(value, Json::Num(n) if n.fract() == 0.0),
+        other => type_name(value) == other,
+    }
+}
+
+fn check(schema: &Json, value: &Json, path: &str, errors: &mut Vec<(String, String)>) {
+    if let Some(ty) = schema.get("type").and_then(Json::as_str) {
+        if !matches_type(value, ty) {
+            errors.push((
+                path.to_string(),
+                format!("expected type {ty}, found {}", type_name(value)),
+            ));
+            return;
+        }
+    }
+    if let Some(Json::Arr(allowed)) = schema.get("enum") {
+        if !allowed.contains(value) {
+            errors.push((path.to_string(), format!("{value} not in enum")));
+        }
+    }
+    if let (Some(min), Some(n)) = (schema.get("minimum").and_then(Json::as_f64), value.as_f64()) {
+        if n < min {
+            errors.push((path.to_string(), format!("{n} below minimum {min}")));
+        }
+    }
+    if let (Some(max), Some(n)) = (schema.get("maximum").and_then(Json::as_f64), value.as_f64()) {
+        if n > max {
+            errors.push((path.to_string(), format!("{n} above maximum {max}")));
+        }
+    }
+    if let Some(Json::Arr(required)) = schema.get("required") {
+        for key in required.iter().filter_map(|k| k.as_str()) {
+            if value.get(key).is_none() {
+                errors.push((path.to_string(), format!("missing required key '{key}'")));
+            }
+        }
+    }
+    if let (Some(Json::Obj(props)), Json::Obj(pairs)) = (schema.get("properties"), value) {
+        for (key, sub) in props {
+            if let Some((_, v)) = pairs.iter().find(|(k, _)| k == key) {
+                check(sub, v, &format!("{path}.{key}"), errors);
+            }
+        }
+    }
+    if let (Some(item_schema), Json::Arr(items)) = (schema.get("items"), value) {
+        for (i, item) in items.iter().enumerate() {
+            check(item_schema, item, &format!("{path}[{i}]"), errors);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Json {
+        Json::parse(
+            r#"{
+                "type": "object",
+                "required": ["makespan", "chips", "buckets"],
+                "properties": {
+                    "makespan": {"type": "number", "minimum": 0},
+                    "chips": {"type": "integer", "minimum": 1},
+                    "kind": {"type": "string", "enum": ["run", "diff"]},
+                    "buckets": {
+                        "type": "array",
+                        "items": {"type": "number", "minimum": 0}
+                    }
+                }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn conforming_document_passes() {
+        let doc =
+            Json::parse(r#"{"makespan": 1.5, "chips": 16, "kind": "run", "buckets": [0, 1, 2.5]}"#)
+                .unwrap();
+        assert!(validate(&schema(), &doc).is_empty());
+    }
+
+    #[test]
+    fn missing_required_key_is_reported() {
+        let doc = Json::parse(r#"{"makespan": 1.5, "chips": 16}"#).unwrap();
+        let errors = validate(&schema(), &doc);
+        assert!(errors.iter().any(|(_, m)| m.contains("buckets")));
+    }
+
+    #[test]
+    fn type_and_bound_violations_are_reported_with_paths() {
+        let doc =
+            Json::parse(r#"{"makespan": -1, "chips": 2.5, "kind": "bogus", "buckets": [1, "x"]}"#)
+                .unwrap();
+        let errors = validate(&schema(), &doc);
+        let paths: Vec<&str> = errors.iter().map(|(p, _)| p.as_str()).collect();
+        assert!(paths.contains(&"$.makespan"));
+        assert!(paths.contains(&"$.chips"));
+        assert!(paths.contains(&"$.kind"));
+        assert!(paths.contains(&"$.buckets[1]"));
+    }
+}

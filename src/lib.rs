@@ -7,4 +7,5 @@ pub use meshslice_collectives as collectives;
 pub use meshslice_gemm as gemm;
 pub use meshslice_mesh as mesh;
 pub use meshslice_sim as sim;
+pub use meshslice_telemetry as telemetry;
 pub use meshslice_tensor as tensor;

@@ -1,0 +1,207 @@
+//! Property tests for the engine's span accounting and the telemetry
+//! layer built on it: every algorithm and dataflow must emit spans that
+//! stay inside the run, never double-book an exclusive lane, sum to the
+//! report's time-breakdown buckets, and carry a critical path that
+//! telescopes to the makespan with non-negative slack everywhere.
+
+use meshslice::{
+    Cannon, Collective, Dataflow, DistributedGemm, Engine, GemmProblem, GemmShape, MeshSlice,
+    SimConfig, Summa, Wang,
+};
+use meshslice_mesh::Torus2d;
+use meshslice_sim::{NodeSpan, SimReport, SpanTrack};
+use meshslice_telemetry::{node_slacks, spans_overlap_and_buckets, CriticalPath};
+use proptest::prelude::*;
+
+/// The algorithm zoo, each boxed behind the scheduling trait. Cannon
+/// requires a square mesh, so it carries a predicate.
+fn algorithms() -> Vec<(&'static str, Box<dyn DistributedGemm>, bool)> {
+    vec![
+        ("meshslice", Box::new(MeshSlice::new(2, 4)), false),
+        ("collective", Box::new(Collective), false),
+        ("wang", Box::new(Wang::new()), false),
+        ("summa", Box::new(Summa::new(4)), false),
+        ("cannon", Box::new(Cannon), true),
+    ]
+}
+
+/// Schedules and runs one divisible GeMM; `None` when the algorithm
+/// rejects the (mesh, dataflow) combination.
+fn run_spans(
+    algo: &dyn DistributedGemm,
+    pr: usize,
+    pc: usize,
+    dataflow: Dataflow,
+) -> Option<(SimReport, Vec<NodeSpan>)> {
+    let mesh = Torus2d::new(pr, pc);
+    let unit = 8 * pr * pc * 2;
+    let problem = GemmProblem::new(GemmShape::new(unit * 4, unit * 4, unit * 4), dataflow);
+    let program = algo.schedule(&mesh, problem, 2).ok()?;
+    Some(Engine::new(mesh, SimConfig::tpu_v4()).run_spans(&program))
+}
+
+/// Asserts the satellite span invariants on one run.
+fn check_span_invariants(name: &str, report: &SimReport, spans: &[NodeSpan]) {
+    let makespan = report.makespan().as_secs();
+    // Every span lies within [0, makespan].
+    for s in spans {
+        let (a, b) = (s.start.as_secs(), s.end.as_secs());
+        assert!(a >= 0.0 && b >= a, "{name}: span out of order {a}..{b}");
+        assert!(
+            b <= makespan + 1e-9 * makespan.max(1.0),
+            "{name}: span end {b} beyond makespan {makespan}"
+        );
+    }
+    // Exclusive lanes (compute, links) are never double-booked. The host
+    // lane is intentionally excluded: launches hold no exclusive
+    // resource, so concurrent collectives may overlap there.
+    let mut by_lane: Vec<((usize, usize), (f64, f64))> = spans
+        .iter()
+        .filter(|s| !matches!(s.track, SpanTrack::Host))
+        .map(|s| {
+            (
+                (s.chip.index(), s.track.lane()),
+                (s.start.as_secs(), s.end.as_secs()),
+            )
+        })
+        .collect();
+    by_lane.sort_by(|x, y| x.0.cmp(&y.0).then(x.1 .0.total_cmp(&y.1 .0)));
+    for w in by_lane.windows(2) {
+        let ((lane_a, (_, end_a)), (lane_b, (start_b, _))) = (&w[0], &w[1]);
+        if lane_a == lane_b {
+            assert!(
+                *start_b >= *end_a - 1e-12,
+                "{name}: lane {lane_a:?} double-booked: ends {end_a}, next starts {start_b}"
+            );
+        }
+    }
+    // Per-kind span sums reproduce the report's time-breakdown buckets
+    // (comm_sync has no busy spans, so it is structurally zero here).
+    let (_, buckets) = spans_overlap_and_buckets(spans);
+    let totals = report.totals();
+    let want = [
+        totals.compute.as_secs(),
+        totals.slice.as_secs(),
+        totals.comm_launch.as_secs(),
+        0.0,
+        totals.comm_transfer.as_secs(),
+    ];
+    for (i, (got, want)) in buckets.iter().zip(want).enumerate() {
+        assert!(
+            (got - want).abs() <= 1e-9 * want.max(1.0),
+            "{name}: bucket {i}: spans sum to {got}, report says {want}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite (b): the span invariants hold for every algorithm and
+    /// every dataflow it accepts, across mesh shapes.
+    #[test]
+    fn span_invariants_hold_for_every_algorithm_and_dataflow(
+        pr in 1usize..4, pc in 1usize..4,
+    ) {
+        let mut ran = 0;
+        for (name, algo, square_only) in algorithms() {
+            if square_only && pr != pc {
+                continue;
+            }
+            for dataflow in [Dataflow::Os, Dataflow::Ls, Dataflow::Rs] {
+                if let Some((report, spans)) = run_spans(algo.as_ref(), pr, pc, dataflow) {
+                    prop_assert!(!spans.is_empty(), "{} produced no spans", name);
+                    check_span_invariants(name, &report, &spans);
+                    ran += 1;
+                }
+            }
+        }
+        // MeshSlice at least must accept all three dataflows.
+        prop_assert!(ran >= 3, "only {} (algorithm, dataflow) combos ran", ran);
+    }
+
+    /// The critical path telescopes to the makespan and every node has
+    /// non-negative slack, for every mesh shape and slice count.
+    #[test]
+    fn critical_path_telescopes_and_slack_is_nonnegative(
+        pr in 1usize..4, pc in 1usize..4, s in 1usize..3,
+    ) {
+        let mesh = Torus2d::new(pr, pc);
+        let unit = 8 * pr * pc * s;
+        let problem =
+            GemmProblem::new(GemmShape::new(unit * 4, unit * 4, unit * 4), Dataflow::Os);
+        let program = MeshSlice::new(s, 4).schedule(&mesh, problem, 2).unwrap();
+        let (report, _, timeline) =
+            Engine::new(mesh, SimConfig::tpu_v4()).run_instrumented(&program);
+        let path = CriticalPath::extract(&timeline);
+        let makespan = report.makespan().as_secs();
+        prop_assert!(
+            (path.attribution().total() - makespan).abs() <= 1e-9 * makespan.max(1.0),
+            "critical path {} vs makespan {}",
+            path.attribution().total(),
+            makespan
+        );
+        for (i, slack) in node_slacks(&timeline).iter().enumerate() {
+            prop_assert!(*slack >= 0.0, "node {} has negative slack {}", i, slack);
+        }
+    }
+
+    /// Satellite (c): a serially merged report equals the telemetry
+    /// recomputation over the concatenated spans, with the second run's
+    /// spans shifted past the first run's makespan.
+    #[test]
+    fn merged_report_matches_concatenated_span_recomputation(
+        pr in 1usize..4, pc in 1usize..4,
+        s1 in 1usize..3, s2 in 1usize..3,
+    ) {
+        let mesh = Torus2d::new(pr, pc);
+        let cfg = SimConfig::tpu_v4();
+        let mut runs = Vec::new();
+        for s in [s1, s2] {
+            let unit = 8 * pr * pc * s;
+            let problem =
+                GemmProblem::new(GemmShape::new(unit * 4, unit * 4, unit * 4), Dataflow::Os);
+            let program = MeshSlice::new(s, 4).schedule(&mesh, problem, 2).unwrap();
+            runs.push(Engine::new(mesh.clone(), cfg.clone()).run_spans(&program));
+        }
+        let merged = SimReport::merge_serial(&[runs[0].0.clone(), runs[1].0.clone()]);
+
+        let offset = runs[0].0.makespan();
+        let mut spans = runs[0].1.clone();
+        spans.extend(runs[1].1.iter().map(|sp| NodeSpan {
+            start: sp.start + offset,
+            end: sp.end + offset,
+            ..*sp
+        }));
+
+        let (overlap, buckets) = spans_overlap_and_buckets(&spans);
+        prop_assert!(
+            (overlap - merged.overlapped_comm().as_secs()).abs() <= 1e-9,
+            "overlap {} vs merged {}",
+            overlap,
+            merged.overlapped_comm().as_secs()
+        );
+        let totals = merged.totals();
+        let want = [
+            totals.compute.as_secs(),
+            totals.slice.as_secs(),
+            totals.comm_launch.as_secs(),
+            0.0,
+            totals.comm_transfer.as_secs(),
+        ];
+        for (got, want) in buckets.iter().zip(want) {
+            prop_assert!(
+                (got - want).abs() <= 1e-9 * want.max(1.0),
+                "merged bucket {} vs {}",
+                got,
+                want
+            );
+        }
+        // The merged makespan bounds every shifted span.
+        let last = spans
+            .iter()
+            .map(|sp| sp.end.as_secs())
+            .fold(0.0f64, f64::max);
+        prop_assert!(last <= merged.makespan().as_secs() + 1e-9);
+    }
+}
