@@ -3,10 +3,13 @@
 //! simulation engine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meshslice::autotuner::{Autotuner, RobustObjective};
+use meshslice::llm::{LlmConfig, TrainingSetup};
 use meshslice_collectives::{all_gather, reduce_scatter};
+use meshslice_faults::FaultSpec;
 use meshslice_gemm::{Collective, Dataflow, DistributedGemm, GemmProblem, MeshSlice};
 use meshslice_mesh::{CommAxis, Torus2d};
-use meshslice_sim::{Engine, SimConfig};
+use meshslice_sim::{Engine, RunScratch, SimConfig};
 use meshslice_tensor::gemm::matmul;
 use meshslice_tensor::slice::{slice_cols, SliceSpec};
 use meshslice_tensor::{GemmShape, Matrix};
@@ -72,12 +75,67 @@ fn bench_sim_engine(c: &mut Criterion) {
     });
 }
 
+fn bench_scratch_reuse(c: &mut Criterion) {
+    // The sweep hot path: the same program replayed with allocations
+    // recycled across runs (and, for the lowered variant, the program
+    // graph lowered once up front).
+    let mesh = Torus2d::new(4, 4);
+    let cfg = SimConfig::tpu_v4();
+    let problem = GemmProblem::new(GemmShape::new(8192, 8192, 8192), Dataflow::Os);
+    let prog = MeshSlice::new(8, 8).schedule(&mesh, problem, 2).unwrap();
+    let engine = Engine::new(mesh, cfg);
+    let lowered = engine.lower_program(&prog);
+    let mut group = c.benchmark_group("scratch_reuse");
+    group.bench_function("run_fresh", |b| {
+        b.iter(|| engine.run(std::hint::black_box(&prog)))
+    });
+    let mut scratch = RunScratch::new();
+    group.bench_function("run_with_scratch", |b| {
+        b.iter(|| engine.run_with_scratch(std::hint::black_box(&prog), &mut scratch))
+    });
+    group.bench_function("run_lowered_with_scratch", |b| {
+        b.iter(|| engine.run_lowered_with_scratch(std::hint::black_box(&lowered), &mut scratch))
+    });
+    group.finish();
+}
+
+fn bench_robust_tuning(c: &mut Criterion) {
+    // End-to-end robust sweep on a tiny model: schedules, lowers, and
+    // replays every (mesh, S) candidate across two fault draws.
+    let model = LlmConfig {
+        name: "Tiny".to_string(),
+        hidden: 256,
+        heads: 4,
+        layers: 2,
+        ffn_mult: 4,
+    };
+    let chips = 4;
+    let setup = TrainingSetup::weak_scaling(chips);
+    let tuner = Autotuner::new(SimConfig::tpu_v4());
+    let profiles = FaultSpec::stragglers(1, 1.5).sample_profiles(chips, 42, 2);
+    c.bench_function("tune_robust_tiny_4chips_2draws", |b| {
+        b.iter(|| {
+            tuner.tune_robust_threads(
+                &model,
+                setup,
+                chips,
+                &[1, 2, 4],
+                std::hint::black_box(&profiles),
+                RobustObjective::P95,
+                1,
+            )
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_slicing,
     bench_gemm_kernel,
     bench_collectives,
     bench_functional_meshslice,
-    bench_sim_engine
+    bench_sim_engine,
+    bench_scratch_reuse,
+    bench_robust_tuning
 );
 criterion_main!(benches);

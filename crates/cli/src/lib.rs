@@ -100,9 +100,9 @@ pub enum Command {
         /// Cluster size.
         chips: usize,
     },
-    /// `faults [--model M] [--chips N] [--straggler F] [--seeds K]`:
-    /// straggler-severity × slice-count sensitivity grid under seeded
-    /// fault injection.
+    /// `faults [--model M] [--chips N] [--straggler F] [--seeds K]
+    /// [--threads N]`: straggler-severity × slice-count sensitivity grid
+    /// under seeded fault injection.
     Faults {
         /// Target model.
         model: Model,
@@ -112,6 +112,9 @@ pub enum Command {
         straggler: f64,
         /// Number of seeded fault draws per grid cell.
         seeds: usize,
+        /// Sweep worker threads; `MESHSLICE_THREADS` or the machine's
+        /// parallelism when absent. Results are identical at any count.
+        threads: Option<usize>,
     },
     /// `trace [--model M] [--mesh RxC] [--out FILE] [--sort]`: run one FC
     /// GeMM with span collection and emit Chrome trace-event JSON.
@@ -127,9 +130,9 @@ pub enum Command {
         sort: bool,
     },
     /// `metrics [--model M] [--mesh RxC] [--s N] [--windows N]
-    /// [--format F] [--out FILE] [--tunelog FILE]`: instrument one FC
-    /// GeMM and report critical-path attribution, overlap efficiency,
-    /// and per-lane utilization.
+    /// [--format F] [--out FILE] [--tunelog FILE] [--threads N]`:
+    /// instrument one FC GeMM and report critical-path attribution,
+    /// overlap efficiency, and per-lane utilization.
     Metrics {
         /// Target model.
         model: Model,
@@ -145,6 +148,9 @@ pub enum Command {
         out: Option<String>,
         /// Run the logged autotuner and write the candidate log here.
         tunelog: Option<String>,
+        /// Sweep worker threads; `MESHSLICE_THREADS` or the machine's
+        /// parallelism when absent. Results are identical at any count.
+        threads: Option<usize>,
     },
     /// `compare <runA.json> <runB.json>`: diff two metric artifacts
     /// written by `metrics --out`.
@@ -241,11 +247,18 @@ USAGE:
     meshslice memory      <gpt3|megatron> <chips>
     meshslice inference   <gpt3|megatron> <chips>
     meshslice faults      [--model gpt3|megatron] [--chips N] [--straggler F] [--seeds K]
+                          [--threads N]
     meshslice trace       [--model gpt3|megatron] [--mesh RxC] [--out FILE] [--sort]
     meshslice metrics     [--model gpt3|megatron] [--mesh RxC] [--s N] [--windows N]
                           [--format text|json|prometheus] [--out FILE] [--tunelog FILE]
+                          [--threads N]
     meshslice traffic
-    meshslice help";
+    meshslice help
+
+Sweeping subcommands (faults, metrics --tunelog) evaluate candidates on
+--threads N worker threads; the MESHSLICE_THREADS environment variable is
+the fallback when the flag is absent, then the machine's parallelism.
+Output is bit-identical at any thread count.";
 
 fn parse_model(s: &str) -> Result<Model, UsageError> {
     match s.to_ascii_lowercase().as_str() {
@@ -275,8 +288,17 @@ fn parse_f64(s: &str, what: &str) -> Result<f64, UsageError> {
         .map_err(|_| UsageError(format!("invalid {what} '{s}'")))
 }
 
+fn parse_threads(s: &str) -> Result<usize, UsageError> {
+    let n = parse_usize(s, "thread count")?;
+    if n == 0 {
+        return Err(UsageError("thread count must be positive".into()));
+    }
+    Ok(n)
+}
+
 fn parse_faults(args: &[String]) -> Result<Command, UsageError> {
     let (mut model, mut chips, mut straggler, mut seeds) = (Model::Gpt3, 16, 2.0, 4);
+    let mut threads = None;
     let mut it = args.iter().map(String::as_str);
     while let Some(flag) = it.next() {
         let value = it
@@ -287,6 +309,7 @@ fn parse_faults(args: &[String]) -> Result<Command, UsageError> {
             "--chips" => chips = parse_usize(value, "chip count")?,
             "--straggler" => straggler = parse_f64(value, "straggler slowdown")?,
             "--seeds" => seeds = parse_usize(value, "seed count")?,
+            "--threads" => threads = Some(parse_threads(value)?),
             other => return Err(UsageError(format!("unknown flag '{other}'"))),
         }
     }
@@ -303,6 +326,7 @@ fn parse_faults(args: &[String]) -> Result<Command, UsageError> {
         chips,
         straggler,
         seeds,
+        threads,
     })
 }
 
@@ -340,6 +364,7 @@ fn parse_metrics(args: &[String]) -> Result<Command, UsageError> {
     let mut format = MetricsFormat::Text;
     let mut out = None;
     let mut tunelog = None;
+    let mut threads = None;
     let mut it = args.iter().map(String::as_str);
     while let Some(flag) = it.next() {
         let value = it
@@ -360,6 +385,7 @@ fn parse_metrics(args: &[String]) -> Result<Command, UsageError> {
             }
             "--out" => out = Some(value.to_string()),
             "--tunelog" => tunelog = Some(value.to_string()),
+            "--threads" => threads = Some(parse_threads(value)?),
             other => return Err(UsageError(format!("unknown flag '{other}'"))),
         }
     }
@@ -377,6 +403,7 @@ fn parse_metrics(args: &[String]) -> Result<Command, UsageError> {
         format,
         out,
         tunelog,
+        threads,
     })
 }
 
@@ -598,7 +625,11 @@ pub fn execute(cmd: Command) {
             chips,
             straggler,
             seeds,
+            threads,
         } => {
+            if let Some(n) = threads {
+                meshslice::par::set_threads(n);
+            }
             let model = model.config();
             let setup = TrainingSetup::weak_scaling(chips);
             let tuner = Autotuner::new(cfg.clone());
@@ -681,7 +712,11 @@ pub fn execute(cmd: Command) {
             format,
             out,
             tunelog,
+            threads,
         } => {
+            if let Some(n) = threads {
+                meshslice::par::set_threads(n);
+            }
             let config = model.config();
             let problem = fc1_problem(&config, mesh);
             let tuner = Autotuner::new(cfg.clone());
@@ -1036,7 +1071,8 @@ mod tests {
                 model: Model::Megatron,
                 chips: 64,
                 straggler: 1.5,
-                seeds: 8
+                seeds: 8,
+                threads: None
             }
         );
         // Defaults apply when flags are omitted.
@@ -1046,11 +1082,23 @@ mod tests {
                 model: Model::Gpt3,
                 chips: 16,
                 straggler: 2.0,
-                seeds: 4
+                seeds: 4,
+                threads: None
+            }
+        );
+        assert_eq!(
+            parse(&args("faults --threads 2")).unwrap(),
+            Command::Faults {
+                model: Model::Gpt3,
+                chips: 16,
+                straggler: 2.0,
+                seeds: 4,
+                threads: Some(2)
             }
         );
         assert!(parse(&args("faults --straggler 0.5")).is_err());
         assert!(parse(&args("faults --seeds 0")).is_err());
+        assert!(parse(&args("faults --threads 0")).is_err());
         assert!(parse(&args("faults --chips")).is_err());
         assert!(parse(&args("faults --frobnicate 3")).is_err());
     }
@@ -1099,13 +1147,14 @@ mod tests {
                 windows: 16,
                 format: MetricsFormat::Text,
                 out: None,
-                tunelog: None
+                tunelog: None,
+                threads: None
             }
         );
         assert_eq!(
             parse(&args(
                 "metrics --model megatron --mesh 2x4 --s 4 --windows 8 \
-                 --format json --out /tmp/m.json --tunelog /tmp/t.json"
+                 --format json --out /tmp/m.json --tunelog /tmp/t.json --threads 4"
             ))
             .unwrap(),
             Command::Metrics {
@@ -1115,12 +1164,14 @@ mod tests {
                 windows: 8,
                 format: MetricsFormat::Json,
                 out: Some("/tmp/m.json".into()),
-                tunelog: Some("/tmp/t.json".into())
+                tunelog: Some("/tmp/t.json".into()),
+                threads: Some(4)
             }
         );
         assert!(parse(&args("metrics --format yaml")).is_err());
         assert!(parse(&args("metrics --windows 0")).is_err());
         assert!(parse(&args("metrics --s 0")).is_err());
+        assert!(parse(&args("metrics --threads 0")).is_err());
         assert!(parse(&args("metrics --out")).is_err());
     }
 
@@ -1279,6 +1330,7 @@ mod tests {
             chips: 4,
             straggler: 1.5,
             seeds: 1,
+            threads: Some(1),
         });
     }
 }

@@ -15,15 +15,96 @@
 //! mesh shapes and iteration counts) so the evaluation comparisons are
 //! fair, as required by §4.2.
 
-use meshslice_gemm::{Dataflow, DistributedGemm, GemmProblem, MeshSlice};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use meshslice_gemm::{Dataflow, DistributedGemm, GemmError, GemmProblem, MeshSlice};
 use meshslice_mesh::{MeshShape, Torus2d};
-use meshslice_sim::{ClusterProfile, Duration, Engine, SimConfig, SimReport};
+use meshslice_sim::{ClusterProfile, Duration, Engine, Program, RunScratch, SimConfig, SimReport};
 use meshslice_telemetry::{TuneCandidate, TuneLog};
 use meshslice_tensor::slice::SliceSpec;
 use meshslice_tensor::GemmShape;
 
 use crate::costmodel::CostModel;
 use crate::llm::{FcLayer, LlmConfig, Pass, TrainingSetup};
+use crate::par;
+
+/// Cache key of one scheduled MeshSlice program: everything
+/// [`MeshSlice::schedule`] depends on.
+type ScheduleKey = (GemmShape, Dataflow, MeshShape, usize, usize, usize);
+
+/// A keyed cache of scheduled MeshSlice [`Program`]s.
+///
+/// Scheduling is a pure function of
+/// `(problem shape, dataflow, mesh, S, block, elem_bytes)`, so sweeps that
+/// revisit the same candidate — the straggler-sensitivity grid re-runs one
+/// (mesh, S) block per severity, figure harnesses revisit configurations —
+/// can share one cache and schedule each program exactly once. Cache hits
+/// return the identical [`Program`] a fresh schedule would build, so
+/// results are unchanged bit-for-bit.
+///
+/// The cache is `Sync`; a single instance can serve all workers of a
+/// [`par::parallel_map`] sweep.
+#[derive(Debug, Default)]
+pub struct ScheduleCache {
+    map: Mutex<HashMap<ScheduleKey, Arc<Program>>>,
+}
+
+impl ScheduleCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached programs.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("schedule cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the cached program for this candidate, scheduling (and
+    /// caching) it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GemmError`] from [`MeshSlice::schedule`]; failures are
+    /// not cached.
+    pub fn schedule(
+        &self,
+        mesh: &Torus2d,
+        problem: GemmProblem,
+        slice_count: usize,
+        block: usize,
+        elem_bytes: usize,
+    ) -> Result<Arc<Program>, GemmError> {
+        let key = (
+            problem.shape,
+            problem.dataflow,
+            mesh.shape(),
+            slice_count,
+            block,
+            elem_bytes,
+        );
+        if let Some(hit) = self.map.lock().expect("schedule cache poisoned").get(&key) {
+            return Ok(hit.clone());
+        }
+        // Build outside the lock: scheduling is the expensive part, and
+        // a duplicate build under a race yields the identical program.
+        let program =
+            Arc::new(MeshSlice::new(slice_count, block).schedule(mesh, problem, elem_bytes)?);
+        Ok(self
+            .map
+            .lock()
+            .expect("schedule cache poisoned")
+            .entry(key)
+            .or_insert(program)
+            .clone())
+    }
+}
 
 /// Which matrix of `Y = X·W` stays stationary (the rows of Table 1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -202,8 +283,26 @@ impl Autotuner {
         problem: GemmProblem,
         elem_bytes: usize,
     ) -> (usize, Duration) {
+        self.best_slice_count_from(
+            &self.legal_slice_counts(mesh, problem),
+            mesh,
+            problem,
+            elem_bytes,
+        )
+    }
+
+    /// [`best_slice_count`](Self::best_slice_count) over an already
+    /// computed legal-slice-count list, so callers that need the list for
+    /// other purposes don't recompute it.
+    fn best_slice_count_from(
+        &self,
+        legal: &[usize],
+        mesh: MeshShape,
+        problem: GemmProblem,
+        elem_bytes: usize,
+    ) -> (usize, Duration) {
         let mut best = (1, self.cost.meshslice_time(mesh, problem, 1, elem_bytes));
-        for s in self.legal_slice_counts(mesh, problem) {
+        for &s in legal {
             let t = self.cost.meshslice_time(mesh, problem, s, elem_bytes);
             if t < best.1 {
                 best = (s, t);
@@ -296,20 +395,18 @@ impl Autotuner {
         self.tune_with(model, setup, chips, Some(stationary))
     }
 
-    fn tune_with(
-        &self,
+    /// The per-layer (stationary, three pass problems) of a model under a
+    /// training setup — invariant across candidate meshes, so tune loops
+    /// compute it once instead of once per mesh.
+    fn layer_problems(
         model: &LlmConfig,
         setup: TrainingSetup,
-        chips: usize,
         force: Option<Stationary>,
-    ) -> TunePlan {
-        let eb = self.cost.config().elem_bytes;
-        let mut best: Option<TunePlan> = None;
-        for mesh in Self::candidate_meshes(chips) {
-            let mut layers = Vec::new();
-            let mut total = Duration::ZERO;
-            let mut feasible = true;
-            for layer in model.fc_layers() {
+    ) -> Vec<(FcLayer, Stationary, [GemmProblem; 3])> {
+        model
+            .fc_layers()
+            .into_iter()
+            .map(|layer| {
                 let stationary = force.unwrap_or(choose_stationary(
                     setup.tokens(),
                     layer.input_dim,
@@ -321,13 +418,43 @@ impl Autotuner {
                     layer.input_dim,
                     layer.output_dim,
                 );
+                (layer, stationary, problems)
+            })
+            .collect()
+    }
+
+    fn tune_with(
+        &self,
+        model: &LlmConfig,
+        setup: TrainingSetup,
+        chips: usize,
+        force: Option<Stationary>,
+    ) -> TunePlan {
+        let eb = self.cost.config().elem_bytes;
+        let layer_problems = Self::layer_problems(model, setup, force);
+        let mut best: Option<TunePlan> = None;
+        for mesh in Self::candidate_meshes(chips) {
+            let mut layers = Vec::new();
+            let mut total = Duration::ZERO;
+            let mut feasible = true;
+            // Mirrored layers repeat problems: tune each distinct problem's
+            // slice count once per mesh, not once per layer pass.
+            let mut best_memo: Vec<(GemmProblem, (usize, Duration))> = Vec::new();
+            for (layer, stationary, problems) in &layer_problems {
                 let mut passes = Vec::new();
-                for (pass, problem) in Pass::ALL.into_iter().zip(problems) {
+                for (pass, problem) in Pass::ALL.into_iter().zip(*problems) {
                     if problem.check_divisible(mesh).is_err() {
                         feasible = false;
                         break;
                     }
-                    let (s, t) = self.best_slice_count(mesh, problem, eb);
+                    let (s, t) = match best_memo.iter().find(|(p, _)| *p == problem) {
+                        Some(&(_, hit)) => hit,
+                        None => {
+                            let computed = self.best_slice_count(mesh, problem, eb);
+                            best_memo.push((problem, computed));
+                            computed
+                        }
+                    };
                     total += t;
                     passes.push(PassPlan {
                         pass,
@@ -339,8 +466,8 @@ impl Autotuner {
                     break;
                 }
                 layers.push(LayerPlan {
-                    layer,
-                    stationary,
+                    layer: *layer,
+                    stationary: *stationary,
                     passes: [passes[0], passes[1], passes[2]],
                 });
             }
@@ -374,14 +501,7 @@ impl Autotuner {
         let eb = self.cost.config().elem_bytes;
         let mut total = Duration::ZERO;
         let mut layers = Vec::new();
-        for layer in model.fc_layers() {
-            let stationary = choose_stationary(setup.tokens(), layer.input_dim, layer.output_dim);
-            let problems = pass_problems(
-                stationary,
-                setup.tokens(),
-                layer.input_dim,
-                layer.output_dim,
-            );
+        for (layer, stationary, problems) in Self::layer_problems(model, setup, None) {
             let mut passes = Vec::new();
             for (pass, problem) in Pass::ALL.into_iter().zip(problems) {
                 if problem.check_divisible(mesh).is_err() {
@@ -418,53 +538,47 @@ impl Autotuner {
         setup: TrainingSetup,
         mesh_shape: MeshShape,
     ) -> Option<(Vec<LayerPlan>, TuneLog)> {
+        self.tune_on_mesh_logged_threads(model, setup, mesh_shape, par::threads())
+    }
+
+    /// [`tune_on_mesh_logged`](Self::tune_on_mesh_logged) with an explicit
+    /// worker count for the candidate simulations. The log is assembled in
+    /// candidate order from index-placed results, so the output is
+    /// identical at any thread count.
+    pub fn tune_on_mesh_logged_threads(
+        &self,
+        model: &LlmConfig,
+        setup: TrainingSetup,
+        mesh_shape: MeshShape,
+        threads: usize,
+    ) -> Option<(Vec<LayerPlan>, TuneLog)> {
         let eb = self.cost.config().elem_bytes;
         let mesh = Torus2d::from_shape(mesh_shape);
         let engine = Engine::new(mesh.clone(), self.cost.config().clone());
-        let mut log = TuneLog::default();
+        // Stage 1 (cheap, serial): pick each pass's slice count and
+        // enumerate every logged candidate, computing the legal slice
+        // counts once per pass.
         let mut layers = Vec::new();
-        for layer in model.fc_layers() {
-            let stationary = choose_stationary(setup.tokens(), layer.input_dim, layer.output_dim);
-            let problems = pass_problems(
-                stationary,
-                setup.tokens(),
-                layer.input_dim,
-                layer.output_dim,
-            );
+        let mut cands: Vec<(String, GemmProblem, usize, usize, bool)> = Vec::new();
+        for (layer, stationary, problems) in Self::layer_problems(model, setup, None) {
             let mut passes = Vec::new();
             for (pass, problem) in Pass::ALL.into_iter().zip(problems) {
                 problem.check_divisible(mesh_shape).ok()?;
-                let (chosen_s, _) = self.best_slice_count(mesh_shape, problem, eb);
-                let mut candidates = self.legal_slice_counts(mesh_shape, problem);
+                let legal = self.legal_slice_counts(mesh_shape, problem);
+                let (chosen_s, _) = self.best_slice_count_from(&legal, mesh_shape, problem, eb);
+                let mut candidates = legal.clone();
                 if !candidates.contains(&1) {
                     candidates.insert(0, 1);
                 }
                 for s in candidates {
-                    let block = if self.legal_slice_counts(mesh_shape, problem).contains(&s) {
-                        self.block
-                    } else {
-                        1
-                    };
-                    let program = MeshSlice::new(s, block).schedule(&mesh, problem, eb).ok()?;
-                    let report = engine.run(&program);
-                    log.push(TuneCandidate {
-                        mesh_rows: mesh_shape.rows,
-                        mesh_cols: mesh_shape.cols,
-                        label: format!("{}/{}", layer.name, pass),
-                        dataflow: problem.dataflow.to_string(),
-                        slice_count: s,
-                        predicted: self
-                            .cost
-                            .meshslice_time(mesh_shape, problem, s, eb)
-                            .as_secs(),
-                        simulated: report.makespan().as_secs(),
-                        predicted_comm: self
-                            .cost
-                            .meshslice_comm_time(mesh_shape, problem, s, eb)
-                            .as_secs(),
-                        simulated_comm: report.totals().comm_total().as_secs(),
-                        chosen: s == chosen_s,
-                    });
+                    let block = if legal.contains(&s) { self.block } else { 1 };
+                    cands.push((
+                        format!("{}/{}", layer.name, pass),
+                        problem,
+                        s,
+                        block,
+                        s == chosen_s,
+                    ));
                 }
                 passes.push(PassPlan {
                     pass,
@@ -476,6 +590,56 @@ impl Autotuner {
                 layer,
                 stationary,
                 passes: [passes[0], passes[1], passes[2]],
+            });
+        }
+        // Stage 2: simulate every *distinct* (problem, S, block) once —
+        // mirrored layers log the same simulations under different labels.
+        // The distinct runs are independent, so they fan out across the
+        // worker pool (one scratch per worker); results come back in
+        // candidate order and are fanned back out to every duplicate.
+        let triples: Vec<(GemmProblem, usize, usize)> = cands
+            .iter()
+            .map(|&(_, problem, s, block, _)| (problem, s, block))
+            .collect();
+        let slot_of = dedup_slots(&triples);
+        let mut distinct: Vec<(GemmProblem, usize, usize)> = Vec::new();
+        for (i, &t) in triples.iter().enumerate() {
+            if slot_of[i] == distinct.len() {
+                distinct.push(t);
+            }
+        }
+        let distinct_sims = par::parallel_map_with(
+            threads,
+            &distinct,
+            RunScratch::new,
+            |scratch, &(problem, s, block)| {
+                let program = MeshSlice::new(s, block).schedule(&mesh, problem, eb).ok()?;
+                Some(engine.run_with_scratch(&program, scratch))
+            },
+        );
+        let sims: Vec<Option<SimReport>> =
+            slot_of.iter().map(|&k| distinct_sims[k].clone()).collect();
+        // Stage 3: assemble the log in candidate order.
+        let mut log = TuneLog::default();
+        for ((label, problem, s, _, chosen), sim) in cands.into_iter().zip(sims) {
+            let report = sim?;
+            log.push(TuneCandidate {
+                mesh_rows: mesh_shape.rows,
+                mesh_cols: mesh_shape.cols,
+                label,
+                dataflow: problem.dataflow.to_string(),
+                slice_count: s,
+                predicted: self
+                    .cost
+                    .meshslice_time(mesh_shape, problem, s, eb)
+                    .as_secs(),
+                simulated: report.makespan().as_secs(),
+                predicted_comm: self
+                    .cost
+                    .meshslice_comm_time(mesh_shape, problem, s, eb)
+                    .as_secs(),
+                simulated_comm: report.totals().comm_total().as_secs(),
+                chosen,
             });
         }
         Some((layers, log))
@@ -497,18 +661,89 @@ impl Autotuner {
         requested_s: usize,
         cfg: &SimConfig,
     ) -> Option<SimReport> {
+        self.simulate_block_with(
+            model,
+            setup,
+            mesh_shape,
+            requested_s,
+            cfg,
+            None,
+            &mut RunScratch::new(),
+        )
+    }
+
+    /// [`simulate_block`](Self::simulate_block) for sweep hot loops: one
+    /// engine serves all twelve passes, run state comes from the caller's
+    /// reusable scratch, and an optional [`ScheduleCache`] deduplicates
+    /// program construction across revisited candidates. Reports are
+    /// bit-for-bit those of [`simulate_block`](Self::simulate_block).
+    #[allow(clippy::too_many_arguments)]
+    pub fn simulate_block_with(
+        &self,
+        model: &LlmConfig,
+        setup: TrainingSetup,
+        mesh_shape: MeshShape,
+        requested_s: usize,
+        cfg: &SimConfig,
+        cache: Option<&ScheduleCache>,
+        scratch: &mut RunScratch,
+    ) -> Option<SimReport> {
+        let specs = self.block_pass_specs(model, setup, mesh_shape, requested_s)?;
+        // Simulate each distinct spec once (see `eval_robust_candidate`).
+        let slot_of = dedup_slots(&specs);
         let mesh = Torus2d::from_shape(mesh_shape);
-        let mut reports = Vec::new();
-        for layer in model.fc_layers() {
-            let stationary = choose_stationary(setup.tokens(), layer.input_dim, layer.output_dim);
-            for problem in pass_problems(
-                stationary,
-                setup.tokens(),
-                layer.input_dim,
-                layer.output_dim,
-            ) {
+        let engine = Engine::new(mesh.clone(), cfg.clone());
+        let mut distinct = Vec::new();
+        for (i, &(problem, actual, block)) in specs.iter().enumerate() {
+            if slot_of[i] < distinct.len() {
+                continue;
+            }
+            let report = match cache {
+                Some(c) => {
+                    let program = c
+                        .schedule(&mesh, problem, actual, block, cfg.elem_bytes)
+                        .ok()?;
+                    engine.run_with_scratch(&program, scratch)
+                }
+                None => {
+                    let program = MeshSlice::new(actual, block)
+                        .schedule(&mesh, problem, cfg.elem_bytes)
+                        .ok()?;
+                    engine.run_with_scratch(&program, scratch)
+                }
+            };
+            distinct.push(report);
+        }
+        let reports: Vec<SimReport> = slot_of.iter().map(|&k| distinct[k].clone()).collect();
+        Some(SimReport::merge_serial(&reports))
+    }
+
+    /// The twelve (problem, clamped slice count, block) tuples of one FC
+    /// block at a requested slice count — the specs both
+    /// [`simulate_block`](Self::simulate_block) and the robust tuner
+    /// schedule from. `None` if any pass does not divide over the mesh.
+    fn block_pass_specs(
+        &self,
+        model: &LlmConfig,
+        setup: TrainingSetup,
+        mesh_shape: MeshShape,
+        requested_s: usize,
+    ) -> Option<Vec<(GemmProblem, usize, usize)>> {
+        let mut specs = Vec::with_capacity(12);
+        // Mirrored layers repeat problems: compute each distinct problem's
+        // legal slice counts once per mesh, not once per layer pass.
+        let mut legal_memo: Vec<(GemmProblem, Vec<usize>)> = Vec::new();
+        for (_, _, problems) in Self::layer_problems(model, setup, None) {
+            for problem in problems {
                 problem.check_divisible(mesh_shape).ok()?;
-                let legal = self.legal_slice_counts(mesh_shape, problem);
+                let idx = match legal_memo.iter().position(|(p, _)| *p == problem) {
+                    Some(idx) => idx,
+                    None => {
+                        legal_memo.push((problem, self.legal_slice_counts(mesh_shape, problem)));
+                        legal_memo.len() - 1
+                    }
+                };
+                let legal = &legal_memo[idx].1;
                 let actual = legal
                     .iter()
                     .copied()
@@ -520,13 +755,10 @@ impl Autotuner {
                 } else {
                     1
                 };
-                let program = MeshSlice::new(actual, block)
-                    .schedule(&mesh, problem, cfg.elem_bytes)
-                    .ok()?;
-                reports.push(Engine::new(mesh.clone(), cfg.clone()).run(&program));
+                specs.push((problem, actual, block));
             }
         }
-        Some(SimReport::merge_serial(&reports))
+        Some(specs)
     }
 
     /// Robustness-aware phase 2: scores every (mesh shape, slice count)
@@ -550,35 +782,46 @@ impl Autotuner {
         profiles: &[ClusterProfile],
         objective: RobustObjective,
     ) -> RobustPlan {
+        self.tune_robust_threads(
+            model,
+            setup,
+            chips,
+            s_values,
+            profiles,
+            objective,
+            par::threads(),
+        )
+    }
+
+    /// [`tune_robust`](Self::tune_robust) with an explicit worker count.
+    /// Candidates are evaluated independently and results placed by input
+    /// index, so the plan is identical at any thread count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tune_robust_threads(
+        &self,
+        model: &LlmConfig,
+        setup: TrainingSetup,
+        chips: usize,
+        s_values: &[usize],
+        profiles: &[ClusterProfile],
+        objective: RobustObjective,
+        threads: usize,
+    ) -> RobustPlan {
         assert!(
             !profiles.is_empty(),
             "robust tuning needs at least one perturbation draw"
         );
-        let base = self.cost.config();
-        let mut candidates = Vec::new();
+        let mut pairs = Vec::new();
         for mesh in Self::candidate_meshes(chips) {
             for &s in s_values {
-                let Some(nominal) = self.simulate_block(model, setup, mesh, s, base) else {
-                    continue;
-                };
-                let per_draw: Vec<Duration> = profiles
-                    .iter()
-                    .map(|p| {
-                        let cfg = base.clone().with_faults(p.clone());
-                        self.simulate_block(model, setup, mesh, s, &cfg)
-                            .expect("feasible at nominal, so feasible under faults")
-                            .makespan()
-                    })
-                    .collect();
-                candidates.push(RobustCandidate {
-                    mesh_shape: mesh,
-                    requested_s: s,
-                    nominal: nominal.makespan(),
-                    score: objective.score(&per_draw),
-                    per_draw,
-                });
+                pairs.push((mesh, s));
             }
         }
+        let evaluated =
+            par::parallel_map_with(threads, &pairs, RunScratch::new, |scratch, &(mesh, s)| {
+                self.eval_robust_candidate(model, setup, mesh, s, profiles, objective, scratch)
+            });
+        let mut candidates: Vec<RobustCandidate> = evaluated.into_iter().flatten().collect();
         assert!(
             !candidates.is_empty(),
             "no feasible (mesh, slice count) candidate for this model"
@@ -593,6 +836,92 @@ impl Autotuner {
             objective,
             candidates,
         }
+    }
+
+    /// Simulates one FC block at a requested slice count under the
+    /// fault-free config *and* under every perturbation draw, returning
+    /// `(nominal, per-draw)` makespans — the building block of
+    /// [`tune_robust`](Self::tune_robust) and of sweep experiments.
+    ///
+    /// The block's programs are scheduled and lowered **once** per
+    /// distinct pass spec (lowering does not depend on
+    /// [`SimConfig::faults`], and mirrored layers repeat specs), then the
+    /// lowered graphs are replayed per draw with run state recycled
+    /// through `scratch`. Makespans are bit-for-bit those of calling
+    /// [`simulate_block`](Self::simulate_block) once per draw. `None` if
+    /// the block is infeasible on the mesh.
+    pub fn simulate_block_draws(
+        &self,
+        model: &LlmConfig,
+        setup: TrainingSetup,
+        mesh_shape: MeshShape,
+        s: usize,
+        profiles: &[ClusterProfile],
+        scratch: &mut RunScratch,
+    ) -> Option<(Duration, Vec<Duration>)> {
+        let base = self.cost.config();
+        let specs = self.block_pass_specs(model, setup, mesh_shape, s)?;
+        // A block's pass list repeats specs (mirrored layers produce the
+        // same problems): schedule, lower, and simulate each *distinct*
+        // spec once and fan its report out — identical programs under an
+        // identical config produce identical reports.
+        let slot_of = dedup_slots(&specs);
+        let mesh = Torus2d::from_shape(mesh_shape);
+        let engine = Engine::new(mesh.clone(), base.clone());
+        let mut lowered = Vec::new();
+        for (i, &(problem, actual, block)) in specs.iter().enumerate() {
+            if slot_of[i] == lowered.len() {
+                let program = MeshSlice::new(actual, block)
+                    .schedule(&mesh, problem, base.elem_bytes)
+                    .ok()?;
+                lowered.push(engine.lower_program(&program));
+            }
+        }
+        let merge = |distinct: &[SimReport]| {
+            let reports: Vec<SimReport> = slot_of.iter().map(|&k| distinct[k].clone()).collect();
+            SimReport::merge_serial(&reports).makespan()
+        };
+        let nominal_reports: Vec<SimReport> = lowered
+            .iter()
+            .map(|l| engine.run_lowered_with_scratch(l, scratch))
+            .collect();
+        let nominal = merge(&nominal_reports);
+        let per_draw: Vec<Duration> = profiles
+            .iter()
+            .map(|p| {
+                let faulted = Engine::new(mesh.clone(), base.clone().with_faults(p.clone()));
+                let reports: Vec<SimReport> = lowered
+                    .iter()
+                    .map(|l| faulted.run_lowered_with_scratch(l, scratch))
+                    .collect();
+                merge(&reports)
+            })
+            .collect();
+        Some((nominal, per_draw))
+    }
+
+    /// Scores one (mesh, S) candidate via
+    /// [`simulate_block_draws`](Self::simulate_block_draws).
+    #[allow(clippy::too_many_arguments)]
+    fn eval_robust_candidate(
+        &self,
+        model: &LlmConfig,
+        setup: TrainingSetup,
+        mesh_shape: MeshShape,
+        s: usize,
+        profiles: &[ClusterProfile],
+        objective: RobustObjective,
+        scratch: &mut RunScratch,
+    ) -> Option<RobustCandidate> {
+        let (nominal, per_draw) =
+            self.simulate_block_draws(model, setup, mesh_shape, s, profiles, scratch)?;
+        Some(RobustCandidate {
+            mesh_shape,
+            requested_s: s,
+            nominal,
+            score: objective.score(&per_draw),
+            per_draw,
+        })
     }
 }
 
@@ -678,6 +1007,24 @@ impl RobustPlan {
     pub fn best(&self) -> &RobustCandidate {
         &self.candidates[0]
     }
+}
+
+/// Maps each element to the position of its first occurrence within the
+/// list of *distinct* elements (in first-appearance order): `slot_of[i]`
+/// indexes a deduplicated side list. Quadratic, for short spec lists.
+fn dedup_slots<T: PartialEq>(specs: &[T]) -> Vec<usize> {
+    let mut slot_of: Vec<usize> = Vec::with_capacity(specs.len());
+    let mut distinct = 0;
+    for i in 0..specs.len() {
+        match (0..i).find(|&j| specs[j] == specs[i]) {
+            Some(j) => slot_of.push(slot_of[j]),
+            None => {
+                slot_of.push(distinct);
+                distinct += 1;
+            }
+        }
+    }
+    slot_of
 }
 
 /// The two local extents MeshSlice slices, per dataflow (mirrors

@@ -7,11 +7,12 @@
 
 use meshslice_gemm::{Dataflow, DistributedGemm, GemmProblem, MeshSlice};
 use meshslice_mesh::{MeshShape, Torus2d};
-use meshslice_sim::{Duration, Engine, SimConfig, SimReport};
+use meshslice_sim::{Duration, Engine, RunScratch, SimConfig, SimReport};
 use meshslice_tensor::GemmShape;
 
 use crate::autotuner::{pass_problems, Autotuner, RobustObjective, Stationary};
 use crate::llm::{LlmConfig, TrainingSetup};
+use crate::par;
 use crate::training::{simulate_fc_step, Algorithm};
 
 /// One point of the weak/strong scaling studies (Figures 9 and 12).
@@ -742,35 +743,41 @@ pub fn straggler_sensitivity(
     let chips = mesh_shape.num_chips();
     let setup = TrainingSetup::weak_scaling(chips);
     let tuner = Autotuner::new(cfg.clone());
-    let mut grid = Vec::new();
-    for &severity in severities {
-        let spec = meshslice_faults::FaultSpec::stragglers(1, severity);
-        let profiles = spec.sample_profiles(chips, base_seed, num_seeds);
+    // Each severity row shares one profile sample; the (severity, S) cells
+    // are then independent: fan them out over the sweep workers (results
+    // are placed by input index, so the grid order — severities outer,
+    // slice counts inner — is identical at any thread count). Within a
+    // cell, the block is scheduled and lowered once and replayed per draw.
+    let profiles_by_row: Vec<_> = severities
+        .iter()
+        .map(|&severity| {
+            meshslice_faults::FaultSpec::stragglers(1, severity)
+                .sample_profiles(chips, base_seed, num_seeds)
+        })
+        .collect();
+    let mut cells = Vec::new();
+    for (row, &severity) in severities.iter().enumerate() {
         for &s in s_values {
-            let nominal = tuner
-                .simulate_block(model, setup, mesh_shape, s, cfg)
-                .expect("grid mesh must divide the model's FC GeMMs")
-                .makespan();
-            let draws: Vec<Duration> = profiles
-                .iter()
-                .map(|p| {
-                    let faulted = cfg.clone().with_faults(p.clone());
-                    tuner
-                        .simulate_block(model, setup, mesh_shape, s, &faulted)
-                        .expect("feasible at nominal")
-                        .makespan()
-                })
-                .collect();
-            grid.push(StragglerPoint {
+            cells.push((row, severity, s));
+        }
+    }
+    par::parallel_map_with(
+        par::threads(),
+        &cells,
+        RunScratch::new,
+        |scratch, &(row, severity, s)| {
+            let (nominal, draws) = tuner
+                .simulate_block_draws(model, setup, mesh_shape, s, &profiles_by_row[row], scratch)
+                .expect("grid mesh must divide the model's FC GeMMs");
+            StragglerPoint {
                 severity,
                 requested_s: s,
                 nominal,
                 p95: RobustObjective::P95.score(&draws),
                 worst: RobustObjective::Worst.score(&draws),
-            });
-        }
-    }
-    grid
+            }
+        },
+    )
 }
 
 #[cfg(test)]

@@ -41,6 +41,7 @@ pub mod costmodel;
 pub mod experiments;
 pub mod llm;
 pub mod memory;
+pub mod par;
 pub mod parallelism;
 pub mod report;
 pub mod training;

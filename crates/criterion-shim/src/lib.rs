@@ -64,6 +64,17 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
     /// Closes the group.
     pub fn finish(self) {}
 }
@@ -204,6 +215,9 @@ mod tests {
                 b.iter(|| (0..n).sum::<usize>())
             });
         }
+        group.bench_function("unparameterized", |b| {
+            b.iter(|| std::hint::black_box(3u64) * std::hint::black_box(5u64))
+        });
         group.finish();
     }
 

@@ -177,7 +177,112 @@ pub struct Engine {
     config: SimConfig,
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// A [`Program`] validated and lowered against one engine's mesh and
+/// timing model, ready to be executed any number of times.
+///
+/// Lowering depends on the mesh and the non-fault fields of [`SimConfig`]
+/// but **not** on [`SimConfig::faults`] — variability is applied at run
+/// time. A `LoweredProgram` may therefore be shared across engines that
+/// differ only in their fault profile (the robust-tuning hot path), and
+/// across threads (`LoweredProgram` is `Send + Sync`).
+///
+/// Produced by [`Engine::lower_program`]; consumed by
+/// [`Engine::run_lowered`] and [`Engine::run_lowered_with_scratch`].
+#[derive(Clone, Debug)]
+pub struct LoweredProgram {
+    graph: ExecGraph,
+    /// Per-node hot fields, packed for cache locality: the event loop
+    /// touches only this copy; the full [`ExecGraph`] nodes are read only
+    /// when building traces and timelines.
+    hot: Vec<HotNode>,
+    /// Reverse dependency lists in CSR form: the dependents of node `i`
+    /// are `dep_targets[dep_starts[i]..dep_starts[i + 1]]`.
+    dep_starts: Vec<u32>,
+    dep_targets: Vec<u32>,
+    /// Initial `deps_left` counters (copied into scratch per run).
+    deps_left_init: Vec<u32>,
+    /// Nodes with no dependencies, in index order.
+    roots: Vec<usize>,
+    /// Chip of each program op, for trace attribution.
+    op_chips: Vec<ChipId>,
+    total_flops: u64,
+    num_chips: usize,
+}
+
+/// The per-node fields the event loop actually reads, packed into one
+/// cache line (the full [`Node`](crate::lower::Node) is ~2 lines and drags
+/// its dependency list along).
+#[derive(Clone, Copy, Debug)]
+struct HotNode {
+    sync: f64,
+    timer: f64,
+    flow_bytes: f64,
+    flow_cap: f64,
+    fabric_bytes: f64,
+    chip: u32,
+    resource: Resource,
+    category: Category,
+}
+
+impl LoweredProgram {
+    /// Number of lowered execution nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.nodes.len()
+    }
+
+    /// Number of program operations.
+    pub fn num_ops(&self) -> usize {
+        self.op_chips.len()
+    }
+}
+
+/// Reusable run-state buffers for [`Engine::run_with_scratch`] and
+/// [`Engine::run_lowered_with_scratch`].
+///
+/// A run clears and refills these buffers instead of allocating ~20 fresh
+/// `Vec`s; results are bit-for-bit identical to a fresh-allocation run.
+/// A scratch is not tied to any engine, mesh, or program — the same value
+/// can serve runs of any size in sequence (but not concurrently: use one
+/// scratch per worker thread).
+#[derive(Debug, Default)]
+pub struct RunScratch {
+    deps_left: Vec<u32>,
+    phase: Vec<Phase>,
+    compute_units: Vec<ResourceState>,
+    links: Vec<[ResourceState; 4]>,
+    hbm: Vec<HbmChannel>,
+    heap: BinaryHeap<Reverse<(crate::time::Time, u64, Event)>>,
+    wakes: WakeQueue,
+    done_pool: Vec<Vec<usize>>,
+    finish_time: Vec<f64>,
+    spans: Vec<NodeSpan>,
+    ready_time: Vec<f64>,
+    acquire_time: Vec<f64>,
+    busy_start_time: Vec<f64>,
+    res_pred: Vec<Option<usize>>,
+    finish_seq: Vec<usize>,
+    compute_cum: Vec<f64>,
+    compute_since: Vec<Option<f64>>,
+    overlap_at_start: Vec<f64>,
+}
+
+impl RunScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Clears `v` and refills it with `n` copies of `val`, keeping capacity.
+fn refill<T: Clone>(v: &mut Vec<T>, n: usize, val: T) {
+    v.clear();
+    v.resize(n, val);
+}
+
+/// Heap events are ordered by (time, sequence); the sequence is unique, so
+/// the derived `Ord` on `Event` is never consulted — it exists only so the
+/// payload can live directly in the heap tuple (no side-table indirection).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
     /// The post-resource synchronization delay elapsed.
     SyncDone(usize),
@@ -192,12 +297,15 @@ enum Event {
     FaultEdge { chip: usize },
 }
 
+/// Per-node lifecycle state. The busy-interval start is not carried here —
+/// it is always `busy_start_time[node]`, written when the node goes busy —
+/// so the enum stays 2 bytes and the phase array cache-resident.
 #[derive(Clone, Copy, Debug, PartialEq)]
 enum Phase {
     Blocked,
     Queued,
     Syncing,
-    Busy { parts_left: u8, busy_start: f64 },
+    Busy { parts_left: u8 },
     Done,
 }
 
@@ -207,22 +315,147 @@ struct ResourceState {
     queue: VecDeque<usize>,
 }
 
+/// Sentinel for "slot not in the wake queue".
+const WAKE_ABSENT: u32 = u32::MAX;
+
+/// Indexed min-queue of pending channel wake-ups: one slot per HBM channel
+/// plus one for the shared fabric. A channel reconfiguration *replaces* the
+/// channel's pending wake in place instead of pushing another entry onto
+/// the event heap, so stale wake-ups never accumulate.
+///
+/// Dispatch order is bit-identical to pushing every wake onto the shared
+/// heap: each update takes the next global sequence number exactly as a
+/// pushed event would, so the surviving (latest) wake keeps the same
+/// (time, seq) key it would have had there — and the superseded entries
+/// this queue drops were version-mismatched no-ops.
+#[derive(Clone, Debug, Default)]
+struct WakeQueue {
+    /// Per-slot pending key; meaningful only while `pos[slot] != ABSENT`.
+    time: Vec<crate::time::Time>,
+    seq: Vec<u64>,
+    version: Vec<u64>,
+    /// Slot ids ordered as a binary min-heap by (time, seq).
+    heap: Vec<u32>,
+    /// Slot → position in `heap`, or [`WAKE_ABSENT`].
+    pos: Vec<u32>,
+}
+
+impl WakeQueue {
+    /// Empties the queue and sizes it for `slots` channels.
+    fn reset(&mut self, slots: usize) {
+        refill(&mut self.time, slots, crate::time::Time::ZERO);
+        refill(&mut self.seq, slots, 0);
+        refill(&mut self.version, slots, 0);
+        self.heap.clear();
+        refill(&mut self.pos, slots, WAKE_ABSENT);
+    }
+
+    fn key(&self, slot: u32) -> (crate::time::Time, u64) {
+        (self.time[slot as usize], self.seq[slot as usize])
+    }
+
+    /// Inserts or replaces the pending wake of `slot`.
+    fn set(&mut self, slot: usize, time: crate::time::Time, seq: u64, version: u64) {
+        self.time[slot] = time;
+        self.seq[slot] = seq;
+        self.version[slot] = version;
+        let p = self.pos[slot];
+        if p == WAKE_ABSENT {
+            self.pos[slot] = self.heap.len() as u32;
+            self.heap.push(slot as u32);
+            self.sift_up(self.heap.len() - 1);
+        } else {
+            let p = p as usize;
+            if !self.sift_up(p) {
+                self.sift_down(p);
+            }
+        }
+    }
+
+    /// The smallest pending (time, seq) key, if any wake is pending.
+    fn peek(&self) -> Option<(crate::time::Time, u64)> {
+        self.heap.first().map(|&s| self.key(s))
+    }
+
+    /// Removes and returns the earliest wake as (slot, version).
+    fn pop(&mut self) -> (usize, u64) {
+        let slot = self.heap[0] as usize;
+        self.pos[slot] = WAKE_ABSENT;
+        let last = self.heap.pop().expect("pop on empty wake queue");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0);
+        }
+        (slot, self.version[slot])
+    }
+
+    /// Moves the entry at heap position `p` up; returns whether it moved.
+    fn sift_up(&mut self, mut p: usize) -> bool {
+        let mut moved = false;
+        while p > 0 {
+            let parent = (p - 1) / 2;
+            if self.key(self.heap[p]) < self.key(self.heap[parent]) {
+                self.heap.swap(p, parent);
+                self.pos[self.heap[p] as usize] = p as u32;
+                self.pos[self.heap[parent] as usize] = parent as u32;
+                p = parent;
+                moved = true;
+            } else {
+                break;
+            }
+        }
+        moved
+    }
+
+    fn sift_down(&mut self, mut p: usize) {
+        loop {
+            let l = 2 * p + 1;
+            let r = l + 1;
+            let mut smallest = p;
+            if l < self.heap.len() && self.key(self.heap[l]) < self.key(self.heap[smallest]) {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.key(self.heap[r]) < self.key(self.heap[smallest]) {
+                smallest = r;
+            }
+            if smallest == p {
+                break;
+            }
+            self.heap.swap(p, smallest);
+            self.pos[self.heap[p] as usize] = p as u32;
+            self.pos[self.heap[smallest] as usize] = smallest as u32;
+            p = smallest;
+        }
+    }
+}
+
 struct Run<'a> {
     nodes: &'a ExecGraph,
+    /// Packed per-node hot fields (see [`HotNode`]); `nodes` is only read
+    /// for trace/span attribution.
+    hot: &'a [HotNode],
     /// Active variability profile. `None` when the config carries no
     /// profile *or* an ideal one — the fault hooks then cost nothing and
     /// the simulation is bit-for-bit the unperturbed one.
     profile: Option<&'a ClusterProfile>,
-    deps_left: Vec<usize>,
-    dependents: Vec<Vec<usize>>,
+    deps_left: Vec<u32>,
+    dep_starts: &'a [u32],
+    dep_targets: &'a [u32],
     phase: Vec<Phase>,
     compute_units: Vec<ResourceState>,
     links: Vec<[ResourceState; 4]>,
     hbm: Vec<HbmChannel>,
     /// Fluid channel of the shared fabric (logical-mesh mode only).
     fabric: Option<HbmChannel>,
-    heap: BinaryHeap<Reverse<(crate::time::Time, u64, usize)>>,
-    events: Vec<Event>,
+    heap: BinaryHeap<Reverse<(crate::time::Time, u64, Event)>>,
+    /// Pending channel wake-ups, one replaceable slot per HBM channel plus
+    /// one for the fabric (slot `hbm.len()`). Kept out of `heap` so channel
+    /// reconfigurations replace their wake instead of piling stale entries.
+    wakes: WakeQueue,
+    /// Spare buffers for flow-completion batches (take/put-back; a pool
+    /// because completion handling can recursively drain more flows).
+    done_pool: Vec<Vec<usize>>,
     seq: u64,
     makespan: f64,
     buckets: Buckets,
@@ -230,8 +463,13 @@ struct Run<'a> {
     finish_time: Vec<f64>,
     /// When set, every finished busy interval is recorded as a span.
     collect_spans: bool,
+    /// When set, per-node schedule instants (`ready_time`, `acquire_time`,
+    /// `res_pred`, `finish_seq`) are maintained for [`RunTimeline`].
+    collect_nodes: bool,
+    /// When set, per-node finish times are maintained (op traces and
+    /// timelines need them; plain report-only runs skip the stores).
+    collect_finish: bool,
     spans: Vec<NodeSpan>,
-    /// When set, per-node schedule instants are kept for [`RunTimeline`].
     ready_time: Vec<f64>,
     acquire_time: Vec<f64>,
     busy_start_time: Vec<f64>,
@@ -282,6 +520,111 @@ impl Engine {
     /// indicate a bug in the schedule builder.
     pub fn run(&self, program: &Program) -> SimReport {
         self.run_traced(program).0
+    }
+
+    /// Like [`run`](Self::run), but clears and reuses the caller's
+    /// [`RunScratch`] buffers instead of allocating fresh run state —
+    /// the fast path for sweeps that execute thousands of programs.
+    /// Results are bit-for-bit identical to [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program deadlocks (a dependency cycle).
+    pub fn run_with_scratch(&self, program: &Program, scratch: &mut RunScratch) -> SimReport {
+        let lowered = self.lower_program(program);
+        self.run_lowered_with_scratch(&lowered, scratch)
+    }
+
+    /// Validates and lowers a program once, for repeated execution via
+    /// [`run_lowered`](Self::run_lowered) /
+    /// [`run_lowered_with_scratch`](Self::run_lowered_with_scratch).
+    ///
+    /// The lowered form does not depend on [`SimConfig::faults`], so it can
+    /// be reused across engines that differ only in their fault profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has a dependency cycle.
+    pub fn lower_program(&self, program: &Program) -> LoweredProgram {
+        if let Err(op) = program.validate_acyclic() {
+            panic!("program has a dependency cycle through op {op}");
+        }
+        let graph = lower(&self.mesh, &self.config, program);
+        let n = graph.nodes.len();
+        let mut deps_left_init = vec![0u32; n];
+        // CSR construction: count dependents, prefix-sum, then fill.
+        let mut dep_starts = vec![0u32; n + 1];
+        for (i, node) in graph.nodes.iter().enumerate() {
+            deps_left_init[i] = node.deps.len() as u32;
+            for &d in &node.deps {
+                dep_starts[d + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            dep_starts[i + 1] += dep_starts[i];
+        }
+        let mut dep_targets = vec![0u32; dep_starts[n] as usize];
+        let mut cursor = dep_starts.clone();
+        for (i, node) in graph.nodes.iter().enumerate() {
+            for &d in &node.deps {
+                dep_targets[cursor[d] as usize] = i as u32;
+                cursor[d] += 1;
+            }
+        }
+        let hot = graph
+            .nodes
+            .iter()
+            .map(|node| HotNode {
+                sync: node.sync,
+                timer: node.timer,
+                flow_bytes: node.flow_bytes,
+                flow_cap: node.flow_cap,
+                fabric_bytes: node.fabric_bytes,
+                chip: node.chip as u32,
+                resource: node.resource,
+                category: node.category,
+            })
+            .collect();
+        let roots = (0..n).filter(|&i| deps_left_init[i] == 0).collect();
+        LoweredProgram {
+            graph,
+            hot,
+            dep_starts,
+            dep_targets,
+            deps_left_init,
+            roots,
+            op_chips: program.ops().iter().map(|op| op.chip).collect(),
+            total_flops: program.total_flops(),
+            num_chips: self.mesh.num_chips(),
+        }
+    }
+
+    /// Runs a pre-lowered program to completion and reports timing.
+    /// Bit-for-bit identical to [`run`](Self::run) on the source program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lowered program was built for a mesh of a different
+    /// size, or if the program deadlocks.
+    pub fn run_lowered(&self, lowered: &LoweredProgram) -> SimReport {
+        self.run_lowered_with_scratch(lowered, &mut RunScratch::default())
+    }
+
+    /// Runs a pre-lowered program reusing the caller's scratch buffers —
+    /// the hottest path: no validation, no lowering, no run-state
+    /// allocation. Bit-for-bit identical to [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lowered program was built for a mesh of a different
+    /// size, or if the program deadlocks.
+    pub fn run_lowered_with_scratch(
+        &self,
+        lowered: &LoweredProgram,
+        scratch: &mut RunScratch,
+    ) -> SimReport {
+        let (report, _, _, _) = self.run_lowered_inner(lowered, scratch, false, false, false);
+        report
     }
 
     /// Like [`run_spans`](Self::run_spans), but additionally returns the
@@ -338,12 +681,31 @@ impl Engine {
         collect_spans: bool,
         collect_nodes: bool,
     ) -> (SimReport, Vec<OpTrace>, Vec<NodeSpan>, RunTimeline) {
-        if let Err(op) = program.validate_acyclic() {
-            panic!("program has a dependency cycle through op {op}");
-        }
-        let graph = lower(&self.mesh, &self.config, program);
-        let n = graph.nodes.len();
+        let lowered = self.lower_program(program);
+        self.run_lowered_inner(
+            &lowered,
+            &mut RunScratch::default(),
+            collect_spans,
+            collect_nodes,
+            true,
+        )
+    }
+
+    fn run_lowered_inner(
+        &self,
+        lowered: &LoweredProgram,
+        scratch: &mut RunScratch,
+        collect_spans: bool,
+        collect_nodes: bool,
+        collect_traces: bool,
+    ) -> (SimReport, Vec<OpTrace>, Vec<NodeSpan>, RunTimeline) {
+        let n = lowered.graph.nodes.len();
         let chips = self.mesh.num_chips();
+        assert_eq!(
+            lowered.num_chips, chips,
+            "lowered program was built for {} chips but the mesh has {chips}",
+            lowered.num_chips
+        );
         let profile = self.config.faults.as_ref();
         if let Some(p) = profile {
             assert_eq!(
@@ -358,49 +720,93 @@ impl Engine {
         // bit-for-bit equivalence structural.
         let profile = profile.filter(|p| !p.is_ideal());
 
-        let mut dependents = vec![Vec::new(); n];
-        let mut deps_left = vec![0usize; n];
-        for (i, node) in graph.nodes.iter().enumerate() {
-            deps_left[i] = node.deps.len();
-            for &d in &node.deps {
-                dependents[d].push(i);
+        // Reset the scratch buffers to exactly the state a fresh
+        // allocation would have, keeping their capacity.
+        scratch.deps_left.clear();
+        scratch.deps_left.extend_from_slice(&lowered.deps_left_init);
+        refill(&mut scratch.phase, n, Phase::Blocked);
+        scratch.compute_units.truncate(chips);
+        for rs in &mut scratch.compute_units {
+            rs.busy = false;
+            rs.queue.clear();
+        }
+        scratch
+            .compute_units
+            .resize_with(chips, ResourceState::default);
+        scratch.links.truncate(chips);
+        for dirs in &mut scratch.links {
+            for rs in dirs {
+                rs.busy = false;
+                rs.queue.clear();
             }
         }
+        scratch.links.resize_with(chips, Default::default);
+        scratch.hbm.truncate(chips);
+        for ch in &mut scratch.hbm {
+            ch.reset(self.config.hbm_bandwidth);
+        }
+        while scratch.hbm.len() < chips {
+            scratch.hbm.push(HbmChannel::new(self.config.hbm_bandwidth));
+        }
+        scratch.heap.clear();
+        scratch.wakes.reset(chips + 1);
+        for buf in &mut scratch.done_pool {
+            buf.clear();
+        }
+        let collect_finish = collect_traces || collect_nodes;
+        if collect_finish {
+            refill(&mut scratch.finish_time, n, 0.0);
+        }
+        scratch.spans.clear();
+        if collect_nodes {
+            refill(&mut scratch.ready_time, n, 0.0);
+            refill(&mut scratch.acquire_time, n, 0.0);
+            refill(&mut scratch.res_pred, n, None);
+            scratch.finish_seq.reserve(n);
+        }
+        scratch.finish_seq.clear();
+        refill(&mut scratch.busy_start_time, n, 0.0);
+        refill(&mut scratch.compute_cum, chips, 0.0);
+        refill(&mut scratch.compute_since, chips, None);
+        refill(&mut scratch.overlap_at_start, n, 0.0);
 
         let mut run = Run {
-            nodes: &graph,
+            nodes: &lowered.graph,
+            hot: &lowered.hot,
             profile,
-            deps_left,
-            dependents,
-            phase: vec![Phase::Blocked; n],
-            compute_units: vec![ResourceState::default(); chips],
-            links: vec![Default::default(); chips],
-            hbm: (0..chips)
-                .map(|_| HbmChannel::new(self.config.hbm_bandwidth))
-                .collect(),
+            deps_left: std::mem::take(&mut scratch.deps_left),
+            dep_starts: &lowered.dep_starts,
+            dep_targets: &lowered.dep_targets,
+            phase: std::mem::take(&mut scratch.phase),
+            compute_units: std::mem::take(&mut scratch.compute_units),
+            links: std::mem::take(&mut scratch.links),
+            hbm: std::mem::take(&mut scratch.hbm),
             fabric: match self.config.network {
                 NetworkModel::PhysicalTorus => None,
                 NetworkModel::SharedFabric {
                     bisection_bandwidth,
                 } => Some(HbmChannel::new(bisection_bandwidth)),
             },
-            heap: BinaryHeap::new(),
-            events: Vec::new(),
+            heap: std::mem::take(&mut scratch.heap),
+            wakes: std::mem::take(&mut scratch.wakes),
+            done_pool: std::mem::take(&mut scratch.done_pool),
             seq: 0,
             makespan: 0.0,
             buckets: Buckets::default(),
             completed: 0,
-            finish_time: vec![0.0; n],
+            finish_time: std::mem::take(&mut scratch.finish_time),
             collect_spans,
-            spans: Vec::new(),
-            ready_time: vec![0.0; n],
-            acquire_time: vec![0.0; n],
-            busy_start_time: vec![0.0; n],
-            res_pred: vec![None; n],
-            finish_seq: Vec::with_capacity(n),
-            compute_cum: vec![0.0; chips],
-            compute_since: vec![None; chips],
-            overlap_at_start: vec![0.0; n],
+            collect_nodes,
+            collect_finish,
+            spans: std::mem::take(&mut scratch.spans),
+            ready_time: std::mem::take(&mut scratch.ready_time),
+            acquire_time: std::mem::take(&mut scratch.acquire_time),
+            busy_start_time: std::mem::take(&mut scratch.busy_start_time),
+            res_pred: std::mem::take(&mut scratch.res_pred),
+            finish_seq: std::mem::take(&mut scratch.finish_seq),
+            compute_cum: std::mem::take(&mut scratch.compute_cum),
+            compute_since: std::mem::take(&mut scratch.compute_since),
+            overlap_at_start: std::mem::take(&mut scratch.overlap_at_start),
             overlapped: 0.0,
         };
 
@@ -414,19 +820,44 @@ impl Engine {
             }
         }
 
-        // Snapshot the roots before starting any of them: zero-duration
-        // roots can complete instantly and make further nodes ready
-        // (through the normal dependency path), which must not be
-        // re-readied by this loop.
-        let roots: Vec<usize> = (0..n).filter(|&i| run.deps_left[i] == 0).collect();
-        for i in roots {
+        // The roots were snapshotted at lowering time, before starting any
+        // of them: zero-duration roots can complete instantly and make
+        // further nodes ready (through the normal dependency path), which
+        // must not be re-readied by this loop.
+        for &i in &lowered.roots {
             if run.phase[i] == Phase::Blocked {
                 run.ready(i, 0.0);
             }
         }
-        while let Some(Reverse((t, _, ev_idx))) = run.heap.pop() {
-            let t = t.as_secs();
-            run.dispatch(run.events[ev_idx], t);
+        // Two sources of events, one total order: the shared heap and the
+        // per-channel wake queue draw sequence numbers from the same
+        // counter, so comparing their head (time, seq) keys dispatches in
+        // exactly the order a single combined heap would.
+        loop {
+            let main_key = run.heap.peek().map(|Reverse((t, s, _))| (*t, *s));
+            let wake_key = run.wakes.peek();
+            let take_wake = match (main_key, wake_key) {
+                (None, None) => break,
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                (Some(m), Some(w)) => w < m,
+            };
+            if take_wake {
+                let (t, _) = wake_key.expect("checked");
+                let (slot, version) = run.wakes.pop();
+                let event = if slot == run.hbm.len() {
+                    Event::FabricWake { version }
+                } else {
+                    Event::HbmWake {
+                        chip: slot,
+                        version,
+                    }
+                };
+                run.dispatch(event, t.as_secs());
+            } else {
+                let Reverse((t, _, event)) = run.heap.pop().expect("checked");
+                run.dispatch(event, t.as_secs());
+            }
         }
         assert_eq!(
             run.completed, n,
@@ -438,7 +869,7 @@ impl Engine {
             Duration::from_secs(run.makespan),
             chips,
             self.config.peak_flops,
-            program.total_flops(),
+            lowered.total_flops,
             TimeBreakdown {
                 compute: Duration::from_secs(run.buckets.compute),
                 slice: Duration::from_secs(run.buckets.slice),
@@ -448,18 +879,51 @@ impl Engine {
             },
             Duration::from_secs(run.overlapped),
         );
-        let traces = graph
-            .op_exit
-            .iter()
-            .enumerate()
-            .map(|(op_idx, &exit)| OpTrace {
-                op: OpId(op_idx),
-                chip: program.ops()[op_idx].chip,
-                completed: Duration::from_secs(run.finish_time[exit]),
-            })
-            .collect();
+        let traces = if collect_traces {
+            lowered
+                .graph
+                .op_exit
+                .iter()
+                .enumerate()
+                .map(|(op_idx, &exit)| OpTrace {
+                    op: OpId(op_idx),
+                    chip: lowered.op_chips[op_idx],
+                    completed: Duration::from_secs(run.finish_time[exit]),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // Dismantle the run and hand its buffers back to the scratch.
+        // Buffers that leave as part of a returned artifact (spans,
+        // finish_seq of an instrumented run) are moved out instead; the
+        // scratch re-grows them on the next collecting run.
+        let Run {
+            deps_left,
+            phase,
+            compute_units,
+            links,
+            hbm,
+            heap,
+            wakes,
+            done_pool,
+            finish_time,
+            spans,
+            ready_time,
+            acquire_time,
+            busy_start_time,
+            res_pred,
+            finish_seq,
+            compute_cum,
+            compute_since,
+            overlap_at_start,
+            ..
+        } = run;
+
         let timeline = if collect_nodes {
-            let nodes = graph
+            let nodes = lowered
+                .graph
                 .nodes
                 .iter()
                 .enumerate()
@@ -478,35 +942,58 @@ impl Engine {
                         Category::CommTransfer => SpanKind::CommTransfer,
                     },
                     sync: Duration::from_secs(node.sync),
-                    ready: Duration::from_secs(run.ready_time[i]),
-                    acquired: Duration::from_secs(run.acquire_time[i]),
-                    busy_start: Duration::from_secs(run.busy_start_time[i]),
-                    finish: Duration::from_secs(run.finish_time[i]),
+                    ready: Duration::from_secs(ready_time[i]),
+                    acquired: Duration::from_secs(acquire_time[i]),
+                    busy_start: Duration::from_secs(busy_start_time[i]),
+                    finish: Duration::from_secs(finish_time[i]),
                     deps: node.deps.clone(),
-                    res_pred: run.res_pred[i],
+                    res_pred: res_pred[i],
                 })
                 .collect();
-            RunTimeline {
-                nodes,
-                finish_seq: run.finish_seq,
-            }
+            RunTimeline { nodes, finish_seq }
         } else {
+            scratch.finish_seq = finish_seq;
             RunTimeline {
                 nodes: Vec::new(),
                 finish_seq: Vec::new(),
             }
         };
-        (report, traces, run.spans, timeline)
+        scratch.deps_left = deps_left;
+        scratch.phase = phase;
+        scratch.compute_units = compute_units;
+        scratch.links = links;
+        scratch.hbm = hbm;
+        scratch.heap = heap;
+        scratch.wakes = wakes;
+        scratch.done_pool = done_pool;
+        scratch.finish_time = finish_time;
+        scratch.ready_time = ready_time;
+        scratch.acquire_time = acquire_time;
+        scratch.busy_start_time = busy_start_time;
+        scratch.res_pred = res_pred;
+        scratch.compute_cum = compute_cum;
+        scratch.compute_since = compute_since;
+        scratch.overlap_at_start = overlap_at_start;
+        (report, traces, spans, timeline)
     }
 }
 
 impl<'a> Run<'a> {
     fn schedule(&mut self, t: f64, event: Event) {
-        let idx = self.events.len();
-        self.events.push(event);
         self.seq += 1;
         self.heap
-            .push(Reverse((crate::time::Time::from_secs(t), self.seq, idx)));
+            .push(Reverse((crate::time::Time::from_secs(t), self.seq, event)));
+    }
+
+    /// Grabs a spare completion buffer (empty) from the pool.
+    fn grab_done(&mut self) -> Vec<usize> {
+        self.done_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a completion buffer to the pool for reuse.
+    fn release_done(&mut self, mut buf: Vec<usize>) {
+        buf.clear();
+        self.done_pool.push(buf);
     }
 
     fn dispatch(&mut self, event: Event, t: f64) {
@@ -522,10 +1009,12 @@ impl<'a> Run<'a> {
                     return; // stale wake-up
                 }
                 self.hbm[chip].advance(t);
-                let (done, _) = self.hbm[chip].take_completed();
-                for node in done {
-                    self.part_done(node, t);
+                let mut done = self.grab_done();
+                self.hbm[chip].take_completed_into(&mut done);
+                for &node_done in &done {
+                    self.part_done(node_done, t);
                 }
+                self.release_done(done);
                 self.reschedule_hbm(chip, t);
             }
             Event::FabricWake { version } => {
@@ -536,10 +1025,15 @@ impl<'a> Run<'a> {
                     return; // stale wake-up
                 }
                 fabric.advance(t);
-                let (done, _) = fabric.take_completed();
-                for node in done {
-                    self.part_done(node, t);
+                let mut done = self.grab_done();
+                self.fabric
+                    .as_mut()
+                    .expect("checked")
+                    .take_completed_into(&mut done);
+                for &node_done in &done {
+                    self.part_done(node_done, t);
                 }
+                self.release_done(done);
                 self.reschedule_fabric(t);
             }
             Event::FaultEdge { chip } => {
@@ -547,19 +1041,26 @@ impl<'a> Run<'a> {
                 // ends: settle the chip's HBM channel up to now, then
                 // re-rate its in-flight link transfers.
                 self.hbm[chip].advance(t);
-                let (done, _) = self.hbm[chip].take_completed();
-                for node in done {
-                    self.part_done(node, t);
+                let mut done = self.grab_done();
+                self.hbm[chip].take_completed_into(&mut done);
+                for &node_done in &done {
+                    self.part_done(node_done, t);
                 }
+                self.release_done(done);
                 self.retune_chip_links(chip, t);
                 self.reschedule_hbm(chip, t);
                 if self.fabric.is_some() {
                     let fabric = self.fabric.as_mut().expect("checked");
                     fabric.advance(t);
-                    let (done, _) = fabric.take_completed();
-                    for node in done {
-                        self.part_done(node, t);
+                    let mut done = self.grab_done();
+                    self.fabric
+                        .as_mut()
+                        .expect("checked")
+                        .take_completed_into(&mut done);
+                    for &node_done in &done {
+                        self.part_done(node_done, t);
                     }
+                    self.release_done(done);
                     self.retune_fabric_links(chip, t);
                     self.reschedule_fabric(t);
                 }
@@ -572,9 +1073,9 @@ impl<'a> Run<'a> {
     /// (GeMM/slice streaming) are untouched.
     fn retune_chip_links(&mut self, chip: usize, t: f64) {
         let Some(profile) = self.profile else { return };
-        let graph = self.nodes;
+        let hot = self.hot;
         self.hbm[chip].retune_caps(|node| {
-            let info = &graph.nodes[node];
+            let info = &hot[node];
             match info.resource {
                 Resource::Link(dir) => {
                     Some(info.flow_cap * profile.link_multiplier_at(chip, dir, t))
@@ -588,11 +1089,11 @@ impl<'a> Run<'a> {
     /// shared-fabric flows injected by that chip.
     fn retune_fabric_links(&mut self, chip: usize, t: f64) {
         let Some(profile) = self.profile else { return };
-        let graph = self.nodes;
+        let hot = self.hot;
         if let Some(fabric) = self.fabric.as_mut() {
             fabric.retune_caps(|node| {
-                let info = &graph.nodes[node];
-                if info.chip != chip {
+                let info = &hot[node];
+                if info.chip as usize != chip {
                     return None;
                 }
                 match info.resource {
@@ -607,25 +1108,37 @@ impl<'a> Run<'a> {
         }
     }
 
+    /// Replaces the pending wake of a channel slot, consuming the next
+    /// global sequence number exactly as [`schedule`](Self::schedule)
+    /// would — the surviving wake's (time, seq) key matches what a shared
+    /// heap push would have produced.
+    fn schedule_wake(&mut self, slot: usize, t: f64, version: u64) {
+        self.seq += 1;
+        self.wakes
+            .set(slot, crate::time::Time::from_secs(t), self.seq, version);
+    }
+
     fn reschedule_hbm(&mut self, chip: usize, t: f64) {
         if let Some(dt) = self.hbm[chip].next_completion_in() {
             let version = self.hbm[chip].version();
-            self.schedule(t + dt, Event::HbmWake { chip, version });
+            self.schedule_wake(chip, t + dt, version);
         }
     }
 
     fn reschedule_fabric(&mut self, t: f64) {
-        if let Some(fabric) = self.fabric.as_ref() {
-            if let Some(dt) = fabric.next_completion_in() {
-                let version = fabric.version();
-                self.schedule(t + dt, Event::FabricWake { version });
-            }
+        let Some(fabric) = self.fabric.as_ref() else {
+            return;
+        };
+        if let Some(dt) = fabric.next_completion_in() {
+            let version = fabric.version();
+            let slot = self.hbm.len();
+            self.schedule_wake(slot, t + dt, version);
         }
     }
 
     fn resource_state(&mut self, node: usize) -> Option<&mut ResourceState> {
-        let chip = self.nodes.nodes[node].chip;
-        match self.nodes.nodes[node].resource {
+        let chip = self.hot[node].chip as usize;
+        match self.hot[node].resource {
             Resource::None => None,
             Resource::Compute => Some(&mut self.compute_units[chip]),
             Resource::Link(dir) => Some(&mut self.links[chip][dir.index()]),
@@ -645,7 +1158,9 @@ impl<'a> Run<'a> {
             Phase::Blocked,
             "node {node} readied twice"
         );
-        self.ready_time[node] = t;
+        if self.collect_nodes {
+            self.ready_time[node] = t;
+        }
         let acquired = match self.resource_state(node) {
             None => true,
             Some(rs) => {
@@ -666,8 +1181,10 @@ impl<'a> Run<'a> {
     }
 
     fn begin_sync(&mut self, node: usize, t: f64) {
-        self.acquire_time[node] = t;
-        let sync = self.nodes.nodes[node].sync;
+        if self.collect_nodes {
+            self.acquire_time[node] = t;
+        }
+        let sync = self.hot[node].sync;
         if sync > 0.0 {
             self.phase[node] = Phase::Syncing;
             self.schedule(t + sync, Event::SyncDone(node));
@@ -677,15 +1194,16 @@ impl<'a> Run<'a> {
     }
 
     fn begin_busy(&mut self, node: usize, t: f64) {
-        let info = &self.nodes.nodes[node];
+        let info = self.hot[node];
+        let chip = info.chip as usize;
         self.busy_start_time[node] = t;
         self.buckets.comm_sync += info.sync;
         match (info.resource, info.category) {
             // The compute unit is exclusive, so at most one node per chip
             // is ever active here.
-            (Resource::Compute, _) => self.compute_since[info.chip] = Some(t),
+            (Resource::Compute, _) => self.compute_since[chip] = Some(t),
             (_, Category::CommTransfer) => {
-                self.overlap_at_start[node] = self.compute_measure(info.chip, t);
+                self.overlap_at_start[node] = self.compute_measure(chip, t);
             }
             _ => {}
         }
@@ -701,22 +1219,15 @@ impl<'a> Run<'a> {
             parts += 1;
         }
         if parts == 0 {
-            self.phase[node] = Phase::Busy {
-                parts_left: 0,
-                busy_start: t,
-            };
+            self.phase[node] = Phase::Busy { parts_left: 0 };
             self.complete(node, t);
             return;
         }
-        self.phase[node] = Phase::Busy {
-            parts_left: parts,
-            busy_start: t,
-        };
-        let (mut timer, flow_bytes, mut flow_cap, chip, fabric_bytes) = (
+        self.phase[node] = Phase::Busy { parts_left: parts };
+        let (mut timer, flow_bytes, mut flow_cap, fabric_bytes) = (
             info.timer,
             info.flow_bytes,
             info.flow_cap,
-            info.chip,
             info.fabric_bytes,
         );
         if let Some(profile) = self.profile {
@@ -735,20 +1246,27 @@ impl<'a> Run<'a> {
         }
         if flow_bytes > 0.0 {
             self.hbm[chip].advance(t);
-            let (done, _) = self.hbm[chip].take_completed();
-            for d in done {
-                self.part_done(d, t);
+            let mut done = self.grab_done();
+            self.hbm[chip].take_completed_into(&mut done);
+            for &node_done in &done {
+                self.part_done(node_done, t);
             }
+            self.release_done(done);
             self.hbm[chip].add_flow(node, flow_bytes, flow_cap);
             self.reschedule_hbm(chip, t);
         }
         if fabric_active {
             let fabric = self.fabric.as_mut().expect("fabric_active checked");
             fabric.advance(t);
-            let (done, _) = fabric.take_completed();
-            for d in done {
-                self.part_done(d, t);
+            let mut done = self.grab_done();
+            self.fabric
+                .as_mut()
+                .expect("fabric_active checked")
+                .take_completed_into(&mut done);
+            for &node_done in &done {
+                self.part_done(node_done, t);
             }
+            self.release_done(done);
             let fabric = self.fabric.as_mut().expect("fabric_active checked");
             // Per-transfer injection stays capped at the link rate.
             fabric.add_flow(node, fabric_bytes, flow_cap / 2.0);
@@ -757,21 +1275,13 @@ impl<'a> Run<'a> {
     }
 
     fn part_done(&mut self, node: usize, t: f64) {
-        if let Phase::Busy {
-            parts_left,
-            busy_start,
-        } = self.phase[node]
-        {
+        if let Phase::Busy { parts_left } = self.phase[node] {
             if parts_left <= 1 {
-                self.phase[node] = Phase::Busy {
-                    parts_left: 0,
-                    busy_start,
-                };
+                self.phase[node] = Phase::Busy { parts_left: 0 };
                 self.complete(node, t);
             } else {
                 self.phase[node] = Phase::Busy {
                     parts_left: parts_left - 1,
-                    busy_start,
                 };
             }
         } else {
@@ -783,11 +1293,13 @@ impl<'a> Run<'a> {
     }
 
     fn complete(&mut self, node: usize, t: f64) {
-        let busy_start = match self.phase[node] {
-            Phase::Busy { busy_start, .. } => busy_start,
+        match self.phase[node] {
+            Phase::Busy { .. } => {}
             ref p => panic!("completing node {node} in phase {p:?}"),
-        };
-        let info = &self.nodes.nodes[node];
+        }
+        let busy_start = self.busy_start_time[node];
+        let info = self.hot[node];
+        let chip = info.chip as usize;
         let busy = t - busy_start;
         match info.category {
             Category::Compute => self.buckets.compute += busy,
@@ -797,22 +1309,22 @@ impl<'a> Run<'a> {
         }
         match (info.resource, info.category) {
             (Resource::Compute, _) => {
-                self.compute_cum[info.chip] += busy;
-                self.compute_since[info.chip] = None;
+                self.compute_cum[chip] += busy;
+                self.compute_since[chip] = None;
             }
             (_, Category::CommTransfer) => {
                 // Transfer time covered by the chip's compute-busy set over
                 // this node's busy interval — communication the schedule
                 // actually hid under computation.
-                let hidden = self.compute_measure(info.chip, t) - self.overlap_at_start[node];
+                let hidden = self.compute_measure(chip, t) - self.overlap_at_start[node];
                 self.overlapped += hidden.max(0.0);
             }
             _ => {}
         }
         if self.collect_spans && busy > 0.0 {
             self.spans.push(NodeSpan {
-                op: OpId(info.op),
-                chip: ChipId(info.chip),
+                op: OpId(self.nodes.nodes[node].op),
+                chip: ChipId(chip),
                 track: match info.resource {
                     Resource::Compute => SpanTrack::Compute,
                     Resource::Link(dir) => SpanTrack::Link(dir),
@@ -829,13 +1341,23 @@ impl<'a> Run<'a> {
             });
         }
         self.phase[node] = Phase::Done;
-        self.finish_seq.push(node);
+        if self.collect_nodes {
+            self.finish_seq.push(node);
+        }
         self.completed += 1;
-        self.finish_time[node] = t;
+        if self.collect_finish {
+            self.finish_time[node] = t;
+        }
         self.makespan = self.makespan.max(t);
 
-        let handoff = match self.resource_state(node) {
-            Some(rs) => {
+        let handoff = match info.resource {
+            Resource::None => None,
+            _ => {
+                let rs = match info.resource {
+                    Resource::Compute => &mut self.compute_units[chip],
+                    Resource::Link(dir) => &mut self.links[chip][dir.index()],
+                    Resource::None => unreachable!(),
+                };
                 rs.busy = false;
                 let next = rs.queue.pop_front();
                 if next.is_some() {
@@ -843,21 +1365,23 @@ impl<'a> Run<'a> {
                 }
                 next
             }
-            None => None,
         };
         if let Some(next) = handoff {
-            self.res_pred[next] = Some(node);
+            if self.collect_nodes {
+                self.res_pred[next] = Some(node);
+            }
             self.begin_sync(next, t);
         }
 
-        let deps = std::mem::take(&mut self.dependents[node]);
-        for d in &deps {
-            self.deps_left[*d] -= 1;
-            if self.deps_left[*d] == 0 {
-                self.ready(*d, t);
+        let start = self.dep_starts[node] as usize;
+        let end = self.dep_starts[node + 1] as usize;
+        for i in start..end {
+            let d = self.dep_targets[i] as usize;
+            self.deps_left[d] -= 1;
+            if self.deps_left[d] == 0 {
+                self.ready(d, t);
             }
         }
-        self.dependents[node] = deps;
     }
 }
 

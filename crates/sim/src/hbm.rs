@@ -31,6 +31,9 @@ pub(crate) struct HbmChannel {
     flows: Vec<Flow>,
     last_update: f64,
     version: u64,
+    /// Scratch index buffer for the water-filling sort, reused across
+    /// [`recompute`](Self::recompute) calls to avoid per-event allocation.
+    order: Vec<usize>,
 }
 
 impl HbmChannel {
@@ -46,6 +49,7 @@ impl HbmChannel {
             flows: Vec::new(),
             last_update: 0.0,
             version: 0,
+            order: Vec::new(),
         }
     }
 
@@ -53,6 +57,22 @@ impl HbmChannel {
     #[cfg(test)]
     pub(crate) fn is_idle(&self) -> bool {
         self.flows.is_empty()
+    }
+
+    /// Returns the channel to its just-constructed state (no flows, time
+    /// and version zero) with the given capacity, keeping the flow buffer's
+    /// allocation. A reset channel behaves bit-for-bit like
+    /// [`new`](Self::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not positive.
+    pub(crate) fn reset(&mut self, capacity: f64) {
+        assert!(capacity > 0.0, "HBM capacity must be positive");
+        self.capacity = capacity;
+        self.flows.clear();
+        self.last_update = 0.0;
+        self.version = 0;
     }
 
     /// The wake-up version, bumped on every reconfiguration. Events carry
@@ -98,11 +118,11 @@ impl HbmChannel {
         self.version
     }
 
-    /// Removes finished flows (remaining ≤ epsilon) and returns their node
-    /// ids; recomputes rates if any were removed. Returns the new version
-    /// alongside.
-    pub(crate) fn take_completed(&mut self) -> (Vec<usize>, u64) {
-        let mut done = Vec::new();
+    /// Removes finished flows (remaining ≤ epsilon) and appends their node
+    /// ids to `done` (which the caller should pass in empty); recomputes
+    /// rates if any were removed. Returns the new version.
+    pub(crate) fn take_completed_into(&mut self, done: &mut Vec<usize>) -> u64 {
+        let before = done.len();
         let mut i = 0;
         while i < self.flows.len() {
             if self.flows[i].remaining <= COMPLETION_EPS {
@@ -111,13 +131,22 @@ impl HbmChannel {
                 i += 1;
             }
         }
-        if !done.is_empty() {
+        if done.len() > before {
             self.recompute();
             self.version += 1;
         }
         // Deterministic completion order regardless of swap_remove.
-        done.sort_unstable();
-        (done, self.version)
+        done[before..].sort_unstable();
+        self.version
+    }
+
+    /// [`take_completed_into`](Self::take_completed_into) returning a fresh
+    /// `Vec` (test convenience).
+    #[cfg(test)]
+    pub(crate) fn take_completed(&mut self) -> (Vec<usize>, u64) {
+        let mut done = Vec::new();
+        let version = self.take_completed_into(&mut done);
+        (done, version)
     }
 
     /// Re-rates in-flight flows: `new_cap` maps a node id to its new
@@ -161,7 +190,9 @@ impl HbmChannel {
     /// `min(cap, fair share of remaining capacity)`, with the slack of
     /// cap-limited flows redistributed to the others.
     fn recompute(&mut self) {
-        let mut order: Vec<usize> = (0..self.flows.len()).collect();
+        let mut order = std::mem::take(&mut self.order);
+        order.clear();
+        order.extend(0..self.flows.len());
         order.sort_by(|&a, &b| {
             self.flows[a]
                 .cap
@@ -170,13 +201,14 @@ impl HbmChannel {
         });
         let mut remaining_capacity = self.capacity;
         let mut left = order.len();
-        for idx in order {
+        for &idx in &order {
             let fair = remaining_capacity / left as f64;
             let rate = self.flows[idx].cap.min(fair);
             self.flows[idx].rate = rate;
             remaining_capacity -= rate;
             left -= 1;
         }
+        self.order = order;
     }
 
     #[cfg(test)]

@@ -50,7 +50,10 @@ mod report;
 mod time;
 
 pub use config::{NetworkModel, SimConfig};
-pub use engine::{Engine, NodeRecord, NodeSpan, OpTrace, RunTimeline, SpanKind, SpanTrack};
+pub use engine::{
+    Engine, LoweredProgram, NodeRecord, NodeSpan, OpTrace, RunScratch, RunTimeline, SpanKind,
+    SpanTrack,
+};
 pub use perturb::{ClusterProfile, LinkOutage};
 pub use program::{CollectiveKind, OpId, OpKind, Program, ProgramBuilder};
 pub use report::{SimReport, TimeBreakdown};

@@ -217,7 +217,11 @@ struct CollectiveGroup {
 pub(crate) fn lower(mesh: &Torus2d, cfg: &SimConfig, program: &Program) -> ExecGraph {
     let mut lw = Lowerer {
         cfg,
-        nodes: Vec::new(),
+        // Every op lowers to a bounded handful of nodes per chip it
+        // touches; reserving a generous estimate up front avoids the
+        // doubling reallocations of a ~100 B/node vector that otherwise
+        // dominate lowering of six-figure-node graphs.
+        nodes: Vec::with_capacity(16 * program.ops().len()),
         chip_chain: vec![None; mesh.num_chips()],
         link_chain: vec![[None; 4]; mesh.num_chips()],
     };
