@@ -13,6 +13,7 @@
 //! meshslice memory gpt3 256
 //! meshslice inference megatron 64
 //! meshslice faults --model gpt3 --chips 64 --straggler 1.5 --seeds 8
+//! meshslice resilience --model gpt3 --chips 64 --mtbf 24 --steps 200
 //! meshslice trace --model gpt3 --mesh 4x4 --out trace.json --sort
 //! meshslice metrics --model gpt3 --mesh 4x4 --format json --out run.json
 //! meshslice traffic
@@ -38,7 +39,9 @@ use meshslice::training::{end_to_end, simulate_fc_step, Algorithm};
 use meshslice::{
     Dataflow, DistributedGemm, Engine, GemmProblem, GemmShape, MeshShape, MeshSlice, SimConfig,
 };
+use meshslice_faults::FailureSpec;
 use meshslice_mesh::Torus2d;
+use meshslice_recovery::{simulate_recovery, RecoveryParams, ResilientTuning, DEFAULT_DETECT_SECS};
 use meshslice_sim::{NodeSpan, OpKind, Program};
 use meshslice_telemetry::{Json, PathKind, RunDiff, RunMetrics, BUCKET_LABELS};
 
@@ -112,6 +115,25 @@ pub enum Command {
         straggler: f64,
         /// Number of seeded fault draws per grid cell.
         seeds: usize,
+        /// Sweep worker threads; `MESHSLICE_THREADS` or the machine's
+        /// parallelism when absent. Results are identical at any count.
+        threads: Option<usize>,
+    },
+    /// `resilience [--model M] [--chips N] [--mtbf HOURS] [--steps N]
+    /// [--seed K] [--threads N]`: sweep a chip-MTBF ladder, jointly
+    /// tuning the plan and the Young–Daly checkpoint interval per rung,
+    /// and replay one seeded failure draw through checkpoint/restart.
+    Resilience {
+        /// Target model.
+        model: Model,
+        /// Cluster size.
+        chips: usize,
+        /// Per-chip MTBF at the center of the ladder, hours.
+        mtbf_hours: f64,
+        /// Training steps of the modeled run.
+        steps: usize,
+        /// Seed of the failure draw the simulated column replays.
+        seed: u64,
         /// Sweep worker threads; `MESHSLICE_THREADS` or the machine's
         /// parallelism when absent. Results are identical at any count.
         threads: Option<usize>,
@@ -218,7 +240,7 @@ impl Error for UsageError {}
 /// Every subcommand the CLI dispatches on, in the order [`USAGE`] lists
 /// them. The help-coverage test asserts each one is both parseable and
 /// documented, so this list cannot drift from [`parse`].
-pub const SUBCOMMANDS: [&str; 12] = [
+pub const SUBCOMMANDS: [&str; 13] = [
     "autotune",
     "compare",
     "sweep-mesh",
@@ -227,6 +249,7 @@ pub const SUBCOMMANDS: [&str; 12] = [
     "memory",
     "inference",
     "faults",
+    "resilience",
     "trace",
     "metrics",
     "traffic",
@@ -248,6 +271,8 @@ USAGE:
     meshslice inference   <gpt3|megatron> <chips>
     meshslice faults      [--model gpt3|megatron] [--chips N] [--straggler F] [--seeds K]
                           [--threads N]
+    meshslice resilience  [--model gpt3|megatron] [--chips N] [--mtbf HOURS] [--steps N]
+                          [--seed K] [--threads N]
     meshslice trace       [--model gpt3|megatron] [--mesh RxC] [--out FILE] [--sort]
     meshslice metrics     [--model gpt3|megatron] [--mesh RxC] [--s N] [--windows N]
                           [--format text|json|prometheus] [--out FILE] [--tunelog FILE]
@@ -255,7 +280,7 @@ USAGE:
     meshslice traffic
     meshslice help
 
-Sweeping subcommands (faults, metrics --tunelog) evaluate candidates on
+Sweeping subcommands (faults, resilience, metrics --tunelog) evaluate candidates on
 --threads N worker threads; the MESHSLICE_THREADS environment variable is
 the fallback when the flag is absent, then the machine's parallelism.
 Output is bit-identical at any thread count.";
@@ -277,10 +302,22 @@ fn parse_mesh(s: &str) -> Result<MeshShape, UsageError> {
     let (r, c) = s
         .split_once(['x', 'X'])
         .ok_or_else(|| UsageError(format!("mesh shape '{s}' is not of the form RxC")))?;
-    Ok(MeshShape::new(
-        parse_usize(r, "mesh rows")?.max(1),
-        parse_usize(c, "mesh cols")?.max(1),
-    ))
+    let rows = parse_usize(r, "mesh rows")?;
+    let cols = parse_usize(c, "mesh cols")?;
+    if rows == 0 || cols == 0 {
+        return Err(UsageError(format!(
+            "mesh shape '{s}' has a zero dimension; both must be positive"
+        )));
+    }
+    Ok(MeshShape::new(rows, cols))
+}
+
+fn parse_chips(s: &str) -> Result<usize, UsageError> {
+    let n = parse_usize(s, "chip count")?;
+    if n == 0 {
+        return Err(UsageError("chip count must be positive".into()));
+    }
+    Ok(n)
 }
 
 fn parse_f64(s: &str, what: &str) -> Result<f64, UsageError> {
@@ -306,7 +343,7 @@ fn parse_faults(args: &[String]) -> Result<Command, UsageError> {
             .ok_or_else(|| UsageError(format!("flag {flag} needs a value")))?;
         match flag {
             "--model" => model = parse_model(value)?,
-            "--chips" => chips = parse_usize(value, "chip count")?,
+            "--chips" => chips = parse_chips(value)?,
             "--straggler" => straggler = parse_f64(value, "straggler slowdown")?,
             "--seeds" => seeds = parse_usize(value, "seed count")?,
             "--threads" => threads = Some(parse_threads(value)?),
@@ -326,6 +363,46 @@ fn parse_faults(args: &[String]) -> Result<Command, UsageError> {
         chips,
         straggler,
         seeds,
+        threads,
+    })
+}
+
+fn parse_resilience(args: &[String]) -> Result<Command, UsageError> {
+    let (mut model, mut chips, mut mtbf_hours) = (Model::Gpt3, 16, 24.0);
+    let (mut steps, mut seed, mut threads) = (200usize, 42u64, None);
+    let mut it = args.iter().map(String::as_str);
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| UsageError(format!("flag {flag} needs a value")))?;
+        match flag {
+            "--model" => model = parse_model(value)?,
+            "--chips" => chips = parse_chips(value)?,
+            "--mtbf" => mtbf_hours = parse_f64(value, "MTBF")?,
+            "--steps" => steps = parse_usize(value, "step count")?,
+            "--seed" => {
+                seed = value
+                    .parse()
+                    .map_err(|_| UsageError(format!("invalid seed '{value}'")))?
+            }
+            "--threads" => threads = Some(parse_threads(value)?),
+            other => return Err(UsageError(format!("unknown flag '{other}'"))),
+        }
+    }
+    if mtbf_hours.is_nan() || mtbf_hours <= 0.0 || mtbf_hours.is_infinite() {
+        return Err(UsageError(format!(
+            "MTBF must be a positive number of hours, got {mtbf_hours}"
+        )));
+    }
+    if steps == 0 {
+        return Err(UsageError("step count must be positive".into()));
+    }
+    Ok(Command::Resilience {
+        model,
+        chips,
+        mtbf_hours,
+        steps,
+        seed,
         threads,
     })
 }
@@ -415,6 +492,7 @@ fn parse_metrics(args: &[String]) -> Result<Command, UsageError> {
 pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     match args.first().map(String::as_str) {
         Some("faults") => return parse_faults(&args[1..]),
+        Some("resilience") => return parse_resilience(&args[1..]),
         Some("trace") => return parse_trace(&args[1..]),
         Some("metrics") => return parse_metrics(&args[1..]),
         _ => {}
@@ -428,7 +506,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     match cmd {
         "autotune" => Ok(Command::Autotune {
             model: parse_model(need("model")?)?,
-            chips: parse_usize(need("chips")?, "chip count")?,
+            chips: parse_chips(need("chips")?)?,
         }),
         // `compare` is overloaded: two model/chips positionals simulate
         // the algorithm comparison; two non-model arguments are treated
@@ -439,7 +517,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             match parse_model(first) {
                 Ok(model) => Ok(Command::Compare {
                     model,
-                    chips: parse_usize(second, "chip count")?,
+                    chips: parse_chips(second)?,
                 }),
                 Err(_) => Ok(Command::CompareRuns {
                     a: first.to_string(),
@@ -449,24 +527,32 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
         }
         "sweep-mesh" => Ok(Command::SweepMesh {
             model: parse_model(need("model")?)?,
-            chips: parse_usize(need("chips")?, "chip count")?,
+            chips: parse_chips(need("chips")?)?,
         }),
         "sweep-slice" => Ok(Command::SweepSlice {
             model: parse_model(need("model")?)?,
             mesh: parse_mesh(need("mesh shape")?)?,
         }),
-        "plan3d" => Ok(Command::Plan3d {
-            model: parse_model(need("model")?)?,
-            chips: parse_usize(need("chips")?, "chip count")?,
-            batch: parse_usize(need("global batch")?, "batch size")?,
-        }),
+        "plan3d" => {
+            let model = parse_model(need("model")?)?;
+            let chips = parse_chips(need("chips")?)?;
+            let batch = parse_usize(need("global batch")?, "batch size")?;
+            if batch == 0 {
+                return Err(UsageError("global batch must be positive".into()));
+            }
+            Ok(Command::Plan3d {
+                model,
+                chips,
+                batch,
+            })
+        }
         "memory" => Ok(Command::Memory {
             model: parse_model(need("model")?)?,
-            chips: parse_usize(need("chips")?, "chip count")?,
+            chips: parse_chips(need("chips")?)?,
         }),
         "inference" => Ok(Command::Inference {
             model: parse_model(need("model")?)?,
-            chips: parse_usize(need("chips")?, "chip count")?,
+            chips: parse_chips(need("chips")?)?,
         }),
         "traffic" => Ok(Command::Traffic),
         "help" | "-h" | "--help" => Ok(Command::Help),
@@ -475,7 +561,14 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
 }
 
 /// Executes a parsed command, writing human-readable output to stdout.
-pub fn execute(cmd: Command) {
+///
+/// # Errors
+///
+/// Returns a human-readable message — never panics — when the command
+/// cannot run to completion: an artifact fails to load or write, or the
+/// requested model has no legal schedule on the requested mesh. `main`
+/// maps the error to a nonzero exit code.
+pub fn execute(cmd: Command) -> Result<(), String> {
     let cfg = SimConfig::tpu_v4();
     match cmd {
         Command::Help => println!("{USAGE}"),
@@ -666,6 +759,84 @@ pub fn execute(cmd: Command) {
             println!("{t}");
             println!("p95 FC-block makespan; '*' marks the best slice count per row.");
         }
+        Command::Resilience {
+            model,
+            chips,
+            mtbf_hours,
+            steps,
+            seed,
+            threads,
+        } => {
+            if let Some(n) = threads {
+                meshslice::par::set_threads(n);
+            }
+            let model = model.config();
+            let setup = TrainingSetup::weak_scaling(chips);
+            let tuner = Autotuner::new(cfg.clone());
+            let s_values = [1usize, 2, 4, 8];
+            // The failure-free plan prices the modeled run length (the
+            // horizon failures are drawn over): `steps` nominal steps.
+            let calm = tuner.tune_resilient(&model, setup, chips, &s_values, &FailureSpec::none());
+            let step0 = calm.best().nominal_block.as_secs() * model.layers as f64;
+            let horizon = (steps as f64 * step0).max(1.0);
+            println!(
+                "{model} on {chips} chips, {steps}-step run ({:.1} s nominal), seed {seed}:",
+                steps as f64 * step0
+            );
+            let mut t = Table::new(vec![
+                "chip MTBF".into(),
+                "mesh".into(),
+                "S".into(),
+                "checkpoint".into(),
+                "expected".into(),
+                "simulated".into(),
+                "failures".into(),
+            ]);
+            // An MTBF ladder around the requested value, so the table
+            // shows goodput falling as failures get more frequent.
+            for factor in [4.0, 2.0, 1.0, 0.5, 0.25] {
+                let hours = mtbf_hours * factor;
+                let spec = FailureSpec::chip_mtbf(hours * 3600.0, horizon);
+                let plan = tuner.tune_resilient(&model, setup, chips, &s_values, &spec);
+                let best = plan.best();
+                let step_secs = best.nominal_block.as_secs() * model.layers as f64;
+                let ckpt_every = if best.checkpoint_interval_secs.is_finite() && step_secs > 0.0 {
+                    (best.checkpoint_interval_secs / step_secs).round().max(1.0) as usize
+                } else {
+                    0
+                };
+                let params = RecoveryParams {
+                    step_secs,
+                    degraded_step_secs: (best.degraded_block.as_secs() * model.layers as f64)
+                        .max(step_secs),
+                    num_steps: steps,
+                    checkpoint_every: ckpt_every,
+                    checkpoint_secs: best.checkpoint_secs,
+                    restore_secs: best.checkpoint_secs,
+                    detect_secs: DEFAULT_DETECT_SECS,
+                };
+                let draw = spec.sample(best.mesh_shape.num_chips(), seed);
+                let r = simulate_recovery(&params, &draw);
+                t.row(vec![
+                    format!("{hours:.2} h"),
+                    best.mesh_shape.to_string(),
+                    best.requested_s.to_string(),
+                    if ckpt_every == 0 {
+                        "never".into()
+                    } else {
+                        format!("every {ckpt_every}")
+                    },
+                    pct(best.expected_goodput),
+                    pct(r.goodput()),
+                    r.failures_hit.to_string(),
+                ]);
+            }
+            println!("{t}");
+            println!(
+                "expected: Young–Daly goodput model; simulated: one seeded failure draw \
+                 replayed through checkpoint/restart on the tuned plan."
+            );
+        }
         Command::Trace {
             model,
             mesh,
@@ -683,8 +854,9 @@ pub fn execute(cmd: Command) {
                 }
             }
             let Some((program, s_used)) = scheduled else {
-                println!("no legal MeshSlice schedule for {model} FC1 on mesh {mesh}");
-                return;
+                return Err(format!(
+                    "no legal MeshSlice schedule for {model} FC1 on mesh {mesh}"
+                ));
             };
             let (report, spans) = Engine::new(torus, cfg.clone()).run_spans(&program);
             let json = if sort {
@@ -693,14 +865,15 @@ pub fn execute(cmd: Command) {
                 chrome_trace_json(&program, &spans)
             };
             match out {
-                Some(path) => match std::fs::write(&path, &json) {
-                    Ok(()) => println!(
+                Some(path) => {
+                    std::fs::write(&path, &json)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    println!(
                         "{model} FC1 on mesh {mesh}, S = {s_used}: {} spans, makespan {:.3} ms -> {path}",
                         spans.len(),
                         report.makespan().as_secs() * 1e3
-                    ),
-                    Err(e) => println!("cannot write {path}: {e}"),
-                },
+                    );
+                }
                 None => println!("{json}"),
             }
         }
@@ -723,10 +896,9 @@ pub fn execute(cmd: Command) {
             let (best_s, _) = tuner.best_slice_count(mesh, problem, cfg.elem_bytes);
             let s_used = s.unwrap_or(best_s);
             let Some(m) = fc1_metrics(model, mesh, s_used, windows, &cfg) else {
-                println!(
+                return Err(format!(
                     "no legal MeshSlice schedule for {config} FC1 at S = {s_used} on mesh {mesh}"
-                );
-                return;
+                ));
             };
             match format {
                 MetricsFormat::Json => println!("{}", m.to_json().to_string_pretty()),
@@ -801,30 +973,29 @@ pub fn execute(cmd: Command) {
                 }
             }
             if let Some(path) = out {
-                match std::fs::write(&path, m.to_json().to_string_pretty()) {
-                    Ok(()) => println!("metrics artifact -> {path}"),
-                    Err(e) => println!("cannot write {path}: {e}"),
-                }
+                std::fs::write(&path, m.to_json().to_string_pretty())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("metrics artifact -> {path}");
             }
             if let Some(path) = tunelog {
                 let setup = TrainingSetup::weak_scaling(mesh.num_chips());
-                match tuner.tune_on_mesh_logged(&config, setup, mesh) {
-                    Some((_, log)) => {
-                        println!("\n{log}");
-                        match std::fs::write(&path, log.to_json().to_string_pretty()) {
-                            Ok(()) => println!("tune log -> {path}"),
-                            Err(e) => println!("cannot write {path}: {e}"),
-                        }
-                    }
-                    None => println!("cannot tune: a pass does not divide over mesh {mesh}"),
-                }
+                let (_, log) =
+                    tuner
+                        .tune_on_mesh_logged(&config, setup, mesh)
+                        .ok_or_else(|| {
+                            format!("cannot tune: a pass does not divide over mesh {mesh}")
+                        })?;
+                println!("\n{log}");
+                std::fs::write(&path, log.to_json().to_string_pretty())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("tune log -> {path}");
             }
         }
-        Command::CompareRuns { a, b } => match (load_metrics(&a), load_metrics(&b)) {
-            (Ok(ma), Ok(mb)) => print!("{}", RunDiff::new(ma, mb)),
-            (Err(e), _) => println!("cannot load {a}: {e}"),
-            (_, Err(e)) => println!("cannot load {b}: {e}"),
-        },
+        Command::CompareRuns { a, b } => {
+            let ma = load_metrics(&a).map_err(|e| format!("cannot load {a}: {e}"))?;
+            let mb = load_metrics(&b).map_err(|e| format!("cannot load {b}: {e}"))?;
+            print!("{}", RunDiff::new(ma, mb));
+        }
         Command::Traffic => {
             let mut t = Table::new(vec!["method".into(), "torus".into(), "traffic/chip".into()]);
             for r in traffic_25d_example(cfg.elem_bytes) {
@@ -837,6 +1008,7 @@ pub fn execute(cmd: Command) {
             println!("{t}");
         }
     }
+    Ok(())
 }
 
 /// The FC1 forward GeMM of `model` under weak scaling on `mesh` — the
@@ -1055,9 +1227,9 @@ mod tests {
 
     #[test]
     fn executes_cheap_commands() {
-        // Smoke: these must not panic.
-        execute(Command::Help);
-        execute(Command::Traffic);
+        // Smoke: these must not panic or error.
+        execute(Command::Help).unwrap();
+        execute(Command::Traffic).unwrap();
     }
 
     #[test]
@@ -1224,7 +1396,8 @@ mod tests {
             mesh: MeshShape::new(2, 2),
             out: Some(path.to_str().unwrap().to_string()),
             sort: false,
-        });
+        })
+        .unwrap();
         let json = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert!(json.starts_with("{\"traceEvents\":["));
@@ -1331,6 +1504,85 @@ mod tests {
             straggler: 1.5,
             seeds: 1,
             threads: Some(1),
-        });
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn parses_resilience_flags() {
+        assert_eq!(
+            parse(&args("resilience")).unwrap(),
+            Command::Resilience {
+                model: Model::Gpt3,
+                chips: 16,
+                mtbf_hours: 24.0,
+                steps: 200,
+                seed: 42,
+                threads: None
+            }
+        );
+        assert_eq!(
+            parse(&args(
+                "resilience --model megatron --chips 64 --mtbf 6 --steps 50 --seed 7 --threads 2"
+            ))
+            .unwrap(),
+            Command::Resilience {
+                model: Model::Megatron,
+                chips: 64,
+                mtbf_hours: 6.0,
+                steps: 50,
+                seed: 7,
+                threads: Some(2)
+            }
+        );
+        assert!(parse(&args("resilience --mtbf 0")).is_err());
+        assert!(parse(&args("resilience --mtbf nan")).is_err());
+        assert!(parse(&args("resilience --mtbf inf")).is_err());
+        assert!(parse(&args("resilience --steps 0")).is_err());
+        assert!(parse(&args("resilience --seed -1")).is_err());
+        assert!(parse(&args("resilience --threads 0")).is_err());
+        assert!(parse(&args("resilience --frobnicate 1")).is_err());
+    }
+
+    #[test]
+    fn zero_sizes_are_rejected_not_clamped() {
+        assert!(parse(&args("trace --mesh 0x4")).is_err());
+        assert!(parse(&args("sweep-slice gpt3 4x0")).is_err());
+        assert!(parse(&args("autotune gpt3 0")).is_err());
+        assert!(parse(&args("faults --chips 0")).is_err());
+        assert!(parse(&args("resilience --chips 0")).is_err());
+        assert!(parse(&args("plan3d gpt3 16 0")).is_err());
+        assert!(parse(&args("plan3d gpt3 0 256")).is_err());
+    }
+
+    #[test]
+    fn io_failures_surface_as_errors_not_panics() {
+        let err = execute(Command::CompareRuns {
+            a: "/nonexistent/meshslice_a.json".into(),
+            b: "/nonexistent/meshslice_b.json".into(),
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot load"), "{err}");
+        let err = execute(Command::Trace {
+            model: Model::Gpt3,
+            mesh: MeshShape::new(2, 2),
+            out: Some("/nonexistent/dir/meshslice_t.json".into()),
+            sort: false,
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot write"), "{err}");
+    }
+
+    #[test]
+    fn resilience_sweep_reports_goodput() {
+        execute(Command::Resilience {
+            model: Model::Gpt3,
+            chips: 4,
+            mtbf_hours: 2.0,
+            steps: 20,
+            seed: 7,
+            threads: Some(1),
+        })
+        .unwrap();
     }
 }

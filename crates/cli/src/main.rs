@@ -5,10 +5,11 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match meshslice_cli::parse(&args) {
-        Ok(cmd) => {
-            meshslice_cli::execute(cmd);
-            ExitCode::SUCCESS
+    match meshslice_cli::parse(&args).map(meshslice_cli::execute) {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(err)) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
         }
         Err(err) => {
             eprintln!("{err}");

@@ -114,6 +114,124 @@ pub fn reduce_scatter(mesh: &Torus2d, axis: CommAxis, partials: &[Matrix]) -> Ve
         .collect()
 }
 
+/// Ring AllGather with one permanently failed rank: the ring through
+/// `dead` is re-formed from its survivors (in original ring order), and
+/// the gather concatenates only *their* shards — after a failure the
+/// global matrix has been redistributed over the surviving ranks (the
+/// dead rank's shard was restored from checkpoint onto its successor), so
+/// the survivors' shards alone partition it.
+///
+/// Rings that do not contain `dead` behave exactly like [`all_gather`].
+/// The dead chip's slot in the returned state is its input, passed
+/// through unchanged — it must be ignored by the caller.
+///
+/// # Panics
+///
+/// Panics if the state size is wrong, `dead` is outside the mesh, or
+/// shard dimensions are incompatible within a re-formed ring.
+pub fn degraded_all_gather(
+    mesh: &Torus2d,
+    axis: CommAxis,
+    dead: ChipId,
+    shards: &[Matrix],
+) -> Vec<Matrix> {
+    check_cluster_state(mesh, shards);
+    assert!(
+        dead.index() < mesh.num_chips(),
+        "dead rank {} outside {}-chip mesh",
+        dead.index(),
+        mesh.num_chips()
+    );
+    let mut out: Vec<Option<Matrix>> = vec![None; mesh.num_chips()];
+    for ring in mesh.rings(axis) {
+        let live: Vec<ChipId> = ring
+            .members()
+            .iter()
+            .copied()
+            .filter(|&c| c != dead)
+            .collect();
+        if live.is_empty() {
+            // A singleton ring of just the dead chip: nothing to gather.
+            out[dead.index()] = Some(shards[dead.index()].clone());
+            continue;
+        }
+        let parts: Vec<Matrix> = live.iter().map(|&c| shards[c.index()].clone()).collect();
+        let gathered = match axis {
+            CommAxis::InterRow => Matrix::vcat(&parts),
+            CommAxis::InterCol => Matrix::hcat(&parts),
+        };
+        for &chip in &live {
+            out[chip.index()] = Some(gathered.clone());
+        }
+        if live.len() < ring.len() {
+            out[dead.index()] = Some(shards[dead.index()].clone());
+        }
+    }
+    out.into_iter()
+        .map(|m| m.expect("ring covered chip"))
+        .collect()
+}
+
+/// Ring ReduceScatter with one permanently failed rank: the ring through
+/// `dead` is re-formed from its survivors, their partials (which, after
+/// redistribution, sum to the full result on their own) are summed, and
+/// the sum is split evenly over the *surviving* ring positions — the chip
+/// at re-formed position `p` receives part `p`.
+///
+/// Rings that do not contain `dead` behave exactly like
+/// [`reduce_scatter`]. The dead chip's slot in the returned state is its
+/// input, passed through unchanged — it must be ignored by the caller.
+///
+/// # Panics
+///
+/// Panics if the state size is wrong, `dead` is outside the mesh,
+/// partials within a re-formed ring have different dimensions, or the
+/// scatter dimension is not divisible by the survivor count.
+pub fn degraded_reduce_scatter(
+    mesh: &Torus2d,
+    axis: CommAxis,
+    dead: ChipId,
+    partials: &[Matrix],
+) -> Vec<Matrix> {
+    check_cluster_state(mesh, partials);
+    assert!(
+        dead.index() < mesh.num_chips(),
+        "dead rank {} outside {}-chip mesh",
+        dead.index(),
+        mesh.num_chips()
+    );
+    let mut out: Vec<Option<Matrix>> = vec![None; mesh.num_chips()];
+    for ring in mesh.rings(axis) {
+        let live: Vec<ChipId> = ring
+            .members()
+            .iter()
+            .copied()
+            .filter(|&c| c != dead)
+            .collect();
+        if live.is_empty() {
+            out[dead.index()] = Some(partials[dead.index()].clone());
+            continue;
+        }
+        let mut sum = partials[live[0].index()].clone();
+        for &chip in &live[1..] {
+            sum += &partials[chip.index()];
+        }
+        let parts = match axis {
+            CommAxis::InterRow => sum.vsplit(live.len()),
+            CommAxis::InterCol => sum.hsplit(live.len()),
+        };
+        for (p, &chip) in live.iter().enumerate() {
+            out[chip.index()] = Some(parts[p].clone());
+        }
+        if live.len() < ring.len() {
+            out[dead.index()] = Some(partials[dead.index()].clone());
+        }
+    }
+    out.into_iter()
+        .map(|m| m.expect("ring covered chip"))
+        .collect()
+}
+
 /// Broadcasts the value held at ring position `root_pos` to every chip of
 /// its ring (the `bcast_row` / `bcast_col` primitive of SUMMA).
 ///
@@ -391,5 +509,102 @@ mod tests {
     fn wrong_state_size_panics() {
         let mesh = Torus2d::new(2, 2);
         all_gather(&mesh, CommAxis::InterRow, &[Matrix::zeros(1, 1)]);
+    }
+
+    #[test]
+    fn degraded_all_gather_reassembles_from_survivors() {
+        // A 4x1 column ring loses chip 2; the global matrix is
+        // redistributed over the 3 survivors, who gather it back whole.
+        let mesh = Torus2d::new(4, 1);
+        let dead = ChipId(2);
+        let global = Matrix::from_fn(6, 2, |i, j| (i * 2 + j) as f32);
+        let grid = ShardGrid::partition(&global, 3, 1);
+        let live_shards = state_from_grid(&grid);
+        let mut state = vec![Matrix::zeros(1, 1); 4];
+        let mut next = live_shards.into_iter();
+        for chip in mesh.chips() {
+            if chip != dead {
+                state[chip.index()] = next.next().unwrap();
+            }
+        }
+        let gathered = degraded_all_gather(&mesh, CommAxis::InterRow, dead, &state);
+        for chip in mesh.chips() {
+            if chip == dead {
+                assert_eq!(gathered[chip.index()], state[chip.index()]); // passthrough
+            } else {
+                assert_eq!(gathered[chip.index()], global, "chip {chip:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_all_gather_leaves_other_rings_healthy() {
+        // On a 2x2 mesh the InterRow rings are the two columns; killing a
+        // chip in column 1 must not disturb column 0's gather.
+        let mesh = Torus2d::new(2, 2);
+        let shards: Vec<Matrix> = (0..4).map(|i| Matrix::random(1, 2, i as u64)).collect();
+        let healthy = all_gather(&mesh, CommAxis::InterRow, &shards);
+        let degraded = degraded_all_gather(&mesh, CommAxis::InterRow, ChipId(3), &shards);
+        assert_eq!(degraded[0], healthy[0]);
+        assert_eq!(degraded[2], healthy[2]);
+    }
+
+    #[test]
+    fn degraded_reduce_scatter_sums_survivor_partials() {
+        // Row ring of 4 loses chip 1: the 3 survivors' partials carry the
+        // full sum, scattered 3 ways in surviving ring order.
+        let mesh = Torus2d::new(1, 4);
+        let dead = ChipId(1);
+        let mut partials: Vec<Matrix> = (0..4).map(|i| Matrix::random(2, 6, i as u64)).collect();
+        // Dense single-chip reference: the survivors' sum.
+        let mut reference = Matrix::zeros(2, 6);
+        for (i, p) in partials.iter().enumerate() {
+            if i != dead.index() {
+                reference += p;
+            }
+        }
+        // Poison the dead chip's partial: it must never be read.
+        partials[dead.index()] = Matrix::from_fn(2, 6, |_, _| f32::NAN);
+        let scattered = degraded_reduce_scatter(&mesh, CommAxis::InterCol, dead, &partials);
+        let expect = reference.hsplit(3);
+        for (p, chip) in [ChipId(0), ChipId(2), ChipId(3)].into_iter().enumerate() {
+            assert!(
+                scattered[chip.index()].approx_eq(&expect[p], 1e-6),
+                "chip {chip:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_gather_scatter_round_trips() {
+        // AG over survivors then RdS of the identical copies divided by
+        // the survivor count returns the survivors' inputs.
+        let mesh = Torus2d::new(4, 1);
+        let dead = ChipId(0);
+        let mut state: Vec<Matrix> = (0..4).map(|i| Matrix::random(2, 3, i as u64)).collect();
+        state[dead.index()] = Matrix::from_fn(2, 3, |_, _| f32::NAN);
+        let gathered = degraded_all_gather(&mesh, CommAxis::InterRow, dead, &state);
+        let mut scattered = degraded_reduce_scatter(&mesh, CommAxis::InterRow, dead, &gathered);
+        for chip in mesh.chips().filter(|&c| c != dead) {
+            let back = &mut scattered[chip.index()];
+            back.scale(1.0 / 3.0);
+            assert!(back.approx_eq(&state[chip.index()], 1e-6), "chip {chip:?}");
+        }
+    }
+
+    #[test]
+    fn singleton_ring_of_the_dead_chip_passes_through() {
+        let mesh = Torus2d::new(1, 1);
+        let state = vec![Matrix::random(2, 2, 7)];
+        let out = degraded_all_gather(&mesh, CommAxis::InterRow, ChipId(0), &state);
+        assert_eq!(out[0], state[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn degraded_collective_rejects_missing_rank() {
+        let mesh = Torus2d::new(2, 2);
+        let state = vec![Matrix::zeros(1, 1); 4];
+        degraded_reduce_scatter(&mesh, CommAxis::InterRow, ChipId(9), &state);
     }
 }

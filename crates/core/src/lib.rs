@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod autotuner;
+pub mod checkpoint;
 pub mod conv;
 pub mod costmodel;
 pub mod experiments;

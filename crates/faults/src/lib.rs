@@ -33,10 +33,74 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt;
+
 use meshslice_mesh::LinkDir;
-use meshslice_sim::{ClusterProfile, LinkOutage};
+use meshslice_sim::{ChipFailure, ClusterProfile, LinkOutage};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
+
+/// An out-of-range field of a [`FaultSpec`] or [`FailureSpec`], reported
+/// by [`FaultSpec::validate`] / [`FailureSpec::validate`] instead of
+/// silently producing a nonsense profile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultSpecError {
+    /// `straggler_slowdown` below 1 (or non-finite).
+    StragglerSlowdown(f64),
+    /// `link_degrade_prob` outside `[0, 1]`.
+    LinkDegradeProb(f64),
+    /// `link_floor` outside `(0, 1]`.
+    LinkFloor(f64),
+    /// `outage_floor` outside `(0, 1]`.
+    OutageFloor(f64),
+    /// Negative `outages_per_link` or `outage_duration`.
+    NegativeOutage {
+        /// The configured expected outages per link.
+        rate: f64,
+        /// The configured outage duration, seconds.
+        duration: f64,
+    },
+    /// Non-positive (or non-finite) `horizon`.
+    Horizon(f64),
+    /// Negative log-normal jitter sigma.
+    JitterSigma(f64),
+    /// Non-positive Pareto tail exponent.
+    ParetoAlpha(f64),
+    /// Negative Pareto scale.
+    ParetoScale(f64),
+    /// Non-positive MTBF (`FailureSpec`; `f64::INFINITY` means "never").
+    Mtbf(f64),
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultSpecError::StragglerSlowdown(v) => {
+                write!(f, "straggler slowdown {v} must be >= 1")
+            }
+            FaultSpecError::LinkDegradeProb(v) => {
+                write!(f, "link degrade probability {v} must be in [0, 1]")
+            }
+            FaultSpecError::LinkFloor(v) => write!(f, "link floor {v} must be in (0, 1]"),
+            FaultSpecError::OutageFloor(v) => write!(f, "outage floor {v} must be in (0, 1]"),
+            FaultSpecError::NegativeOutage { rate, duration } => write!(
+                f,
+                "outage rate/duration must be non-negative (rate {rate}, duration {duration})"
+            ),
+            FaultSpecError::Horizon(v) => write!(f, "horizon {v} must be positive"),
+            FaultSpecError::JitterSigma(v) => {
+                write!(f, "jitter sigma {v} must be non-negative")
+            }
+            FaultSpecError::ParetoAlpha(v) => write!(f, "Pareto alpha {v} must be positive"),
+            FaultSpecError::ParetoScale(v) => {
+                write!(f, "Pareto scale {v} must be non-negative")
+            }
+            FaultSpecError::Mtbf(v) => write!(f, "MTBF {v} must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
 
 /// Distribution of per-chip compute jitter multipliers (all `>= 1`).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -165,9 +229,12 @@ impl FaultSpec {
     /// # Panics
     ///
     /// Panics on out-of-range parameters (negative probabilities,
-    /// slowdowns below 1, floors outside `(0, 1]`, …).
+    /// slowdowns below 1, floors outside `(0, 1]`, …); use
+    /// [`validate`](Self::validate) to check fields without panicking.
     pub fn sample(&self, num_chips: usize, seed: u64) -> ClusterProfile {
-        self.validate();
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut profile = ClusterProfile::ideal(num_chips);
 
@@ -230,7 +297,9 @@ impl FaultSpec {
                         if start < last_end {
                             continue;
                         }
-                        let end = start + self.outage_duration;
+                        // Clamp at the horizon so a duration longer than
+                        // the horizon cannot leak a window past it.
+                        let end = (start + self.outage_duration).min(self.horizon);
                         profile.add_outage(
                             chip,
                             dir,
@@ -257,43 +326,231 @@ impl FaultSpec {
             .collect()
     }
 
-    fn validate(&self) {
-        assert!(
-            self.straggler_slowdown >= 1.0 && self.straggler_slowdown.is_finite(),
-            "straggler slowdown {} must be >= 1",
-            self.straggler_slowdown
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.link_degrade_prob),
-            "link degrade probability {} must be in [0, 1]",
-            self.link_degrade_prob
-        );
-        assert!(
-            self.link_floor > 0.0 && self.link_floor <= 1.0,
-            "link floor {} must be in (0, 1]",
-            self.link_floor
-        );
-        assert!(
-            self.outage_floor > 0.0 && self.outage_floor <= 1.0,
-            "outage floor {} must be in (0, 1]",
-            self.outage_floor
-        );
-        assert!(
-            self.outages_per_link >= 0.0 && self.outage_duration >= 0.0,
-            "outage rate/duration must be non-negative"
-        );
-        assert!(
-            self.horizon > 0.0 && self.horizon.is_finite(),
-            "horizon {} must be positive",
-            self.horizon
-        );
+    /// Checks every field range, returning the first violation as a typed
+    /// error instead of panicking.
+    pub fn validate(&self) -> Result<(), FaultSpecError> {
+        if !(self.straggler_slowdown >= 1.0 && self.straggler_slowdown.is_finite()) {
+            return Err(FaultSpecError::StragglerSlowdown(self.straggler_slowdown));
+        }
+        if !(0.0..=1.0).contains(&self.link_degrade_prob) {
+            return Err(FaultSpecError::LinkDegradeProb(self.link_degrade_prob));
+        }
+        if !(self.link_floor > 0.0 && self.link_floor <= 1.0) {
+            return Err(FaultSpecError::LinkFloor(self.link_floor));
+        }
+        if !(self.outage_floor > 0.0 && self.outage_floor <= 1.0) {
+            return Err(FaultSpecError::OutageFloor(self.outage_floor));
+        }
+        if !(self.outages_per_link >= 0.0 && self.outage_duration >= 0.0) {
+            return Err(FaultSpecError::NegativeOutage {
+                rate: self.outages_per_link,
+                duration: self.outage_duration,
+            });
+        }
+        if !(self.horizon > 0.0 && self.horizon.is_finite()) {
+            return Err(FaultSpecError::Horizon(self.horizon));
+        }
         if let JitterModel::LogNormal { sigma } = self.jitter {
-            assert!(sigma >= 0.0, "jitter sigma {sigma} must be non-negative");
+            if sigma < 0.0 {
+                return Err(FaultSpecError::JitterSigma(sigma));
+            }
         }
         if let JitterModel::Pareto { alpha, scale } = self.jitter {
-            assert!(alpha > 0.0, "Pareto alpha {alpha} must be positive");
-            assert!(scale >= 0.0, "Pareto scale {scale} must be non-negative");
+            if alpha <= 0.0 || alpha.is_nan() {
+                return Err(FaultSpecError::ParetoAlpha(alpha));
+            }
+            if scale < 0.0 {
+                return Err(FaultSpecError::ParetoScale(scale));
+            }
         }
+        Ok(())
+    }
+}
+
+/// A permanent-failure model: per-chip and per-link MTBF, sampled into
+/// concrete failure instants with seeded exponential draws.
+///
+/// Unlike [`FaultSpec`], whose perturbations are *transient* (a link
+/// outage window ends and the link recovers), a [`FailureSpec`] event is
+/// *permanent*: once a chip fails it never returns, and the run must
+/// detect the failure, abort, and restart from a checkpoint (modeled by
+/// `meshslice-recovery`). The sampling discipline matches [`FaultSpec`]:
+/// deterministic in `(spec, num_chips, seed)`, with one exponential draw
+/// per chip and per link regardless of the parameter values, so changing
+/// an MTBF rescales the same underlying draw.
+///
+/// # Example
+///
+/// ```
+/// use meshslice_faults::FailureSpec;
+///
+/// let spec = FailureSpec::chip_mtbf(3600.0, 7200.0);
+/// let draw = spec.sample(16, 42);
+/// assert_eq!(draw, spec.sample(16, 42)); // same seed, same failures
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FailureSpec {
+    /// Mean time between failures of one chip, seconds. `f64::INFINITY`
+    /// means chips never fail.
+    pub chip_mtbf: f64,
+    /// Mean time between permanent failures of one link, seconds.
+    /// `f64::INFINITY` means links never fail.
+    pub link_mtbf: f64,
+    /// Time horizon failures are sampled over, seconds (the wall-clock
+    /// length of the training run being modeled).
+    pub horizon: f64,
+}
+
+/// A permanent link failure sampled from a [`FailureSpec`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFailure {
+    /// The chip owning the failed link.
+    pub chip: usize,
+    /// The failed link direction.
+    pub dir: LinkDir,
+    /// Failure instant, seconds.
+    pub at: f64,
+}
+
+/// One concrete draw of permanent failures over the horizon, sorted by
+/// failure time.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FailureDraw {
+    /// Permanent chip failures, sorted by time.
+    pub chip_failures: Vec<ChipFailure>,
+    /// Permanent link failures, sorted by time.
+    pub link_failures: Vec<LinkFailure>,
+}
+
+impl FailureDraw {
+    /// The earliest chip failure, if any chip fails within the horizon.
+    pub fn first_chip_failure(&self) -> Option<ChipFailure> {
+        self.chip_failures.first().copied()
+    }
+
+    /// All failure instants (chip and link), sorted.
+    pub fn event_times(&self) -> Vec<f64> {
+        let mut times: Vec<f64> = self
+            .chip_failures
+            .iter()
+            .map(|f| f.at)
+            .chain(self.link_failures.iter().map(|f| f.at))
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times
+    }
+
+    /// Whether the draw contains no failure at all.
+    pub fn is_empty(&self) -> bool {
+        self.chip_failures.is_empty() && self.link_failures.is_empty()
+    }
+}
+
+impl FailureSpec {
+    /// The failure-free spec: nothing ever fails.
+    pub fn none() -> Self {
+        FailureSpec {
+            chip_mtbf: f64::INFINITY,
+            link_mtbf: f64::INFINITY,
+            horizon: 1.0,
+        }
+    }
+
+    /// Chips fail with the given MTBF over `horizon` seconds; links never
+    /// fail.
+    pub fn chip_mtbf(mtbf: f64, horizon: f64) -> Self {
+        FailureSpec {
+            chip_mtbf: mtbf,
+            link_mtbf: f64::INFINITY,
+            horizon,
+        }
+    }
+
+    /// Adds a per-link MTBF.
+    pub fn with_link_mtbf(self, mtbf: f64) -> Self {
+        FailureSpec {
+            link_mtbf: mtbf,
+            ..self
+        }
+    }
+
+    /// Checks field ranges, returning a typed error on violation.
+    pub fn validate(&self) -> Result<(), FaultSpecError> {
+        if self.chip_mtbf <= 0.0 || self.chip_mtbf.is_nan() {
+            return Err(FaultSpecError::Mtbf(self.chip_mtbf));
+        }
+        if self.link_mtbf <= 0.0 || self.link_mtbf.is_nan() {
+            return Err(FaultSpecError::Mtbf(self.link_mtbf));
+        }
+        if !(self.horizon > 0.0 && self.horizon.is_finite()) {
+            return Err(FaultSpecError::Horizon(self.horizon));
+        }
+        Ok(())
+    }
+
+    /// The cluster-level MTBF: the mean time to the *first* failure
+    /// anywhere in a `num_chips` cluster, combining the chip failure rate
+    /// with the per-chip link failure rate (each chip owns two physical
+    /// links of the torus: its `RowPlus` and `ColPlus` sides).
+    ///
+    /// Returns `f64::INFINITY` for a failure-free spec. This is the `M` of
+    /// the Young–Daly interval `sqrt(2 C M)`.
+    pub fn cluster_mtbf(&self, num_chips: usize) -> f64 {
+        let chip_rate = if self.chip_mtbf.is_finite() {
+            num_chips as f64 / self.chip_mtbf
+        } else {
+            0.0
+        };
+        let link_rate = if self.link_mtbf.is_finite() {
+            2.0 * num_chips as f64 / self.link_mtbf
+        } else {
+            0.0
+        };
+        let rate = chip_rate + link_rate;
+        if rate > 0.0 {
+            1.0 / rate
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Draws the permanent failures of a `num_chips` cluster over the
+    /// horizon. Deterministic in `(self, num_chips, seed)`.
+    ///
+    /// Each chip and each link gets one exponential first-arrival draw
+    /// (`-MTBF · ln(u)`); arrivals past the horizon are dropped. Only the
+    /// first failure per component matters — the component never recovers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters; use
+    /// [`validate`](Self::validate) to check without panicking.
+    pub fn sample(&self, num_chips: usize, seed: u64) -> FailureDraw {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut draw = FailureDraw::default();
+        // One draw per chip and per link regardless of the MTBF values, so
+        // the stream stays aligned when only a severity changes (an
+        // infinite MTBF maps every draw past the horizon).
+        for chip in 0..num_chips {
+            let at = -self.chip_mtbf * unit_open(&mut rng).ln();
+            if at < self.horizon {
+                draw.chip_failures.push(ChipFailure { chip, at });
+            }
+        }
+        for chip in 0..num_chips {
+            for dir in [LinkDir::RowPlus, LinkDir::ColPlus] {
+                let at = -self.link_mtbf * unit_open(&mut rng).ln();
+                if at < self.horizon {
+                    draw.link_failures.push(LinkFailure { chip, dir, at });
+                }
+            }
+        }
+        draw.chip_failures.sort_by(|a, b| a.at.total_cmp(&b.at));
+        draw.link_failures.sort_by(|a, b| a.at.total_cmp(&b.at));
+        draw
     }
 }
 
@@ -422,5 +679,82 @@ mod tests {
     #[should_panic(expected = "must be >= 1")]
     fn sub_unity_slowdown_panics() {
         FaultSpec::stragglers(1, 0.5).sample(4, 0);
+    }
+
+    #[test]
+    fn validate_returns_typed_errors() {
+        assert_eq!(FaultSpec::none().validate(), Ok(()));
+        assert_eq!(
+            FaultSpec::stragglers(1, 0.5).validate(),
+            Err(FaultSpecError::StragglerSlowdown(0.5))
+        );
+        let mut bad = FaultSpec::none();
+        bad.outage_floor = 0.0;
+        assert_eq!(bad.validate(), Err(FaultSpecError::OutageFloor(0.0)));
+        let mut bad = FaultSpec::none();
+        bad.outage_duration = -1.0;
+        assert!(matches!(
+            bad.validate(),
+            Err(FaultSpecError::NegativeOutage { .. })
+        ));
+        let mut bad = FaultSpec::none();
+        bad.horizon = 0.0;
+        assert_eq!(bad.validate(), Err(FaultSpecError::Horizon(0.0)));
+        let err = FaultSpecError::LinkFloor(1.5).to_string();
+        assert!(err.contains("must be in (0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn failure_spec_none_never_fails() {
+        let draw = FailureSpec::none().sample(64, 3);
+        assert!(draw.is_empty());
+        assert_eq!(FailureSpec::none().cluster_mtbf(64), f64::INFINITY);
+    }
+
+    #[test]
+    fn failure_draws_are_deterministic_and_inside_the_horizon() {
+        let spec = FailureSpec::chip_mtbf(50.0, 100.0).with_link_mtbf(200.0);
+        let a = spec.sample(16, 9);
+        assert_eq!(a, spec.sample(16, 9));
+        assert!(!a.is_empty(), "MTBF 50 over 100 s should fail sometimes");
+        for f in &a.chip_failures {
+            assert!(f.at >= 0.0 && f.at < 100.0, "chip failure at {}", f.at);
+        }
+        for f in &a.link_failures {
+            assert!(f.at >= 0.0 && f.at < 100.0, "link failure at {}", f.at);
+        }
+        let times = a.event_times();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(times.len(), a.chip_failures.len() + a.link_failures.len());
+    }
+
+    #[test]
+    fn shorter_mtbf_rescales_the_same_draw() {
+        // Parameter-independent draw structure: halving the MTBF halves
+        // every arrival time, so the set of failing chips only grows.
+        let slow = FailureSpec::chip_mtbf(100.0, 50.0).sample(32, 4);
+        let fast = FailureSpec::chip_mtbf(50.0, 50.0).sample(32, 4);
+        let slow_chips: Vec<usize> = slow.chip_failures.iter().map(|f| f.chip).collect();
+        for chip in &slow_chips {
+            assert!(
+                fast.chip_failures.iter().any(|f| f.chip == *chip),
+                "chip {chip} failed at MTBF 100 but not at MTBF 50"
+            );
+        }
+        assert!(fast.chip_failures.len() >= slow.chip_failures.len());
+    }
+
+    #[test]
+    fn cluster_mtbf_combines_chip_and_link_rates() {
+        let spec = FailureSpec::chip_mtbf(100.0, 1.0).with_link_mtbf(400.0);
+        // 16 chips: rate = 16/100 + 32/400 = 0.24 → MTBF 1/0.24.
+        let m = spec.cluster_mtbf(16);
+        assert!((m - 1.0 / 0.24).abs() < 1e-12, "cluster MTBF {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "MTBF")]
+    fn non_positive_mtbf_panics() {
+        FailureSpec::chip_mtbf(0.0, 1.0).sample(4, 0);
     }
 }

@@ -6,6 +6,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use meshslice_mesh::{ChipId, LinkDir, Torus2d};
 
 use crate::config::{NetworkModel, SimConfig};
+use crate::failure::{AbortInfo, ChipFailure, FailureOutcome};
 use crate::hbm::HbmChannel;
 use crate::lower::{lower, Category, ExecGraph, Resource};
 use crate::perturb::ClusterProfile;
@@ -295,6 +296,30 @@ enum Event {
     /// A link-outage window of one chip starts or ends: in-flight
     /// transfers on that chip's links must be re-rated.
     FaultEdge { chip: usize },
+    /// The permanent chip failure of this run occurs (at most one per
+    /// run, so the event needs no payload).
+    ChipFail,
+    /// A neighbor-sync watchdog expires: if the failure has fired and
+    /// this is the earliest pending watchdog, the failure is detected
+    /// and the run aborts.
+    FailTimeout,
+}
+
+/// Permanent-failure bookkeeping of one run (present only on the
+/// [`Engine::run_with_failure`] path; `None` keeps the normal path
+/// structurally unchanged).
+#[derive(Clone, Copy, Debug)]
+struct FailCtx {
+    /// The chip that dies.
+    chip: u32,
+    /// Detection latency: a live node stalled on the dead chip is
+    /// noticed one timeout after the stall begins (the neighbor sync
+    /// that never arrives).
+    timeout: f64,
+    /// Earliest pending watchdog expiry (`INFINITY` until a stall).
+    detect_at: f64,
+    /// Whether the failure instant has passed.
+    fired: bool,
 }
 
 /// Per-node lifecycle state. The busy-interval start is not carried here —
@@ -485,6 +510,11 @@ struct Run<'a> {
     /// Total comm-transfer busy time that ran while the same chip's
     /// compute unit was busy (the paper's "hidden" communication).
     overlapped: f64,
+    /// Permanent-failure context (`None` on the normal path).
+    failure: Option<FailCtx>,
+    /// Detection time once a watchdog fires; set at most once, and the
+    /// event loop stops at it.
+    aborted: Option<f64>,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -623,8 +653,64 @@ impl Engine {
         lowered: &LoweredProgram,
         scratch: &mut RunScratch,
     ) -> SimReport {
-        let (report, _, _, _) = self.run_lowered_inner(lowered, scratch, false, false, false);
+        let (report, _, _, _, _) =
+            self.run_lowered_inner(lowered, scratch, false, false, false, None);
         report
+    }
+
+    /// Runs a program that may be interrupted by a permanent chip
+    /// failure at `failure.at`.
+    ///
+    /// The failed chip freezes at the failure instant: in-flight work
+    /// stalls forever and nothing new starts there. Surviving chips keep
+    /// executing until one of them blocks with every remaining dependency
+    /// on the dead chip — the per-ring-step neighbor sync that would have
+    /// released it never arrives — and a watchdog declares the failure
+    /// detected `sync_timeout` seconds after that stall. The run then
+    /// aborts with an [`AbortInfo`]. If no live node ever depends on the
+    /// dead chip, the end-of-run barrier detects the missing chip one
+    /// timeout after the last live completion instead.
+    ///
+    /// A failure at or after natural completion returns
+    /// [`FailureOutcome::Completed`] with a report **bit-for-bit
+    /// identical** to [`run`](Self::run) — the failure path adds no
+    /// floating-point work to unaffected runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failure.chip` is outside the mesh, `failure.at` is not
+    /// finite and non-negative, or `sync_timeout` is negative.
+    pub fn run_with_failure(
+        &self,
+        program: &Program,
+        failure: ChipFailure,
+        sync_timeout: f64,
+    ) -> FailureOutcome {
+        let lowered = self.lower_program(program);
+        self.run_lowered_with_failure(&lowered, &mut RunScratch::default(), failure, sync_timeout)
+    }
+
+    /// Pre-lowered, scratch-reusing variant of
+    /// [`run_with_failure`](Self::run_with_failure) — the sweep hot path.
+    pub fn run_lowered_with_failure(
+        &self,
+        lowered: &LoweredProgram,
+        scratch: &mut RunScratch,
+        failure: ChipFailure,
+        sync_timeout: f64,
+    ) -> FailureOutcome {
+        let (report, _, _, _, abort) = self.run_lowered_inner(
+            lowered,
+            scratch,
+            false,
+            false,
+            false,
+            Some((failure, sync_timeout)),
+        );
+        match abort {
+            Some(info) => FailureOutcome::Aborted(info),
+            None => FailureOutcome::Completed(report),
+        }
     }
 
     /// Like [`run_spans`](Self::run_spans), but additionally returns the
@@ -682,13 +768,15 @@ impl Engine {
         collect_nodes: bool,
     ) -> (SimReport, Vec<OpTrace>, Vec<NodeSpan>, RunTimeline) {
         let lowered = self.lower_program(program);
-        self.run_lowered_inner(
+        let (report, traces, spans, timeline, _) = self.run_lowered_inner(
             &lowered,
             &mut RunScratch::default(),
             collect_spans,
             collect_nodes,
             true,
-        )
+            None,
+        );
+        (report, traces, spans, timeline)
     }
 
     fn run_lowered_inner(
@@ -698,9 +786,32 @@ impl Engine {
         collect_spans: bool,
         collect_nodes: bool,
         collect_traces: bool,
-    ) -> (SimReport, Vec<OpTrace>, Vec<NodeSpan>, RunTimeline) {
+        failure: Option<(ChipFailure, f64)>,
+    ) -> (
+        SimReport,
+        Vec<OpTrace>,
+        Vec<NodeSpan>,
+        RunTimeline,
+        Option<AbortInfo>,
+    ) {
         let n = lowered.graph.nodes.len();
         let chips = self.mesh.num_chips();
+        if let Some((cf, timeout)) = &failure {
+            assert!(
+                cf.chip < chips,
+                "failed chip {} outside {chips}-chip mesh",
+                cf.chip
+            );
+            assert!(
+                cf.at.is_finite() && cf.at >= 0.0,
+                "failure time {} must be finite and non-negative",
+                cf.at
+            );
+            assert!(
+                timeout.is_finite() && *timeout >= 0.0,
+                "sync timeout {timeout} must be finite and non-negative"
+            );
+        }
         assert_eq!(
             lowered.num_chips, chips,
             "lowered program was built for {} chips but the mesh has {chips}",
@@ -808,6 +919,13 @@ impl Engine {
             compute_since: std::mem::take(&mut scratch.compute_since),
             overlap_at_start: std::mem::take(&mut scratch.overlap_at_start),
             overlapped: 0.0,
+            failure: failure.map(|(cf, timeout)| FailCtx {
+                chip: cf.chip as u32,
+                timeout,
+                detect_at: f64::INFINITY,
+                fired: false,
+            }),
+            aborted: None,
         };
 
         // Outage boundaries are known up front; scheduling them as events
@@ -818,6 +936,11 @@ impl Engine {
                     run.schedule(edge, Event::FaultEdge { chip });
                 }
             }
+        }
+
+        // The permanent failure, if any, is a pre-scheduled event too.
+        if let Some((cf, _)) = &failure {
+            run.schedule(cf.at, Event::ChipFail);
         }
 
         // The roots were snapshotted at lowering time, before starting any
@@ -834,6 +957,11 @@ impl Engine {
         // counter, so comparing their head (time, seq) keys dispatches in
         // exactly the order a single combined heap would.
         loop {
+            // A detected failure stops the cluster: events past the
+            // detection instant are never dispatched.
+            if run.aborted.is_some() {
+                break;
+            }
             let main_key = run.heap.peek().map(|Reverse((t, s, _))| (*t, *s));
             let wake_key = run.wakes.peek();
             let take_wake = match (main_key, wake_key) {
@@ -859,11 +987,29 @@ impl Engine {
                 run.dispatch(event, t.as_secs());
             }
         }
-        assert_eq!(
-            run.completed, n,
-            "program deadlocked: {} of {n} nodes completed",
-            run.completed
-        );
+        let abort = match &failure {
+            Some((cf, timeout)) if run.completed < n => {
+                // Detected by a stalled live node's watchdog, or — when
+                // only dead-chip work remained — by the end-of-run
+                // barrier one timeout after the last live completion.
+                let detected = run.aborted.unwrap_or(run.makespan.max(cf.at) + timeout);
+                Some(AbortInfo {
+                    failure_time: Duration::from_secs(cf.at),
+                    detected_at: Duration::from_secs(detected),
+                    completed_nodes: run.completed,
+                    total_nodes: n,
+                })
+            }
+            Some(_) => None,
+            None => {
+                assert_eq!(
+                    run.completed, n,
+                    "program deadlocked: {} of {n} nodes completed",
+                    run.completed
+                );
+                None
+            }
+        };
 
         let report = SimReport::new(
             Duration::from_secs(run.makespan),
@@ -974,7 +1120,7 @@ impl Engine {
         scratch.compute_cum = compute_cum;
         scratch.compute_since = compute_since;
         scratch.overlap_at_start = overlap_at_start;
-        (report, traces, spans, timeline)
+        (report, traces, spans, timeline, abort)
     }
 }
 
@@ -996,15 +1142,39 @@ impl<'a> Run<'a> {
         self.done_pool.push(buf);
     }
 
+    /// Whether `node` lives on the dead chip of a fired failure.
+    #[inline]
+    fn node_frozen(&self, node: usize) -> bool {
+        match &self.failure {
+            Some(f) => f.fired && self.hot[node].chip == f.chip,
+            None => false,
+        }
+    }
+
+    /// Whether `chip` is the dead chip of a fired failure.
+    #[inline]
+    fn chip_dead(&self, chip: usize) -> bool {
+        match &self.failure {
+            Some(f) => f.fired && f.chip as usize == chip,
+            None => false,
+        }
+    }
+
     fn dispatch(&mut self, event: Event, t: f64) {
         match event {
             Event::SyncDone(node) => {
+                if self.node_frozen(node) {
+                    return;
+                }
                 if self.phase[node] == Phase::Syncing {
                     self.begin_busy(node, t);
                 }
             }
             Event::TimerDone(node) => self.part_done(node, t),
             Event::HbmWake { chip, version } => {
+                if self.chip_dead(chip) {
+                    return; // the dead chip's channel is frozen
+                }
                 if self.hbm[chip].version() != version {
                     return; // stale wake-up
                 }
@@ -1036,7 +1206,19 @@ impl<'a> Run<'a> {
                 self.release_done(done);
                 self.reschedule_fabric(t);
             }
+            Event::ChipFail => self.on_chip_fail(t),
+            Event::FailTimeout => {
+                // A stall watchdog expired: the earliest one to fire is the
+                // true detection time (stalls on a dead chip never resolve,
+                // so the earliest-armed watchdog is never cancelled).
+                if self.failure.as_ref().is_some_and(|f| f.fired) && self.aborted.is_none() {
+                    self.aborted = Some(t);
+                }
+            }
             Event::FaultEdge { chip } => {
+                if self.chip_dead(chip) {
+                    return; // outage edges on a dead chip are moot
+                }
                 // An outage window on one of this chip's links starts or
                 // ends: settle the chip's HBM channel up to now, then
                 // re-rate its in-flight link transfers.
@@ -1152,7 +1334,56 @@ impl<'a> Run<'a> {
         self.compute_cum[chip] + self.compute_since[chip].map_or(0.0, |s| t - s)
     }
 
+    /// The just-fired failure froze `FailCtx::chip`: suppress every event
+    /// on it from now on, then scan for live nodes that are already stalled
+    /// on the dead chip and arm their detection watchdog.
+    fn on_chip_fail(&mut self, t: f64) {
+        let dead = {
+            let Some(f) = self.failure.as_mut() else {
+                return;
+            };
+            if f.fired {
+                return;
+            }
+            f.fired = true;
+            f.chip
+        };
+        if (0..self.phase.len()).any(|d| self.stalled_on_dead(d, dead)) {
+            self.stall_watchdog(t);
+        }
+    }
+
+    /// Whether live node `node` is blocked with every remaining dependency
+    /// on the dead chip — a stall that can never resolve, which is what the
+    /// neighbor-sync watchdog detects.
+    fn stalled_on_dead(&self, node: usize, dead: u32) -> bool {
+        self.hot[node].chip != dead
+            && self.phase[node] == Phase::Blocked
+            && self.deps_left[node] > 0
+            && self.nodes.nodes[node]
+                .deps
+                .iter()
+                .all(|&dep| self.phase[dep] == Phase::Done || self.hot[dep].chip == dead)
+    }
+
+    /// Arms (or tightens) the failure-detection watchdog: a stall that
+    /// began at `t` is declared a failure `sync_timeout` later. Only an
+    /// earlier stall can move the detection time forward.
+    fn stall_watchdog(&mut self, t: f64) {
+        let expiry = match self.failure.as_mut() {
+            Some(f) if f.fired && t + f.timeout < f.detect_at => {
+                f.detect_at = t + f.timeout;
+                f.detect_at
+            }
+            _ => return,
+        };
+        self.schedule(expiry, Event::FailTimeout);
+    }
+
     fn ready(&mut self, node: usize, t: f64) {
+        if self.node_frozen(node) {
+            return; // the dead chip never starts new work
+        }
         debug_assert_eq!(
             self.phase[node],
             Phase::Blocked,
@@ -1275,6 +1506,9 @@ impl<'a> Run<'a> {
     }
 
     fn part_done(&mut self, node: usize, t: f64) {
+        if self.node_frozen(node) {
+            return; // in-flight work on the dead chip never finishes
+        }
         if let Phase::Busy { parts_left } = self.phase[node] {
             if parts_left <= 1 {
                 self.phase[node] = Phase::Busy { parts_left: 0 };
@@ -1373,6 +1607,10 @@ impl<'a> Run<'a> {
             self.begin_sync(next, t);
         }
 
+        let dead = match &self.failure {
+            Some(f) if f.fired => Some(f.chip),
+            _ => None,
+        };
         let start = self.dep_starts[node] as usize;
         let end = self.dep_starts[node + 1] as usize;
         for i in start..end {
@@ -1380,6 +1618,10 @@ impl<'a> Run<'a> {
             self.deps_left[d] -= 1;
             if self.deps_left[d] == 0 {
                 self.ready(d, t);
+            } else if let Some(dead) = dead {
+                if self.stalled_on_dead(d, dead) {
+                    self.stall_watchdog(t);
+                }
             }
         }
     }
@@ -2018,5 +2260,98 @@ mod tests {
         let r2 = Engine::new(mesh, cfg()).run(&build());
         assert_eq!(r1.makespan(), r2.makespan());
         assert_eq!(r1.totals().comm_transfer, r2.totals().comm_transfer);
+    }
+
+    /// A 2x2 ring program whose chips depend on each other through an
+    /// all-gather, so killing a chip stalls the survivors.
+    fn ring_program(mesh: &Torus2d) -> Program {
+        let mut b = ProgramBuilder::new(mesh);
+        let tag = b.next_tag();
+        for chip in mesh.chips() {
+            let ag = b.all_gather(chip, tag, CommAxis::InterRow, 1 << 20, &[]);
+            b.gemm(chip, GemmShape::new(1024, 1024, 1024), &[ag]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn failure_after_completion_is_bit_for_bit_identical() {
+        let mesh = Torus2d::new(2, 2);
+        let program = ring_program(&mesh);
+        let baseline = Engine::new(mesh.clone(), cfg()).run(&program);
+        let late = crate::ChipFailure {
+            chip: 0,
+            at: baseline.makespan().as_secs() * 2.0,
+        };
+        let outcome = Engine::new(mesh, cfg()).run_with_failure(&program, late, 1e-3);
+        match outcome {
+            crate::FailureOutcome::Completed(report) => assert_eq!(report, baseline),
+            crate::FailureOutcome::Aborted(info) => panic!("late failure aborted: {info:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_run_chip_death_aborts_with_detection_latency() {
+        let mesh = Torus2d::new(2, 2);
+        let program = ring_program(&mesh);
+        let baseline = Engine::new(mesh.clone(), cfg()).run(&program);
+        let at = baseline.makespan().as_secs() * 0.25;
+        let timeout = 1e-3;
+        let outcome = Engine::new(mesh, cfg()).run_with_failure(
+            &program,
+            crate::ChipFailure { chip: 3, at },
+            timeout,
+        );
+        let info = outcome.aborted().expect("mid-run failure must abort");
+        assert_eq!(info.failure_time.as_secs(), at);
+        // Detection happens only after a survivor stalls and its watchdog
+        // expires: strictly after the failure plus the sync timeout floor.
+        assert!(info.detected_at.as_secs() >= at + timeout);
+        assert!(info.completed_nodes < info.total_nodes);
+        // Detection must not wait forever: bounded by the failure-free
+        // makespan plus the timeout.
+        assert!(info.detected_at.as_secs() <= baseline.makespan().as_secs() + timeout + 1e-9);
+    }
+
+    #[test]
+    fn failure_at_time_zero_detects_via_first_stall() {
+        let mesh = Torus2d::new(2, 2);
+        let program = ring_program(&mesh);
+        let timeout = 5e-4;
+        let outcome = Engine::new(mesh, cfg()).run_with_failure(
+            &program,
+            crate::ChipFailure { chip: 0, at: 0.0 },
+            timeout,
+        );
+        let info = outcome.aborted().expect("immediate failure must abort");
+        assert!(info.detected_at.as_secs() >= timeout);
+        assert_eq!(info.failure_time.as_secs(), 0.0);
+    }
+
+    #[test]
+    fn degraded_torus_profile_stretches_communication() {
+        let mesh = Torus2d::new(4, 4);
+        let program = ring_program(&mesh);
+        let baseline = Engine::new(mesh.clone(), cfg()).run(&program);
+        let degraded = crate::degraded_torus_profile(&mesh, 5);
+        let slowed = Engine::new(mesh, cfg().with_faults(degraded)).run(&program);
+        assert!(
+            slowed.makespan() > baseline.makespan(),
+            "degraded {} vs baseline {}",
+            slowed.makespan(),
+            baseline.makespan()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn failure_on_missing_chip_panics() {
+        let mesh = Torus2d::new(2, 2);
+        let program = ring_program(&mesh);
+        Engine::new(mesh, cfg()).run_with_failure(
+            &program,
+            crate::ChipFailure { chip: 9, at: 1.0 },
+            1e-3,
+        );
     }
 }

@@ -42,6 +42,7 @@
 
 mod config;
 mod engine;
+mod failure;
 mod hbm;
 mod lower;
 mod perturb;
@@ -53,6 +54,9 @@ pub use config::{NetworkModel, SimConfig};
 pub use engine::{
     Engine, LoweredProgram, NodeRecord, NodeSpan, OpTrace, RunScratch, RunTimeline, SpanKind,
     SpanTrack,
+};
+pub use failure::{
+    degraded_torus_profile, AbortInfo, ChipFailure, FailureOutcome, DETOUR_LINK_MULTIPLIER,
 };
 pub use perturb::{ClusterProfile, LinkOutage};
 pub use program::{CollectiveKind, OpId, OpKind, Program, ProgramBuilder};

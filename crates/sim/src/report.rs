@@ -131,6 +131,19 @@ impl SimReport {
         }
     }
 
+    /// Goodput: useful compute (this run's makespan) divided by the
+    /// wall-clock it actually took under failures — checkpoint writes,
+    /// detection, restore, and replayed lost work all inflate
+    /// `wall_clock` past the makespan. Clamped to `[0, 1]`; a failure-free
+    /// run has goodput exactly 1.
+    pub fn goodput(&self, wall_clock: Duration) -> f64 {
+        let wall = wall_clock.as_secs();
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        (self.makespan.as_secs() / wall).clamp(0.0, 1.0)
+    }
+
     /// Shard-transfer time that elapsed while the owning chip's compute
     /// unit was simultaneously busy — communication the schedule hid
     /// under computation.
@@ -305,6 +318,17 @@ mod tests {
         let merged = SimReport::merge_serial(&[report(1.0, 100, 2.0), report(2.0, 50, 4.0)]);
         assert_eq!(merged.overlapped_comm(), Duration::from_secs(3.0));
         assert!((merged.overlap_efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goodput_is_makespan_over_wall_clock() {
+        let r = report(2.0, 100, 1.0);
+        assert!((r.goodput(Duration::from_secs(4.0)) - 0.5).abs() < 1e-12);
+        // A failure-free run (wall clock == makespan) has goodput 1.
+        assert_eq!(r.goodput(Duration::from_secs(2.0)), 1.0);
+        assert_eq!(r.goodput(Duration::ZERO), 0.0);
+        // Wall clock can never be shorter than the useful work.
+        assert_eq!(r.goodput(Duration::from_secs(1.0)), 1.0);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use meshslice_sim::{NodeSpan, SimReport, SpanKind, SpanTrack};
 
 use crate::critical_path::{op_slacks, CriticalPath, PathAttribution, PathKind};
 use crate::json::Json;
+use crate::recovery::DowntimeBreakdown;
 use meshslice_sim::RunTimeline;
 
 /// Per-chip lane labels, in [`SpanTrack::lane`] order.
@@ -77,6 +78,10 @@ pub struct RunMetrics {
     /// Slack statistics over program operations:
     /// `(min, mean, max)` seconds.
     pub slack: (f64, f64, f64),
+    /// Failure/recovery downtime accounting; `None` for failure-free
+    /// runs (and absent from their JSON artifacts, which stay
+    /// byte-identical to pre-recovery ones).
+    pub downtime: Option<DowntimeBreakdown>,
 }
 
 /// Bucket labels in the order of [`RunMetrics::buckets`].
@@ -163,12 +168,19 @@ impl RunMetrics {
             critical_path: path.attribution(),
             hotspots,
             slack,
+            downtime: None,
         }
     }
 
     /// Adds a free-form label to the artifact's `meta` block.
     pub fn with_meta(mut self, key: &str, value: &str) -> Self {
         self.meta.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Attaches the failure/recovery downtime accounting of the run.
+    pub fn with_downtime(mut self, downtime: DowntimeBreakdown) -> Self {
+        self.downtime = Some(downtime);
         self
     }
 
@@ -188,7 +200,7 @@ impl RunMetrics {
 
     /// Serializes to the JSON artifact (schema `schemas/metrics.schema.json`).
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut pairs = vec![
             ("schema_version", Json::Num(1.0)),
             (
                 "meta",
@@ -278,7 +290,11 @@ impl RunMetrics {
                     ("max", Json::Num(self.slack.2)),
                 ]),
             ),
-        ])
+        ];
+        if let Some(d) = &self.downtime {
+            pairs.push(("downtime_s", d.to_json()));
+        }
+        Json::obj(pairs)
     }
 
     /// Deserializes a JSON artifact produced by [`to_json`](Self::to_json).
@@ -385,6 +401,10 @@ impl RunMetrics {
             critical_path,
             hotspots,
             slack: (slack_get("min"), slack_get("mean"), slack_get("max")),
+            downtime: match doc.get("downtime_s") {
+                Some(d) => Some(DowntimeBreakdown::from_json(d)?),
+                None => None,
+            },
         })
     }
 
@@ -577,6 +597,27 @@ mod tests {
         let text = m.to_json().to_string_pretty();
         let back = RunMetrics::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn downtime_is_absent_by_default_and_round_trips_when_attached() {
+        let plain = collect(2, 2);
+        assert_eq!(plain.downtime, None);
+        assert!(plain.to_json().get("downtime_s").is_none());
+
+        let m = collect(2, 2).with_downtime(crate::DowntimeBreakdown {
+            checkpoint: 18.0,
+            lost: 5.5,
+            detection: 0.5,
+            restore: 2.0,
+            degraded: 21.0,
+            useful: 100.0,
+            failures: 1,
+        });
+        let text = m.to_json().to_string_pretty();
+        let back = RunMetrics::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(m, back);
+        assert!(back.downtime.unwrap().goodput() < 1.0);
     }
 
     #[test]

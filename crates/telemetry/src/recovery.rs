@@ -1,0 +1,222 @@
+//! Failure/recovery telemetry: downtime accounting and recovery spans.
+//!
+//! `meshslice-recovery` walks a training run through permanent failures;
+//! these types carry its accounting into the metric artifact so the
+//! MTBF→goodput trajectory is machine-readable alongside the usual
+//! busy-time buckets. A [`DowntimeBreakdown`] can be attached to
+//! [`RunMetrics`](crate::RunMetrics) (it is absent for failure-free runs,
+//! keeping existing artifacts byte-identical), and [`RecoverySpan`]s
+//! record each failure's detect/restore/replay phases on a wall-clock
+//! timeline.
+
+use crate::json::Json;
+
+/// Labels of the downtime buckets, in [`DowntimeBreakdown::buckets`]
+/// order.
+pub const DOWNTIME_LABELS: [&str; 5] = ["checkpoint", "lost", "detection", "restore", "degraded"];
+
+/// Wall-clock seconds a recovered run spent *not* doing nominal useful
+/// work, by cause.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DowntimeBreakdown {
+    /// Committed checkpoint writes.
+    pub checkpoint: f64,
+    /// Replayed work discarded by failures.
+    pub lost: f64,
+    /// Failure-detection latency.
+    pub detection: f64,
+    /// Checkpoint-restore time.
+    pub restore: f64,
+    /// Extra step time paid on the degraded torus.
+    pub degraded: f64,
+    /// Useful seconds (nominal step time of the committed steps).
+    pub useful: f64,
+    /// Failures that interrupted the run.
+    pub failures: usize,
+}
+
+impl DowntimeBreakdown {
+    /// Total non-useful seconds.
+    pub fn total(&self) -> f64 {
+        self.checkpoint + self.lost + self.detection + self.restore + self.degraded
+    }
+
+    /// The five downtime buckets in [`DOWNTIME_LABELS`] order.
+    pub fn buckets(&self) -> [f64; 5] {
+        [
+            self.checkpoint,
+            self.lost,
+            self.detection,
+            self.restore,
+            self.degraded,
+        ]
+    }
+
+    /// Useful fraction of the total wall clock, in `[0, 1]`.
+    pub fn goodput(&self) -> f64 {
+        let wall = self.useful + self.total();
+        if wall <= 0.0 {
+            return 1.0;
+        }
+        (self.useful / wall).clamp(0.0, 1.0)
+    }
+
+    /// Serializes to the `downtime_s` object of the metric artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("checkpoint", Json::Num(self.checkpoint)),
+            ("lost", Json::Num(self.lost)),
+            ("detection", Json::Num(self.detection)),
+            ("restore", Json::Num(self.restore)),
+            ("degraded", Json::Num(self.degraded)),
+            ("useful", Json::Num(self.useful)),
+            ("failures", Json::Num(self.failures as f64)),
+        ])
+    }
+
+    /// Deserializes the `downtime_s` object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or ill-typed field.
+    pub fn from_json(doc: &Json) -> Result<DowntimeBreakdown, String> {
+        let num = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing downtime field '{key}'"))
+        };
+        Ok(DowntimeBreakdown {
+            checkpoint: num("checkpoint")?,
+            lost: num("lost")?,
+            detection: num("detection")?,
+            restore: num("restore")?,
+            degraded: num("degraded")?,
+            useful: num("useful")?,
+            failures: doc
+                .get("failures")
+                .and_then(Json::as_usize)
+                .ok_or("missing downtime field 'failures'")?,
+        })
+    }
+}
+
+/// What one phase of a recovery episode was doing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryPhase {
+    /// A chip or link died; survivors have not noticed yet.
+    Failure,
+    /// Survivors stalled on the dead peer; the sync watchdog is running.
+    Detection,
+    /// Model state streaming back from the last checkpoint.
+    Restore,
+    /// Re-executing the work lost since the last checkpoint.
+    Replay,
+}
+
+impl RecoveryPhase {
+    /// Stable label for artifacts and trace viewers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryPhase::Failure => "failure",
+            RecoveryPhase::Detection => "detection",
+            RecoveryPhase::Restore => "restore",
+            RecoveryPhase::Replay => "replay",
+        }
+    }
+}
+
+/// One phase of one recovery episode on the run's wall-clock timeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoverySpan {
+    /// Which failure this span belongs to (0-based).
+    pub episode: usize,
+    /// The phase.
+    pub phase: RecoveryPhase,
+    /// Wall-clock start, seconds.
+    pub start: f64,
+    /// Wall-clock end, seconds.
+    pub end: f64,
+}
+
+impl RecoverySpan {
+    /// Span duration, seconds.
+    pub fn duration(&self) -> f64 {
+        (self.end - self.start).max(0.0)
+    }
+
+    /// Serializes one span for the artifact's `recovery_spans` array.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("episode", Json::Num(self.episode as f64)),
+            ("phase", Json::Str(self.phase.label().to_string())),
+            ("start_s", Json::Num(self.start)),
+            ("end_s", Json::Num(self.end)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown() -> DowntimeBreakdown {
+        DowntimeBreakdown {
+            checkpoint: 18.0,
+            lost: 5.5,
+            detection: 0.5,
+            restore: 2.0,
+            degraded: 21.0,
+            useful: 100.0,
+            failures: 1,
+        }
+    }
+
+    #[test]
+    fn goodput_is_useful_over_wall() {
+        let d = breakdown();
+        let wall = d.useful + d.total();
+        assert!((d.goodput() - 100.0 / wall).abs() < 1e-12);
+        assert!(d.goodput() < 1.0);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let d = breakdown();
+        let back = DowntimeBreakdown::from_json(&d.to_json()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn missing_field_is_reported() {
+        let err =
+            DowntimeBreakdown::from_json(&Json::obj(vec![("lost", Json::Num(1.0))])).unwrap_err();
+        assert!(err.contains("checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn spans_carry_phase_labels() {
+        let s = RecoverySpan {
+            episode: 0,
+            phase: RecoveryPhase::Detection,
+            start: 17.5,
+            end: 18.0,
+        };
+        assert!((s.duration() - 0.5).abs() < 1e-12);
+        let j = s.to_json();
+        assert_eq!(j.get("phase").and_then(Json::as_str), Some("detection"));
+    }
+
+    #[test]
+    fn empty_breakdown_has_goodput_one() {
+        let d = DowntimeBreakdown {
+            checkpoint: 0.0,
+            lost: 0.0,
+            detection: 0.0,
+            restore: 0.0,
+            degraded: 0.0,
+            useful: 0.0,
+            failures: 0,
+        };
+        assert_eq!(d.goodput(), 1.0);
+    }
+}

@@ -3,8 +3,8 @@
 //! composition with the no-collective-overlap execution mode.
 
 use meshslice::{Dataflow, DistributedGemm, Engine, GemmProblem, GemmShape, MeshSlice, SimConfig};
-use meshslice_faults::FaultSpec;
-use meshslice_mesh::Torus2d;
+use meshslice_faults::{FailureSpec, FaultSpec};
+use meshslice_mesh::{LinkDir, Torus2d};
 use meshslice_sim::{ClusterProfile, SimReport};
 use proptest::prelude::*;
 
@@ -93,6 +93,77 @@ proptest! {
             "floor {low} -> {m_slow}, floor {high} -> {m_fast}"
         );
     }
+
+    /// Every sampled outage window lands inside the horizon — even when
+    /// the requested duration exceeds the horizon itself — and windows on
+    /// one link never overlap.
+    #[test]
+    fn outage_windows_land_inside_the_horizon(
+        chips in 1usize..9,
+        per_link in 0.0f64..3.0,
+        duration in 0.0f64..2e-2,
+        horizon in 1e-3f64..1e-2,
+        seed in any::<u64>(),
+    ) {
+        let profile = FaultSpec::none()
+            .with_outages(per_link, duration, 0.25, horizon)
+            .sample(chips, seed);
+        for chip in 0..chips {
+            for dir in LinkDir::ALL {
+                let windows = profile.outages(chip, dir);
+                for w in windows {
+                    prop_assert!(
+                        w.start >= 0.0 && w.start < w.end && w.end <= horizon,
+                        "window [{}, {}) outside horizon {horizon}",
+                        w.start, w.end
+                    );
+                }
+                for pair in windows.windows(2) {
+                    prop_assert!(pair[0].end <= pair[1].start);
+                }
+            }
+        }
+    }
+
+    /// Permanent-failure draws land inside the horizon, sorted by time,
+    /// and the same seed reproduces the same draw bit-for-bit.
+    #[test]
+    fn failure_draws_land_inside_the_horizon(
+        chips in 1usize..17,
+        chip_mtbf in 1e-2f64..10.0,
+        link_mtbf in 1e-2f64..10.0,
+        horizon in 1e-2f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = FailureSpec::chip_mtbf(chip_mtbf, horizon).with_link_mtbf(link_mtbf);
+        prop_assert!(spec.validate().is_ok());
+        let draw = spec.sample(chips, seed);
+        prop_assert_eq!(&draw, &spec.sample(chips, seed));
+        let times = draw.event_times();
+        for pair in times.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+        for &at in &times {
+            prop_assert!((0.0..horizon).contains(&at), "failure at {at} outside [0, {horizon})");
+        }
+    }
+}
+
+/// Out-of-range permanent-failure specs report a typed error instead of
+/// sampling nonsense.
+#[test]
+fn invalid_failure_specs_are_rejected() {
+    assert!(FailureSpec::chip_mtbf(0.0, 10.0).validate().is_err());
+    assert!(FailureSpec::chip_mtbf(f64::NAN, 10.0).validate().is_err());
+    assert!(FailureSpec::chip_mtbf(10.0, 0.0).validate().is_err());
+    assert!(FailureSpec::chip_mtbf(10.0, f64::INFINITY)
+        .validate()
+        .is_err());
+    assert!(FailureSpec::chip_mtbf(10.0, 10.0)
+        .with_link_mtbf(-1.0)
+        .validate()
+        .is_err());
+    assert!(FailureSpec::none().validate().is_ok());
 }
 
 /// Faults compose with the §5.3 no-collective-overlap mode: a straggler

@@ -5,8 +5,9 @@
 use meshslice::autotuner::{Autotuner, RobustObjective};
 use meshslice::llm::{LlmConfig, TrainingSetup};
 use meshslice::{Dataflow, DistributedGemm, GemmProblem, GemmShape, MeshShape, MeshSlice};
-use meshslice_faults::{FaultSpec, JitterModel};
+use meshslice_faults::{FailureSpec, FaultSpec, JitterModel};
 use meshslice_mesh::Torus2d;
+use meshslice_recovery::ResilientTuning;
 use meshslice_sim::{Engine, RunScratch, SimConfig};
 
 fn tiny() -> LlmConfig {
@@ -41,6 +42,23 @@ fn tune_robust_is_thread_count_invariant() {
                 RobustObjective::P95,
                 threads,
             )
+        })
+        .collect();
+    assert_eq!(plans[0], plans[1], "2 threads diverge from serial");
+    assert_eq!(plans[0], plans[2], "8 threads diverge from serial");
+}
+
+#[test]
+fn tune_resilient_is_thread_count_invariant() {
+    let tuner = Autotuner::new(SimConfig::tpu_v4());
+    let model = tiny();
+    let chips = 4;
+    let setup = TrainingSetup::weak_scaling(chips);
+    let spec = FailureSpec::chip_mtbf(3600.0, 86_400.0).with_link_mtbf(7200.0);
+    let plans: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            tuner.tune_resilient_threads(&model, setup, chips, &[1, 2, 4], &spec, threads)
         })
         .collect();
     assert_eq!(plans[0], plans[1], "2 threads diverge from serial");
