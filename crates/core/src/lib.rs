@@ -48,8 +48,8 @@ pub mod report;
 pub mod training;
 
 pub use meshslice_gemm::{
-    Cannon, Collective, Dataflow, DistributedGemm, Fsdp, GemmError, GemmProblem, MeshSlice,
-    OneDimTp, Summa, Wang,
+    Cannon, Collective, DataOp, Dataflow, DistributedGemm, Fsdp, GemmError, GemmProblem, MeshSlice,
+    OneDimTp, Plan, PlanAction, Summa, Wang,
 };
 pub use meshslice_mesh::MeshShape;
 pub use meshslice_sim::{Engine, SimConfig, SimReport};

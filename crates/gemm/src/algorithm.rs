@@ -5,16 +5,25 @@ use meshslice_sim::Program;
 use meshslice_tensor::shard::ShardGrid;
 
 use crate::error::GemmError;
+use crate::plan::{Plan, FUNCTIONAL_ELEM_BYTES};
 use crate::problem::GemmProblem;
 
 /// A distributed GeMM algorithm: MeshSlice or one of the baselines.
 ///
-/// Implementations provide both a *functional* executor (really moving and
-/// multiplying matrix shards, for correctness testing at small scale) and a
-/// *schedule builder* (emitting the per-chip task DAG the timing simulator
-/// executes at full LLM scale). The two must describe the same algorithm:
-/// the integration tests cross-check, for example, that the schedule's
-/// total GeMM FLOPs equal the problem's FLOPs.
+/// Implementations provide one lowering — [`DistributedGemm::plan`] —
+/// that emits a data-annotated [`Plan`]. Both execution modes derive
+/// from it:
+///
+/// - [`DistributedGemm::execute`] interprets the plan functionally
+///   (really moving and multiplying matrix shards, for correctness
+///   testing at small scale);
+/// - [`DistributedGemm::schedule`] strips the data annotations and hands
+///   the lowered [`Program`] to the timing simulator (priced at full LLM
+///   scale).
+///
+/// Because both walk the same lowered op DAG, the schedule the simulator
+/// prices is the computation that is verified numerically — the two
+/// cannot drift.
 ///
 /// The trait is object-safe so experiment drivers can iterate over
 /// `&dyn DistributedGemm` baselines.
@@ -26,10 +35,47 @@ pub trait DistributedGemm {
     ///
     /// # Errors
     ///
-    /// Returns the same error `execute`/`schedule` would.
+    /// Returns the same error `plan` would.
     fn check(&self, mesh: &Torus2d, problem: GemmProblem) -> Result<(), GemmError>;
 
-    /// Computes the distributed product over per-chip shards.
+    /// Lowers the algorithm to one data-annotated plan.
+    ///
+    /// `elem_bytes` is the storage size of a matrix element (2 for bf16);
+    /// it affects only the op byte counts the simulator prices, never the
+    /// data annotations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError`] if the mesh, dataflow, or dimensions are
+    /// unsupported.
+    fn plan(
+        &self,
+        mesh: &Torus2d,
+        problem: GemmProblem,
+        elem_bytes: usize,
+    ) -> Result<Plan, GemmError>;
+
+    /// Checks that `a` and `b` match the shard layout this algorithm
+    /// expects for the problem.
+    ///
+    /// The default is the standard 2D convention (both inputs sharded
+    /// over the full mesh); the 1D baselines override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError::ShardLayout`] describing the first mismatch.
+    fn check_layout(
+        &self,
+        mesh: &Torus2d,
+        problem: GemmProblem,
+        a: &ShardGrid,
+        b: &ShardGrid,
+    ) -> Result<(), GemmError> {
+        check_inputs(mesh, problem, a, b)
+    }
+
+    /// Computes the distributed product over per-chip shards by
+    /// interpreting the plan.
     ///
     /// `a` and `b` are sharded according to the problem's
     /// [`Dataflow`](crate::Dataflow) storage convention; the result is the
@@ -37,17 +83,22 @@ pub trait DistributedGemm {
     ///
     /// # Errors
     ///
-    /// Returns [`GemmError`] if the mesh, dataflow, or dimensions are
-    /// unsupported.
+    /// Returns [`GemmError`] if the mesh, dataflow, dimensions, or input
+    /// shard layouts are unsupported.
     fn execute(
         &self,
         mesh: &Torus2d,
         problem: GemmProblem,
         a: &ShardGrid,
         b: &ShardGrid,
-    ) -> Result<ShardGrid, GemmError>;
+    ) -> Result<ShardGrid, GemmError> {
+        self.check_layout(mesh, problem, a, b)?;
+        self.plan(mesh, problem, FUNCTIONAL_ELEM_BYTES)?
+            .interpret(a, b)
+    }
 
-    /// Builds the timing-simulation task DAG for the problem.
+    /// Builds the timing-simulation task DAG by lowering the plan and
+    /// erasing its data annotations.
     ///
     /// `elem_bytes` is the storage size of a matrix element (2 for bf16).
     ///
@@ -60,29 +111,46 @@ pub trait DistributedGemm {
         mesh: &Torus2d,
         problem: GemmProblem,
         elem_bytes: usize,
-    ) -> Result<Program, GemmError>;
+    ) -> Result<Program, GemmError> {
+        Ok(self.plan(mesh, problem, elem_bytes)?.into_program())
+    }
 }
 
-/// Asserts that `a` and `b` match the problem's shard layout on `mesh`.
-pub(crate) fn check_inputs(mesh: &Torus2d, problem: GemmProblem, a: &ShardGrid, b: &ShardGrid) {
-    assert_eq!(
-        a.global_dims(),
-        problem.a_dims(),
-        "A global dims do not match {problem}"
-    );
-    assert_eq!(
-        b.global_dims(),
-        problem.b_dims(),
-        "B global dims do not match {problem}"
-    );
-    assert_eq!(
-        (a.mesh_rows(), a.mesh_cols()),
-        (mesh.rows(), mesh.cols()),
-        "A shard grid does not match the mesh"
-    );
-    assert_eq!(
-        (b.mesh_rows(), b.mesh_cols()),
-        (mesh.rows(), mesh.cols()),
-        "B shard grid does not match the mesh"
-    );
+/// Checks that `a` and `b` match the problem's standard 2D shard layout
+/// on `mesh`.
+pub(crate) fn check_inputs(
+    mesh: &Torus2d,
+    problem: GemmProblem,
+    a: &ShardGrid,
+    b: &ShardGrid,
+) -> Result<(), GemmError> {
+    if a.global_dims() != problem.a_dims() {
+        return Err(GemmError::ShardLayout {
+            what: format!("A global dims do not match {problem}"),
+            found: a.global_dims(),
+            expected: problem.a_dims(),
+        });
+    }
+    if b.global_dims() != problem.b_dims() {
+        return Err(GemmError::ShardLayout {
+            what: format!("B global dims do not match {problem}"),
+            found: b.global_dims(),
+            expected: problem.b_dims(),
+        });
+    }
+    if (a.mesh_rows(), a.mesh_cols()) != (mesh.rows(), mesh.cols()) {
+        return Err(GemmError::ShardLayout {
+            what: "A shard grid does not match the mesh".to_string(),
+            found: (a.mesh_rows(), a.mesh_cols()),
+            expected: (mesh.rows(), mesh.cols()),
+        });
+    }
+    if (b.mesh_rows(), b.mesh_cols()) != (mesh.rows(), mesh.cols()) {
+        return Err(GemmError::ShardLayout {
+            what: "B shard grid does not match the mesh".to_string(),
+            found: (b.mesh_rows(), b.mesh_cols()),
+            expected: (mesh.rows(), mesh.cols()),
+        });
+    }
+    Ok(())
 }

@@ -6,15 +6,17 @@
 //! synchronizations of all algorithms — but nothing can be overlapped with
 //! computation: there is no loop to software-pipeline.
 
-use meshslice_collectives::{all_gather, reduce_scatter};
 use meshslice_mesh::Torus2d;
-use meshslice_sim::{CollectiveKind, Program, ProgramBuilder};
-use meshslice_tensor::gemm as dense;
+use meshslice_sim::CollectiveKind;
+#[cfg(test)]
 use meshslice_tensor::shard::ShardGrid;
-use meshslice_tensor::{GemmShape, Matrix};
+use meshslice_tensor::GemmShape;
+#[cfg(test)]
+use meshslice_tensor::Matrix;
 
-use crate::algorithm::{check_inputs, DistributedGemm};
+use crate::algorithm::DistributedGemm;
 use crate::error::GemmError;
+use crate::plan::{DataOp, MatKind, MatmulStep, Plan, TileRead};
 use crate::problem::{Dataflow, GemmProblem};
 
 /// The Collective 2D GeMM algorithm.
@@ -38,6 +40,7 @@ use crate::problem::{Dataflow, GemmProblem};
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Collective;
 
+#[cfg(test)]
 pub(crate) fn grid_state(grid: &ShardGrid) -> Vec<Matrix> {
     grid.iter().map(|(_, s)| s.clone()).collect()
 }
@@ -51,150 +54,201 @@ impl DistributedGemm for Collective {
         problem.check_divisible(mesh.shape())
     }
 
-    fn execute(
-        &self,
-        mesh: &Torus2d,
-        problem: GemmProblem,
-        a: &ShardGrid,
-        b: &ShardGrid,
-    ) -> Result<ShardGrid, GemmError> {
-        self.check(mesh, problem)?;
-        check_inputs(mesh, problem, a, b);
-        let a_state = grid_state(a);
-        let b_state = grid_state(b);
-        let shards = match problem.dataflow {
-            Dataflow::Os => {
-                // A_i* = AG_col(A_ij); B_*j = AG_row(B_ij); C_ij = A_i* B_*j.
-                let ga = all_gather(mesh, problem.a_axis().unwrap(), &a_state);
-                let gb = all_gather(mesh, problem.b_axis().unwrap(), &b_state);
-                ga.iter()
-                    .zip(&gb)
-                    .map(|(x, y)| dense::matmul(x, y))
-                    .collect()
-            }
-            Dataflow::Ls => {
-                // B_*j = AG_row(B_ij); C'_i* = A_ij (B_*j)ᵀ; C_ij = RdS_col(C').
-                let gb = all_gather(mesh, problem.b_axis().unwrap(), &b_state);
-                let partial: Vec<Matrix> = a_state
-                    .iter()
-                    .zip(&gb)
-                    .map(|(x, y)| dense::matmul_a_bt(x, y))
-                    .collect();
-                reduce_scatter(mesh, problem.c_axis().unwrap(), &partial)
-            }
-            Dataflow::Rs => {
-                // A_i* = AG_col(A_ij); C'_*j = (A_i*)ᵀ B_ij; C_ij = RdS_row(C').
-                let ga = all_gather(mesh, problem.a_axis().unwrap(), &a_state);
-                let partial: Vec<Matrix> = ga
-                    .iter()
-                    .zip(&b_state)
-                    .map(|(x, y)| dense::matmul_at_b(x, y))
-                    .collect();
-                reduce_scatter(mesh, problem.c_axis().unwrap(), &partial)
-            }
-        };
-        Ok(ShardGrid::from_shards(mesh.rows(), mesh.cols(), shards))
-    }
-
-    fn schedule(
+    fn plan(
         &self,
         mesh: &Torus2d,
         problem: GemmProblem,
         elem_bytes: usize,
-    ) -> Result<Program, GemmError> {
+    ) -> Result<Plan, GemmError> {
         self.check(mesh, problem)?;
         let shape = problem.shape;
         let (pr, pc) = (mesh.rows(), mesh.cols());
-        let mut b = ProgramBuilder::new(mesh);
-        match problem.dataflow {
-            Dataflow::Os => {
-                let tag_a = b.next_tag();
-                let tag_b = b.next_tag();
-                let a_bytes = problem.a_shard_bytes(mesh.shape(), elem_bytes);
-                let b_bytes = problem.b_shard_bytes(mesh.shape(), elem_bytes);
-                let local = GemmShape::new(shape.m / pr, shape.n / pc, shape.k);
-                for chip in mesh.chips() {
-                    // Bidirectional rings: TPU collectives fully utilize
-                    // the ICI links (both directions at once).
-                    let ag_a = b.collective(
-                        chip,
-                        tag_a,
-                        CollectiveKind::AllGather,
-                        problem.a_axis().unwrap(),
-                        a_bytes,
-                        2,
-                        &[],
-                    );
-                    let ag_b = b.collective(
-                        chip,
-                        tag_b,
-                        CollectiveKind::AllGather,
-                        problem.b_axis().unwrap(),
-                        b_bytes,
-                        2,
-                        &[],
-                    );
-                    b.gemm(chip, local, &[ag_a, ag_b]);
+        Plan::build(mesh, |pb| {
+            let (a_rows, a_cols) = problem.a_shard_dims(mesh.shape());
+            let (b_rows, b_cols) = problem.b_shard_dims(mesh.shape());
+            let a = pb.input_a(a_rows, a_cols);
+            let b = pb.input_b(b_rows, b_cols);
+            match problem.dataflow {
+                Dataflow::Os => {
+                    // A_i* = AG_col(A_ij); B_*j = AG_row(B_ij); C_ij = A_i* B_*j.
+                    let ga = pb.gathered(a, problem.a_axis().unwrap());
+                    let gb = pb.gathered(b, problem.b_axis().unwrap());
+                    let local = GemmShape::new(shape.m / pr, shape.n / pc, shape.k);
+                    let c = pb.zeros(local.m, local.n);
+                    let ag_a_act = pb.action(DataOp::AllGather {
+                        src: a,
+                        dst: ga,
+                        axis: problem.a_axis().unwrap(),
+                    });
+                    let ag_b_act = pb.action(DataOp::AllGather {
+                        src: b,
+                        dst: gb,
+                        axis: problem.b_axis().unwrap(),
+                    });
+                    let tag_a = pb.sim().next_tag();
+                    let tag_b = pb.sim().next_tag();
+                    let a_bytes = problem.a_shard_bytes(mesh.shape(), elem_bytes);
+                    let b_bytes = problem.b_shard_bytes(mesh.shape(), elem_bytes);
+                    for chip in mesh.chips() {
+                        // Bidirectional rings: TPU collectives fully utilize
+                        // the ICI links (both directions at once).
+                        let ag_a = pb.sim().collective(
+                            chip,
+                            tag_a,
+                            CollectiveKind::AllGather,
+                            problem.a_axis().unwrap(),
+                            a_bytes,
+                            2,
+                            &[],
+                        );
+                        pb.anchor(ag_a_act, ag_a);
+                        let ag_b = pb.sim().collective(
+                            chip,
+                            tag_b,
+                            CollectiveKind::AllGather,
+                            problem.b_axis().unwrap(),
+                            b_bytes,
+                            2,
+                            &[],
+                        );
+                        pb.anchor(ag_b_act, ag_b);
+                        let g = pb.sim().gemm(chip, local, &[ag_a, ag_b]);
+                        pb.attach(
+                            g,
+                            DataOp::Compute {
+                                steps: vec![MatmulStep {
+                                    kind: MatKind::Ab,
+                                    lhs: TileRead::whole(ga, chip),
+                                    rhs: TileRead::whole(gb, chip),
+                                    dst: c,
+                                    dst_chip: chip,
+                                    dst_off: (0, 0),
+                                }],
+                            },
+                        );
+                    }
+                    Ok(c)
+                }
+                Dataflow::Ls => {
+                    // B_*j = AG_row(B_ij); C'_i* = A_ij (B_*j)ᵀ; C_ij = RdS_col(C').
+                    let gb = pb.gathered(b, problem.b_axis().unwrap());
+                    let local = GemmShape::new(shape.m / pr, shape.n, shape.k / pc);
+                    let partial = pb.zeros(local.m, local.n);
+                    let (c_rows, c_cols) = problem.c_shard_dims(mesh.shape());
+                    let c = pb.reg(c_rows, c_cols);
+                    let ag_act = pb.action(DataOp::AllGather {
+                        src: b,
+                        dst: gb,
+                        axis: problem.b_axis().unwrap(),
+                    });
+                    let rds_act = pb.action(DataOp::ReduceScatter {
+                        src: partial,
+                        dst: c,
+                        axis: problem.c_axis().unwrap(),
+                    });
+                    let tag_b = pb.sim().next_tag();
+                    let tag_c = pb.sim().next_tag();
+                    let b_bytes = problem.b_shard_bytes(mesh.shape(), elem_bytes);
+                    let c_bytes = problem.c_shard_bytes(mesh.shape(), elem_bytes);
+                    for chip in mesh.chips() {
+                        let ag_b = pb.sim().collective(
+                            chip,
+                            tag_b,
+                            CollectiveKind::AllGather,
+                            problem.b_axis().unwrap(),
+                            b_bytes,
+                            2,
+                            &[],
+                        );
+                        pb.anchor(ag_act, ag_b);
+                        let gemm = pb.sim().gemm(chip, local, &[ag_b]);
+                        pb.attach(
+                            gemm,
+                            DataOp::Compute {
+                                steps: vec![MatmulStep {
+                                    kind: MatKind::Abt,
+                                    lhs: TileRead::whole(a, chip),
+                                    rhs: TileRead::whole(gb, chip),
+                                    dst: partial,
+                                    dst_chip: chip,
+                                    dst_off: (0, 0),
+                                }],
+                            },
+                        );
+                        let rds = pb.sim().collective(
+                            chip,
+                            tag_c,
+                            CollectiveKind::ReduceScatter,
+                            problem.c_axis().unwrap(),
+                            c_bytes,
+                            2,
+                            &[gemm],
+                        );
+                        pb.anchor(rds_act, rds);
+                    }
+                    Ok(c)
+                }
+                Dataflow::Rs => {
+                    // A_i* = AG_col(A_ij); C'_*j = (A_i*)ᵀ B_ij; C_ij = RdS_row(C').
+                    let ga = pb.gathered(a, problem.a_axis().unwrap());
+                    let local = GemmShape::new(shape.m, shape.n / pc, shape.k / pr);
+                    let partial = pb.zeros(local.m, local.n);
+                    let (c_rows, c_cols) = problem.c_shard_dims(mesh.shape());
+                    let c = pb.reg(c_rows, c_cols);
+                    let ag_act = pb.action(DataOp::AllGather {
+                        src: a,
+                        dst: ga,
+                        axis: problem.a_axis().unwrap(),
+                    });
+                    let rds_act = pb.action(DataOp::ReduceScatter {
+                        src: partial,
+                        dst: c,
+                        axis: problem.c_axis().unwrap(),
+                    });
+                    let tag_a = pb.sim().next_tag();
+                    let tag_c = pb.sim().next_tag();
+                    let a_bytes = problem.a_shard_bytes(mesh.shape(), elem_bytes);
+                    let c_bytes = problem.c_shard_bytes(mesh.shape(), elem_bytes);
+                    for chip in mesh.chips() {
+                        let ag_a = pb.sim().collective(
+                            chip,
+                            tag_a,
+                            CollectiveKind::AllGather,
+                            problem.a_axis().unwrap(),
+                            a_bytes,
+                            2,
+                            &[],
+                        );
+                        pb.anchor(ag_act, ag_a);
+                        let gemm = pb.sim().gemm(chip, local, &[ag_a]);
+                        pb.attach(
+                            gemm,
+                            DataOp::Compute {
+                                steps: vec![MatmulStep {
+                                    kind: MatKind::Atb,
+                                    lhs: TileRead::whole(ga, chip),
+                                    rhs: TileRead::whole(b, chip),
+                                    dst: partial,
+                                    dst_chip: chip,
+                                    dst_off: (0, 0),
+                                }],
+                            },
+                        );
+                        let rds = pb.sim().collective(
+                            chip,
+                            tag_c,
+                            CollectiveKind::ReduceScatter,
+                            problem.c_axis().unwrap(),
+                            c_bytes,
+                            2,
+                            &[gemm],
+                        );
+                        pb.anchor(rds_act, rds);
+                    }
+                    Ok(c)
                 }
             }
-            Dataflow::Ls => {
-                let tag_b = b.next_tag();
-                let tag_c = b.next_tag();
-                let b_bytes = problem.b_shard_bytes(mesh.shape(), elem_bytes);
-                let c_bytes = problem.c_shard_bytes(mesh.shape(), elem_bytes);
-                let local = GemmShape::new(shape.m / pr, shape.n, shape.k / pc);
-                for chip in mesh.chips() {
-                    let ag_b = b.collective(
-                        chip,
-                        tag_b,
-                        CollectiveKind::AllGather,
-                        problem.b_axis().unwrap(),
-                        b_bytes,
-                        2,
-                        &[],
-                    );
-                    let gemm = b.gemm(chip, local, &[ag_b]);
-                    b.collective(
-                        chip,
-                        tag_c,
-                        CollectiveKind::ReduceScatter,
-                        problem.c_axis().unwrap(),
-                        c_bytes,
-                        2,
-                        &[gemm],
-                    );
-                }
-            }
-            Dataflow::Rs => {
-                let tag_a = b.next_tag();
-                let tag_c = b.next_tag();
-                let a_bytes = problem.a_shard_bytes(mesh.shape(), elem_bytes);
-                let c_bytes = problem.c_shard_bytes(mesh.shape(), elem_bytes);
-                let local = GemmShape::new(shape.m, shape.n / pc, shape.k / pr);
-                for chip in mesh.chips() {
-                    let ag_a = b.collective(
-                        chip,
-                        tag_a,
-                        CollectiveKind::AllGather,
-                        problem.a_axis().unwrap(),
-                        a_bytes,
-                        2,
-                        &[],
-                    );
-                    let gemm = b.gemm(chip, local, &[ag_a]);
-                    b.collective(
-                        chip,
-                        tag_c,
-                        CollectiveKind::ReduceScatter,
-                        problem.c_axis().unwrap(),
-                        c_bytes,
-                        2,
-                        &[gemm],
-                    );
-                }
-            }
-        }
-        Ok(b.build())
+        })
     }
 }
 
@@ -251,5 +305,15 @@ mod tests {
         let mesh = Torus2d::new(3, 3);
         let problem = GemmProblem::new(GemmShape::new(4, 4, 4), Dataflow::Os);
         assert!(Collective.schedule(&mesh, problem, 2).is_err());
+    }
+
+    #[test]
+    fn execute_rejects_mismatched_layout() {
+        let mesh = Torus2d::new(2, 2);
+        let problem = GemmProblem::new(GemmShape::new(8, 8, 8), Dataflow::Os);
+        let (a, b) = problem.random_inputs(&mesh, 7);
+        let wrong = GemmProblem::new(GemmShape::new(8, 8, 16), Dataflow::Os);
+        let err = Collective.execute(&mesh, wrong, &a, &b).unwrap_err();
+        assert!(matches!(err, GemmError::ShardLayout { .. }), "{err}");
     }
 }

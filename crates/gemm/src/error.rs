@@ -3,8 +3,10 @@
 use std::error::Error;
 use std::fmt;
 
+use meshslice_sim::CycleError;
+
 /// Why an algorithm cannot run a given problem on a given mesh.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum GemmError {
     /// A matrix dimension is not divisible as the algorithm requires.
     Indivisible {
@@ -25,6 +27,21 @@ pub enum GemmError {
         /// The algorithm's name.
         algorithm: String,
     },
+    /// An input shard grid does not match the layout the problem expects.
+    ShardLayout {
+        /// Which input is malformed and how.
+        what: String,
+        /// The dimensions found, `(rows, cols)`.
+        found: (usize, usize),
+        /// The dimensions the layout requires, `(rows, cols)`.
+        expected: (usize, usize),
+    },
+    /// A plan's lowered program has a dependency cycle (a plan-IR
+    /// construction bug; programs built through [`ProgramBuilder`] cannot
+    /// cycle).
+    ///
+    /// [`ProgramBuilder`]: meshslice_sim::ProgramBuilder
+    CyclicProgram(CycleError),
 }
 
 impl fmt::Display for GemmError {
@@ -39,7 +56,25 @@ impl fmt::Display for GemmError {
             GemmError::UnsupportedDataflow { algorithm } => {
                 write!(f, "dataflow not supported by {algorithm}")
             }
+            GemmError::ShardLayout {
+                what,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "{what}: found {}x{}, expected {}x{}",
+                    found.0, found.1, expected.0, expected.1
+                )
+            }
+            GemmError::CyclicProgram(cycle) => write!(f, "invalid plan: {cycle}"),
         }
+    }
+}
+
+impl From<CycleError> for GemmError {
+    fn from(cycle: CycleError) -> Self {
+        GemmError::CyclicProgram(cycle)
     }
 }
 

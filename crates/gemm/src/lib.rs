@@ -1,14 +1,20 @@
 //! Distributed GeMM algorithms for 2D tensor parallelism.
 //!
 //! This crate implements the paper's five 2D GeMM algorithms and two 1D
-//! baselines, each in two forms:
+//! baselines. Each algorithm lowers to **one** data-annotated [`Plan`]
+//! from which both execution modes are derived:
 //!
-//! 1. a **functional executor** that really computes the distributed
-//!    product over per-chip matrix shards (via `meshslice-collectives`),
-//!    verified numerically against dense GeMM, and
-//! 2. a **schedule builder** that emits the algorithm's per-chip task DAG
-//!    (a [`Program`](meshslice_sim::Program)) for the timing simulator at
-//!    full LLM scale.
+//! 1. **functional**: [`Plan::interpret`] walks the plan's data actions
+//!    in dependency order, really computing the distributed product over
+//!    per-chip matrix shards (via `meshslice-collectives`), verified
+//!    numerically against dense GeMM, and
+//! 2. **timing**: [`Plan::program`] is the algorithm's per-chip task DAG
+//!    (a [`Program`](meshslice_sim::Program)) with the data annotations
+//!    erased, fed to the timing simulator at full LLM scale.
+//!
+//! Because both modes consume the same lowered plan, the schedule the
+//! simulator prices cannot drift from the computation that is
+//! numerically verified.
 //!
 //! | Algorithm | Paper section | Overlap | Mesh shapes | Dataflows |
 //! |---|---|---|---|---|
@@ -49,9 +55,14 @@ mod algorithm;
 mod cannon;
 mod collective;
 mod error;
+#[cfg(test)]
+mod golden;
 mod meshslice_algo;
 mod one_d;
+mod plan;
 mod problem;
+#[cfg(test)]
+mod reference;
 mod summa;
 mod two_five_d;
 mod wang;
@@ -62,7 +73,11 @@ pub use collective::Collective;
 pub use error::GemmError;
 pub use meshslice_algo::MeshSlice;
 pub use one_d::{Fsdp, OneDimTp};
+pub use plan::{
+    ActionId, DataOp, MatKind, MatmulStep, Plan, PlanAction, PlanBuilder, Reg, Region, TileRead,
+    FUNCTIONAL_ELEM_BYTES,
+};
 pub use problem::{Dataflow, GemmProblem};
 pub use summa::Summa;
 pub use two_five_d::TwoFiveD;
-pub use wang::Wang;
+pub use wang::{Wang, WangOverlap};

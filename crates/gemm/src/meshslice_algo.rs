@@ -8,19 +8,14 @@
 //! (Cannon needs square meshes, SUMMA pays fine-grain synchronization,
 //! Collective cannot overlap at all, and Wang overlaps one direction only).
 
-use meshslice_collectives::{all_gather, reduce_scatter};
 use meshslice_mesh::Torus2d;
-use meshslice_sim::{CollectiveKind, OpId, Program, ProgramBuilder};
-use meshslice_tensor::gemm as dense;
-use meshslice_tensor::shard::ShardGrid;
-use meshslice_tensor::slice::{
-    slice_cols, slice_rows, unslice_cols_into, unslice_rows_into, SliceSpec,
-};
-use meshslice_tensor::{GemmShape, Matrix};
+use meshslice_sim::{CollectiveKind, OpId, ProgramBuilder};
+use meshslice_tensor::slice::SliceSpec;
+use meshslice_tensor::GemmShape;
 
-use crate::algorithm::{check_inputs, DistributedGemm};
-use crate::collective::grid_state;
+use crate::algorithm::DistributedGemm;
 use crate::error::{ensure_divides, GemmError};
+use crate::plan::{DataOp, MatKind, MatmulStep, Plan, PlanBuilder, Reg, TileRead};
 use crate::problem::{Dataflow, GemmProblem};
 
 /// The MeshSlice algorithm with slice count `S` and block size `B`.
@@ -80,7 +75,7 @@ impl MeshSlice {
         self.block
     }
 
-    fn spec(&self) -> SliceSpec {
+    pub(crate) fn spec(&self) -> SliceSpec {
         SliceSpec::new(self.slice_count, self.block)
     }
 
@@ -127,79 +122,16 @@ impl DistributedGemm for MeshSlice {
         Ok(())
     }
 
-    fn execute(
-        &self,
-        mesh: &Torus2d,
-        problem: GemmProblem,
-        a: &ShardGrid,
-        b: &ShardGrid,
-    ) -> Result<ShardGrid, GemmError> {
-        self.check(mesh, problem)?;
-        check_inputs(mesh, problem, a, b);
-        let spec = self.spec();
-        let s_count = self.slice_count;
-        let a_state = grid_state(a);
-        let b_state = grid_state(b);
-        let (cr, cc) = problem.c_shard_dims(mesh.shape());
-        let mut c_state: Vec<Matrix> = vec![Matrix::zeros(cr, cc); mesh.num_chips()];
-
-        for s in 0..s_count {
-            match problem.dataflow {
-                Dataflow::Os => {
-                    // A_s = slice_col(A_ij); B_s = slice_row(B_ij);
-                    // A' = AG_col(A_s); B' = AG_row(B_s); C_ij += A'·B'.
-                    let a_s: Vec<Matrix> = a_state.iter().map(|x| slice_cols(x, spec, s)).collect();
-                    let b_s: Vec<Matrix> = b_state.iter().map(|x| slice_rows(x, spec, s)).collect();
-                    let ga = all_gather(mesh, problem.a_axis().unwrap(), &a_s);
-                    let gb = all_gather(mesh, problem.b_axis().unwrap(), &b_s);
-                    for (c, (x, y)) in c_state.iter_mut().zip(ga.iter().zip(&gb)) {
-                        dense::matmul_acc(c, x, y);
-                    }
-                }
-                Dataflow::Ls => {
-                    // B_s = slice_row(B_ij); B' = AG_row(B_s);
-                    // C' = A_ij·(B')ᵀ; C_s = RdS_col(C').
-                    let b_s: Vec<Matrix> = b_state.iter().map(|x| slice_rows(x, spec, s)).collect();
-                    let gb = all_gather(mesh, problem.b_axis().unwrap(), &b_s);
-                    let partial: Vec<Matrix> = a_state
-                        .iter()
-                        .zip(&gb)
-                        .map(|(x, y)| dense::matmul_a_bt(x, y))
-                        .collect();
-                    let scattered = reduce_scatter(mesh, problem.c_axis().unwrap(), &partial);
-                    for (c, cs) in c_state.iter_mut().zip(&scattered) {
-                        unslice_cols_into(c, spec, s, cs);
-                    }
-                }
-                Dataflow::Rs => {
-                    // A_s = slice_col(A_ij); A' = AG_col(A_s);
-                    // C' = (A')ᵀ·B_ij; C_s = RdS_row(C').
-                    let a_s: Vec<Matrix> = a_state.iter().map(|x| slice_cols(x, spec, s)).collect();
-                    let ga = all_gather(mesh, problem.a_axis().unwrap(), &a_s);
-                    let partial: Vec<Matrix> = ga
-                        .iter()
-                        .zip(&b_state)
-                        .map(|(x, y)| dense::matmul_at_b(x, y))
-                        .collect();
-                    let scattered = reduce_scatter(mesh, problem.c_axis().unwrap(), &partial);
-                    for (c, cs) in c_state.iter_mut().zip(&scattered) {
-                        unslice_rows_into(c, spec, s, cs);
-                    }
-                }
-            }
-        }
-        Ok(ShardGrid::from_shards(mesh.rows(), mesh.cols(), c_state))
-    }
-
-    fn schedule(
+    fn plan(
         &self,
         mesh: &Torus2d,
         problem: GemmProblem,
         elem_bytes: usize,
-    ) -> Result<Program, GemmError> {
-        let mut b = ProgramBuilder::new(mesh);
-        self.schedule_chained(&mut b, problem, elem_bytes, &[], &[])?;
-        Ok(b.build())
+    ) -> Result<Plan, GemmError> {
+        Plan::build(mesh, |pb| {
+            self.plan_chained(pb, problem, elem_bytes, &[], &[])
+                .map(|(_, c)| c)
+        })
     }
 }
 
@@ -216,6 +148,10 @@ impl MeshSlice {
     /// `p − 1`'s compute without crowding earlier passes. This is the
     /// building block of fused multi-pass schedules (see the
     /// `ext_fused_pipeline` ablation).
+    ///
+    /// The data annotations produced along the way are discarded: a fused
+    /// schedule's inputs flow between passes, which the plan IR does not
+    /// model (each plan describes one stand-alone GeMM).
     ///
     /// # Errors
     ///
@@ -234,7 +170,23 @@ impl MeshSlice {
         prev_gemms: &[OpId],
         prefetch_after: &[OpId],
     ) -> Result<Vec<OpId>, GemmError> {
-        let mesh = b.mesh().clone();
+        let mut pb = PlanBuilder::new(b);
+        let (gemms, _) =
+            self.plan_chained(&mut pb, problem, elem_bytes, prev_gemms, prefetch_after)?;
+        Ok(gemms)
+    }
+
+    /// Emits this pass's ops and data annotations into `pb`, returning the
+    /// last partial-GeMM op of every chip and the result register.
+    pub(crate) fn plan_chained(
+        &self,
+        pb: &mut PlanBuilder,
+        problem: GemmProblem,
+        elem_bytes: usize,
+        prev_gemms: &[OpId],
+        prefetch_after: &[OpId],
+    ) -> Result<(Vec<OpId>, Reg), GemmError> {
+        let mesh = pb.mesh().clone();
         let mesh = &mesh;
         self.check(mesh, problem)?;
         assert!(
@@ -252,6 +204,7 @@ impl MeshSlice {
                 .into_iter()
                 .collect()
         };
+        let spec = self.spec();
         let s_count = self.slice_count as u64;
         let shape = problem.shape;
         let (pr, pc) = (mesh.rows(), mesh.cols());
@@ -269,20 +222,67 @@ impl MeshSlice {
             prev_gemms.iter().copied().map(Some).collect()
         };
 
+        let (a_rows, a_cols) = problem.a_shard_dims(mesh_shape);
+        let (b_rows, b_cols) = problem.b_shard_dims(mesh_shape);
+        let (c_rows, c_cols) = problem.c_shard_dims(mesh_shape);
+        let a = pb.input_a(a_rows, a_cols);
+        let b = pb.input_b(b_rows, b_cols);
+        // OS accumulates partial products into C; LS/RS scatter each
+        // slice's columns/rows into a zero-initialized C (or, with S = 1,
+        // one ReduceScatter writes the whole shard).
+        let c = if problem.dataflow == Dataflow::Os || slicing {
+            pb.zeros(c_rows, c_cols)
+        } else {
+            pb.reg(c_rows, c_cols)
+        };
+
         for s in 0..self.slice_count {
             match problem.dataflow {
                 Dataflow::Os => {
-                    let tag_a = b.next_tag();
-                    let tag_b = b.next_tag();
+                    let tag_a = pb.sim().next_tag();
+                    let tag_b = pb.sim().next_tag();
                     let local =
                         GemmShape::new(shape.m / pr, shape.n / pc, shape.k / self.slice_count);
+                    let a_src = if slicing {
+                        pb.reg(a_rows, a_cols / self.slice_count)
+                    } else {
+                        a
+                    };
+                    let b_src = if slicing {
+                        pb.reg(b_rows / self.slice_count, b_cols)
+                    } else {
+                        b
+                    };
+                    let ga = pb.gathered(a_src, problem.a_axis().unwrap());
+                    let gb = pb.gathered(b_src, problem.b_axis().unwrap());
+                    let ag_a_act = pb.action(DataOp::AllGather {
+                        src: a_src,
+                        dst: ga,
+                        axis: problem.a_axis().unwrap(),
+                    });
+                    let ag_b_act = pb.action(DataOp::AllGather {
+                        src: b_src,
+                        dst: gb,
+                        axis: problem.b_axis().unwrap(),
+                    });
                     for chip in mesh.chips() {
                         let a_deps = if slicing {
-                            vec![b.slice_copy(chip, a_sub, &prefetch_dep(chip))]
+                            let sc = pb.sim().slice_copy(chip, a_sub, &prefetch_dep(chip));
+                            pb.attach(
+                                sc,
+                                DataOp::SliceCols {
+                                    chip,
+                                    src: a,
+                                    dst: a_src,
+                                    spec,
+                                    index: s,
+                                },
+                            );
+                            vec![sc]
                         } else {
                             prefetch_dep(chip)
                         };
-                        let ag_a = b.collective(
+                        let ag_a = pb.sim().collective(
                             chip,
                             tag_a,
                             CollectiveKind::AllGather,
@@ -291,12 +291,24 @@ impl MeshSlice {
                             2,
                             &a_deps,
                         );
+                        pb.anchor(ag_a_act, ag_a);
                         let b_deps = if slicing {
-                            vec![b.slice_copy(chip, b_sub, &prefetch_dep(chip))]
+                            let sc = pb.sim().slice_copy(chip, b_sub, &prefetch_dep(chip));
+                            pb.attach(
+                                sc,
+                                DataOp::SliceRows {
+                                    chip,
+                                    src: b,
+                                    dst: b_src,
+                                    spec,
+                                    index: s,
+                                },
+                            );
+                            vec![sc]
                         } else {
                             prefetch_dep(chip)
                         };
-                        let ag_b = b.collective(
+                        let ag_b = pb.sim().collective(
                             chip,
                             tag_b,
                             CollectiveKind::AllGather,
@@ -305,23 +317,71 @@ impl MeshSlice {
                             2,
                             &b_deps,
                         );
+                        pb.anchor(ag_b_act, ag_b);
                         let mut gemm_deps = vec![ag_a, ag_b];
                         gemm_deps.extend(last_gemm[chip.index()]);
-                        last_gemm[chip.index()] = Some(b.gemm(chip, local, &gemm_deps));
+                        let gemm = pb.sim().gemm(chip, local, &gemm_deps);
+                        pb.attach(
+                            gemm,
+                            DataOp::Compute {
+                                steps: vec![MatmulStep {
+                                    kind: MatKind::Ab,
+                                    lhs: TileRead::whole(ga, chip),
+                                    rhs: TileRead::whole(gb, chip),
+                                    dst: c,
+                                    dst_chip: chip,
+                                    dst_off: (0, 0),
+                                }],
+                            },
+                        );
+                        last_gemm[chip.index()] = Some(gemm);
                     }
                 }
                 Dataflow::Ls => {
-                    let tag_b = b.next_tag();
-                    let tag_c = b.next_tag();
+                    let tag_b = pb.sim().next_tag();
+                    let tag_c = pb.sim().next_tag();
                     let local =
                         GemmShape::new(shape.m / pr, shape.n / self.slice_count, shape.k / pc);
+                    let b_src = if slicing {
+                        pb.reg(b_rows / self.slice_count, b_cols)
+                    } else {
+                        b
+                    };
+                    let gb = pb.gathered(b_src, problem.b_axis().unwrap());
+                    let partial = pb.zeros(local.m, local.n);
+                    let scattered = if slicing {
+                        pb.reg(c_rows, c_cols / self.slice_count)
+                    } else {
+                        c
+                    };
+                    let ag_act = pb.action(DataOp::AllGather {
+                        src: b_src,
+                        dst: gb,
+                        axis: problem.b_axis().unwrap(),
+                    });
+                    let rds_act = pb.action(DataOp::ReduceScatter {
+                        src: partial,
+                        dst: scattered,
+                        axis: problem.c_axis().unwrap(),
+                    });
                     for chip in mesh.chips() {
                         let b_deps = if slicing {
-                            vec![b.slice_copy(chip, b_sub, &prefetch_dep(chip))]
+                            let sc = pb.sim().slice_copy(chip, b_sub, &prefetch_dep(chip));
+                            pb.attach(
+                                sc,
+                                DataOp::SliceRows {
+                                    chip,
+                                    src: b,
+                                    dst: b_src,
+                                    spec,
+                                    index: s,
+                                },
+                            );
+                            vec![sc]
                         } else {
                             prefetch_dep(chip)
                         };
-                        let ag_b = b.collective(
+                        let ag_b = pb.sim().collective(
                             chip,
                             tag_b,
                             CollectiveKind::AllGather,
@@ -330,11 +390,25 @@ impl MeshSlice {
                             2,
                             &b_deps,
                         );
+                        pb.anchor(ag_act, ag_b);
                         let mut gemm_deps = vec![ag_b];
                         gemm_deps.extend(last_gemm[chip.index()]);
-                        let gemm = b.gemm(chip, local, &gemm_deps);
+                        let gemm = pb.sim().gemm(chip, local, &gemm_deps);
+                        pb.attach(
+                            gemm,
+                            DataOp::Compute {
+                                steps: vec![MatmulStep {
+                                    kind: MatKind::Abt,
+                                    lhs: TileRead::whole(a, chip),
+                                    rhs: TileRead::whole(gb, chip),
+                                    dst: partial,
+                                    dst_chip: chip,
+                                    dst_off: (0, 0),
+                                }],
+                            },
+                        );
                         last_gemm[chip.index()] = Some(gemm);
-                        let rds = b.collective(
+                        let rds = pb.sim().collective(
                             chip,
                             tag_c,
                             CollectiveKind::ReduceScatter,
@@ -343,23 +417,67 @@ impl MeshSlice {
                             2,
                             &[gemm],
                         );
+                        pb.anchor(rds_act, rds);
                         if slicing {
-                            b.slice_copy(chip, c_sub, &[rds]);
+                            let sc = pb.sim().slice_copy(chip, c_sub, &[rds]);
+                            pb.attach(
+                                sc,
+                                DataOp::UnsliceCols {
+                                    chip,
+                                    src: scattered,
+                                    dst: c,
+                                    spec,
+                                    index: s,
+                                },
+                            );
                         }
                     }
                 }
                 Dataflow::Rs => {
-                    let tag_a = b.next_tag();
-                    let tag_c = b.next_tag();
+                    let tag_a = pb.sim().next_tag();
+                    let tag_c = pb.sim().next_tag();
                     let local =
                         GemmShape::new(shape.m / self.slice_count, shape.n / pc, shape.k / pr);
+                    let a_src = if slicing {
+                        pb.reg(a_rows, a_cols / self.slice_count)
+                    } else {
+                        a
+                    };
+                    let ga = pb.gathered(a_src, problem.a_axis().unwrap());
+                    let partial = pb.zeros(local.m, local.n);
+                    let scattered = if slicing {
+                        pb.reg(c_rows / self.slice_count, c_cols)
+                    } else {
+                        c
+                    };
+                    let ag_act = pb.action(DataOp::AllGather {
+                        src: a_src,
+                        dst: ga,
+                        axis: problem.a_axis().unwrap(),
+                    });
+                    let rds_act = pb.action(DataOp::ReduceScatter {
+                        src: partial,
+                        dst: scattered,
+                        axis: problem.c_axis().unwrap(),
+                    });
                     for chip in mesh.chips() {
                         let a_deps = if slicing {
-                            vec![b.slice_copy(chip, a_sub, &prefetch_dep(chip))]
+                            let sc = pb.sim().slice_copy(chip, a_sub, &prefetch_dep(chip));
+                            pb.attach(
+                                sc,
+                                DataOp::SliceCols {
+                                    chip,
+                                    src: a,
+                                    dst: a_src,
+                                    spec,
+                                    index: s,
+                                },
+                            );
+                            vec![sc]
                         } else {
                             prefetch_dep(chip)
                         };
-                        let ag_a = b.collective(
+                        let ag_a = pb.sim().collective(
                             chip,
                             tag_a,
                             CollectiveKind::AllGather,
@@ -368,11 +486,25 @@ impl MeshSlice {
                             2,
                             &a_deps,
                         );
+                        pb.anchor(ag_act, ag_a);
                         let mut gemm_deps = vec![ag_a];
                         gemm_deps.extend(last_gemm[chip.index()]);
-                        let gemm = b.gemm(chip, local, &gemm_deps);
+                        let gemm = pb.sim().gemm(chip, local, &gemm_deps);
+                        pb.attach(
+                            gemm,
+                            DataOp::Compute {
+                                steps: vec![MatmulStep {
+                                    kind: MatKind::Atb,
+                                    lhs: TileRead::whole(ga, chip),
+                                    rhs: TileRead::whole(b, chip),
+                                    dst: partial,
+                                    dst_chip: chip,
+                                    dst_off: (0, 0),
+                                }],
+                            },
+                        );
                         last_gemm[chip.index()] = Some(gemm);
-                        let rds = b.collective(
+                        let rds = pb.sim().collective(
                             chip,
                             tag_c,
                             CollectiveKind::ReduceScatter,
@@ -381,24 +513,36 @@ impl MeshSlice {
                             2,
                             &[gemm],
                         );
+                        pb.anchor(rds_act, rds);
                         if slicing {
-                            b.slice_copy(chip, c_sub, &[rds]);
+                            let sc = pb.sim().slice_copy(chip, c_sub, &[rds]);
+                            pb.attach(
+                                sc,
+                                DataOp::UnsliceRows {
+                                    chip,
+                                    src: scattered,
+                                    dst: c,
+                                    spec,
+                                    index: s,
+                                },
+                            );
                         }
                     }
                 }
             }
-            let _ = s;
         }
-        Ok(last_gemm
+        let gemms = last_gemm
             .into_iter()
             .map(|g| g.expect("every chip computed at least one partial GeMM"))
-            .collect())
+            .collect();
+        Ok((gemms, c))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use meshslice_tensor::GemmShape;
 
     fn check_functional(
         df: Dataflow,

@@ -19,15 +19,14 @@
 //!   row-sharded (`K/n × N`) and gathered, and the output is row-sharded
 //!   (`M/n × N`).
 
-use meshslice_collectives::all_gather;
-use meshslice_mesh::{CommAxis, LinkDir, Torus2d};
-use meshslice_sim::{OpId, Program, ProgramBuilder};
-use meshslice_tensor::gemm as dense;
+use meshslice_mesh::{ChipId, Coord, LinkDir, Torus2d};
+use meshslice_sim::OpId;
 use meshslice_tensor::shard::ShardGrid;
-use meshslice_tensor::{GemmShape, Matrix};
+use meshslice_tensor::GemmShape;
 
 use crate::algorithm::DistributedGemm;
 use crate::error::{ensure_divides, GemmError};
+use crate::plan::{DataOp, MatKind, MatmulStep, Plan, PlanBuilder, TileRead};
 use crate::problem::{Dataflow, GemmProblem};
 
 /// 1D tensor parallelism with sequence parallelism (the most popular TP
@@ -61,6 +60,11 @@ impl OneDimTp {
             unroll: Some(groups),
         }
     }
+
+    #[cfg(test)]
+    pub(crate) fn unroll(&self) -> Option<usize> {
+        self.unroll
+    }
 }
 
 impl Fsdp {
@@ -80,6 +84,11 @@ impl Fsdp {
             unroll: Some(groups),
         }
     }
+
+    #[cfg(test)]
+    pub(crate) fn unroll(&self) -> Option<usize> {
+        self.unroll
+    }
 }
 
 fn check_ring(mesh: &Torus2d, problem: GemmProblem, algorithm: &str) -> Result<(), GemmError> {
@@ -96,18 +105,33 @@ fn check_ring(mesh: &Torus2d, problem: GemmProblem, algorithm: &str) -> Result<(
     Ok(())
 }
 
-/// Builds a bidirectional rotation schedule: `n − 1` shard exchanges split
-/// over the two ring directions, with one partial GeMM per arrival (plus
-/// one for the local shard), optionally merged into unrolled groups.
-fn rotation_schedule(
-    mesh: &Torus2d,
+fn layout_err(what: &str, found: (usize, usize), expected: (usize, usize)) -> GemmError {
+    GemmError::ShardLayout {
+        what: what.to_string(),
+        found,
+        expected,
+    }
+}
+
+/// Emits a bidirectional rotation plan: `n − 1` shard exchanges split over
+/// the two ring directions, with one partial GeMM per arrival (plus one
+/// for the local shard), optionally merged into unrolled groups.
+///
+/// `step_for(chip, panel)` produces the multiply-accumulate a GeMM
+/// performs once ring panel `panel` is available on `chip`;
+/// `carry_for(chip, panel)` names the tile an exchange delivers.
+#[allow(clippy::too_many_arguments)]
+fn rotation_plan(
+    pb: &mut PlanBuilder,
     shard_bytes: u64,
     per_arrival: GemmShape,
     merge_dim: fn(GemmShape, usize) -> GemmShape,
     groups: Option<usize>,
-) -> Program {
+    carry_for: &dyn Fn(ChipId, usize) -> TileRead,
+    step_for: &dyn Fn(ChipId, usize) -> MatmulStep,
+) {
+    let mesh = pb.mesh().clone();
     let n = mesh.rows();
-    let mut b = ProgramBuilder::new(mesh);
     let fwd = (n - 1).div_ceil(2);
     let bwd = (n - 1) / 2;
     let total = n; // panels including the local one
@@ -117,6 +141,7 @@ fn rotation_schedule(
     };
     let per_group = total / groups;
     for chip in mesh.chips() {
+        let own = mesh.coord_of(chip).row;
         // Two independent SendRecv chains, one per direction; each step
         // sends half the traffic of a unidirectional rotation.
         let mut fwd_prev: Option<OpId> = None;
@@ -124,32 +149,68 @@ fn rotation_schedule(
         let mut fwd_done = 0usize;
         let mut bwd_done = 0usize;
         let mut arrivals = 0usize; // received shards (excluding local)
+        let mut pending = vec![own]; // panels ready but not yet consumed
         for g in 0..groups {
             let target = ((g + 1) * per_group - 1).min(n - 1);
             while arrivals < target {
                 // Alternate directions so arrivals interleave evenly.
+                let panel;
                 if fwd_done <= bwd_done && fwd_done < fwd {
                     let deps: Vec<OpId> = fwd_prev.into_iter().collect();
-                    fwd_prev = Some(b.send_recv(chip, LinkDir::RowPlus, shard_bytes, &deps));
+                    let sr = pb
+                        .sim()
+                        .send_recv(chip, LinkDir::RowPlus, shard_bytes, &deps);
                     fwd_done += 1;
+                    panel = (own + fwd_done) % n;
+                    pb.attach(
+                        sr,
+                        DataOp::Carries {
+                            tile: carry_for(chip, panel),
+                        },
+                    );
+                    fwd_prev = Some(sr);
                 } else if bwd_done < bwd {
                     let deps: Vec<OpId> = bwd_prev.into_iter().collect();
-                    bwd_prev = Some(b.send_recv(chip, LinkDir::RowMinus, shard_bytes, &deps));
+                    let sr = pb
+                        .sim()
+                        .send_recv(chip, LinkDir::RowMinus, shard_bytes, &deps);
                     bwd_done += 1;
+                    panel = (own + n - bwd_done) % n;
+                    pb.attach(
+                        sr,
+                        DataOp::Carries {
+                            tile: carry_for(chip, panel),
+                        },
+                    );
+                    bwd_prev = Some(sr);
                 } else {
                     let deps: Vec<OpId> = fwd_prev.into_iter().collect();
-                    fwd_prev = Some(b.send_recv(chip, LinkDir::RowPlus, shard_bytes, &deps));
+                    let sr = pb
+                        .sim()
+                        .send_recv(chip, LinkDir::RowPlus, shard_bytes, &deps);
                     fwd_done += 1;
+                    panel = (own + fwd_done) % n;
+                    pb.attach(
+                        sr,
+                        DataOp::Carries {
+                            tile: carry_for(chip, panel),
+                        },
+                    );
+                    fwd_prev = Some(sr);
                 }
+                pending.push(panel);
                 arrivals += 1;
             }
             let mut deps: Vec<OpId> = Vec::new();
             deps.extend(fwd_prev);
             deps.extend(bwd_prev);
-            b.gemm(chip, merge_dim(per_arrival, per_group), &deps);
+            let gemm = pb
+                .sim()
+                .gemm(chip, merge_dim(per_arrival, per_group), &deps);
+            let steps = pending.drain(..).map(|p| step_for(chip, p)).collect();
+            pb.attach(gemm, DataOp::Compute { steps });
         }
     }
-    b.build()
 }
 
 impl DistributedGemm for OneDimTp {
@@ -165,38 +226,52 @@ impl DistributedGemm for OneDimTp {
         Ok(())
     }
 
-    fn execute(
+    fn check_layout(
         &self,
         mesh: &Torus2d,
         problem: GemmProblem,
         a: &ShardGrid,
         b: &ShardGrid,
-    ) -> Result<ShardGrid, GemmError> {
-        self.check(mesh, problem)?;
+    ) -> Result<(), GemmError> {
         let n = mesh.rows();
         let GemmShape { m, n: nn, k } = problem.shape;
-        assert_eq!(a.global_dims(), (m, k), "A must be row-sharded M x K");
-        assert_eq!(
-            b.shard_dims(),
-            (k, nn / n),
-            "B shards must be K x N/n column slices"
-        );
-        // AllGather the activations, then one local GeMM per chip against
-        // its weight column slice.
-        let a_state: Vec<Matrix> = a.iter().map(|(_, s)| s.clone()).collect();
-        let ga = all_gather(mesh, CommAxis::InterRow, &a_state);
-        let c: Vec<Matrix> = (0..n)
-            .map(|i| dense::matmul(&ga[i], b.shard(i, 0)))
-            .collect();
-        Ok(ShardGrid::from_shards(n, 1, c))
+        if a.global_dims() != (m, k) {
+            return Err(layout_err(
+                "A must be row-sharded M x K",
+                a.global_dims(),
+                (m, k),
+            ));
+        }
+        if (a.mesh_rows(), a.mesh_cols()) != (n, 1) {
+            return Err(layout_err(
+                "A shard grid must be the n x 1 ring",
+                (a.mesh_rows(), a.mesh_cols()),
+                (n, 1),
+            ));
+        }
+        if b.shard_dims() != (k, nn / n) {
+            return Err(layout_err(
+                "B shards must be K x N/n column slices",
+                b.shard_dims(),
+                (k, nn / n),
+            ));
+        }
+        if (b.mesh_rows(), b.mesh_cols()) != (n, 1) {
+            return Err(layout_err(
+                "B shard grid must be the n x 1 ring",
+                (b.mesh_rows(), b.mesh_cols()),
+                (n, 1),
+            ));
+        }
+        Ok(())
     }
 
-    fn schedule(
+    fn plan(
         &self,
         mesh: &Torus2d,
         problem: GemmProblem,
         elem_bytes: usize,
-    ) -> Result<Program, GemmError> {
+    ) -> Result<Plan, GemmError> {
         self.check(mesh, problem)?;
         let n = mesh.rows();
         let GemmShape { m, n: nn, k } = problem.shape;
@@ -204,13 +279,33 @@ impl DistributedGemm for OneDimTp {
         // Each arrival contributes an M/n row panel of this chip's output
         // column block.
         let per_arrival = GemmShape::new(m / n, nn / n, k);
-        Ok(rotation_schedule(
-            mesh,
-            shard_bytes,
-            per_arrival,
-            |s, c| GemmShape::new(s.m * c, s.n, s.k),
-            self.unroll,
-        ))
+        let unroll = self.unroll;
+        Plan::build(mesh, |pb| {
+            let a = pb.input_a(m / n, k);
+            let b = pb.input_b(k, nn / n);
+            let c = pb.zeros(m, nn / n);
+            let ring = pb.mesh().clone();
+            let panel_home = move |panel: usize| ring.chip_at(Coord::new(panel, 0));
+            let carry = |_chip: ChipId, panel: usize| TileRead::whole(a, panel_home(panel));
+            let step = |chip: ChipId, panel: usize| MatmulStep {
+                kind: MatKind::Ab,
+                lhs: TileRead::whole(a, panel_home(panel)),
+                rhs: TileRead::whole(b, chip),
+                dst: c,
+                dst_chip: chip,
+                dst_off: (panel * (m / n), 0),
+            };
+            rotation_plan(
+                pb,
+                shard_bytes,
+                per_arrival,
+                |s, g| GemmShape::new(s.m * g, s.n, s.k),
+                unroll,
+                &carry,
+                &step,
+            );
+            Ok(c)
+        })
     }
 }
 
@@ -227,52 +322,94 @@ impl DistributedGemm for Fsdp {
         Ok(())
     }
 
-    fn execute(
+    fn check_layout(
         &self,
         mesh: &Torus2d,
         problem: GemmProblem,
         a: &ShardGrid,
         b: &ShardGrid,
-    ) -> Result<ShardGrid, GemmError> {
-        self.check(mesh, problem)?;
+    ) -> Result<(), GemmError> {
         let n = mesh.rows();
         let GemmShape { m, n: nn, k } = problem.shape;
-        assert_eq!(a.global_dims(), (m, k), "A must be row-sharded M x K");
-        assert_eq!(b.global_dims(), (k, nn), "B must be row-sharded K x N");
-        let b_state: Vec<Matrix> = b.iter().map(|(_, s)| s.clone()).collect();
-        let gb = all_gather(mesh, CommAxis::InterRow, &b_state);
-        let c: Vec<Matrix> = (0..n)
-            .map(|i| dense::matmul(a.shard(i, 0), &gb[i]))
-            .collect();
-        Ok(ShardGrid::from_shards(n, 1, c))
+        if a.global_dims() != (m, k) {
+            return Err(layout_err(
+                "A must be row-sharded M x K",
+                a.global_dims(),
+                (m, k),
+            ));
+        }
+        if (a.mesh_rows(), a.mesh_cols()) != (n, 1) {
+            return Err(layout_err(
+                "A shard grid must be the n x 1 ring",
+                (a.mesh_rows(), a.mesh_cols()),
+                (n, 1),
+            ));
+        }
+        if b.global_dims() != (k, nn) {
+            return Err(layout_err(
+                "B must be row-sharded K x N",
+                b.global_dims(),
+                (k, nn),
+            ));
+        }
+        if (b.mesh_rows(), b.mesh_cols()) != (n, 1) {
+            return Err(layout_err(
+                "B shard grid must be the n x 1 ring",
+                (b.mesh_rows(), b.mesh_cols()),
+                (n, 1),
+            ));
+        }
+        Ok(())
     }
 
-    fn schedule(
+    fn plan(
         &self,
         mesh: &Torus2d,
         problem: GemmProblem,
         elem_bytes: usize,
-    ) -> Result<Program, GemmError> {
+    ) -> Result<Plan, GemmError> {
         self.check(mesh, problem)?;
         let n = mesh.rows();
         let GemmShape { m, n: nn, k } = problem.shape;
         let shard_bytes = (k / n * nn * elem_bytes) as u64;
         // Each arriving weight shard contributes a K/n contraction panel.
         let per_arrival = GemmShape::new(m / n, nn, k / n);
-        Ok(rotation_schedule(
-            mesh,
-            shard_bytes,
-            per_arrival,
-            |s, c| GemmShape::new(s.m, s.n, s.k * c),
-            self.unroll,
-        ))
+        let unroll = self.unroll;
+        Plan::build(mesh, |pb| {
+            let a = pb.input_a(m / n, k);
+            let b = pb.input_b(k / n, nn);
+            let c = pb.zeros(m / n, nn);
+            let ring = pb.mesh().clone();
+            let panel_home = move |panel: usize| ring.chip_at(Coord::new(panel, 0));
+            let carry = |_chip: ChipId, panel: usize| TileRead::whole(b, panel_home(panel));
+            let step = |chip: ChipId, panel: usize| MatmulStep {
+                kind: MatKind::Ab,
+                lhs: TileRead::region(a, chip, 0, panel * (k / n), m / n, k / n),
+                rhs: TileRead::whole(b, panel_home(panel)),
+                dst: c,
+                dst_chip: chip,
+                dst_off: (0, 0),
+            };
+            rotation_plan(
+                pb,
+                shard_bytes,
+                per_arrival,
+                |s, g| GemmShape::new(s.m, s.n, s.k * g),
+                unroll,
+                &carry,
+                &step,
+            );
+            Ok(c)
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use meshslice_tensor::gemm as dense;
     use meshslice_tensor::shard::{partition_cols, partition_rows};
+    use meshslice_tensor::Matrix;
 
     #[test]
     fn one_d_tp_matches_dense() {
@@ -314,6 +451,23 @@ mod tests {
         let problem = GemmProblem::new(GemmShape::new(8, 8, 8), Dataflow::Os);
         assert!(OneDimTp::new().check(&mesh, problem).is_err());
         assert!(Fsdp::new().check(&mesh, problem).is_err());
+    }
+
+    #[test]
+    fn tp_rejects_misshaped_weights() {
+        let n = 4;
+        let mesh = Torus2d::new(n, 1);
+        let shape = GemmShape::new(8, 12, 8);
+        let problem = GemmProblem::new(shape, Dataflow::Os);
+        let a_global = Matrix::random(8, 8, 1);
+        let b_global = Matrix::random(8, 12, 2);
+        let a = ShardGrid::from_shards(n, 1, partition_rows(&a_global, n));
+        // Row-sharded weights are FSDP's layout, not 1D TP's.
+        let b_wrong = ShardGrid::from_shards(n, 1, partition_rows(&b_global, n));
+        let err = OneDimTp::new()
+            .execute(&mesh, problem, &a, &b_wrong)
+            .unwrap_err();
+        assert!(matches!(err, GemmError::ShardLayout { .. }), "{err}");
     }
 
     #[test]

@@ -1,0 +1,1090 @@
+//! Pre-refactor executors and schedule builders, kept verbatim as the
+//! golden reference for the plan IR.
+//!
+//! Each function here is the body the corresponding algorithm had before
+//! `execute`/`schedule` were unified behind [`Plan`](crate::plan::Plan):
+//! a bespoke functional executor moving real shards, and a bespoke
+//! schedule builder emitting sim ops. The golden tests assert that the
+//! plan-lowered [`Program`](meshslice_sim::Program) is bit-for-bit
+//! identical to the reference schedule (same ops, same order, same tags,
+//! same deps — hence the same `SimReport`), and that the plan interpreter
+//! matches the reference executor numerically.
+//!
+//! This module is test-only: production code has exactly one lowering.
+
+use meshslice_collectives::{all_gather, reduce_scatter};
+use meshslice_mesh::Torus2d;
+use meshslice_sim::{CollectiveKind, Program, ProgramBuilder};
+use meshslice_tensor::gemm as dense;
+use meshslice_tensor::shard::ShardGrid;
+use meshslice_tensor::{GemmShape, Matrix};
+
+use crate::algorithm::DistributedGemm;
+use crate::collective::grid_state;
+use crate::error::GemmError;
+use crate::problem::{Dataflow, GemmProblem};
+
+// ---------------------------------------------------------------------------
+// Collective (§2.3.4)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn execute_collective(
+    mesh: &Torus2d,
+    problem: GemmProblem,
+    a: &ShardGrid,
+    b: &ShardGrid,
+) -> Result<ShardGrid, GemmError> {
+    problem.check_divisible(mesh.shape())?;
+    let a_state = grid_state(a);
+    let b_state = grid_state(b);
+    let shards = match problem.dataflow {
+        Dataflow::Os => {
+            let ga = all_gather(mesh, problem.a_axis().unwrap(), &a_state);
+            let gb = all_gather(mesh, problem.b_axis().unwrap(), &b_state);
+            ga.iter()
+                .zip(&gb)
+                .map(|(x, y)| dense::matmul(x, y))
+                .collect()
+        }
+        Dataflow::Ls => {
+            let gb = all_gather(mesh, problem.b_axis().unwrap(), &b_state);
+            let partial: Vec<Matrix> = a_state
+                .iter()
+                .zip(&gb)
+                .map(|(x, y)| dense::matmul_a_bt(x, y))
+                .collect();
+            reduce_scatter(mesh, problem.c_axis().unwrap(), &partial)
+        }
+        Dataflow::Rs => {
+            let ga = all_gather(mesh, problem.a_axis().unwrap(), &a_state);
+            let partial: Vec<Matrix> = ga
+                .iter()
+                .zip(&b_state)
+                .map(|(x, y)| dense::matmul_at_b(x, y))
+                .collect();
+            reduce_scatter(mesh, problem.c_axis().unwrap(), &partial)
+        }
+    };
+    Ok(ShardGrid::from_shards(mesh.rows(), mesh.cols(), shards))
+}
+
+pub(crate) fn schedule_collective(
+    mesh: &Torus2d,
+    problem: GemmProblem,
+    elem_bytes: usize,
+) -> Result<Program, GemmError> {
+    problem.check_divisible(mesh.shape())?;
+    let shape = problem.shape;
+    let (pr, pc) = (mesh.rows(), mesh.cols());
+    let mut b = ProgramBuilder::new(mesh);
+    match problem.dataflow {
+        Dataflow::Os => {
+            let tag_a = b.next_tag();
+            let tag_b = b.next_tag();
+            let a_bytes = problem.a_shard_bytes(mesh.shape(), elem_bytes);
+            let b_bytes = problem.b_shard_bytes(mesh.shape(), elem_bytes);
+            let local = GemmShape::new(shape.m / pr, shape.n / pc, shape.k);
+            for chip in mesh.chips() {
+                let ag_a = b.collective(
+                    chip,
+                    tag_a,
+                    CollectiveKind::AllGather,
+                    problem.a_axis().unwrap(),
+                    a_bytes,
+                    2,
+                    &[],
+                );
+                let ag_b = b.collective(
+                    chip,
+                    tag_b,
+                    CollectiveKind::AllGather,
+                    problem.b_axis().unwrap(),
+                    b_bytes,
+                    2,
+                    &[],
+                );
+                b.gemm(chip, local, &[ag_a, ag_b]);
+            }
+        }
+        Dataflow::Ls => {
+            let tag_b = b.next_tag();
+            let tag_c = b.next_tag();
+            let b_bytes = problem.b_shard_bytes(mesh.shape(), elem_bytes);
+            let c_bytes = problem.c_shard_bytes(mesh.shape(), elem_bytes);
+            let local = GemmShape::new(shape.m / pr, shape.n, shape.k / pc);
+            for chip in mesh.chips() {
+                let ag_b = b.collective(
+                    chip,
+                    tag_b,
+                    CollectiveKind::AllGather,
+                    problem.b_axis().unwrap(),
+                    b_bytes,
+                    2,
+                    &[],
+                );
+                let gemm = b.gemm(chip, local, &[ag_b]);
+                b.collective(
+                    chip,
+                    tag_c,
+                    CollectiveKind::ReduceScatter,
+                    problem.c_axis().unwrap(),
+                    c_bytes,
+                    2,
+                    &[gemm],
+                );
+            }
+        }
+        Dataflow::Rs => {
+            let tag_a = b.next_tag();
+            let tag_c = b.next_tag();
+            let a_bytes = problem.a_shard_bytes(mesh.shape(), elem_bytes);
+            let c_bytes = problem.c_shard_bytes(mesh.shape(), elem_bytes);
+            let local = GemmShape::new(shape.m, shape.n / pc, shape.k / pr);
+            for chip in mesh.chips() {
+                let ag_a = b.collective(
+                    chip,
+                    tag_a,
+                    CollectiveKind::AllGather,
+                    problem.a_axis().unwrap(),
+                    a_bytes,
+                    2,
+                    &[],
+                );
+                let gemm = b.gemm(chip, local, &[ag_a]);
+                b.collective(
+                    chip,
+                    tag_c,
+                    CollectiveKind::ReduceScatter,
+                    problem.c_axis().unwrap(),
+                    c_bytes,
+                    2,
+                    &[gemm],
+                );
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+// ---------------------------------------------------------------------------
+// MeshSlice (§3.1)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn execute_meshslice(
+    algo: &crate::MeshSlice,
+    mesh: &Torus2d,
+    problem: GemmProblem,
+    a: &ShardGrid,
+    b: &ShardGrid,
+) -> Result<ShardGrid, GemmError> {
+    use meshslice_tensor::slice::{slice_cols, slice_rows, unslice_cols_into, unslice_rows_into};
+
+    use crate::algorithm::DistributedGemm;
+
+    algo.check(mesh, problem)?;
+    crate::algorithm::check_inputs(mesh, problem, a, b)?;
+    let spec = algo.spec();
+    let s_count = algo.slice_count();
+    let a_state = grid_state(a);
+    let b_state = grid_state(b);
+    let (cr, cc) = problem.c_shard_dims(mesh.shape());
+    let mut c_state: Vec<Matrix> = vec![Matrix::zeros(cr, cc); mesh.num_chips()];
+
+    for s in 0..s_count {
+        match problem.dataflow {
+            Dataflow::Os => {
+                let a_s: Vec<Matrix> = a_state.iter().map(|x| slice_cols(x, spec, s)).collect();
+                let b_s: Vec<Matrix> = b_state.iter().map(|x| slice_rows(x, spec, s)).collect();
+                let ga = all_gather(mesh, problem.a_axis().unwrap(), &a_s);
+                let gb = all_gather(mesh, problem.b_axis().unwrap(), &b_s);
+                for (c, (x, y)) in c_state.iter_mut().zip(ga.iter().zip(&gb)) {
+                    dense::matmul_acc(c, x, y);
+                }
+            }
+            Dataflow::Ls => {
+                let b_s: Vec<Matrix> = b_state.iter().map(|x| slice_rows(x, spec, s)).collect();
+                let gb = all_gather(mesh, problem.b_axis().unwrap(), &b_s);
+                let partial: Vec<Matrix> = a_state
+                    .iter()
+                    .zip(&gb)
+                    .map(|(x, y)| dense::matmul_a_bt(x, y))
+                    .collect();
+                let scattered = reduce_scatter(mesh, problem.c_axis().unwrap(), &partial);
+                for (c, cs) in c_state.iter_mut().zip(&scattered) {
+                    unslice_cols_into(c, spec, s, cs);
+                }
+            }
+            Dataflow::Rs => {
+                let a_s: Vec<Matrix> = a_state.iter().map(|x| slice_cols(x, spec, s)).collect();
+                let ga = all_gather(mesh, problem.a_axis().unwrap(), &a_s);
+                let partial: Vec<Matrix> = ga
+                    .iter()
+                    .zip(&b_state)
+                    .map(|(x, y)| dense::matmul_at_b(x, y))
+                    .collect();
+                let scattered = reduce_scatter(mesh, problem.c_axis().unwrap(), &partial);
+                for (c, cs) in c_state.iter_mut().zip(&scattered) {
+                    unslice_rows_into(c, spec, s, cs);
+                }
+            }
+        }
+    }
+    Ok(ShardGrid::from_shards(mesh.rows(), mesh.cols(), c_state))
+}
+
+pub(crate) fn schedule_meshslice(
+    algo: &crate::MeshSlice,
+    mesh: &Torus2d,
+    problem: GemmProblem,
+    elem_bytes: usize,
+) -> Result<Program, GemmError> {
+    use meshslice_sim::OpId;
+
+    use crate::algorithm::DistributedGemm;
+
+    let mut b = ProgramBuilder::new(mesh);
+    algo.check(mesh, problem)?;
+    let s_count = algo.slice_count() as u64;
+    let shape = problem.shape;
+    let (pr, pc) = (mesh.rows(), mesh.cols());
+    let mesh_shape = mesh.shape();
+    let a_sub = problem.a_shard_bytes(mesh_shape, elem_bytes) / s_count;
+    let b_sub = problem.b_shard_bytes(mesh_shape, elem_bytes) / s_count;
+    let c_sub = problem.c_shard_bytes(mesh_shape, elem_bytes) / s_count;
+    let slicing = algo.slice_count() > 1;
+    let mut last_gemm: Vec<Option<OpId>> = vec![None; mesh.num_chips()];
+
+    for _s in 0..algo.slice_count() {
+        match problem.dataflow {
+            Dataflow::Os => {
+                let tag_a = b.next_tag();
+                let tag_b = b.next_tag();
+                let local =
+                    GemmShape::new(shape.m / pr, shape.n / pc, shape.k / algo.slice_count());
+                for chip in mesh.chips() {
+                    let a_deps = if slicing {
+                        vec![b.slice_copy(chip, a_sub, &[])]
+                    } else {
+                        Vec::new()
+                    };
+                    let ag_a = b.collective(
+                        chip,
+                        tag_a,
+                        CollectiveKind::AllGather,
+                        problem.a_axis().unwrap(),
+                        a_sub,
+                        2,
+                        &a_deps,
+                    );
+                    let b_deps = if slicing {
+                        vec![b.slice_copy(chip, b_sub, &[])]
+                    } else {
+                        Vec::new()
+                    };
+                    let ag_b = b.collective(
+                        chip,
+                        tag_b,
+                        CollectiveKind::AllGather,
+                        problem.b_axis().unwrap(),
+                        b_sub,
+                        2,
+                        &b_deps,
+                    );
+                    let mut gemm_deps = vec![ag_a, ag_b];
+                    gemm_deps.extend(last_gemm[chip.index()]);
+                    last_gemm[chip.index()] = Some(b.gemm(chip, local, &gemm_deps));
+                }
+            }
+            Dataflow::Ls => {
+                let tag_b = b.next_tag();
+                let tag_c = b.next_tag();
+                let local =
+                    GemmShape::new(shape.m / pr, shape.n / algo.slice_count(), shape.k / pc);
+                for chip in mesh.chips() {
+                    let b_deps = if slicing {
+                        vec![b.slice_copy(chip, b_sub, &[])]
+                    } else {
+                        Vec::new()
+                    };
+                    let ag_b = b.collective(
+                        chip,
+                        tag_b,
+                        CollectiveKind::AllGather,
+                        problem.b_axis().unwrap(),
+                        b_sub,
+                        2,
+                        &b_deps,
+                    );
+                    let mut gemm_deps = vec![ag_b];
+                    gemm_deps.extend(last_gemm[chip.index()]);
+                    let gemm = b.gemm(chip, local, &gemm_deps);
+                    last_gemm[chip.index()] = Some(gemm);
+                    let rds = b.collective(
+                        chip,
+                        tag_c,
+                        CollectiveKind::ReduceScatter,
+                        problem.c_axis().unwrap(),
+                        c_sub,
+                        2,
+                        &[gemm],
+                    );
+                    if slicing {
+                        b.slice_copy(chip, c_sub, &[rds]);
+                    }
+                }
+            }
+            Dataflow::Rs => {
+                let tag_a = b.next_tag();
+                let tag_c = b.next_tag();
+                let local =
+                    GemmShape::new(shape.m / algo.slice_count(), shape.n / pc, shape.k / pr);
+                for chip in mesh.chips() {
+                    let a_deps = if slicing {
+                        vec![b.slice_copy(chip, a_sub, &[])]
+                    } else {
+                        Vec::new()
+                    };
+                    let ag_a = b.collective(
+                        chip,
+                        tag_a,
+                        CollectiveKind::AllGather,
+                        problem.a_axis().unwrap(),
+                        a_sub,
+                        2,
+                        &a_deps,
+                    );
+                    let mut gemm_deps = vec![ag_a];
+                    gemm_deps.extend(last_gemm[chip.index()]);
+                    let gemm = b.gemm(chip, local, &gemm_deps);
+                    last_gemm[chip.index()] = Some(gemm);
+                    let rds = b.collective(
+                        chip,
+                        tag_c,
+                        CollectiveKind::ReduceScatter,
+                        problem.c_axis().unwrap(),
+                        c_sub,
+                        2,
+                        &[gemm],
+                    );
+                    if slicing {
+                        b.slice_copy(chip, c_sub, &[rds]);
+                    }
+                }
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+// ---------------------------------------------------------------------------
+// Cannon (§2.3.2)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn execute_cannon(
+    mesh: &Torus2d,
+    problem: GemmProblem,
+    a: &ShardGrid,
+    b: &ShardGrid,
+) -> Result<ShardGrid, GemmError> {
+    use meshslice_collectives::{shift, shift_by};
+    use meshslice_mesh::CommAxis;
+
+    use crate::algorithm::DistributedGemm;
+
+    crate::Cannon.check(mesh, problem)?;
+    crate::algorithm::check_inputs(mesh, problem, a, b)?;
+    let p = mesh.rows();
+    // Skew: chip (i, j) starts with A_{i, j+i} and B_{i+j, j}.
+    let mut a_cur = shift_by(
+        mesh,
+        CommAxis::InterCol,
+        |c| (p - c.row % p) % p,
+        &grid_state(a),
+    );
+    let mut b_cur = shift_by(
+        mesh,
+        CommAxis::InterRow,
+        |c| (p - c.col % p) % p,
+        &grid_state(b),
+    );
+    let (cr, cc) = problem.c_shard_dims(mesh.shape());
+    let mut c_state: Vec<Matrix> = vec![Matrix::zeros(cr, cc); mesh.num_chips()];
+    for step in 0..p {
+        for (c, (x, y)) in c_state.iter_mut().zip(a_cur.iter().zip(&b_cur)) {
+            dense::matmul_acc(c, x, y);
+        }
+        if step + 1 < p {
+            a_cur = shift(mesh, CommAxis::InterCol, p - 1, &a_cur);
+            b_cur = shift(mesh, CommAxis::InterRow, p - 1, &b_cur);
+        }
+    }
+    Ok(ShardGrid::from_shards(p, p, c_state))
+}
+
+pub(crate) fn schedule_cannon(
+    mesh: &Torus2d,
+    problem: GemmProblem,
+    elem_bytes: usize,
+) -> Result<Program, GemmError> {
+    use meshslice_mesh::LinkDir;
+    use meshslice_sim::OpId;
+
+    use crate::algorithm::DistributedGemm;
+
+    crate::Cannon.check(mesh, problem)?;
+    let p = mesh.rows();
+    let shape = problem.shape;
+    let a_bytes = problem.a_shard_bytes(mesh.shape(), elem_bytes);
+    let b_bytes = problem.b_shard_bytes(mesh.shape(), elem_bytes);
+    let local = GemmShape::new(shape.m / p, shape.n / p, shape.k / p);
+    let mut b = ProgramBuilder::new(mesh);
+    for chip in mesh.chips() {
+        let coord = mesh.coord_of(chip);
+        let mut a_prev: Option<OpId> = None;
+        for _ in 0..coord.row {
+            let deps: Vec<OpId> = a_prev.into_iter().collect();
+            a_prev = Some(b.send_recv(chip, LinkDir::ColMinus, a_bytes, &deps));
+        }
+        let mut b_prev: Option<OpId> = None;
+        for _ in 0..coord.col {
+            let deps: Vec<OpId> = b_prev.into_iter().collect();
+            b_prev = Some(b.send_recv(chip, LinkDir::RowMinus, b_bytes, &deps));
+        }
+        for step in 0..p {
+            let mut deps: Vec<OpId> = Vec::new();
+            deps.extend(a_prev);
+            deps.extend(b_prev);
+            b.gemm(chip, local, &deps);
+            if step + 1 < p {
+                let a_deps: Vec<OpId> = a_prev.into_iter().collect();
+                a_prev = Some(b.send_recv(chip, LinkDir::ColMinus, a_bytes, &a_deps));
+                let b_deps: Vec<OpId> = b_prev.into_iter().collect();
+                b_prev = Some(b.send_recv(chip, LinkDir::RowMinus, b_bytes, &b_deps));
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+// ---------------------------------------------------------------------------
+// 1D baselines (§4.3)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn rotation_schedule_reference(
+    mesh: &Torus2d,
+    shard_bytes: u64,
+    per_arrival: GemmShape,
+    merge_dim: fn(GemmShape, usize) -> GemmShape,
+    groups: Option<usize>,
+) -> Program {
+    use meshslice_mesh::LinkDir;
+    use meshslice_sim::OpId;
+
+    let n = mesh.rows();
+    let mut b = ProgramBuilder::new(mesh);
+    let fwd = (n - 1).div_ceil(2);
+    let bwd = (n - 1) / 2;
+    let total = n;
+    let groups = match groups {
+        Some(g) if g <= total && total.is_multiple_of(g) => g,
+        _ => total,
+    };
+    let per_group = total / groups;
+    for chip in mesh.chips() {
+        let mut fwd_prev: Option<OpId> = None;
+        let mut bwd_prev: Option<OpId> = None;
+        let mut fwd_done = 0usize;
+        let mut bwd_done = 0usize;
+        let mut arrivals = 0usize;
+        for g in 0..groups {
+            let target = ((g + 1) * per_group - 1).min(n - 1);
+            while arrivals < target {
+                if fwd_done <= bwd_done && fwd_done < fwd {
+                    let deps: Vec<OpId> = fwd_prev.into_iter().collect();
+                    fwd_prev = Some(b.send_recv(chip, LinkDir::RowPlus, shard_bytes, &deps));
+                    fwd_done += 1;
+                } else if bwd_done < bwd {
+                    let deps: Vec<OpId> = bwd_prev.into_iter().collect();
+                    bwd_prev = Some(b.send_recv(chip, LinkDir::RowMinus, shard_bytes, &deps));
+                    bwd_done += 1;
+                } else {
+                    let deps: Vec<OpId> = fwd_prev.into_iter().collect();
+                    fwd_prev = Some(b.send_recv(chip, LinkDir::RowPlus, shard_bytes, &deps));
+                    fwd_done += 1;
+                }
+                arrivals += 1;
+            }
+            let mut deps: Vec<OpId> = Vec::new();
+            deps.extend(fwd_prev);
+            deps.extend(bwd_prev);
+            b.gemm(chip, merge_dim(per_arrival, per_group), &deps);
+        }
+    }
+    b.build()
+}
+
+pub(crate) fn execute_one_dim_tp(
+    mesh: &Torus2d,
+    problem: GemmProblem,
+    a: &ShardGrid,
+    b: &ShardGrid,
+) -> Result<ShardGrid, GemmError> {
+    use meshslice_mesh::CommAxis;
+
+    use crate::algorithm::DistributedGemm;
+
+    crate::OneDimTp::new().check(mesh, problem)?;
+    let n = mesh.rows();
+    let a_state: Vec<Matrix> = a.iter().map(|(_, s)| s.clone()).collect();
+    let ga = all_gather(mesh, CommAxis::InterRow, &a_state);
+    let c: Vec<Matrix> = (0..n)
+        .map(|i| dense::matmul(&ga[i], b.shard(i, 0)))
+        .collect();
+    Ok(ShardGrid::from_shards(n, 1, c))
+}
+
+pub(crate) fn schedule_one_dim_tp(
+    algo: &crate::OneDimTp,
+    mesh: &Torus2d,
+    problem: GemmProblem,
+    elem_bytes: usize,
+) -> Result<Program, GemmError> {
+    use crate::algorithm::DistributedGemm;
+
+    algo.check(mesh, problem)?;
+    let n = mesh.rows();
+    let GemmShape { m, n: nn, k } = problem.shape;
+    let shard_bytes = (m / n * k * elem_bytes) as u64;
+    let per_arrival = GemmShape::new(m / n, nn / n, k);
+    Ok(rotation_schedule_reference(
+        mesh,
+        shard_bytes,
+        per_arrival,
+        |s, c| GemmShape::new(s.m * c, s.n, s.k),
+        algo.unroll(),
+    ))
+}
+
+pub(crate) fn execute_fsdp(
+    mesh: &Torus2d,
+    problem: GemmProblem,
+    a: &ShardGrid,
+    b: &ShardGrid,
+) -> Result<ShardGrid, GemmError> {
+    use meshslice_mesh::CommAxis;
+
+    use crate::algorithm::DistributedGemm;
+
+    crate::Fsdp::new().check(mesh, problem)?;
+    let n = mesh.rows();
+    let b_state: Vec<Matrix> = b.iter().map(|(_, s)| s.clone()).collect();
+    let gb = all_gather(mesh, CommAxis::InterRow, &b_state);
+    let c: Vec<Matrix> = (0..n)
+        .map(|i| dense::matmul(a.shard(i, 0), &gb[i]))
+        .collect();
+    Ok(ShardGrid::from_shards(n, 1, c))
+}
+
+pub(crate) fn schedule_fsdp(
+    algo: &crate::Fsdp,
+    mesh: &Torus2d,
+    problem: GemmProblem,
+    elem_bytes: usize,
+) -> Result<Program, GemmError> {
+    use crate::algorithm::DistributedGemm;
+
+    algo.check(mesh, problem)?;
+    let n = mesh.rows();
+    let GemmShape { m, n: nn, k } = problem.shape;
+    let shard_bytes = (k / n * nn * elem_bytes) as u64;
+    let per_arrival = GemmShape::new(m / n, nn, k / n);
+    Ok(rotation_schedule_reference(
+        mesh,
+        shard_bytes,
+        per_arrival,
+        |s, c| GemmShape::new(s.m, s.n, s.k * c),
+        algo.unroll(),
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// SUMMA (§2.3.3)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn execute_summa(
+    algo: &crate::Summa,
+    mesh: &Torus2d,
+    problem: GemmProblem,
+    a: &ShardGrid,
+    b: &ShardGrid,
+) -> Result<ShardGrid, GemmError> {
+    use meshslice_collectives::{broadcast, reduce};
+    use meshslice_mesh::CommAxis;
+
+    algo.check(mesh, problem)?;
+    crate::algorithm::check_inputs(mesh, problem, a, b)?;
+    let p = algo.panels();
+    let (pr, pc) = (mesh.rows(), mesh.cols());
+    let a_state = grid_state(a);
+    let b_state = grid_state(b);
+    let (cr, cc) = problem.c_shard_dims(mesh.shape());
+    let mut c_state: Vec<Matrix> = vec![Matrix::zeros(cr, cc); mesh.num_chips()];
+    let shape = problem.shape;
+
+    for panel in 0..p {
+        let owner_row = panel / (p / pr);
+        let owner_col = panel / (p / pc);
+        match problem.dataflow {
+            Dataflow::Os => {
+                let k_p = shape.k / p;
+                let a_off = panel * k_p - owner_col * (shape.k / pc);
+                let a_panels: Vec<Matrix> = a_state
+                    .iter()
+                    .map(|x| x.block(0, a_off, x.rows(), k_p))
+                    .collect();
+                let ga = broadcast(mesh, CommAxis::InterCol, owner_col, &a_panels);
+                let b_off = panel * k_p - owner_row * (shape.k / pr);
+                let b_panels: Vec<Matrix> = b_state
+                    .iter()
+                    .map(|x| x.block(b_off, 0, k_p, x.cols()))
+                    .collect();
+                let gb = broadcast(mesh, CommAxis::InterRow, owner_row, &b_panels);
+                for (c, (x, y)) in c_state.iter_mut().zip(ga.iter().zip(&gb)) {
+                    dense::matmul_acc(c, x, y);
+                }
+            }
+            Dataflow::Ls => {
+                let n_p = shape.n / p;
+                let b_off = panel * n_p - owner_row * (shape.n / pr);
+                let b_panels: Vec<Matrix> = b_state
+                    .iter()
+                    .map(|x| x.block(b_off, 0, n_p, x.cols()))
+                    .collect();
+                let gb = broadcast(mesh, CommAxis::InterRow, owner_row, &b_panels);
+                let partial: Vec<Matrix> = a_state
+                    .iter()
+                    .zip(&gb)
+                    .map(|(x, y)| dense::matmul_a_bt(x, y))
+                    .collect();
+                let reduced = reduce(mesh, CommAxis::InterCol, owner_col, &partial);
+                let c_off = panel * n_p - owner_col * (shape.n / pc);
+                for chip in mesh.chips() {
+                    if mesh.coord_of(chip).col == owner_col {
+                        c_state[chip.index()].add_block(0, c_off, &reduced[chip.index()]);
+                    }
+                }
+            }
+            Dataflow::Rs => {
+                let m_p = shape.m / p;
+                let a_off = panel * m_p - owner_col * (shape.m / pc);
+                let a_panels: Vec<Matrix> = a_state
+                    .iter()
+                    .map(|x| x.block(0, a_off, x.rows(), m_p))
+                    .collect();
+                let ga = broadcast(mesh, CommAxis::InterCol, owner_col, &a_panels);
+                let partial: Vec<Matrix> = ga
+                    .iter()
+                    .zip(&b_state)
+                    .map(|(x, y)| dense::matmul_at_b(x, y))
+                    .collect();
+                let reduced = reduce(mesh, CommAxis::InterRow, owner_row, &partial);
+                let c_off = panel * m_p - owner_row * (shape.m / pr);
+                for chip in mesh.chips() {
+                    if mesh.coord_of(chip).row == owner_row {
+                        c_state[chip.index()].add_block(c_off, 0, &reduced[chip.index()]);
+                    }
+                }
+            }
+        }
+    }
+    Ok(ShardGrid::from_shards(pr, pc, c_state))
+}
+
+pub(crate) fn schedule_summa(
+    algo: &crate::Summa,
+    mesh: &Torus2d,
+    problem: GemmProblem,
+    elem_bytes: usize,
+) -> Result<Program, GemmError> {
+    use meshslice_mesh::CommAxis;
+
+    algo.check(mesh, problem)?;
+    let p = algo.panels();
+    let (pr, pc) = (mesh.rows(), mesh.cols());
+    let shape = problem.shape;
+    let eb = elem_bytes as u64;
+    let mut b = ProgramBuilder::new(mesh);
+    for _panel in 0..p {
+        match problem.dataflow {
+            Dataflow::Os => {
+                let k_p = shape.k / p;
+                let a_bytes = (shape.m / pr * k_p) as u64 * eb;
+                let b_bytes = (k_p * shape.n / pc) as u64 * eb;
+                let local = GemmShape::new(shape.m / pr, shape.n / pc, k_p);
+                for chip in mesh.chips() {
+                    let bc_a = b.pipelined_bcast(chip, CommAxis::InterCol, a_bytes, &[]);
+                    let bc_b = b.pipelined_bcast(chip, CommAxis::InterRow, b_bytes, &[]);
+                    b.gemm(chip, local, &[bc_a, bc_b]);
+                }
+            }
+            Dataflow::Ls => {
+                let n_p = shape.n / p;
+                let b_bytes = (n_p * shape.k / pc) as u64 * eb;
+                let c_bytes = (shape.m / pr * n_p) as u64 * eb;
+                let local = GemmShape::new(shape.m / pr, n_p, shape.k / pc);
+                for chip in mesh.chips() {
+                    let bc_b = b.pipelined_bcast(chip, CommAxis::InterRow, b_bytes, &[]);
+                    let gemm = b.gemm(chip, local, &[bc_b]);
+                    b.pipelined_bcast(chip, CommAxis::InterCol, c_bytes, &[gemm]);
+                }
+            }
+            Dataflow::Rs => {
+                let m_p = shape.m / p;
+                let a_bytes = (shape.k / pr * m_p) as u64 * eb;
+                let c_bytes = (m_p * shape.n / pc) as u64 * eb;
+                let local = GemmShape::new(m_p, shape.n / pc, shape.k / pr);
+                for chip in mesh.chips() {
+                    let bc_a = b.pipelined_bcast(chip, CommAxis::InterCol, a_bytes, &[]);
+                    let gemm = b.gemm(chip, local, &[bc_a]);
+                    b.pipelined_bcast(chip, CommAxis::InterRow, c_bytes, &[gemm]);
+                }
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+// ---------------------------------------------------------------------------
+// Wang et al. (§2.3.1)
+// ---------------------------------------------------------------------------
+
+/// Ring reduce-scatter with interleaved per-panel compute: at round `t`,
+/// the chip at ring position `c` computes its contribution to panel
+/// `(c + p − 1 − t) mod p`, adds the accumulator received from upstream,
+/// and passes it on. After `p` rounds every chip holds its own panel fully
+/// reduced.
+fn ring_reduce(
+    mesh: &Torus2d,
+    axis: meshslice_mesh::CommAxis,
+    contribution: impl Fn(usize, usize) -> Matrix,
+) -> Vec<Matrix> {
+    use meshslice_collectives::shift;
+    use meshslice_mesh::CommAxis;
+
+    let p = mesh.ring_len(axis);
+    let position = |chip: usize| {
+        let coord = mesh.coord_of(meshslice_mesh::ChipId(chip));
+        match axis {
+            CommAxis::InterRow => coord.row,
+            CommAxis::InterCol => coord.col,
+        }
+    };
+    let mut carried: Option<Vec<Matrix>> = None;
+    for t in 0..p {
+        let acc: Vec<Matrix> = (0..mesh.num_chips())
+            .map(|chip| {
+                let q = (position(chip) + p - 1 - t) % p;
+                let contr = contribution(chip, q);
+                match &carried {
+                    None => contr,
+                    Some(rcv) => &rcv[chip] + &contr,
+                }
+            })
+            .collect();
+        if t + 1 < p {
+            carried = Some(shift(mesh, axis, 1, &acc));
+        } else {
+            return acc;
+        }
+    }
+    unreachable!("loop always returns on the last round")
+}
+
+pub(crate) fn execute_wang(
+    algo: &crate::Wang,
+    mesh: &Torus2d,
+    problem: GemmProblem,
+    a: &ShardGrid,
+    b: &ShardGrid,
+) -> Result<ShardGrid, GemmError> {
+    use meshslice_collectives::shift;
+    use meshslice_mesh::CommAxis;
+
+    algo.check(mesh, problem)?;
+    crate::algorithm::check_inputs(mesh, problem, a, b)?;
+    let overlap = algo.resolve_overlap(mesh, problem);
+    let shape = problem.shape;
+    let (pr, pc) = (mesh.rows(), mesh.cols());
+    let a_state = grid_state(a);
+    let b_state = grid_state(b);
+    let row_of = |chip: usize| mesh.coord_of(meshslice_mesh::ChipId(chip)).row;
+    let col_of = |chip: usize| mesh.coord_of(meshslice_mesh::ChipId(chip)).col;
+
+    let c_state: Vec<Matrix> = match (problem.dataflow, overlap) {
+        (Dataflow::Os, CommAxis::InterCol) => {
+            // Exposed: AG_row(B). Overlapped: rotate A shards along the
+            // row, multiplying against the matching K panel of B_*j.
+            let gb = all_gather(mesh, CommAxis::InterRow, &b_state);
+            let k_p = shape.k / pc;
+            let mut a_cur = a_state;
+            let mut c: Vec<Matrix> =
+                vec![Matrix::zeros(shape.m / pr, shape.n / pc); mesh.num_chips()];
+            for t in 0..pc {
+                for chip in 0..mesh.num_chips() {
+                    let src = (col_of(chip) + pc - t) % pc;
+                    let b_rows = gb[chip].block(src * k_p, 0, k_p, shape.n / pc);
+                    dense::matmul_acc(&mut c[chip], &a_cur[chip], &b_rows);
+                }
+                if t + 1 < pc {
+                    a_cur = shift(mesh, CommAxis::InterCol, 1, &a_cur);
+                }
+            }
+            c
+        }
+        (Dataflow::Os, CommAxis::InterRow) => {
+            let ga = all_gather(mesh, CommAxis::InterCol, &a_state);
+            let k_p = shape.k / pr;
+            let mut b_cur = b_state;
+            let mut c: Vec<Matrix> =
+                vec![Matrix::zeros(shape.m / pr, shape.n / pc); mesh.num_chips()];
+            for t in 0..pr {
+                for chip in 0..mesh.num_chips() {
+                    let src = (row_of(chip) + pr - t) % pr;
+                    let a_cols = ga[chip].block(0, src * k_p, shape.m / pr, k_p);
+                    dense::matmul_acc(&mut c[chip], &a_cols, &b_cur[chip]);
+                }
+                if t + 1 < pr {
+                    b_cur = shift(mesh, CommAxis::InterRow, 1, &b_cur);
+                }
+            }
+            c
+        }
+        (Dataflow::Ls, CommAxis::InterCol) => {
+            // Exposed: AG_row(B). Overlapped: ring reduce-scatter of C
+            // along the row, one N panel per round.
+            let gb = all_gather(mesh, CommAxis::InterRow, &b_state);
+            let n_p = shape.n / pc;
+            ring_reduce(mesh, CommAxis::InterCol, |chip, q| {
+                let b_rows = gb[chip].block(q * n_p, 0, n_p, shape.k / pc);
+                dense::matmul_a_bt(&a_state[chip], &b_rows)
+            })
+        }
+        (Dataflow::Ls, CommAxis::InterRow) => {
+            // Overlapped: rotate B shards along the column, building the
+            // full partial C'. Exposed: RdS_col at the end.
+            let n_p = shape.n / pr;
+            let mut b_cur = b_state;
+            let mut partial: Vec<Matrix> =
+                vec![Matrix::zeros(shape.m / pr, shape.n); mesh.num_chips()];
+            for t in 0..pr {
+                for chip in 0..mesh.num_chips() {
+                    let src = (row_of(chip) + pr - t) % pr;
+                    let block = dense::matmul_a_bt(&a_state[chip], &b_cur[chip]);
+                    partial[chip].add_block(0, src * n_p, &block);
+                }
+                if t + 1 < pr {
+                    b_cur = shift(mesh, CommAxis::InterRow, 1, &b_cur);
+                }
+            }
+            reduce_scatter(mesh, CommAxis::InterCol, &partial)
+        }
+        (Dataflow::Rs, CommAxis::InterRow) => {
+            // Exposed: AG_col(A). Overlapped: ring reduce-scatter of C
+            // along the column, one M panel per round.
+            let ga = all_gather(mesh, CommAxis::InterCol, &a_state);
+            let m_p = shape.m / pr;
+            ring_reduce(mesh, CommAxis::InterRow, |chip, q| {
+                let a_cols = ga[chip].block(0, q * m_p, shape.k / pr, m_p);
+                dense::matmul_at_b(&a_cols, &b_state[chip])
+            })
+        }
+        (Dataflow::Rs, CommAxis::InterCol) => {
+            let m_p = shape.m / pc;
+            let mut a_cur = a_state;
+            let mut partial: Vec<Matrix> =
+                vec![Matrix::zeros(shape.m, shape.n / pc); mesh.num_chips()];
+            for t in 0..pc {
+                for chip in 0..mesh.num_chips() {
+                    let src = (col_of(chip) + pc - t) % pc;
+                    let block = dense::matmul_at_b(&a_cur[chip], &b_state[chip]);
+                    partial[chip].add_block(src * m_p, 0, &block);
+                }
+                if t + 1 < pc {
+                    a_cur = shift(mesh, CommAxis::InterCol, 1, &a_cur);
+                }
+            }
+            reduce_scatter(mesh, CommAxis::InterRow, &partial)
+        }
+    };
+    Ok(ShardGrid::from_shards(pr, pc, c_state))
+}
+
+pub(crate) fn schedule_wang(
+    algo: &crate::Wang,
+    mesh: &Torus2d,
+    problem: GemmProblem,
+    elem_bytes: usize,
+) -> Result<Program, GemmError> {
+    use meshslice_mesh::CommAxis;
+    use meshslice_sim::OpId;
+
+    algo.check(mesh, problem)?;
+    let overlap = algo.resolve_overlap(mesh, problem);
+    let exposed = overlap.opposite();
+    let ring = mesh.ring_len(overlap);
+    let shape = problem.shape;
+    let (pr, pc) = (mesh.rows(), mesh.cols());
+    let ms = mesh.shape();
+    let a_bytes = problem.a_shard_bytes(ms, elem_bytes);
+    let b_bytes = problem.b_shard_bytes(ms, elem_bytes);
+    let c_bytes = problem.c_shard_bytes(ms, elem_bytes);
+    let sr_dir = overlap.forward_link();
+    let mut b = ProgramBuilder::new(mesh);
+    let exposed_tag = b.next_tag();
+
+    let ring_reduce_rotation = matches!(
+        (problem.dataflow, overlap),
+        (Dataflow::Ls, CommAxis::InterCol) | (Dataflow::Rs, CommAxis::InterRow)
+    );
+    let groups = if ring_reduce_rotation {
+        ring
+    } else {
+        algo.groups_for(ring)
+    };
+    let per_group = ring / groups;
+
+    let (panel_shape, rot_bytes, rds_after): (GemmShape, u64, bool) =
+        match (problem.dataflow, overlap) {
+            (Dataflow::Os, CommAxis::InterCol) => (
+                GemmShape::new(shape.m / pr, shape.n / pc, shape.k / pc),
+                a_bytes,
+                false,
+            ),
+            (Dataflow::Os, CommAxis::InterRow) => (
+                GemmShape::new(shape.m / pr, shape.n / pc, shape.k / pr),
+                b_bytes,
+                false,
+            ),
+            (Dataflow::Ls, CommAxis::InterCol) => (
+                GemmShape::new(shape.m / pr, shape.n / pc, shape.k / pc),
+                c_bytes,
+                false,
+            ),
+            (Dataflow::Rs, CommAxis::InterRow) => (
+                GemmShape::new(shape.m / pr, shape.n / pc, shape.k / pr),
+                c_bytes,
+                false,
+            ),
+            (Dataflow::Ls, CommAxis::InterRow) => (
+                GemmShape::new(shape.m / pr, shape.n / pr, shape.k / pc),
+                b_bytes,
+                true,
+            ),
+            (Dataflow::Rs, CommAxis::InterCol) => (
+                GemmShape::new(shape.m / pc, shape.n / pc, shape.k / pr),
+                a_bytes,
+                true,
+            ),
+        };
+    let merged_shape = |count: usize| -> GemmShape {
+        match problem.dataflow {
+            Dataflow::Os => GemmShape::new(panel_shape.m, panel_shape.n, panel_shape.k * count),
+            Dataflow::Ls => GemmShape::new(panel_shape.m, panel_shape.n * count, panel_shape.k),
+            Dataflow::Rs => GemmShape::new(panel_shape.m * count, panel_shape.n, panel_shape.k),
+        }
+    };
+
+    let (exposed_is_ag, exposed_bytes) = match (problem.dataflow, rds_after) {
+        (Dataflow::Os, _) => (
+            true,
+            if overlap == CommAxis::InterCol {
+                b_bytes
+            } else {
+                a_bytes
+            },
+        ),
+        (Dataflow::Ls, false) => (true, b_bytes),
+        (Dataflow::Rs, false) => (true, a_bytes),
+        (_, true) => (false, c_bytes),
+    };
+
+    let fwd_dir = sr_dir;
+    let bwd_dir = overlap.backward_link();
+    for chip in mesh.chips() {
+        let ag = if exposed_is_ag {
+            Some(b.collective(
+                chip,
+                exposed_tag,
+                meshslice_sim::CollectiveKind::AllGather,
+                exposed,
+                exposed_bytes,
+                2,
+                &[],
+            ))
+        } else {
+            None
+        };
+        let mut last_gemm: Option<OpId> = None;
+        if ring_reduce_rotation {
+            for (dir, panels) in [(fwd_dir, ring.div_ceil(2)), (bwd_dir, ring / 2)] {
+                let mut last_sr: Option<OpId> = None;
+                for p in 0..panels {
+                    let mut deps: Vec<OpId> = Vec::new();
+                    deps.extend(ag);
+                    deps.extend(last_sr);
+                    let gemm = b.gemm(chip, merged_shape(1), &deps);
+                    last_gemm = Some(gemm);
+                    if p + 1 < panels {
+                        let deps: Vec<OpId> =
+                            last_sr.into_iter().chain(std::iter::once(gemm)).collect();
+                        last_sr = Some(b.send_recv(chip, dir, rot_bytes, &deps));
+                    }
+                }
+            }
+        } else {
+            let mut fwd_prev: Option<OpId> = None;
+            let mut bwd_prev: Option<OpId> = None;
+            let fwd_total = (ring - 1).div_ceil(2);
+            let bwd_total = (ring - 1) / 2;
+            let (mut fwd_done, mut bwd_done) = (0usize, 0usize);
+            let mut arrivals = 0usize;
+            for g in 0..groups {
+                let target = (g + 1) * per_group - 1;
+                while arrivals < target {
+                    if fwd_done <= bwd_done && fwd_done < fwd_total {
+                        let deps: Vec<OpId> = fwd_prev.into_iter().collect();
+                        fwd_prev = Some(b.send_recv(chip, fwd_dir, rot_bytes, &deps));
+                        fwd_done += 1;
+                    } else if bwd_done < bwd_total {
+                        let deps: Vec<OpId> = bwd_prev.into_iter().collect();
+                        bwd_prev = Some(b.send_recv(chip, bwd_dir, rot_bytes, &deps));
+                        bwd_done += 1;
+                    } else {
+                        let deps: Vec<OpId> = fwd_prev.into_iter().collect();
+                        fwd_prev = Some(b.send_recv(chip, fwd_dir, rot_bytes, &deps));
+                        fwd_done += 1;
+                    }
+                    arrivals += 1;
+                }
+                let mut deps: Vec<OpId> = Vec::new();
+                deps.extend(ag);
+                deps.extend(fwd_prev);
+                deps.extend(bwd_prev);
+                last_gemm = Some(b.gemm(chip, merged_shape(per_group), &deps));
+            }
+        }
+        if !exposed_is_ag {
+            let deps: Vec<OpId> = last_gemm.into_iter().collect();
+            b.collective(
+                chip,
+                exposed_tag,
+                meshslice_sim::CollectiveKind::ReduceScatter,
+                exposed,
+                exposed_bytes,
+                2,
+                &deps,
+            );
+        }
+    }
+    Ok(b.build())
+}

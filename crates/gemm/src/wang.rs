@@ -11,16 +11,13 @@
 //! matches MeshSlice's tuned slice count; [`Wang::with_unroll`] models
 //! this by merging adjacent partial GeMMs.
 
-use meshslice_collectives::{all_gather, reduce_scatter, shift};
-use meshslice_mesh::{CommAxis, Torus2d};
-use meshslice_sim::{OpId, Program, ProgramBuilder};
-use meshslice_tensor::gemm as dense;
-use meshslice_tensor::shard::ShardGrid;
-use meshslice_tensor::{GemmShape, Matrix};
+use meshslice_mesh::{ChipId, CommAxis, Coord, Torus2d};
+use meshslice_sim::{CollectiveKind, OpId};
+use meshslice_tensor::GemmShape;
 
-use crate::algorithm::{check_inputs, DistributedGemm};
-use crate::collective::grid_state;
+use crate::algorithm::DistributedGemm;
 use crate::error::{ensure_divides, GemmError};
+use crate::plan::{DataOp, MatKind, MatmulStep, Plan, TileRead};
 use crate::problem::{Dataflow, GemmProblem};
 
 /// Which direction's collective Wang decomposes into SendRecv exchanges.
@@ -113,51 +110,12 @@ impl Wang {
         }
     }
 
-    fn groups_for(&self, ring: usize) -> usize {
+    pub(crate) fn groups_for(&self, ring: usize) -> usize {
         match self.unroll {
             Some(g) if g <= ring && ring.is_multiple_of(g) => g,
             _ => ring,
         }
     }
-}
-
-/// Ring reduce-scatter with interleaved per-panel compute: at round `t`,
-/// the chip at ring position `c` computes its contribution to panel
-/// `(c + p − 1 − t) mod p`, adds the accumulator received from upstream,
-/// and passes it on. After `p` rounds every chip holds its own panel fully
-/// reduced.
-fn ring_reduce(
-    mesh: &Torus2d,
-    axis: CommAxis,
-    contribution: impl Fn(usize, usize) -> Matrix,
-) -> Vec<Matrix> {
-    let p = mesh.ring_len(axis);
-    let position = |chip: usize| {
-        let coord = mesh.coord_of(meshslice_mesh::ChipId(chip));
-        match axis {
-            CommAxis::InterRow => coord.row,
-            CommAxis::InterCol => coord.col,
-        }
-    };
-    let mut carried: Option<Vec<Matrix>> = None;
-    for t in 0..p {
-        let acc: Vec<Matrix> = (0..mesh.num_chips())
-            .map(|chip| {
-                let q = (position(chip) + p - 1 - t) % p;
-                let contr = contribution(chip, q);
-                match &carried {
-                    None => contr,
-                    Some(rcv) => &rcv[chip] + &contr,
-                }
-            })
-            .collect();
-        if t + 1 < p {
-            carried = Some(shift(mesh, axis, 1, &acc));
-        } else {
-            return acc;
-        }
-    }
-    unreachable!("loop always returns on the last round")
 }
 
 impl DistributedGemm for Wang {
@@ -195,128 +153,12 @@ impl DistributedGemm for Wang {
         Ok(())
     }
 
-    fn execute(
-        &self,
-        mesh: &Torus2d,
-        problem: GemmProblem,
-        a: &ShardGrid,
-        b: &ShardGrid,
-    ) -> Result<ShardGrid, GemmError> {
-        self.check(mesh, problem)?;
-        check_inputs(mesh, problem, a, b);
-        let overlap = self.resolve_overlap(mesh, problem);
-        let shape = problem.shape;
-        let (pr, pc) = (mesh.rows(), mesh.cols());
-        let a_state = grid_state(a);
-        let b_state = grid_state(b);
-        let row_of = |chip: usize| mesh.coord_of(meshslice_mesh::ChipId(chip)).row;
-        let col_of = |chip: usize| mesh.coord_of(meshslice_mesh::ChipId(chip)).col;
-
-        let c_state: Vec<Matrix> = match (problem.dataflow, overlap) {
-            (Dataflow::Os, CommAxis::InterCol) => {
-                // Exposed: AG_row(B). Overlapped: rotate A shards along the
-                // row, multiplying against the matching K panel of B_*j.
-                let gb = all_gather(mesh, CommAxis::InterRow, &b_state);
-                let k_p = shape.k / pc;
-                let mut a_cur = a_state;
-                let mut c: Vec<Matrix> =
-                    vec![Matrix::zeros(shape.m / pr, shape.n / pc); mesh.num_chips()];
-                for t in 0..pc {
-                    for chip in 0..mesh.num_chips() {
-                        let src = (col_of(chip) + pc - t) % pc;
-                        let b_rows = gb[chip].block(src * k_p, 0, k_p, shape.n / pc);
-                        dense::matmul_acc(&mut c[chip], &a_cur[chip], &b_rows);
-                    }
-                    if t + 1 < pc {
-                        a_cur = shift(mesh, CommAxis::InterCol, 1, &a_cur);
-                    }
-                }
-                c
-            }
-            (Dataflow::Os, CommAxis::InterRow) => {
-                let ga = all_gather(mesh, CommAxis::InterCol, &a_state);
-                let k_p = shape.k / pr;
-                let mut b_cur = b_state;
-                let mut c: Vec<Matrix> =
-                    vec![Matrix::zeros(shape.m / pr, shape.n / pc); mesh.num_chips()];
-                for t in 0..pr {
-                    for chip in 0..mesh.num_chips() {
-                        let src = (row_of(chip) + pr - t) % pr;
-                        let a_cols = ga[chip].block(0, src * k_p, shape.m / pr, k_p);
-                        dense::matmul_acc(&mut c[chip], &a_cols, &b_cur[chip]);
-                    }
-                    if t + 1 < pr {
-                        b_cur = shift(mesh, CommAxis::InterRow, 1, &b_cur);
-                    }
-                }
-                c
-            }
-            (Dataflow::Ls, CommAxis::InterCol) => {
-                // Exposed: AG_row(B). Overlapped: ring reduce-scatter of C
-                // along the row, one N panel per round.
-                let gb = all_gather(mesh, CommAxis::InterRow, &b_state);
-                let n_p = shape.n / pc;
-                ring_reduce(mesh, CommAxis::InterCol, |chip, q| {
-                    let b_rows = gb[chip].block(q * n_p, 0, n_p, shape.k / pc);
-                    dense::matmul_a_bt(&a_state[chip], &b_rows)
-                })
-            }
-            (Dataflow::Ls, CommAxis::InterRow) => {
-                // Overlapped: rotate B shards along the column, building the
-                // full partial C'. Exposed: RdS_col at the end.
-                let n_p = shape.n / pr;
-                let mut b_cur = b_state;
-                let mut partial: Vec<Matrix> =
-                    vec![Matrix::zeros(shape.m / pr, shape.n); mesh.num_chips()];
-                for t in 0..pr {
-                    for chip in 0..mesh.num_chips() {
-                        let src = (row_of(chip) + pr - t) % pr;
-                        let block = dense::matmul_a_bt(&a_state[chip], &b_cur[chip]);
-                        partial[chip].add_block(0, src * n_p, &block);
-                    }
-                    if t + 1 < pr {
-                        b_cur = shift(mesh, CommAxis::InterRow, 1, &b_cur);
-                    }
-                }
-                reduce_scatter(mesh, CommAxis::InterCol, &partial)
-            }
-            (Dataflow::Rs, CommAxis::InterRow) => {
-                // Exposed: AG_col(A). Overlapped: ring reduce-scatter of C
-                // along the column, one M panel per round.
-                let ga = all_gather(mesh, CommAxis::InterCol, &a_state);
-                let m_p = shape.m / pr;
-                ring_reduce(mesh, CommAxis::InterRow, |chip, q| {
-                    let a_cols = ga[chip].block(0, q * m_p, shape.k / pr, m_p);
-                    dense::matmul_at_b(&a_cols, &b_state[chip])
-                })
-            }
-            (Dataflow::Rs, CommAxis::InterCol) => {
-                let m_p = shape.m / pc;
-                let mut a_cur = a_state;
-                let mut partial: Vec<Matrix> =
-                    vec![Matrix::zeros(shape.m, shape.n / pc); mesh.num_chips()];
-                for t in 0..pc {
-                    for chip in 0..mesh.num_chips() {
-                        let src = (col_of(chip) + pc - t) % pc;
-                        let block = dense::matmul_at_b(&a_cur[chip], &b_state[chip]);
-                        partial[chip].add_block(src * m_p, 0, &block);
-                    }
-                    if t + 1 < pc {
-                        a_cur = shift(mesh, CommAxis::InterCol, 1, &a_cur);
-                    }
-                }
-                reduce_scatter(mesh, CommAxis::InterRow, &partial)
-            }
-        };
-        Ok(ShardGrid::from_shards(pr, pc, c_state))
-    }
-
-    fn schedule(
+    fn plan(
         &self,
         mesh: &Torus2d,
         problem: GemmProblem,
         elem_bytes: usize,
-    ) -> Result<Program, GemmError> {
+    ) -> Result<Plan, GemmError> {
         self.check(mesh, problem)?;
         let overlap = self.resolve_overlap(mesh, problem);
         let exposed = overlap.opposite();
@@ -328,8 +170,6 @@ impl DistributedGemm for Wang {
         let b_bytes = problem.b_shard_bytes(ms, elem_bytes);
         let c_bytes = problem.c_shard_bytes(ms, elem_bytes);
         let sr_dir = overlap.forward_link();
-        let mut b = ProgramBuilder::new(mesh);
-        let exposed_tag = b.next_tag();
 
         // The rotation either carries an input shard towards the partial
         // GeMMs, or carries the C accumulator of a compute-interleaved ring
@@ -409,100 +249,297 @@ impl DistributedGemm for Wang {
             (_, true) => (false, c_bytes),
         };
 
-        // The rotation runs bidirectionally: both ring links carry shards
-        // at once, like the TPU collectives it decomposes.
-        let fwd_dir = sr_dir;
-        let bwd_dir = overlap.backward_link();
-        for chip in mesh.chips() {
-            let ag = if exposed_is_ag {
-                Some(b.collective(
-                    chip,
-                    exposed_tag,
-                    meshslice_sim::CollectiveKind::AllGather,
-                    exposed,
-                    exposed_bytes,
-                    2,
-                    &[],
-                ))
-            } else {
-                None
+        // Panel widths along the dimension the ring rotation splits.
+        let k_p = shape.k / ring;
+        let n_p = shape.n / ring;
+        let m_p = shape.m / ring;
+
+        Plan::build(mesh, |pb| {
+            let exposed_tag = pb.sim().next_tag();
+            let (a_rows, a_cols) = problem.a_shard_dims(ms);
+            let (b_rows, b_cols) = problem.b_shard_dims(ms);
+            let (c_rows, c_cols) = problem.c_shard_dims(ms);
+            let a = pb.input_a(a_rows, a_cols);
+            let b = pb.input_b(b_rows, b_cols);
+            // The exposed-AG variants read panels of the gathered input;
+            // the RdS variants accumulate a full-width partial first.
+            let mut g_reg = None;
+            let mut ag_act = None;
+            if exposed_is_ag {
+                let src = match (problem.dataflow, overlap) {
+                    (Dataflow::Os, CommAxis::InterCol) | (Dataflow::Ls, _) => b,
+                    _ => a,
+                };
+                let g = pb.gathered(src, exposed);
+                ag_act = Some(pb.action(DataOp::AllGather {
+                    src,
+                    dst: g,
+                    axis: exposed,
+                }));
+                g_reg = Some(g);
+            }
+            let partial = match (problem.dataflow, overlap) {
+                (Dataflow::Ls, CommAxis::InterRow) => Some(pb.zeros(shape.m / pr, shape.n)),
+                (Dataflow::Rs, CommAxis::InterCol) => Some(pb.zeros(shape.m, shape.n / pc)),
+                _ => None,
             };
-            let mut last_gemm: Option<OpId> = None;
-            if ring_reduce_rotation {
-                // Two accumulators circulate in opposite directions, each
-                // covering half the output panels: per round a chip adds
-                // its contribution (a partial GeMM) and passes the
-                // accumulator on.
-                for (dir, panels) in [(fwd_dir, ring.div_ceil(2)), (bwd_dir, ring / 2)] {
-                    let mut last_sr: Option<OpId> = None;
-                    for p in 0..panels {
+            let c = if rds_after {
+                pb.reg(c_rows, c_cols)
+            } else {
+                pb.zeros(c_rows, c_cols)
+            };
+            let rds_act = partial.map(|p| {
+                pb.action(DataOp::ReduceScatter {
+                    src: p,
+                    dst: c,
+                    axis: exposed,
+                })
+            });
+
+            // Ring-position helpers: the chip `s` steps along this chip's
+            // overlapped ring, and this chip's own position on it.
+            let pos_of = |chip: ChipId| {
+                let coord = mesh.coord_of(chip);
+                match overlap {
+                    CommAxis::InterRow => coord.row,
+                    CommAxis::InterCol => coord.col,
+                }
+            };
+            let ring_chip = |chip: ChipId, s: usize| {
+                let coord = mesh.coord_of(chip);
+                match overlap {
+                    CommAxis::InterRow => mesh.chip_at(Coord::new(s, coord.col)),
+                    CommAxis::InterCol => mesh.chip_at(Coord::new(coord.row, s)),
+                }
+            };
+            // The partial GeMM for ring panel `s` on `chip`: panel `s` pairs
+            // the K/N/M range `[s·panel, (s+1)·panel)` with the input shard
+            // originally resident at ring position `s`.
+            let step_for = |chip: ChipId, s: usize| -> MatmulStep {
+                match (problem.dataflow, overlap) {
+                    (Dataflow::Os, CommAxis::InterCol) => MatmulStep {
+                        kind: MatKind::Ab,
+                        lhs: TileRead::whole(a, ring_chip(chip, s)),
+                        rhs: TileRead::region(g_reg.unwrap(), chip, s * k_p, 0, k_p, shape.n / pc),
+                        dst: c,
+                        dst_chip: chip,
+                        dst_off: (0, 0),
+                    },
+                    (Dataflow::Os, CommAxis::InterRow) => MatmulStep {
+                        kind: MatKind::Ab,
+                        lhs: TileRead::region(g_reg.unwrap(), chip, 0, s * k_p, shape.m / pr, k_p),
+                        rhs: TileRead::whole(b, ring_chip(chip, s)),
+                        dst: c,
+                        dst_chip: chip,
+                        dst_off: (0, 0),
+                    },
+                    // Ring reduce-scatter variants contribute panel `s`
+                    // straight into its owner's C shard.
+                    (Dataflow::Ls, CommAxis::InterCol) => MatmulStep {
+                        kind: MatKind::Abt,
+                        lhs: TileRead::whole(a, chip),
+                        rhs: TileRead::region(g_reg.unwrap(), chip, s * n_p, 0, n_p, shape.k / pc),
+                        dst: c,
+                        dst_chip: ring_chip(chip, s),
+                        dst_off: (0, 0),
+                    },
+                    (Dataflow::Rs, CommAxis::InterRow) => MatmulStep {
+                        kind: MatKind::Atb,
+                        lhs: TileRead::region(g_reg.unwrap(), chip, 0, s * m_p, shape.k / pr, m_p),
+                        rhs: TileRead::whole(b, chip),
+                        dst: c,
+                        dst_chip: ring_chip(chip, s),
+                        dst_off: (0, 0),
+                    },
+                    // Input-rotation LS/RS build the full-width partial for
+                    // the exposed ReduceScatter epilogue.
+                    (Dataflow::Ls, CommAxis::InterRow) => MatmulStep {
+                        kind: MatKind::Abt,
+                        lhs: TileRead::whole(a, chip),
+                        rhs: TileRead::whole(b, ring_chip(chip, s)),
+                        dst: partial.unwrap(),
+                        dst_chip: chip,
+                        dst_off: (0, s * n_p),
+                    },
+                    (Dataflow::Rs, CommAxis::InterCol) => MatmulStep {
+                        kind: MatKind::Atb,
+                        lhs: TileRead::whole(a, ring_chip(chip, s)),
+                        rhs: TileRead::whole(b, chip),
+                        dst: partial.unwrap(),
+                        dst_chip: chip,
+                        dst_off: (s * m_p, 0),
+                    },
+                }
+            };
+            // The shard an input-rotation SendRecv delivers: A rotates when
+            // the overlapped ring is the one A flows along, else B.
+            let rot_carry = |chip: ChipId, s: usize| -> TileRead {
+                match (problem.dataflow, overlap) {
+                    (Dataflow::Os, CommAxis::InterCol) | (Dataflow::Rs, CommAxis::InterCol) => {
+                        TileRead::whole(a, ring_chip(chip, s))
+                    }
+                    _ => TileRead::whole(b, ring_chip(chip, s)),
+                }
+            };
+
+            // The rotation runs bidirectionally: both ring links carry shards
+            // at once, like the TPU collectives it decomposes.
+            let fwd_dir = sr_dir;
+            let bwd_dir = overlap.backward_link();
+            for chip in mesh.chips() {
+                let own = pos_of(chip);
+                let ag = if exposed_is_ag {
+                    let op = pb.sim().collective(
+                        chip,
+                        exposed_tag,
+                        CollectiveKind::AllGather,
+                        exposed,
+                        exposed_bytes,
+                        2,
+                        &[],
+                    );
+                    pb.anchor(ag_act.unwrap(), op);
+                    Some(op)
+                } else {
+                    None
+                };
+                let mut last_gemm: Option<OpId> = None;
+                if ring_reduce_rotation {
+                    // Two accumulators circulate in opposite directions, each
+                    // covering half the output panels: per round a chip adds
+                    // its contribution (a partial GeMM) and passes the
+                    // accumulator on. The forward accumulator a chip touches
+                    // at round r comes home to ring position own + F − 1 − r;
+                    // the backward rounds cover the remaining panels.
+                    let f_rounds = ring.div_ceil(2);
+                    for (chain, (dir, panels)) in [(fwd_dir, f_rounds), (bwd_dir, ring / 2)]
+                        .into_iter()
+                        .enumerate()
+                    {
+                        let mut last_sr: Option<OpId> = None;
+                        for p in 0..panels {
+                            let panel = if chain == 0 {
+                                (own + f_rounds - 1 - p) % ring
+                            } else {
+                                (own + f_rounds + p) % ring
+                            };
+                            let mut deps: Vec<OpId> = Vec::new();
+                            deps.extend(ag);
+                            deps.extend(last_sr);
+                            let gemm = pb.sim().gemm(chip, merged_shape(1), &deps);
+                            pb.attach(
+                                gemm,
+                                DataOp::Compute {
+                                    steps: vec![step_for(chip, panel)],
+                                },
+                            );
+                            last_gemm = Some(gemm);
+                            if p + 1 < panels {
+                                let deps: Vec<OpId> =
+                                    last_sr.into_iter().chain(std::iter::once(gemm)).collect();
+                                let sr = pb.sim().send_recv(chip, dir, rot_bytes, &deps);
+                                pb.attach(
+                                    sr,
+                                    DataOp::Carries {
+                                        tile: TileRead::whole(c, ring_chip(chip, panel)),
+                                    },
+                                );
+                                last_sr = Some(sr);
+                            }
+                        }
+                    }
+                } else {
+                    // Input rotation: shards arrive alternately from both ring
+                    // directions; group g's GeMM waits for the arrivals it
+                    // consumes (the chip's own shard is panel 0). A forward
+                    // arrival delivers the shard f positions behind; a
+                    // backward arrival the shard k positions ahead.
+                    let mut fwd_prev: Option<OpId> = None;
+                    let mut bwd_prev: Option<OpId> = None;
+                    let fwd_total = (ring - 1).div_ceil(2);
+                    let bwd_total = (ring - 1) / 2;
+                    let (mut fwd_done, mut bwd_done) = (0usize, 0usize);
+                    let mut arrivals = 0usize;
+                    let mut pending: Vec<usize> = vec![own];
+                    for g in 0..groups {
+                        let target = (g + 1) * per_group - 1;
+                        while arrivals < target {
+                            if fwd_done <= bwd_done && fwd_done < fwd_total {
+                                let deps: Vec<OpId> = fwd_prev.into_iter().collect();
+                                let sr = pb.sim().send_recv(chip, fwd_dir, rot_bytes, &deps);
+                                fwd_done += 1;
+                                let src = (own + ring - fwd_done) % ring;
+                                pb.attach(
+                                    sr,
+                                    DataOp::Carries {
+                                        tile: rot_carry(chip, src),
+                                    },
+                                );
+                                pending.push(src);
+                                fwd_prev = Some(sr);
+                            } else if bwd_done < bwd_total {
+                                let deps: Vec<OpId> = bwd_prev.into_iter().collect();
+                                let sr = pb.sim().send_recv(chip, bwd_dir, rot_bytes, &deps);
+                                bwd_done += 1;
+                                let src = (own + bwd_done) % ring;
+                                pb.attach(
+                                    sr,
+                                    DataOp::Carries {
+                                        tile: rot_carry(chip, src),
+                                    },
+                                );
+                                pending.push(src);
+                                bwd_prev = Some(sr);
+                            } else {
+                                let deps: Vec<OpId> = fwd_prev.into_iter().collect();
+                                let sr = pb.sim().send_recv(chip, fwd_dir, rot_bytes, &deps);
+                                fwd_done += 1;
+                                let src = (own + ring - fwd_done) % ring;
+                                pb.attach(
+                                    sr,
+                                    DataOp::Carries {
+                                        tile: rot_carry(chip, src),
+                                    },
+                                );
+                                pending.push(src);
+                                fwd_prev = Some(sr);
+                            }
+                            arrivals += 1;
+                        }
                         let mut deps: Vec<OpId> = Vec::new();
                         deps.extend(ag);
-                        deps.extend(last_sr);
-                        let gemm = b.gemm(chip, merged_shape(1), &deps);
+                        deps.extend(fwd_prev);
+                        deps.extend(bwd_prev);
+                        let gemm = pb.sim().gemm(chip, merged_shape(per_group), &deps);
+                        let steps: Vec<MatmulStep> =
+                            pending.drain(..).map(|s| step_for(chip, s)).collect();
+                        pb.attach(gemm, DataOp::Compute { steps });
                         last_gemm = Some(gemm);
-                        if p + 1 < panels {
-                            let deps: Vec<OpId> =
-                                last_sr.into_iter().chain(std::iter::once(gemm)).collect();
-                            last_sr = Some(b.send_recv(chip, dir, rot_bytes, &deps));
-                        }
                     }
                 }
-            } else {
-                // Input rotation: shards arrive alternately from both ring
-                // directions; group g's GeMM waits for the arrivals it
-                // consumes (the chip's own shard is panel 0).
-                let mut fwd_prev: Option<OpId> = None;
-                let mut bwd_prev: Option<OpId> = None;
-                let fwd_total = (ring - 1).div_ceil(2);
-                let bwd_total = (ring - 1) / 2;
-                let (mut fwd_done, mut bwd_done) = (0usize, 0usize);
-                let mut arrivals = 0usize;
-                for g in 0..groups {
-                    let target = (g + 1) * per_group - 1;
-                    while arrivals < target {
-                        if fwd_done <= bwd_done && fwd_done < fwd_total {
-                            let deps: Vec<OpId> = fwd_prev.into_iter().collect();
-                            fwd_prev = Some(b.send_recv(chip, fwd_dir, rot_bytes, &deps));
-                            fwd_done += 1;
-                        } else if bwd_done < bwd_total {
-                            let deps: Vec<OpId> = bwd_prev.into_iter().collect();
-                            bwd_prev = Some(b.send_recv(chip, bwd_dir, rot_bytes, &deps));
-                            bwd_done += 1;
-                        } else {
-                            let deps: Vec<OpId> = fwd_prev.into_iter().collect();
-                            fwd_prev = Some(b.send_recv(chip, fwd_dir, rot_bytes, &deps));
-                            fwd_done += 1;
-                        }
-                        arrivals += 1;
-                    }
-                    let mut deps: Vec<OpId> = Vec::new();
-                    deps.extend(ag);
-                    deps.extend(fwd_prev);
-                    deps.extend(bwd_prev);
-                    last_gemm = Some(b.gemm(chip, merged_shape(per_group), &deps));
+                if !exposed_is_ag {
+                    let deps: Vec<OpId> = last_gemm.into_iter().collect();
+                    let op = pb.sim().collective(
+                        chip,
+                        exposed_tag,
+                        CollectiveKind::ReduceScatter,
+                        exposed,
+                        exposed_bytes,
+                        2,
+                        &deps,
+                    );
+                    pb.anchor(rds_act.unwrap(), op);
                 }
             }
-            if !exposed_is_ag {
-                let deps: Vec<OpId> = last_gemm.into_iter().collect();
-                b.collective(
-                    chip,
-                    exposed_tag,
-                    meshslice_sim::CollectiveKind::ReduceScatter,
-                    exposed,
-                    exposed_bytes,
-                    2,
-                    &deps,
-                );
-            }
-        }
-        Ok(b.build())
+            Ok(c)
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use meshslice_sim::Program;
 
     fn check_functional(
         df: Dataflow,
@@ -544,6 +581,17 @@ mod tests {
     #[test]
     fn auto_overlap_matches_dense() {
         check_functional(Dataflow::Os, WangOverlap::Auto, (4, 2), (8, 8, 8));
+    }
+
+    #[test]
+    fn unrolled_matches_dense() {
+        let mesh = Torus2d::new(4, 1);
+        let problem = GemmProblem::new(GemmShape::new(8, 8, 8), Dataflow::Os);
+        let algo = Wang::with_overlap(WangOverlap::InterRow).with_unroll(2);
+        let (a, b) = problem.random_inputs(&mesh, 7);
+        let c = algo.execute(&mesh, problem, &a, &b).unwrap();
+        let expect = problem.reference(&a.assemble(), &b.assemble());
+        assert!(c.assemble().approx_eq(&expect, 1e-4));
     }
 
     #[test]

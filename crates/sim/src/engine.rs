@@ -576,8 +576,8 @@ impl Engine {
     ///
     /// Panics if the program has a dependency cycle.
     pub fn lower_program(&self, program: &Program) -> LoweredProgram {
-        if let Err(op) = program.validate_acyclic() {
-            panic!("program has a dependency cycle through op {op}");
+        if let Err(cycle) = program.validate_acyclic() {
+            panic!("invalid program: {cycle}");
         }
         let graph = lower(&self.mesh, &self.config, program);
         let n = graph.nodes.len();

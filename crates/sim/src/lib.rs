@@ -59,7 +59,7 @@ pub use failure::{
     degraded_torus_profile, AbortInfo, ChipFailure, FailureOutcome, DETOUR_LINK_MULTIPLIER,
 };
 pub use perturb::{ClusterProfile, LinkOutage};
-pub use program::{CollectiveKind, OpId, OpKind, Program, ProgramBuilder};
+pub use program::{CollectiveKind, CycleError, OpId, OpKind, Program, ProgramBuilder};
 pub use report::{SimReport, TimeBreakdown};
 pub use time::{Duration, Time};
 

@@ -10,6 +10,8 @@
 //! their ring steps together.
 
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
 
 use meshslice_mesh::{ChipId, CommAxis, LinkDir, Torus2d};
 use meshslice_tensor::GemmShape;
@@ -84,6 +86,53 @@ pub enum OpKind {
     },
 }
 
+/// A dependency cycle found by [`Program::validate_acyclic`].
+///
+/// Names one op caught in the cycle (its id, chip, and kind) plus a short
+/// excerpt of the cycle itself so the offending dependency chain can be
+/// read straight out of the error message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CycleError {
+    /// An op that participates in the cycle.
+    pub op: OpId,
+    /// The chip that op runs on.
+    pub chip: ChipId,
+    /// What the op does.
+    pub kind: OpKind,
+    /// Up to [`CycleError::EXCERPT_LEN`] consecutive ops of the cycle,
+    /// starting at `op`; each waits on the next.
+    pub excerpt: Vec<OpId>,
+}
+
+impl CycleError {
+    /// Maximum number of cycle members reported in [`CycleError::excerpt`].
+    pub const EXCERPT_LEN: usize = 8;
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dependency cycle through op {} ({:?} on chip {}): ",
+            self.op.index(),
+            self.kind,
+            self.chip.index()
+        )?;
+        for (i, op) in self.excerpt.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{}", op.index())?;
+        }
+        if self.excerpt.len() == Self::EXCERPT_LEN {
+            write!(f, " -> ...")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for CycleError {}
+
 /// An operation: its chip, kind, and dependencies.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Op {
@@ -129,8 +178,9 @@ impl Program {
     ///
     /// # Errors
     ///
-    /// Returns the index of an op that participates in a cycle.
-    pub fn validate_acyclic(&self) -> Result<Vec<usize>, usize> {
+    /// Returns a [`CycleError`] naming an op that participates in a cycle,
+    /// its chip and kind, and a short excerpt of the cycle.
+    pub fn validate_acyclic(&self) -> Result<Vec<usize>, CycleError> {
         let n = self.ops.len();
         let mut indegree = vec![0usize; n];
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -154,9 +204,49 @@ impl Program {
         if order.len() == n {
             Ok(order)
         } else {
-            Err((0..n)
-                .find(|&i| indegree[i] > 0)
-                .expect("a cyclic op exists"))
+            Err(self.cycle_error(&indegree))
+        }
+    }
+
+    /// Builds the [`CycleError`] for a failed topological sort.
+    ///
+    /// `indegree` holds each op's count of unsatisfied dependencies after
+    /// Kahn's algorithm got stuck; ops with a positive count form the
+    /// cyclic core (plus anything downstream of it). Following any
+    /// still-pending dependency from such an op must eventually revisit an
+    /// op, which yields a genuine cycle to excerpt.
+    fn cycle_error(&self, indegree: &[usize]) -> CycleError {
+        let start = (0..self.ops.len())
+            .find(|&i| indegree[i] > 0)
+            .expect("a cyclic op exists");
+        // Walk pending deps until an op repeats; the repeat closes a cycle.
+        let mut seen_at: HashMap<usize, usize> = HashMap::new();
+        let mut walk: Vec<usize> = Vec::new();
+        let mut at = start;
+        let cycle_head = loop {
+            if let Some(&pos) = seen_at.get(&at) {
+                break pos;
+            }
+            seen_at.insert(at, walk.len());
+            walk.push(at);
+            at = self.ops[at]
+                .deps
+                .iter()
+                .map(|d| d.0)
+                .find(|&d| indegree[d] > 0)
+                .expect("a stuck op has a stuck dependency");
+        };
+        let cycle: Vec<usize> = walk[cycle_head..].to_vec();
+        let op = OpId(cycle[0]);
+        CycleError {
+            op,
+            chip: self.ops[op.0].chip,
+            kind: self.ops[op.0].kind.clone(),
+            excerpt: cycle
+                .into_iter()
+                .take(CycleError::EXCERPT_LEN)
+                .map(OpId)
+                .collect(),
         }
     }
 
@@ -537,13 +627,51 @@ mod tests {
                     deps: vec![OpId(1)],
                 },
                 Op {
-                    chip: ChipId(0),
-                    kind: OpKind::SliceCopy { bytes: 1 },
+                    chip: ChipId(3),
+                    kind: OpKind::Gemm {
+                        shape: GemmShape::new(1, 1, 1),
+                    },
                     deps: vec![OpId(0)],
                 },
             ],
         };
-        assert!(p.validate_acyclic().is_err());
+        let err = p.validate_acyclic().unwrap_err();
+        assert_eq!(err.op, OpId(0));
+        assert_eq!(err.chip, ChipId(0));
+        assert_eq!(err.kind, OpKind::SliceCopy { bytes: 1 });
+        assert_eq!(err.excerpt, vec![OpId(0), OpId(1)]);
+        let msg = err.to_string();
+        assert!(msg.contains("cycle through op 0"), "message: {msg}");
+        assert!(msg.contains("chip 0"), "message: {msg}");
+        assert!(msg.contains("0 -> 1"), "message: {msg}");
+    }
+
+    #[test]
+    fn cycle_error_names_a_true_cycle_member() {
+        // Op 0 is stuck only because it waits on the 1 <-> 2 cycle; the
+        // error must point into the cycle itself, not at op 0.
+        let p = Program {
+            ops: vec![
+                Op {
+                    chip: ChipId(0),
+                    kind: OpKind::SliceCopy { bytes: 1 },
+                    deps: vec![OpId(1)],
+                },
+                Op {
+                    chip: ChipId(1),
+                    kind: OpKind::SliceCopy { bytes: 2 },
+                    deps: vec![OpId(2)],
+                },
+                Op {
+                    chip: ChipId(2),
+                    kind: OpKind::SliceCopy { bytes: 3 },
+                    deps: vec![OpId(1)],
+                },
+            ],
+        };
+        let err = p.validate_acyclic().unwrap_err();
+        assert!(err.op == OpId(1) || err.op == OpId(2));
+        assert_eq!(err.excerpt.len(), 2);
     }
 
     #[test]
