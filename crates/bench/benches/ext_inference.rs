@@ -1,11 +1,13 @@
-//! Extension study (paper §6): MeshSlice for autoregressive *decode*
-//! inference. Each decode step's FC GeMMs have M = batch rows, so they
-//! are memory-bound (full weight shards stream from HBM every step) and
-//! the fixed per-operation launch/sync latencies dominate communication —
+//! Extension study (paper §6): MeshSlice for autoregressive inference,
+//! priced per phase. *Prefill* runs the whole prompt in one pass
+//! (M = batch × prompt_len), so it behaves like a training forward pass;
+//! each *decode* step's FC GeMMs have M = batch rows, so they are
+//! memory-bound (full weight shards stream from HBM every step) and the
+//! fixed per-operation launch/sync latencies dominate communication —
 //! the regime where the paper expects MeshSlice and its autotuner to need
 //! adaptation.
 
-use meshslice::experiments::inference_study;
+use meshslice::experiments::{inference_study, DEFAULT_PROMPT_LEN};
 use meshslice::report::Table;
 use meshslice_bench::{banner, models, quick_mode, sim_config};
 
@@ -16,27 +18,33 @@ fn main() {
         banner(
             "Extension (§6)",
             &format!(
-                "decode latency per transformer block on {chips} chips — {}",
+                "prefill & decode latency per transformer block on {chips} chips — {}",
                 model.name
             ),
         );
-        let rows = inference_study(&model, chips, &[32, 128, 512], &cfg);
+        let rows = inference_study(&model, chips, &[32, 128, 512], DEFAULT_PROMPT_LEN, &cfg);
+        let fmt = |lat: &Option<f64>| {
+            lat.map(|t| format!("{:.1} us", t * 1e6))
+                .unwrap_or_else(|| "-".into())
+        };
         let mut table = Table::new(vec![
             "batch".into(),
+            "phase".into(),
             "MeshSlice".into(),
             "Collective".into(),
             "Wang".into(),
         ]);
         for r in &rows {
-            let mut cells = vec![r.batch.to_string()];
-            cells.extend(r.block_latency.iter().map(|(_, t)| {
-                t.map(|t| format!("{:.1} us", t * 1e6))
-                    .unwrap_or_else(|| "-".into())
-            }));
-            table.row(cells);
+            let mut prefill = vec![r.batch.to_string(), "prefill".into()];
+            prefill.extend(r.prefill_latency.iter().map(|(_, t)| fmt(t)));
+            table.row(prefill);
+            let mut decode = vec![r.batch.to_string(), "decode".into()];
+            decode.extend(r.block_latency.iter().map(|(_, t)| fmt(t)));
+            table.row(decode);
         }
         println!("{table}");
     }
-    println!("(decode is weight-streaming-bound: latencies barely grow with batch,");
+    println!("(prefill at {DEFAULT_PROMPT_LEN} prompt tokens is compute-bound and scales with");
+    println!(" batch; decode is weight-streaming-bound: latencies barely grow with batch,");
     println!(" and overlap gains shrink because compute per step is tiny)");
 }

@@ -1,0 +1,215 @@
+//! Serving fleet harness: tunes one SLO-targeted fleet layout, sweeps a
+//! three-point offered-load ladder through the continuous-batching fleet
+//! simulation (plus one chip-death rung at the middle load), gates on
+//! thread-count determinism, and writes the load→goodput/latency curve
+//! to `BENCH_serving.json` at the workspace root.
+//!
+//! `MESHSLICE_BENCH_SCALE=quick` shrinks the workload (16 chips, short
+//! traces) for smoke runs; the committed artifact uses the full workload
+//! (GPT-3, 64 chips, three load points).
+
+use std::time::Instant;
+
+use meshslice::autotuner::Autotuner;
+use meshslice::llm::LlmConfig;
+use meshslice::par;
+use meshslice_bench::{banner, quick_mode, sim_config};
+use meshslice_serving::{
+    simulate_fleet, simulate_fleet_threads, ArrivalSpec, ChipDeath, ServingSpec, ServingTuning,
+};
+use meshslice_telemetry::Json;
+
+struct Workload {
+    model: LlmConfig,
+    chips: usize,
+    replicas: usize,
+    qps_points: Vec<f64>,
+    requests: usize,
+    tune_requests: usize,
+    slo_p99_ttft_ms: f64,
+    seed: u64,
+}
+
+fn workload() -> Workload {
+    // GPT-3 weights (~350 GB bf16) need at least 16 TPUv4 chips per
+    // replica, so the replica count scales with the pool.
+    let (chips, replicas, qps_points, requests, tune_requests) = if quick_mode() {
+        (16, 1, vec![5.0, 20.0, 80.0], 60, 24)
+    } else {
+        (64, 4, vec![5.0, 20.0, 80.0], 300, 64)
+    };
+    Workload {
+        model: LlmConfig::gpt3(),
+        chips,
+        replicas,
+        qps_points,
+        requests,
+        tune_requests,
+        slo_p99_ttft_ms: 500.0,
+        seed: 7,
+    }
+}
+
+/// Times one closure, returning (result, seconds).
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let out = f();
+    (out, t.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let w = workload();
+    let scale = if quick_mode() { "quick" } else { "full" };
+    banner(
+        "Serving",
+        &format!(
+            "offered load -> goodput/latency, {} on {} chips x {} replicas ({scale})",
+            w.model.name, w.chips, w.replicas
+        ),
+    );
+    let cfg = sim_config();
+    let tuner = Autotuner::new(cfg.clone());
+    let threads = par::threads().max(2);
+
+    // Tune the fleet layout once at the middle load point; every rung of
+    // the ladder then replays the same layout so the curve isolates load.
+    let mid_qps = w.qps_points[w.qps_points.len() / 2];
+    let (plan, tune_secs) = timed(|| {
+        tuner.tune_serving_threads(
+            &w.model,
+            w.chips,
+            Some(w.replicas),
+            &ArrivalSpec::poisson(mid_qps),
+            w.slo_p99_ttft_ms,
+            w.tune_requests,
+            w.seed,
+            threads,
+        )
+    });
+    let best = *plan.expect("GPT-3 fits the per-replica meshes").best();
+    println!(
+        "tuned layout: mesh {} S={} max_batch={} ({tune_secs:.1} s, {threads} threads)",
+        best.mesh, best.slice_count, best.max_batch
+    );
+
+    let spec_at = |qps: f64, failure: Option<ChipDeath>| ServingSpec {
+        slice_count: best.slice_count,
+        max_batch: best.max_batch,
+        num_requests: w.requests,
+        seed: w.seed,
+        slo_p99_ttft_ms: w.slo_p99_ttft_ms,
+        failure,
+        ..ServingSpec::new(w.model.clone(), best.mesh, w.replicas, qps)
+    };
+
+    let rung_json = |qps: f64, report: &meshslice_serving::FleetReport, secs: f64| {
+        Json::obj(vec![
+            ("qps", Json::Num(qps)),
+            ("completed", Json::Num(report.completed as f64)),
+            ("rejected", Json::Num(report.rejected as f64)),
+            ("preemptions", Json::Num(report.preemptions as f64)),
+            ("failovers", Json::Num(report.failovers as f64)),
+            ("ttft_p50_ms", Json::Num(report.ttft.p50 * 1e3)),
+            ("ttft_p99_ms", Json::Num(report.ttft.p99 * 1e3)),
+            ("tpot_p50_ms", Json::Num(report.tpot.p50 * 1e3)),
+            ("tpot_p99_ms", Json::Num(report.tpot.p99 * 1e3)),
+            (
+                "goodput_tokens_per_chip_s",
+                Json::Num(report.goodput_tokens_per_chip_s),
+            ),
+            ("slo_attained", Json::Bool(report.slo_attained)),
+            ("slo_attainment", Json::Num(report.slo_attainment)),
+            ("sim_secs", Json::Num(secs)),
+        ])
+    };
+
+    let mut rungs = Vec::new();
+    for &qps in &w.qps_points {
+        let spec = spec_at(qps, None);
+        let (serial, serial_secs) = timed(|| simulate_fleet(&spec, &cfg).expect("fleet simulates"));
+        let parallel =
+            simulate_fleet_threads(&spec, &cfg, threads).expect("parallel fleet simulates");
+        if serial != parallel {
+            eprintln!("FAIL: parallel fleet sim diverges from serial at {qps} qps");
+            std::process::exit(1);
+        }
+        println!(
+            "qps {qps:>6.1}: goodput {:>7.2} tok/chip/s | TTFT p50 {:>9.1} ms p99 {:>9.1} ms | \
+             TPOT p50 {:>6.1} ms | SLO {} ({serial_secs:.1} s)",
+            serial.goodput_tokens_per_chip_s,
+            serial.ttft.p50 * 1e3,
+            serial.ttft.p99 * 1e3,
+            serial.tpot.p50 * 1e3,
+            if serial.slo_attained { "MET" } else { "missed" },
+        );
+        rungs.push(rung_json(qps, &serial, serial_secs));
+    }
+    println!("determinism: serial == parallel reports at every rung (bit for bit)");
+
+    // One rung through a chip death at the middle load: serving must
+    // complete with degraded-but-nonzero goodput.
+    let death_spec = spec_at(
+        mid_qps,
+        Some(ChipDeath {
+            replica: 0,
+            at_secs: 2.0,
+        }),
+    );
+    let (death, death_secs) =
+        timed(|| simulate_fleet_threads(&death_spec, &cfg, threads).expect("fleet survives"));
+    if death.failovers != 1 || death.goodput_tokens_per_chip_s <= 0.0 {
+        eprintln!("FAIL: chip death rung must fail over once and keep nonzero goodput");
+        std::process::exit(1);
+    }
+    println!(
+        "chip death at {mid_qps} qps: goodput {:.2} tok/chip/s, {} preemptions ({death_secs:.1} s)",
+        death.goodput_tokens_per_chip_s, death.preemptions
+    );
+
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("serving".to_string())),
+        ("scale", Json::Str(scale.to_string())),
+        (
+            "workload",
+            Json::obj(vec![
+                ("model", Json::Str(w.model.name.to_string())),
+                ("chips", Json::Num(w.chips as f64)),
+                ("replicas", Json::Num(w.replicas as f64)),
+                ("requests", Json::Num(w.requests as f64)),
+                ("slo_p99_ttft_ms", Json::Num(w.slo_p99_ttft_ms)),
+                ("seed", Json::Num(w.seed as f64)),
+            ]),
+        ),
+        (
+            "layout",
+            Json::obj(vec![
+                ("mesh", Json::Str(best.mesh.to_string())),
+                ("slice_count", Json::Num(best.slice_count as f64)),
+                ("max_batch", Json::Num(best.max_batch as f64)),
+                ("tune_secs", Json::Num(tune_secs)),
+            ]),
+        ),
+        ("rungs", Json::Arr(rungs)),
+        ("chip_death", rung_json(mid_qps, &death, death_secs)),
+        (
+            "determinism",
+            Json::obj(vec![("serial_equals_parallel", Json::Bool(true))]),
+        ),
+        ("parallel_threads", Json::Num(threads as f64)),
+    ]);
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_serving.json");
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    match std::fs::write(&path, text) {
+        Ok(()) => println!(
+            "(written to {})",
+            path.canonicalize().unwrap_or(path.clone()).display()
+        ),
+        Err(e) => {
+            eprintln!("FAIL: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! meshslice plan3d gpt3 512 256
 //! meshslice memory gpt3 256
 //! meshslice inference megatron 64
+//! meshslice serve --model gpt3 --replicas 2 --qps 40 --slo-p99-ms 500 --seed 7
 //! meshslice faults --model gpt3 --chips 64 --straggler 1.5 --seeds 8
 //! meshslice resilience --model gpt3 --chips 64 --mtbf 24 --steps 200
 //! meshslice trace --model gpt3 --mesh 4x4 --out trace.json --sort
@@ -42,6 +43,10 @@ use meshslice::{
 use meshslice_faults::FailureSpec;
 use meshslice_mesh::Torus2d;
 use meshslice_recovery::{simulate_recovery, RecoveryParams, ResilientTuning, DEFAULT_DETECT_SECS};
+use meshslice_serving::{
+    simulate_fleet_threads, ArrivalSpec, ChipDeath, ServingSpec, ServingTuning,
+    DEFAULT_SEGMENT_SECS,
+};
 use meshslice_sim::{NodeSpan, OpKind, Program};
 use meshslice_telemetry::{Json, PathKind, RunDiff, RunMetrics, BUCKET_LABELS};
 
@@ -102,6 +107,47 @@ pub enum Command {
         model: Model,
         /// Cluster size.
         chips: usize,
+    },
+    /// `serve [--model M] [--chips N] [--replicas R] [--qps F]
+    /// [--trace FILE] [--slo-p99-ms F] [--seed K] [--requests N]
+    /// [--fail-at SECS] [--mesh RxC] [--s N] [--max-batch N]
+    /// [--format text|json] [--out FILE] [--threads N]`: simulate a
+    /// continuous-batching serving fleet and report TTFT/TPOT
+    /// percentiles and goodput-per-chip against the SLO.
+    Serve {
+        /// Target model.
+        model: Model,
+        /// Total chips in the fleet (split across replicas).
+        chips: usize,
+        /// Replica count; must divide the chip pool.
+        replicas: usize,
+        /// Mean offered load, requests per second.
+        qps: f64,
+        /// Rate-multiplier trace file replayed cyclically (one
+        /// multiplier per line); steady Poisson when absent.
+        trace: Option<String>,
+        /// TTFT p99 target, milliseconds.
+        slo_p99_ms: f64,
+        /// Arrival-draw seed.
+        seed: u64,
+        /// Request-trace length.
+        requests: usize,
+        /// Inject a chip death in replica 0 at this time, seconds.
+        fail_at: Option<f64>,
+        /// Pin the per-replica mesh, skipping the serving tuner.
+        mesh: Option<MeshShape>,
+        /// Slice count used with `--mesh` (tuned when `--mesh` absent).
+        s: usize,
+        /// Decode batch cap used with `--mesh` (tuned when absent).
+        max_batch: usize,
+        /// Output format for the artifact.
+        format: ServeFormat,
+        /// Also write the JSON artifact here.
+        out: Option<String>,
+        /// Worker threads for tuning and replica simulation;
+        /// `MESHSLICE_THREADS` or the machine's parallelism when absent.
+        /// Results are identical at any count.
+        threads: Option<usize>,
     },
     /// `faults [--model M] [--chips N] [--straggler F] [--seeds K]
     /// [--threads N]`: straggler-severity × slice-count sensitivity grid
@@ -225,6 +271,16 @@ pub enum MetricsFormat {
     Prometheus,
 }
 
+/// Output format of the `serve` subcommand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeFormat {
+    /// Human-readable tables.
+    Text,
+    /// The JSON artifact (`schemas/serving.schema.json`) — the default,
+    /// so piping `serve` output yields a schema-valid document.
+    Json,
+}
+
 /// Errors produced while parsing a command line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct UsageError(String);
@@ -240,7 +296,7 @@ impl Error for UsageError {}
 /// Every subcommand the CLI dispatches on, in the order [`USAGE`] lists
 /// them. The help-coverage test asserts each one is both parseable and
 /// documented, so this list cannot drift from [`parse`].
-pub const SUBCOMMANDS: [&str; 13] = [
+pub const SUBCOMMANDS: [&str; 14] = [
     "autotune",
     "compare",
     "sweep-mesh",
@@ -248,6 +304,7 @@ pub const SUBCOMMANDS: [&str; 13] = [
     "plan3d",
     "memory",
     "inference",
+    "serve",
     "faults",
     "resilience",
     "trace",
@@ -269,6 +326,10 @@ USAGE:
     meshslice plan3d      <gpt3|megatron> <chips> <global_batch>
     meshslice memory      <gpt3|megatron> <chips>
     meshslice inference   <gpt3|megatron> <chips>
+    meshslice serve       [--model gpt3|megatron] [--chips N] [--replicas R] [--qps F]
+                          [--trace FILE] [--slo-p99-ms F] [--seed K] [--requests N]
+                          [--fail-at SECS] [--mesh RxC] [--s N] [--max-batch N]
+                          [--format text|json] [--out FILE] [--threads N]
     meshslice faults      [--model gpt3|megatron] [--chips N] [--straggler F] [--seeds K]
                           [--threads N]
     meshslice resilience  [--model gpt3|megatron] [--chips N] [--mtbf HOURS] [--steps N]
@@ -484,6 +545,94 @@ fn parse_metrics(args: &[String]) -> Result<Command, UsageError> {
     })
 }
 
+fn parse_serve(args: &[String]) -> Result<Command, UsageError> {
+    let (mut model, mut chips, mut replicas) = (Model::Gpt3, 32usize, 2usize);
+    let (mut qps, mut slo_p99_ms) = (40.0f64, 500.0f64);
+    let (mut trace, mut seed, mut requests) = (None, 0u64, 200usize);
+    let (mut fail_at, mut mesh, mut s, mut max_batch) = (None, None, 4usize, 32usize);
+    let (mut format, mut out, mut threads) = (ServeFormat::Json, None, None);
+    let mut it = args.iter().map(String::as_str);
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| UsageError(format!("flag {flag} needs a value")))?;
+        match flag {
+            "--model" => model = parse_model(value)?,
+            "--chips" => chips = parse_chips(value)?,
+            "--replicas" => replicas = parse_usize(value, "replica count")?,
+            "--qps" => qps = parse_f64(value, "offered load")?,
+            "--trace" => trace = Some(value.to_string()),
+            "--slo-p99-ms" => slo_p99_ms = parse_f64(value, "SLO target")?,
+            "--seed" => {
+                seed = value
+                    .parse()
+                    .map_err(|_| UsageError(format!("invalid seed '{value}'")))?
+            }
+            "--requests" => requests = parse_usize(value, "request count")?,
+            "--fail-at" => fail_at = Some(parse_f64(value, "failure time")?),
+            "--mesh" => mesh = Some(parse_mesh(value)?),
+            "--s" => s = parse_usize(value, "slice count")?,
+            "--max-batch" => max_batch = parse_usize(value, "batch cap")?,
+            "--format" => {
+                format = match value {
+                    "text" => ServeFormat::Text,
+                    "json" => ServeFormat::Json,
+                    other => return Err(UsageError(format!("unknown format '{other}'"))),
+                }
+            }
+            "--out" => out = Some(value.to_string()),
+            "--threads" => threads = Some(parse_threads(value)?),
+            other => return Err(UsageError(format!("unknown flag '{other}'"))),
+        }
+    }
+    if !(qps.is_finite() && qps > 0.0) {
+        return Err(UsageError(format!(
+            "offered load must be a positive number of requests/s, got {qps}"
+        )));
+    }
+    if !(slo_p99_ms.is_finite() && slo_p99_ms > 0.0) {
+        return Err(UsageError(format!(
+            "SLO target must be a positive number of milliseconds, got {slo_p99_ms}"
+        )));
+    }
+    if replicas == 0 {
+        return Err(UsageError("replica count must be positive".into()));
+    }
+    if requests == 0 {
+        return Err(UsageError("request count must be positive".into()));
+    }
+    if s == 0 {
+        return Err(UsageError("slice count must be positive".into()));
+    }
+    if max_batch == 0 {
+        return Err(UsageError("batch cap must be positive".into()));
+    }
+    if let Some(at) = fail_at {
+        if !(at.is_finite() && at >= 0.0) {
+            return Err(UsageError(format!(
+                "failure time must be finite and non-negative, got {at}"
+            )));
+        }
+    }
+    Ok(Command::Serve {
+        model,
+        chips,
+        replicas,
+        qps,
+        trace,
+        slo_p99_ms,
+        seed,
+        requests,
+        fail_at,
+        mesh,
+        s,
+        max_batch,
+        format,
+        out,
+        threads,
+    })
+}
+
 /// Parses the argument list (without the program name).
 ///
 /// # Errors
@@ -491,6 +640,7 @@ fn parse_metrics(args: &[String]) -> Result<Command, UsageError> {
 /// Returns a [`UsageError`] describing the problem plus the usage text.
 pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     match args.first().map(String::as_str) {
+        Some("serve") => return parse_serve(&args[1..]),
         Some("faults") => return parse_faults(&args[1..]),
         Some("resilience") => return parse_resilience(&args[1..]),
         Some("trace") => return parse_trace(&args[1..]),
@@ -694,24 +844,179 @@ pub fn execute(cmd: Command) -> Result<(), String> {
         }
         Command::Inference { model, chips } => {
             let model = model.config();
-            let rows =
-                meshslice::experiments::inference_study(&model, chips, &[32, 128, 512], &cfg);
+            let prompt_len = meshslice::experiments::DEFAULT_PROMPT_LEN;
+            let rows = meshslice::experiments::inference_study(
+                &model,
+                chips,
+                &[32, 128, 512],
+                prompt_len,
+                &cfg,
+            );
+            let fmt = |lat: &Option<f64>| {
+                lat.map(|x| format!("{:.1} us", x * 1e6))
+                    .unwrap_or_else(|| "-".into())
+            };
             let mut t = Table::new(vec![
                 "batch".into(),
+                "phase".into(),
                 "MeshSlice".into(),
                 "Collective".into(),
                 "Wang".into(),
             ]);
             for r in &rows {
-                let mut cells = vec![r.batch.to_string()];
-                cells.extend(r.block_latency.iter().map(|(_, lat)| {
-                    lat.map(|x| format!("{:.1} us", x * 1e6))
-                        .unwrap_or_else(|| "-".into())
-                }));
-                t.row(cells);
+                let mut prefill = vec![r.batch.to_string(), "prefill".into()];
+                prefill.extend(r.prefill_latency.iter().map(|(_, lat)| fmt(lat)));
+                t.row(prefill);
+                let mut decode = vec![r.batch.to_string(), "decode".into()];
+                decode.extend(r.block_latency.iter().map(|(_, lat)| fmt(lat)));
+                t.row(decode);
             }
-            println!("decode latency per transformer block, {model} on {chips} chips:");
+            println!(
+                "per-block latency, {model} on {chips} chips \
+                 (prefill at {prompt_len} prompt tokens; decode per step):"
+            );
             println!("{t}");
+        }
+        Command::Serve {
+            model,
+            chips,
+            replicas,
+            qps,
+            trace,
+            slo_p99_ms,
+            seed,
+            requests,
+            fail_at,
+            mesh,
+            s,
+            max_batch,
+            format,
+            out,
+            threads,
+        } => {
+            if let Some(n) = threads {
+                meshslice::par::set_threads(n);
+            }
+            let workers = meshslice::par::threads();
+            let config = model.config();
+            let arrivals = match &trace {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?;
+                    let mut multipliers = Vec::new();
+                    for (lineno, line) in text.lines().enumerate() {
+                        let line = line.trim();
+                        if line.is_empty() || line.starts_with('#') {
+                            continue;
+                        }
+                        let m: f64 = line.parse().map_err(|_| {
+                            format!("{path}:{}: invalid rate multiplier '{line}'", lineno + 1)
+                        })?;
+                        multipliers.push(m);
+                    }
+                    ArrivalSpec::replay(qps, multipliers, DEFAULT_SEGMENT_SECS)
+                }
+                None => ArrivalSpec::poisson(qps),
+            };
+            arrivals.validate().map_err(|e| match &trace {
+                Some(path) => format!("{path}: {e}"),
+                None => e,
+            })?;
+            // `--mesh` pins the layout; otherwise the serving tuner picks
+            // mesh shape x slice count x batch policy for the pinned
+            // replica count on a short evaluation trace.
+            let (mesh, s, max_batch, tuned) = match mesh {
+                Some(m) => (m, s, max_batch, false),
+                None => {
+                    let tuner = Autotuner::new(cfg.clone());
+                    let plan = tuner.tune_serving_threads(
+                        &config,
+                        chips,
+                        Some(replicas),
+                        &arrivals,
+                        slo_p99_ms,
+                        requests.min(64),
+                        seed,
+                        workers,
+                    )?;
+                    let best = plan.best();
+                    (best.mesh, best.slice_count, best.max_batch, true)
+                }
+            };
+            let spec = ServingSpec {
+                model: config.clone(),
+                mesh,
+                slice_count: s,
+                replicas,
+                max_batch,
+                arrivals,
+                num_requests: requests,
+                seed,
+                slo_p99_ttft_ms: slo_p99_ms,
+                failure: fail_at.map(|at_secs| ChipDeath {
+                    replica: 0,
+                    at_secs,
+                }),
+            };
+            let report = simulate_fleet_threads(&spec, &cfg, workers)?;
+            let json = report.to_json();
+            match format {
+                ServeFormat::Json => println!("{}", json.to_string_pretty()),
+                ServeFormat::Text => {
+                    println!(
+                        "{config} fleet: {replicas} x {mesh} mesh, S = {s}, batch <= {max_batch}{}",
+                        if tuned { " (tuned)" } else { "" }
+                    );
+                    println!(
+                        "offered {} req @ {qps:.1} req/s (seed {seed}): {} completed, \
+                         {} rejected, {} preemptions, {} failovers",
+                        report.offered,
+                        report.completed,
+                        report.rejected,
+                        report.preemptions,
+                        report.failovers
+                    );
+                    let mut t = Table::new(vec![
+                        "metric".into(),
+                        "p50".into(),
+                        "p95".into(),
+                        "p99".into(),
+                        "mean".into(),
+                    ]);
+                    for (name, l) in [("TTFT", &report.ttft), ("TPOT", &report.tpot)] {
+                        t.row(vec![
+                            name.into(),
+                            format!("{:.1} ms", l.p50 * 1e3),
+                            format!("{:.1} ms", l.p95 * 1e3),
+                            format!("{:.1} ms", l.p99 * 1e3),
+                            format!("{:.1} ms", l.mean * 1e3),
+                        ]);
+                    }
+                    println!("{t}");
+                    println!(
+                        "goodput {:.1} tokens/chip/s over {:.1} s ({} tokens, {} chips)",
+                        report.goodput_tokens_per_chip_s,
+                        report.makespan_secs,
+                        report.generated_tokens,
+                        report.total_chips()
+                    );
+                    println!(
+                        "SLO p99 TTFT <= {slo_p99_ms:.0} ms: {} (attainment {})",
+                        if report.slo_attained { "MET" } else { "MISSED" },
+                        pct(report.slo_attainment)
+                    );
+                    println!(
+                        "KV peak {:.2} GiB of {:.2} GiB budget per chip",
+                        report.kv_peak_bytes as f64 / (1u64 << 30) as f64,
+                        report.kv_budget_bytes as f64 / (1u64 << 30) as f64
+                    );
+                }
+            }
+            if let Some(path) = out {
+                std::fs::write(&path, json.to_string_pretty())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("serving artifact -> {path}");
+            }
         }
         Command::Faults {
             model,
@@ -1553,6 +1858,90 @@ mod tests {
         assert!(parse(&args("resilience --chips 0")).is_err());
         assert!(parse(&args("plan3d gpt3 16 0")).is_err());
         assert!(parse(&args("plan3d gpt3 0 256")).is_err());
+        assert!(parse(&args("serve --chips 0")).is_err());
+        assert!(parse(&args("serve --replicas 0")).is_err());
+        assert!(parse(&args("serve --requests 0")).is_err());
+        assert!(parse(&args("serve --max-batch 0")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_flags_and_rejects_bad_values() {
+        let cmd = parse(&args(
+            "serve --model gpt3 --replicas 2 --qps 40 --slo-p99-ms 500 --seed 7",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                model,
+                chips,
+                replicas,
+                qps,
+                slo_p99_ms,
+                seed,
+                format,
+                mesh,
+                fail_at,
+                ..
+            } => {
+                assert_eq!(model, Model::Gpt3);
+                assert_eq!(chips, 32);
+                assert_eq!(replicas, 2);
+                assert_eq!(qps, 40.0);
+                assert_eq!(slo_p99_ms, 500.0);
+                assert_eq!(seed, 7);
+                assert_eq!(format, ServeFormat::Json);
+                assert_eq!(mesh, None);
+                assert_eq!(fail_at, None);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&args("serve --mesh 4x4 --s 8 --fail-at 2.5 --format text")).unwrap() {
+            Command::Serve {
+                mesh,
+                s,
+                fail_at,
+                format,
+                ..
+            } => {
+                assert_eq!(mesh, Some(MeshShape::new(4, 4)));
+                assert_eq!(s, 8);
+                assert_eq!(fail_at, Some(2.5));
+                assert_eq!(format, ServeFormat::Text);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&args("serve --qps 0")).is_err());
+        assert!(parse(&args("serve --qps nope")).is_err());
+        assert!(parse(&args("serve --slo-p99-ms -5")).is_err());
+        assert!(parse(&args("serve --fail-at -1")).is_err());
+        assert!(parse(&args("serve --format yaml")).is_err());
+        assert!(parse(&args("serve --bogus 1")).is_err());
+        assert!(parse(&args("serve --qps")).is_err());
+    }
+
+    #[test]
+    fn serve_surfaces_infeasible_layouts_and_bad_traces_as_errors() {
+        // Megatron-NLG weights cannot fit 2 replicas of 2 chips.
+        let err = execute(
+            parse(&args(
+                "serve --model megatron --chips 4 --replicas 2 --requests 4 --threads 1",
+            ))
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot be served"), "{err}");
+        let err = execute(parse(&args("serve --trace /nonexistent/meshslice_rates.txt")).unwrap())
+            .unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+        // Replicas must divide the chip pool.
+        let err = execute(
+            parse(&args(
+                "serve --chips 32 --replicas 3 --requests 4 --threads 1",
+            ))
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("divide"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Serving artifact schema smoke: run a small fleet simulation, validate
+//! the JSON document `meshslice serve` emits against the checked-in
+//! schema, and reject malformed documents. This is the test the CI
+//! serving job runs.
+
+use meshslice::llm::LlmConfig;
+use meshslice::{MeshShape, SimConfig};
+use meshslice_serving::{simulate_fleet, ChipDeath, ServingSpec};
+use meshslice_telemetry::{validate, Json};
+
+fn serving_schema() -> Json {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../schemas/serving.schema.json"
+    );
+    Json::parse(&std::fs::read_to_string(path).expect("schema file")).expect("schema parses")
+}
+
+fn tiny() -> LlmConfig {
+    LlmConfig {
+        name: "tiny".to_string(),
+        hidden: 256,
+        heads: 4,
+        layers: 2,
+        ffn_mult: 4,
+    }
+}
+
+fn small_artifact() -> Json {
+    let mut spec = ServingSpec::new(tiny(), MeshShape::new(2, 2), 2, 20.0);
+    spec.num_requests = 60;
+    spec.seed = 7;
+    simulate_fleet(&spec, &SimConfig::tpu_v4())
+        .expect("tiny fleet simulates")
+        .to_json()
+}
+
+#[test]
+fn serving_artifact_conforms_to_the_checked_in_schema() {
+    let errors = validate(&serving_schema(), &small_artifact());
+    assert!(errors.is_empty(), "schema violations: {errors:?}");
+}
+
+#[test]
+fn failover_artifact_conforms_too() {
+    let mut spec = ServingSpec::new(tiny(), MeshShape::new(2, 2), 2, 20.0);
+    spec.num_requests = 60;
+    spec.failure = Some(ChipDeath {
+        replica: 0,
+        at_secs: 0.5,
+    });
+    let report = simulate_fleet(&spec, &SimConfig::tpu_v4()).expect("simulates through death");
+    assert_eq!(report.failovers, 1);
+    let errors = validate(&serving_schema(), &report.to_json());
+    assert!(errors.is_empty(), "schema violations: {errors:?}");
+}
+
+#[test]
+fn schema_rejects_malformed_artifacts() {
+    let schema = serving_schema();
+    let doc = small_artifact();
+
+    // Drop a required section.
+    let Json::Obj(pairs) = &doc else { panic!() };
+    let without_ttft = Json::Obj(
+        pairs
+            .iter()
+            .filter(|(k, _)| k != "ttft_ms")
+            .cloned()
+            .collect(),
+    );
+    let errors = validate(&schema, &without_ttft);
+    assert!(errors.iter().any(|(_, m)| m.contains("ttft_ms")));
+
+    // Push a bounded gauge out of range.
+    let out_of_range = Json::Obj(
+        pairs
+            .iter()
+            .map(|(k, v)| {
+                if k == "slo_attainment" {
+                    (k.clone(), Json::Num(1.5))
+                } else {
+                    (k.clone(), v.clone())
+                }
+            })
+            .collect(),
+    );
+    let errors = validate(&schema, &out_of_range);
+    assert!(
+        errors.iter().any(|(p, _)| p.contains("slo_attainment")),
+        "{errors:?}"
+    );
+
+    // Break an integer gauge with a fraction.
+    let fractional = Json::Obj(
+        pairs
+            .iter()
+            .map(|(k, v)| {
+                if k == "completed" {
+                    (k.clone(), Json::Num(1.25))
+                } else {
+                    (k.clone(), v.clone())
+                }
+            })
+            .collect(),
+    );
+    let errors = validate(&schema, &fractional);
+    assert!(
+        errors.iter().any(|(p, _)| p.contains("completed")),
+        "{errors:?}"
+    );
+}

@@ -889,7 +889,7 @@ impl Autotuner {
         let per_draw: Vec<Duration> = profiles
             .iter()
             .map(|p| {
-                let faulted = Engine::new(mesh.clone(), base.clone().with_faults(p.clone()));
+                let faulted = engine.with_faults(p.clone());
                 let reports: Vec<SimReport> = lowered
                     .iter()
                     .map(|l| faulted.run_lowered_with_scratch(l, scratch))

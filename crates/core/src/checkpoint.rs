@@ -64,6 +64,20 @@ impl CheckpointModel {
         }
     }
 
+    /// Prices checkpoints of `model` *served* on `mesh`, at
+    /// [`DEFAULT_CHECKPOINT_BANDWIDTH`]: only the bf16 weight shards are
+    /// persisted — a serving replica has no optimizer state, and the KV
+    /// cache is rebuilt by re-running prefill after a failover, not
+    /// restored. This is what a replacement replica pulls from a
+    /// checkpointed peer when a chip dies mid-serving.
+    pub fn for_inference(model: &LlmConfig, mesh: MeshShape) -> CheckpointModel {
+        let footprint = crate::memory::inference_footprint(model, mesh, 1, mesh.rows);
+        CheckpointModel {
+            bytes_per_chip: footprint.weights,
+            bandwidth: DEFAULT_CHECKPOINT_BANDWIDTH,
+        }
+    }
+
     /// Same model at a custom per-chip bandwidth (bytes/second).
     ///
     /// # Panics
@@ -201,6 +215,20 @@ mod tests {
         assert!(ckpt.bytes_per_chip < f.total());
         assert!(ckpt.write_secs() > 0.0);
         assert_eq!(ckpt.write_secs(), ckpt.restore_secs());
+    }
+
+    #[test]
+    fn inference_checkpoints_persist_weights_only() {
+        let (m, setup) = model();
+        let mesh = MeshShape::new(8, 8);
+        let serving = CheckpointModel::for_inference(&m, mesh);
+        let training = CheckpointModel::for_training(&m, setup, mesh, 8);
+        let f = training_footprint(&m, setup, mesh, 8);
+        assert_eq!(serving.bytes_per_chip, f.weights);
+        // No fp32 optimizer state: a failover restore is 4x cheaper
+        // (bf16 weights vs weights + 3 fp32 tensors).
+        assert!(serving.bytes_per_chip < training.bytes_per_chip / 3);
+        assert!(serving.restore_secs() > 0.0);
     }
 
     #[test]

@@ -508,61 +508,72 @@ pub fn comm_model_validation(models: &[LlmConfig], cfg: &SimConfig) -> Vec<CommM
     out
 }
 
-/// One point of the §6 inference extension: decode-step latency of one
+/// The prompt length [`inference_study`] prices the prefill phase at.
+pub const DEFAULT_PROMPT_LEN: usize = 512;
+
+/// One point of the §6 inference extension: per-phase latency of one
 /// transformer block with a 2D GeMM algorithm.
 #[derive(Clone, Debug)]
 pub struct InferencePoint {
-    /// Decode batch size (concurrent sequences).
+    /// Batch size (concurrent sequences).
     pub batch: usize,
-    /// Per-algorithm decode latency of one block, seconds
-    /// (`None` = unsupported).
+    /// Per-algorithm *prefill* latency of one block, seconds — the whole
+    /// prompt in one pass, `M = batch × prompt_len` (`None` = unsupported).
+    pub prefill_latency: Vec<(Algorithm, Option<f64>)>,
+    /// Per-algorithm *decode*-step latency of one block, seconds —
+    /// `M = batch` (`None` = unsupported).
     pub block_latency: Vec<(Algorithm, Option<f64>)>,
 }
 
-/// §6 extension: autoregressive *decode* on a 2D mesh. Each step's FC
-/// GeMMs have `M = batch` rows, so they are memory-bound (the full weight
-/// shards stream from HBM every step) and the fixed communication
-/// overheads — launch and synchronization latency, not bandwidth —
-/// dominate the communication cost.
+/// §6 extension: autoregressive inference on a 2D mesh, priced per phase.
+/// Prefill processes the whole prompt at once (`M = batch × prompt_len`),
+/// so it behaves like a training forward pass: compute-bound, overlap
+/// matters. Each decode step's FC GeMMs have only `M = batch` rows, so
+/// they are memory-bound (the full weight shards stream from HBM every
+/// step) and the fixed communication overheads — launch and
+/// synchronization latency, not bandwidth — dominate. Both phases keep
+/// the weights stationary (W-stationary RS dataflow, per Table 1): in a
+/// serving fleet the weight shards stay resident across requests, and
+/// re-sharding them between phases would cost a cross-mesh resharding.
 pub fn inference_study(
     model: &LlmConfig,
     chips: usize,
     batches: &[usize],
+    prompt_len: usize,
     cfg: &SimConfig,
 ) -> Vec<InferencePoint> {
     let tuner = Autotuner::new(cfg.clone());
-    batches
-        .iter()
-        .map(|&batch| {
-            let block_latency = [Algorithm::MeshSlice, Algorithm::Collective, Algorithm::Wang]
-                .into_iter()
-                .map(|algo| {
-                    let mut total = 0.0f64;
-                    let mut ok = true;
-                    for g in model.decode_gemms(batch) {
-                        // Decode keeps the weights stationary (they dominate):
-                        // W-stationary RS dataflow, per Table 1.
-                        let problem = GemmProblem::new(g.shape, Dataflow::Rs);
-                        match decode_latency(&tuner, problem, chips, algo, cfg) {
-                            Some(t) => total += t,
-                            None => {
-                                ok = false;
-                                break;
-                            }
+    let phase = |gemms: &[crate::llm::FcGemm]| -> Vec<(Algorithm, Option<f64>)> {
+        [Algorithm::MeshSlice, Algorithm::Collective, Algorithm::Wang]
+            .into_iter()
+            .map(|algo| {
+                let mut total = 0.0f64;
+                let mut ok = true;
+                for g in gemms {
+                    let problem = GemmProblem::new(g.shape, Dataflow::Rs);
+                    match phase_latency(&tuner, problem, chips, algo, cfg) {
+                        Some(t) => total += t,
+                        None => {
+                            ok = false;
+                            break;
                         }
                     }
-                    (algo, ok.then_some(total))
-                })
-                .collect();
-            InferencePoint {
-                batch,
-                block_latency,
-            }
+                }
+                (algo, ok.then_some(total))
+            })
+            .collect()
+    };
+    batches
+        .iter()
+        .map(|&batch| InferencePoint {
+            batch,
+            prefill_latency: phase(&model.prefill_gemms(batch, prompt_len)),
+            block_latency: phase(&model.decode_gemms(batch)),
         })
         .collect()
 }
 
-fn decode_latency(
+fn phase_latency(
     tuner: &Autotuner,
     problem: GemmProblem,
     chips: usize,

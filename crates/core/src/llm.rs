@@ -199,6 +199,30 @@ impl LlmConfig {
             .collect()
     }
 
+    /// The four forward-only FC GeMMs of the *prefill* phase of
+    /// inference: the whole prompt is processed in one pass, so
+    /// `M = batch × prompt_len` and the GeMMs are as compute-bound as
+    /// training forward passes — the opposite regime from
+    /// [`decode_gemms`](Self::decode_gemms), which is why a serving
+    /// simulator must price the two phases separately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` or `prompt_len` is zero.
+    pub fn prefill_gemms(&self, batch: usize, prompt_len: usize) -> Vec<FcGemm> {
+        assert!(batch > 0, "prefill batch must be positive");
+        assert!(prompt_len > 0, "prompt length must be positive");
+        let tokens = batch * prompt_len;
+        self.fc_layers()
+            .into_iter()
+            .map(|layer| FcGemm {
+                layer,
+                pass: Pass::Forward,
+                shape: GemmShape::new(tokens, layer.output_dim, layer.input_dim),
+            })
+            .collect()
+    }
+
     /// The twelve FC GeMMs of one transformer block for a training setup
     /// (four layers × three passes), in execution order.
     pub fn fc_gemms(&self, setup: TrainingSetup) -> Vec<FcGemm> {
@@ -337,6 +361,27 @@ mod tests {
             assert_eq!(chunk[0].shape.flops(), chunk[1].shape.flops());
             assert_eq!(chunk[0].shape.flops(), chunk[2].shape.flops());
         }
+    }
+
+    #[test]
+    fn prefill_gemms_scale_with_prompt_tokens() {
+        let m = LlmConfig::gpt3();
+        let prefill = m.prefill_gemms(8, 512);
+        let decode = m.decode_gemms(8);
+        assert_eq!(prefill.len(), 4);
+        for (p, d) in prefill.iter().zip(&decode) {
+            assert_eq!(p.layer, d.layer);
+            assert_eq!(p.pass, Pass::Forward);
+            // Same weights, 512x the activation rows.
+            assert_eq!(p.shape.m, 512 * d.shape.m);
+            assert_eq!((p.shape.n, p.shape.k), (d.shape.n, d.shape.k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prompt length")]
+    fn zero_prompt_len_panics() {
+        LlmConfig::gpt3().prefill_gemms(8, 0);
     }
 
     #[test]

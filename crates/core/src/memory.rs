@@ -98,6 +98,77 @@ pub fn training_footprint(
     }
 }
 
+/// Per-chip HBM capacity of the simulated TPUv4, bytes (32 GiB) — the
+/// budget serving admission control enforces.
+pub const HBM_BYTES: u64 = 32 << 30;
+
+/// Per-chip bytes of KV cache that one token (prompt or generated) pins:
+/// a key and a value vector per transformer block (`2 × layers × hidden`
+/// elements), sharded over the chips of the serving mesh exactly like the
+/// weights they attend against.
+pub fn kv_bytes_per_token(model: &LlmConfig, chips: usize, elem_bytes: usize) -> u64 {
+    assert!(chips > 0, "KV sharding needs at least one chip");
+    2 * model.layers as u64 * model.hidden as u64 * elem_bytes as u64 / chips as u64
+}
+
+/// Byte sizes of the *serving* state classes on one chip: no gradients,
+/// no optimizer, no persisted activations — just resident weight shards
+/// and transient GeMM workspace. Everything left under the HBM capacity
+/// is the KV-cache budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InferenceFootprint {
+    /// Weight shards of all FC layers (bf16).
+    pub weights: u64,
+    /// Transient gathered buffers of the largest in-flight MeshSlice
+    /// iteration at the peak prefill size (double-buffered sub-shards).
+    pub workspace: u64,
+}
+
+impl InferenceFootprint {
+    /// Total resident bytes.
+    pub fn total(&self) -> u64 {
+        self.weights + self.workspace
+    }
+
+    /// HBM bytes left for the KV cache on a chip with `hbm_bytes` of HBM;
+    /// zero when the weights alone do not fit.
+    pub fn kv_budget(&self, hbm_bytes: u64) -> u64 {
+        hbm_bytes.saturating_sub(self.total())
+    }
+}
+
+/// Estimates the per-chip serving footprint of a model on a mesh with
+/// MeshSlice 2D TP and slice count `s`, sized for prefill chunks of up to
+/// `max_prefill_tokens` tokens (`batch × prompt_len` rows in flight).
+pub fn inference_footprint(
+    model: &LlmConfig,
+    mesh: MeshShape,
+    s: usize,
+    max_prefill_tokens: usize,
+) -> InferenceFootprint {
+    let chips = mesh.num_chips() as u64;
+    let bf16 = 2u64;
+    let h = model.hidden as u64;
+
+    let weight_elems_per_block: u64 = model
+        .fc_layers()
+        .iter()
+        .map(|l| l.input_dim as u64 * l.output_dim as u64)
+        .sum();
+    let weights = weight_elems_per_block * model.layers as u64 / chips * bf16;
+
+    // Same workspace bound as `training_footprint`: the gathered A' and B'
+    // sub-shards of one MeshSlice iteration of the largest FC GeMM (FF1),
+    // double buffered, at the peak prefill row count.
+    let s = s.max(1) as u64;
+    let m_local = max_prefill_tokens as u64 / mesh.rows as u64;
+    let n_local = (model.ffn_mult as u64 * h) / mesh.cols as u64;
+    let gathered = m_local * (h / s) + (h / s) * n_local;
+    let workspace = 2 * gathered * bf16;
+
+    InferenceFootprint { weights, workspace }
+}
+
 /// The per-chip data-parallel gradient traffic per step: with `tp_degree`
 /// chips per replica, each chip holds `1/tp_degree` of the weights and the
 /// DP all-reduce moves `2 × (R−1)/R × weight_bytes/tp_degree` over `R`
@@ -185,6 +256,42 @@ mod tests {
         let ratio = t8 as f64 / t128 as f64;
         assert!((ratio - 16.0).abs() < 0.01, "ratio {ratio}");
         assert_eq!(dp_traffic_per_chip(&model, 8, 1, 2), 0);
+    }
+
+    #[test]
+    fn serving_footprint_is_weights_plus_workspace_only() {
+        let model = LlmConfig::gpt3();
+        let mesh = MeshShape::new(4, 4);
+        let f = inference_footprint(&model, mesh, 8, 4096);
+        let t = training_footprint(
+            &model,
+            TrainingSetup {
+                batch: 2,
+                seq_len: 2048,
+            },
+            mesh,
+            8,
+        );
+        assert_eq!(f.weights, t.weights);
+        assert_eq!(f.workspace, t.workspace);
+        // GPT-3 weights alone fit 16 chips but leave room for KV cache.
+        assert!(f.total() < HBM_BYTES, "{} GiB", f.total() >> 30);
+        assert!(f.kv_budget(HBM_BYTES) > 4 << 30);
+        // Weights that do not fit leave a zero budget, not an underflow.
+        let tiny = inference_footprint(&model, MeshShape::new(2, 2), 8, 4096);
+        assert_eq!(tiny.kv_budget(HBM_BYTES), 0);
+    }
+
+    #[test]
+    fn kv_bytes_shard_over_chips() {
+        let model = LlmConfig::gpt3();
+        // 2 (K,V) x 96 layers x 12288 hidden x 2 B = 4.5 MiB per token,
+        // split over the mesh.
+        assert_eq!(kv_bytes_per_token(&model, 1, 2), 4_718_592);
+        assert_eq!(
+            kv_bytes_per_token(&model, 16, 2),
+            kv_bytes_per_token(&model, 1, 2) / 16
+        );
     }
 
     #[test]

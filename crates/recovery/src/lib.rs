@@ -236,6 +236,37 @@ pub fn simulate_recovery(params: &RecoveryParams, draw: &FailureDraw) -> Recover
     }
 }
 
+/// The outage a serving replica takes when a chip dies mid-request:
+/// detection (neighbor-sync watchdog), then a weights-only restore from a
+/// checkpointed peer replica — no optimizer state, and the KV cache is
+/// rebuilt by re-running prefill, not restored. After the outage the
+/// replica keeps serving on the degraded torus (rings routed around the
+/// dead chip), so fleet goodput drops but never hits zero.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServingFailover {
+    /// Failure-detection latency, seconds.
+    pub detect_secs: f64,
+    /// Weights-only restore from the checkpointed replica, seconds.
+    pub restore_secs: f64,
+}
+
+impl ServingFailover {
+    /// Prices the failover of `model` served on `mesh`:
+    /// [`DEFAULT_DETECT_SECS`] of detection plus the
+    /// [`CheckpointModel::for_inference`] restore time.
+    pub fn for_model(model: &LlmConfig, mesh: MeshShape) -> ServingFailover {
+        ServingFailover {
+            detect_secs: DEFAULT_DETECT_SECS,
+            restore_secs: CheckpointModel::for_inference(model, mesh).restore_secs(),
+        }
+    }
+
+    /// Total wall-clock seconds the replica is out of service per failure.
+    pub fn outage_secs(&self) -> f64 {
+        self.detect_secs + self.restore_secs
+    }
+}
+
 /// One (mesh, slice count, checkpoint interval) candidate of
 /// [`ResilientTuning::tune_resilient`], scored by expected goodput.
 #[derive(Clone, Debug, PartialEq)]
@@ -558,6 +589,19 @@ mod tests {
             ..params()
         };
         simulate_recovery(&p, &FailureDraw::default());
+    }
+
+    #[test]
+    fn serving_failover_is_cheaper_than_a_training_restore() {
+        let model = LlmConfig::gpt3();
+        let mesh = MeshShape::new(4, 4);
+        let failover = ServingFailover::for_model(&model, mesh);
+        assert_eq!(failover.detect_secs, DEFAULT_DETECT_SECS);
+        assert!(failover.restore_secs > 0.0);
+        assert!(failover.outage_secs() > failover.restore_secs);
+        let training =
+            CheckpointModel::for_training(&model, TrainingSetup::weak_scaling(16), mesh, 8);
+        assert!(failover.restore_secs < training.restore_secs());
     }
 
     #[test]

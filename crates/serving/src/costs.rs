@@ -1,0 +1,313 @@
+//! Batch-bucket phase-cost tables: the serving plan cache.
+//!
+//! Continuous batching changes the decode batch size at every step, but
+//! lowering a fresh plan per step would dwarf the simulated work. The
+//! fleet simulator instead quantizes both phases to power-of-two
+//! *buckets* — prefill by chunk tokens, decode by batch size — and
+//! prices each bucket exactly once per `(model, mesh, S)` triple:
+//! schedule the four FC GeMMs with MeshSlice (weight-stationary `Rs`,
+//! so weights stay resident between requests), lower once, and replay
+//! the lowered plan on both the nominal engine and a degraded-torus
+//! engine (one chip dead, traffic detoured). Steps then cost a table
+//! lookup, and a mid-simulation chip death switches the replica from
+//! the nominal to the degraded column of the same table.
+//!
+//! Requests falling between buckets are padded up to the next bucket —
+//! the same rounding a real serving engine's CUDA-graph / XLA-program
+//! cache performs.
+
+use meshslice::autotuner::{Autotuner, ScheduleCache};
+use meshslice::llm::{FcGemm, LlmConfig, TrainingSetup};
+use meshslice::memory::{inference_footprint, kv_bytes_per_token, HBM_BYTES};
+use meshslice::{Dataflow, Engine, GemmProblem, MeshShape, SimConfig};
+use meshslice_mesh::Torus2d;
+use meshslice_sim::{degraded_torus_profile, RunScratch};
+
+/// Largest prefill chunk (tokens) the tables are sized for.
+pub const MAX_PREFILL_TOKENS: usize = 8192;
+
+/// Context length the decode KV-streaming term is priced at. Decode is
+/// memory-bound on reading the KV cache; the table prices it at a fixed
+/// nominal context so bucket costs stay state-independent.
+pub const NOMINAL_KV_CONTEXT: usize = 512;
+
+/// The simulated cost of one phase execution at one bucket size, under
+/// the nominal and the degraded (one dead chip) torus.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BucketCost {
+    /// Bucket size: decode batch, or prefill chunk tokens.
+    pub size: usize,
+    /// All-layers phase latency on the healthy mesh, seconds.
+    pub nominal_secs: f64,
+    /// Same phase on the degraded torus (dead chip detoured), seconds.
+    pub degraded_secs: f64,
+}
+
+/// Bucketed costs of one phase, ascending by size.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseCostTable {
+    /// Feasible buckets, ascending.
+    pub buckets: Vec<BucketCost>,
+}
+
+impl PhaseCostTable {
+    /// Cost of serving `n` units (batch rows or chunk tokens): the
+    /// smallest bucket that fits, or the largest bucket if `n` exceeds
+    /// every bucket (the fleet loop never builds such steps, but the
+    /// table stays total).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty table.
+    pub fn cost_secs(&self, n: usize, degraded: bool) -> f64 {
+        assert!(!self.buckets.is_empty(), "empty phase cost table");
+        let b = self
+            .buckets
+            .iter()
+            .find(|b| b.size >= n)
+            .unwrap_or(self.buckets.last().expect("non-empty"));
+        if degraded {
+            b.degraded_secs
+        } else {
+            b.nominal_secs
+        }
+    }
+
+    /// Largest bucket size.
+    pub fn max_size(&self) -> usize {
+        self.buckets.last().map(|b| b.size).unwrap_or(0)
+    }
+}
+
+/// Everything one replica needs to serve: the two phase tables plus the
+/// KV-cache accounting constants its admission control enforces.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplicaCosts {
+    /// Mesh shape of the replica.
+    pub mesh: MeshShape,
+    /// Requested slice count (clamped per GeMM to the largest legal S).
+    pub slice_count: usize,
+    /// Decode batch-size cap of the batching policy.
+    pub max_batch: usize,
+    /// Prefill cost by chunk tokens.
+    pub prefill: PhaseCostTable,
+    /// Decode cost by batch size.
+    pub decode: PhaseCostTable,
+    /// Per-chip KV bytes one token pins.
+    pub kv_bytes_per_token: u64,
+    /// Per-chip KV budget: HBM minus weights and workspace.
+    pub kv_budget_bytes: u64,
+}
+
+impl ReplicaCosts {
+    /// KV tokens that fit the budget.
+    pub fn kv_capacity_tokens(&self) -> usize {
+        (self.kv_budget_bytes / self.kv_bytes_per_token.max(1)) as usize
+    }
+}
+
+/// Builds the bucketed phase-cost tables for serving `model` on one
+/// replica of shape `mesh` with requested slice count `requested_s` and
+/// decode batches up to `max_batch`.
+///
+/// Returns `None` when the configuration cannot serve at all: the
+/// weights don't leave a KV budget on this mesh, or no decode/prefill
+/// bucket divides over it.
+pub fn build_replica_costs(
+    model: &LlmConfig,
+    mesh: MeshShape,
+    requested_s: usize,
+    max_batch: usize,
+    cfg: &SimConfig,
+) -> Option<ReplicaCosts> {
+    assert!(max_batch > 0, "batching policy needs a positive batch cap");
+    let footprint = inference_footprint(model, mesh, requested_s, MAX_PREFILL_TOKENS);
+    let kv_budget = footprint.kv_budget(HBM_BYTES);
+    let per_token = kv_bytes_per_token(model, mesh.num_chips(), cfg.elem_bytes);
+    if kv_budget < per_token {
+        return None; // weights fit at most; no room for a single KV token
+    }
+
+    let tuner = Autotuner::new(cfg.clone());
+    let cache = ScheduleCache::new();
+    let torus = Torus2d::from_shape(mesh);
+    let nominal = Engine::new(torus.clone(), cfg.clone());
+    // The priced failure: the center chip dies and its traffic detours,
+    // mirroring `meshslice-recovery`'s degraded-continuation pricing.
+    let dead_chip = mesh.num_chips() / 2;
+    let degraded = nominal.with_faults(degraded_torus_profile(&torus, dead_chip));
+    let mut scratch = RunScratch::new();
+
+    let mut price_phase = |sizes: &[usize],
+                           gemms_of: &dyn Fn(usize) -> Vec<FcGemm>,
+                           non_fc_of: &dyn Fn(usize) -> f64|
+     -> PhaseCostTable {
+        let mut buckets = Vec::new();
+        'bucket: for &size in sizes {
+            let mut nominal_secs = 0.0;
+            let mut degraded_secs = 0.0;
+            for gemm in gemms_of(size) {
+                let problem = GemmProblem::new(gemm.shape, Dataflow::Rs);
+                if problem.check_divisible(mesh).is_err() {
+                    continue 'bucket;
+                }
+                let legal = tuner.legal_slice_counts(mesh, problem);
+                let actual = legal
+                    .iter()
+                    .copied()
+                    .filter(|&s| s <= requested_s)
+                    .max()
+                    .unwrap_or(1);
+                let block = if legal.contains(&actual) {
+                    tuner.block()
+                } else {
+                    1
+                };
+                let program = match cache.schedule(&torus, problem, actual, block, cfg.elem_bytes) {
+                    Ok(p) => p,
+                    Err(_) => continue 'bucket,
+                };
+                // Lower once, replay under both fault profiles.
+                let lowered = nominal.lower_program(&program);
+                nominal_secs += nominal
+                    .run_lowered_with_scratch(&lowered, &mut scratch)
+                    .makespan()
+                    .as_secs();
+                degraded_secs += degraded
+                    .run_lowered_with_scratch(&lowered, &mut scratch)
+                    .makespan()
+                    .as_secs();
+            }
+            let layers = model.layers as f64;
+            let non_fc = non_fc_of(size);
+            buckets.push(BucketCost {
+                size,
+                nominal_secs: nominal_secs * layers + non_fc,
+                degraded_secs: degraded_secs * layers + non_fc,
+            });
+        }
+        PhaseCostTable { buckets }
+    };
+
+    let chips = mesh.num_chips();
+    // `non_fc_block_time` prices forward + backward; serving runs the
+    // forward pass only, roughly a third of the combined cost.
+    let fwd_non_fc = |setup: TrainingSetup| -> f64 {
+        model.non_fc_block_time(setup, chips, cfg).as_secs() / 3.0 * model.layers as f64
+    };
+    // Decode additionally streams every request's KV cache per layer.
+    let kv_stream = |batch: usize| -> f64 {
+        let bytes =
+            (batch * NOMINAL_KV_CONTEXT) as f64 * 2.0 * model.hidden as f64 * cfg.elem_bytes as f64
+                / chips as f64;
+        bytes / cfg.hbm_bandwidth * model.layers as f64
+    };
+
+    let decode_sizes: Vec<usize> = std::iter::successors(Some(1usize), |b| Some(b * 2))
+        .take_while(|&b| b <= max_batch)
+        .collect();
+    let decode = price_phase(&decode_sizes, &|b| model.decode_gemms(b), &|b| {
+        fwd_non_fc(TrainingSetup {
+            batch: b,
+            seq_len: 1,
+        }) + kv_stream(b)
+    });
+
+    let prefill_sizes: Vec<usize> = std::iter::successors(Some(256usize), |t| Some(t * 2))
+        .take_while(|&t| t <= MAX_PREFILL_TOKENS)
+        .collect();
+    let prefill = price_phase(&prefill_sizes, &|t| model.prefill_gemms(1, t), &|t| {
+        fwd_non_fc(TrainingSetup {
+            batch: 1,
+            seq_len: t,
+        })
+    });
+
+    if decode.buckets.is_empty() || prefill.buckets.is_empty() {
+        return None;
+    }
+    Some(ReplicaCosts {
+        mesh,
+        slice_count: requested_s,
+        max_batch,
+        prefill,
+        decode,
+        kv_bytes_per_token: per_token,
+        kv_budget_bytes: kv_budget,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LlmConfig {
+        LlmConfig {
+            name: "tiny".to_string(),
+            hidden: 256,
+            heads: 4,
+            layers: 2,
+            ffn_mult: 4,
+        }
+    }
+
+    #[test]
+    fn tables_are_monotone_and_degraded_is_slower() {
+        let cfg = SimConfig::tpu_v4();
+        let costs = build_replica_costs(&tiny(), MeshShape::new(2, 2), 4, 8, &cfg)
+            .expect("tiny model must fit 4 chips");
+        for table in [&costs.decode, &costs.prefill] {
+            assert!(!table.buckets.is_empty());
+            for w in table.buckets.windows(2) {
+                assert!(w[0].size < w[1].size);
+                assert!(w[0].nominal_secs <= w[1].nominal_secs);
+            }
+            for b in &table.buckets {
+                assert!(
+                    b.degraded_secs > b.nominal_secs,
+                    "bucket {} degraded {} <= nominal {}",
+                    b.size,
+                    b.degraded_secs,
+                    b.nominal_secs
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_pads_to_the_next_bucket() {
+        let cfg = SimConfig::tpu_v4();
+        let costs =
+            build_replica_costs(&tiny(), MeshShape::new(2, 2), 1, 8, &cfg).expect("feasible");
+        let table = &costs.decode;
+        let largest = table.max_size();
+        // Between buckets: rounds up. Past the largest: clamps.
+        assert_eq!(
+            table.cost_secs(largest - 1, false),
+            table.cost_secs(largest, false)
+        );
+        assert_eq!(
+            table.cost_secs(largest + 100, false),
+            table.cost_secs(largest, false)
+        );
+    }
+
+    #[test]
+    fn oversized_models_are_rejected() {
+        // GPT-3 weights (~350 GB) cannot fit 4 TPUv4 chips.
+        let cfg = SimConfig::tpu_v4();
+        assert!(
+            build_replica_costs(&LlmConfig::gpt3(), MeshShape::new(2, 2), 4, 8, &cfg).is_none()
+        );
+    }
+
+    #[test]
+    fn kv_capacity_matches_budget() {
+        let cfg = SimConfig::tpu_v4();
+        let costs =
+            build_replica_costs(&tiny(), MeshShape::new(2, 2), 4, 8, &cfg).expect("feasible");
+        let cap = costs.kv_capacity_tokens();
+        assert!(cap as u64 * costs.kv_bytes_per_token <= costs.kv_budget_bytes);
+        assert!((cap as u64 + 1) * costs.kv_bytes_per_token > costs.kv_budget_bytes);
+    }
+}

@@ -1,0 +1,751 @@
+//! The continuous-batching fleet event loop.
+//!
+//! A fleet is `replicas` identical serving meshes, each running the
+//! iteration-level (continuous) batching discipline of Orca/vLLM:
+//! requests join the decode batch the step after their prefill and
+//! leave the step they emit their last token, so the batch composition
+//! changes every iteration instead of every request group. Requests are
+//! dispatched to replicas round-robin by id — a state-independent rule,
+//! so each replica's timeline can be simulated independently and the
+//! whole fleet parallelizes over [`meshslice::par`] with bit-identical
+//! results at any thread count.
+//!
+//! Each replica enforces KV-cache admission control against its HBM
+//! budget: requests whose peak KV footprint can never fit are rejected
+//! on arrival, and decode-time pressure preempts the most recently
+//! admitted request (its KV is dropped and rebuilt by a later
+//! re-prefill). A scheduled chip death knocks the replica out for the
+//! failover outage (detection plus weight-shard restore from a
+//! checkpointed peer), drops its KV, and leaves it serving on the
+//! degraded-torus column of the cost tables.
+
+use std::collections::VecDeque;
+
+use meshslice::llm::LlmConfig;
+use meshslice::par;
+use meshslice::{MeshShape, SimConfig};
+use meshslice_recovery::ServingFailover;
+use meshslice_telemetry::{Json, LatencySummary};
+
+use crate::arrival::{ArrivalSpec, Request};
+use crate::costs::{build_replica_costs, ReplicaCosts};
+
+/// A permanent chip failure injected into the fleet mid-simulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChipDeath {
+    /// Which replica loses a chip.
+    pub replica: usize,
+    /// When, seconds from simulation start.
+    pub at_secs: f64,
+}
+
+/// One fleet-simulation configuration.
+#[derive(Clone, Debug)]
+pub struct ServingSpec {
+    /// Model being served (weights replicated per replica).
+    pub model: LlmConfig,
+    /// Mesh shape of each replica.
+    pub mesh: MeshShape,
+    /// Requested MeshSlice slice count (clamped to legal per GeMM).
+    pub slice_count: usize,
+    /// Number of identical replicas.
+    pub replicas: usize,
+    /// Decode batch-size cap of the batching policy.
+    pub max_batch: usize,
+    /// Offered load.
+    pub arrivals: ArrivalSpec,
+    /// Length of the request trace to simulate.
+    pub num_requests: usize,
+    /// Seed of the arrival draw.
+    pub seed: u64,
+    /// TTFT p99 target, milliseconds.
+    pub slo_p99_ttft_ms: f64,
+    /// Optional injected chip death.
+    pub failure: Option<ChipDeath>,
+}
+
+impl ServingSpec {
+    /// A spec with sensible defaults: Poisson arrivals at `qps`, slice
+    /// count 4, batch cap 32, 200-request trace, 500 ms TTFT SLO.
+    pub fn new(model: LlmConfig, mesh: MeshShape, replicas: usize, qps: f64) -> ServingSpec {
+        ServingSpec {
+            model,
+            mesh,
+            slice_count: 4,
+            replicas,
+            max_batch: 32,
+            arrivals: ArrivalSpec::poisson(qps),
+            num_requests: 200,
+            seed: 0,
+            slo_p99_ttft_ms: 500.0,
+            failure: None,
+        }
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.arrivals.validate()?;
+        if self.replicas == 0 {
+            return Err("fleet needs at least one replica".into());
+        }
+        if self.max_batch == 0 {
+            return Err("batching policy needs a positive batch cap".into());
+        }
+        if self.num_requests == 0 {
+            return Err("request trace must not be empty".into());
+        }
+        if !(self.slo_p99_ttft_ms.is_finite() && self.slo_p99_ttft_ms > 0.0) {
+            return Err(format!(
+                "SLO target {} ms must be finite and positive",
+                self.slo_p99_ttft_ms
+            ));
+        }
+        if let Some(f) = &self.failure {
+            if f.replica >= self.replicas {
+                return Err(format!(
+                    "failure replica {} out of range ({} replicas)",
+                    f.replica, self.replicas
+                ));
+            }
+            if !(f.at_secs.is_finite() && f.at_secs >= 0.0) {
+                return Err(format!(
+                    "failure time {} must be finite and non-negative",
+                    f.at_secs
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The fate of one request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RequestOutcome {
+    /// Trace id.
+    pub id: usize,
+    /// Replica it was dispatched to.
+    pub replica: usize,
+    /// Arrival time, seconds.
+    pub arrival_secs: f64,
+    /// Time to first token, seconds; `None` if rejected.
+    pub ttft_secs: Option<f64>,
+    /// Mean time per output token after the first, seconds; `None` for
+    /// rejected or single-token requests.
+    pub tpot_secs: Option<f64>,
+    /// Tokens actually generated.
+    pub generated_tokens: usize,
+    /// Times this request was preempted (KV dropped and rebuilt).
+    pub preemptions: usize,
+}
+
+/// Per-replica accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReplicaStats {
+    /// Requests completed.
+    pub completed: usize,
+    /// Requests rejected at admission (peak KV can never fit).
+    pub rejected: usize,
+    /// Preemption events under KV pressure (plus failover evictions).
+    pub preemptions: usize,
+    /// Decode steps executed.
+    pub decode_steps: usize,
+    /// Prefill chunks executed.
+    pub prefill_chunks: usize,
+    /// Steps executed on the degraded torus after a failover.
+    pub degraded_steps: usize,
+    /// Whether the injected chip death hit this replica.
+    pub failed_over: bool,
+    /// Peak per-chip KV bytes observed.
+    pub kv_peak_bytes: u64,
+    /// Time of the last event on this replica, seconds.
+    pub makespan_secs: f64,
+}
+
+/// Everything a fleet run reports: the latency order statistics, the
+/// throughput actually delivered, and the SLO verdict.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetReport {
+    /// Spec echo: model name.
+    pub model: String,
+    /// Spec echo: per-replica mesh.
+    pub mesh: MeshShape,
+    /// Spec echo: requested slice count.
+    pub slice_count: usize,
+    /// Spec echo: replica count.
+    pub replicas: usize,
+    /// Spec echo: batch cap.
+    pub max_batch: usize,
+    /// Spec echo: mean offered load, requests/second.
+    pub qps: f64,
+    /// Spec echo: arrival seed.
+    pub seed: u64,
+    /// Spec echo: TTFT p99 target, milliseconds.
+    pub slo_p99_ttft_ms: f64,
+    /// Requests offered (trace length).
+    pub offered: usize,
+    /// Requests completed fleet-wide.
+    pub completed: usize,
+    /// Requests rejected fleet-wide.
+    pub rejected: usize,
+    /// Preemption events fleet-wide.
+    pub preemptions: usize,
+    /// Replicas that failed over.
+    pub failovers: usize,
+    /// Time-to-first-token order statistics, seconds.
+    pub ttft: LatencySummary,
+    /// Time-per-output-token order statistics, seconds.
+    pub tpot: LatencySummary,
+    /// Wall-clock of the longest replica timeline, seconds.
+    pub makespan_secs: f64,
+    /// Tokens generated by completed requests.
+    pub generated_tokens: usize,
+    /// Generated tokens per chip per second — the headline efficiency.
+    pub goodput_tokens_per_chip_s: f64,
+    /// Whether TTFT p99 met the target.
+    pub slo_attained: bool,
+    /// Fraction of completed requests whose TTFT met the target.
+    pub slo_attainment: f64,
+    /// Per-chip KV budget, bytes.
+    pub kv_budget_bytes: u64,
+    /// Peak per-chip KV usage across replicas, bytes.
+    pub kv_peak_bytes: u64,
+    /// Per-replica accounting.
+    pub per_replica: Vec<ReplicaStats>,
+    /// Per-request outcomes, by trace id.
+    pub outcomes: Vec<RequestOutcome>,
+}
+
+impl FleetReport {
+    /// Total chips across the fleet.
+    pub fn total_chips(&self) -> usize {
+        self.mesh.num_chips() * self.replicas
+    }
+
+    /// Serializes the report to the `serving.schema.json` artifact shape.
+    pub fn to_json(&self) -> Json {
+        let per_replica = self
+            .per_replica
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("completed", Json::Num(r.completed as f64)),
+                    ("rejected", Json::Num(r.rejected as f64)),
+                    ("preemptions", Json::Num(r.preemptions as f64)),
+                    ("decode_steps", Json::Num(r.decode_steps as f64)),
+                    ("prefill_chunks", Json::Num(r.prefill_chunks as f64)),
+                    ("degraded_steps", Json::Num(r.degraded_steps as f64)),
+                    ("failed_over", Json::Bool(r.failed_over)),
+                    ("kv_peak_bytes", Json::Num(r.kv_peak_bytes as f64)),
+                    ("makespan_secs", Json::Num(r.makespan_secs)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema_version", Json::Num(1.0)),
+            ("model", Json::Str(self.model.clone())),
+            ("mesh_rows", Json::Num(self.mesh.rows as f64)),
+            ("mesh_cols", Json::Num(self.mesh.cols as f64)),
+            ("slice_count", Json::Num(self.slice_count as f64)),
+            ("replicas", Json::Num(self.replicas as f64)),
+            ("chips_total", Json::Num(self.total_chips() as f64)),
+            ("max_batch", Json::Num(self.max_batch as f64)),
+            ("qps", Json::Num(self.qps)),
+            ("seed", Json::Num(self.seed as f64)),
+            ("offered", Json::Num(self.offered as f64)),
+            ("completed", Json::Num(self.completed as f64)),
+            ("rejected", Json::Num(self.rejected as f64)),
+            ("preemptions", Json::Num(self.preemptions as f64)),
+            ("failovers", Json::Num(self.failovers as f64)),
+            ("ttft_ms", self.ttft.to_json_scaled(1e3)),
+            ("tpot_ms", self.tpot.to_json_scaled(1e3)),
+            ("makespan_secs", Json::Num(self.makespan_secs)),
+            ("generated_tokens", Json::Num(self.generated_tokens as f64)),
+            (
+                "goodput_tokens_per_chip_s",
+                Json::Num(self.goodput_tokens_per_chip_s),
+            ),
+            ("slo_p99_ttft_ms", Json::Num(self.slo_p99_ttft_ms)),
+            ("slo_attained", Json::Bool(self.slo_attained)),
+            ("slo_attainment", Json::Num(self.slo_attainment)),
+            ("kv_budget_bytes", Json::Num(self.kv_budget_bytes as f64)),
+            ("kv_peak_bytes", Json::Num(self.kv_peak_bytes as f64)),
+            ("per_replica", Json::Arr(per_replica)),
+        ])
+    }
+}
+
+/// Simulates the fleet serially. See [`simulate_fleet_threads`].
+///
+/// # Errors
+///
+/// Returns a message when the spec is invalid or the model cannot be
+/// served on the configured mesh.
+pub fn simulate_fleet(spec: &ServingSpec, cfg: &SimConfig) -> Result<FleetReport, String> {
+    simulate_fleet_threads(spec, cfg, 1)
+}
+
+/// Simulates the fleet with replicas distributed over `threads` workers.
+///
+/// Dispatch is round-robin by request id and each replica's timeline is
+/// simulated independently, so the report is bit-for-bit identical at
+/// any thread count.
+///
+/// # Errors
+///
+/// Returns a message when the spec is invalid or the model cannot be
+/// served on the configured mesh (weights leave no KV budget, or no
+/// batch bucket divides over it).
+pub fn simulate_fleet_threads(
+    spec: &ServingSpec,
+    cfg: &SimConfig,
+    threads: usize,
+) -> Result<FleetReport, String> {
+    spec.validate()?;
+    let costs = build_replica_costs(
+        &spec.model,
+        spec.mesh,
+        spec.slice_count,
+        spec.max_batch,
+        cfg,
+    )
+    .ok_or_else(|| {
+        format!(
+            "{} cannot be served on a {} mesh: weights leave no KV budget or no batch bucket divides",
+            spec.model.name, spec.mesh
+        )
+    })?;
+    let failover = ServingFailover::for_model(&spec.model, spec.mesh);
+    let trace = spec.arrivals.generate(spec.num_requests, spec.seed);
+
+    // Round-robin dispatch by id: state-independent, so the per-replica
+    // request streams — and therefore the simulation — do not depend on
+    // how replicas are scheduled onto worker threads.
+    let mut streams: Vec<Vec<Request>> = vec![Vec::new(); spec.replicas];
+    for r in &trace {
+        streams[r.id % spec.replicas].push(*r);
+    }
+    let indices: Vec<usize> = (0..spec.replicas).collect();
+    let runs = par::parallel_map_threads(threads, &indices, |&r| {
+        let fail_at = spec
+            .failure
+            .as_ref()
+            .filter(|f| f.replica == r)
+            .map(|f| f.at_secs);
+        simulate_replica(&costs, &streams[r], fail_at, &failover)
+    });
+
+    let mut outcomes = Vec::with_capacity(trace.len());
+    let mut per_replica = Vec::with_capacity(spec.replicas);
+    for (r, run) in runs.into_iter().enumerate() {
+        outcomes.extend(run.outcomes.into_iter().map(|mut o| {
+            o.replica = r;
+            o
+        }));
+        per_replica.push(run.stats);
+    }
+    outcomes.sort_by_key(|o| o.id);
+
+    let ttft_samples: Vec<f64> = outcomes.iter().filter_map(|o| o.ttft_secs).collect();
+    let slo_secs = spec.slo_p99_ttft_ms / 1e3;
+    let slo_hits = ttft_samples.iter().filter(|&&t| t <= slo_secs).count();
+    let ttft = LatencySummary::from_unsorted(ttft_samples.clone());
+    let tpot = LatencySummary::from_unsorted(outcomes.iter().filter_map(|o| o.tpot_secs).collect());
+
+    let completed: usize = per_replica.iter().map(|s| s.completed).sum();
+    let generated_tokens: usize = outcomes
+        .iter()
+        .filter(|o| o.ttft_secs.is_some())
+        .map(|o| o.generated_tokens)
+        .sum();
+    let makespan_secs = per_replica
+        .iter()
+        .map(|s| s.makespan_secs)
+        .fold(0.0, f64::max);
+    let total_chips = spec.mesh.num_chips() * spec.replicas;
+    let goodput = if makespan_secs > 0.0 {
+        generated_tokens as f64 / makespan_secs / total_chips as f64
+    } else {
+        0.0
+    };
+
+    Ok(FleetReport {
+        model: spec.model.name.to_string(),
+        mesh: spec.mesh,
+        slice_count: spec.slice_count,
+        replicas: spec.replicas,
+        max_batch: spec.max_batch,
+        qps: spec.arrivals.qps,
+        seed: spec.seed,
+        slo_p99_ttft_ms: spec.slo_p99_ttft_ms,
+        offered: trace.len(),
+        completed,
+        rejected: per_replica.iter().map(|s| s.rejected).sum(),
+        preemptions: per_replica.iter().map(|s| s.preemptions).sum(),
+        failovers: per_replica.iter().filter(|s| s.failed_over).count(),
+        slo_attained: ttft.count > 0 && ttft.p99 <= slo_secs,
+        slo_attainment: if ttft.count > 0 {
+            slo_hits as f64 / ttft.count as f64
+        } else {
+            0.0
+        },
+        ttft,
+        tpot,
+        makespan_secs,
+        generated_tokens,
+        goodput_tokens_per_chip_s: goodput,
+        kv_budget_bytes: costs.kv_budget_bytes,
+        kv_peak_bytes: per_replica
+            .iter()
+            .map(|s| s.kv_peak_bytes)
+            .max()
+            .unwrap_or(0),
+        per_replica,
+        outcomes,
+    })
+}
+
+struct ReplicaRun {
+    outcomes: Vec<RequestOutcome>,
+    stats: ReplicaStats,
+}
+
+/// One replica's timeline: a sequential discrete-event loop over its
+/// request stream. All arithmetic is sequential f64, so the result is a
+/// pure function of `(costs, requests, fail_at, failover)`.
+fn simulate_replica(
+    costs: &ReplicaCosts,
+    requests: &[Request],
+    fail_at: Option<f64>,
+    failover: &ServingFailover,
+) -> ReplicaRun {
+    let per_token = costs.kv_bytes_per_token;
+    let budget = costs.kv_budget_bytes;
+    let n = requests.len();
+
+    // Per-request progress. `generated` counts emitted tokens (the first
+    // comes out of prefill); a request pins `prompt + generated` KV
+    // tokens while resident.
+    let mut generated = vec![0usize; n];
+    let mut first_token = vec![None::<f64>; n];
+    let mut finish = vec![None::<f64>; n];
+    let mut preemptions = vec![0usize; n];
+    let mut rejected = vec![false; n];
+
+    let mut t = 0.0_f64;
+    let mut next_arrival = 0usize;
+    let mut waiting: VecDeque<usize> = VecDeque::new();
+    let mut active: Vec<usize> = Vec::new(); // admission order (oldest first)
+    let mut kv_used = 0u64;
+    let mut degraded = false;
+    let mut failed_over = false;
+    let mut stats = ReplicaStats::default();
+
+    let kv_of = |idx: usize, gen: &[usize]| (requests[idx].prompt_tokens + gen[idx]) as u64;
+
+    loop {
+        // Admission: a request whose peak KV footprint exceeds the whole
+        // budget can never run; everything else queues.
+        while next_arrival < n && requests[next_arrival].arrival_secs <= t {
+            let idx = next_arrival;
+            next_arrival += 1;
+            if requests[idx].peak_kv_tokens() as u64 * per_token > budget {
+                rejected[idx] = true;
+                stats.rejected += 1;
+            } else {
+                waiting.push_back(idx);
+            }
+        }
+
+        // Chip death: the replica is out for detection + weight restore,
+        // its KV cache is gone (the in-flight batch re-prefills), and it
+        // continues on the degraded torus.
+        if let Some(at) = fail_at {
+            if !failed_over && t >= at {
+                failed_over = true;
+                degraded = true;
+                stats.failed_over = true;
+                t += failover.outage_secs();
+                while let Some(idx) = active.pop() {
+                    preemptions[idx] += 1;
+                    stats.preemptions += 1;
+                    waiting.push_front(idx);
+                }
+                kv_used = 0;
+                continue;
+            }
+        }
+
+        // Prefill-prioritized continuous batching: fill the batch before
+        // decoding. A preempted or failed-over request re-prefills its
+        // prompt plus everything it had generated.
+        if !waiting.is_empty() && active.len() < costs.max_batch {
+            let mut chunk: Vec<usize> = Vec::new();
+            let mut chunk_tokens = 0usize;
+            let mut chunk_kv = 0u64;
+            while let Some(&idx) = waiting.front() {
+                if active.len() + chunk.len() >= costs.max_batch {
+                    break;
+                }
+                let tokens = requests[idx].prompt_tokens + generated[idx].max(1);
+                if !chunk.is_empty() && chunk_tokens + tokens > costs.prefill.max_size() {
+                    break;
+                }
+                if kv_used + chunk_kv + tokens as u64 * per_token > budget {
+                    break;
+                }
+                waiting.pop_front();
+                chunk.push(idx);
+                chunk_tokens += tokens;
+                chunk_kv += tokens as u64 * per_token;
+            }
+            if !chunk.is_empty() {
+                t += costs.prefill.cost_secs(chunk_tokens, degraded);
+                stats.prefill_chunks += 1;
+                if degraded {
+                    stats.degraded_steps += 1;
+                }
+                for idx in chunk {
+                    generated[idx] = generated[idx].max(1);
+                    if first_token[idx].is_none() {
+                        first_token[idx] = Some(t);
+                    }
+                    if generated[idx] >= requests[idx].output_tokens {
+                        finish[idx] = Some(t);
+                        stats.completed += 1;
+                    } else {
+                        kv_used += kv_of(idx, &generated) * per_token;
+                        active.push(idx);
+                    }
+                }
+                stats.kv_peak_bytes = stats.kv_peak_bytes.max(kv_used);
+                stats.makespan_secs = t;
+                continue;
+            }
+        }
+
+        // Decode step: one token per active request. Under KV pressure,
+        // preempt the most recently admitted request (LIFO) — its cache
+        // is dropped and rebuilt by a later re-prefill.
+        if !active.is_empty() {
+            while active.len() > 1 && kv_used + active.len() as u64 * per_token > budget {
+                let victim = active.pop().expect("non-empty");
+                kv_used -= kv_of(victim, &generated) * per_token;
+                preemptions[victim] += 1;
+                stats.preemptions += 1;
+                waiting.push_front(victim);
+            }
+            let batch = active.len();
+            t += costs.decode.cost_secs(batch, degraded);
+            stats.decode_steps += 1;
+            if degraded {
+                stats.degraded_steps += 1;
+            }
+            kv_used += batch as u64 * per_token;
+            stats.kv_peak_bytes = stats.kv_peak_bytes.max(kv_used);
+            let mut i = 0;
+            while i < active.len() {
+                let idx = active[i];
+                generated[idx] += 1;
+                if generated[idx] >= requests[idx].output_tokens {
+                    finish[idx] = Some(t);
+                    stats.completed += 1;
+                    kv_used -= kv_of(idx, &generated) * per_token;
+                    active.remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            stats.makespan_secs = t;
+            continue;
+        }
+
+        // Idle: jump to the next arrival (or the scheduled death if it
+        // comes first and is still pending).
+        if next_arrival < n {
+            let mut wake = requests[next_arrival].arrival_secs;
+            if let Some(at) = fail_at {
+                if !failed_over {
+                    wake = wake.min(at.max(t));
+                }
+            }
+            t = t.max(wake);
+            continue;
+        }
+        break;
+    }
+
+    let outcomes = (0..n)
+        .map(|idx| {
+            let r = &requests[idx];
+            let ttft = first_token[idx].map(|ft| ft - r.arrival_secs);
+            let tpot = match (first_token[idx], finish[idx]) {
+                (Some(ft), Some(fin)) if generated[idx] > 1 => {
+                    Some((fin - ft) / (generated[idx] - 1) as f64)
+                }
+                _ => None,
+            };
+            RequestOutcome {
+                id: r.id,
+                replica: 0, // filled in by the fleet merge
+                arrival_secs: r.arrival_secs,
+                ttft_secs: ttft,
+                tpot_secs: tpot,
+                generated_tokens: if rejected[idx] { 0 } else { generated[idx] },
+                preemptions: preemptions[idx],
+            }
+        })
+        .collect();
+    ReplicaRun { outcomes, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LlmConfig {
+        LlmConfig {
+            name: "tiny".to_string(),
+            hidden: 256,
+            heads: 4,
+            layers: 2,
+            ffn_mult: 4,
+        }
+    }
+
+    fn tiny_spec(qps: f64) -> ServingSpec {
+        let mut spec = ServingSpec::new(tiny(), MeshShape::new(2, 2), 2, qps);
+        spec.num_requests = 80;
+        spec.seed = 7;
+        spec
+    }
+
+    #[test]
+    fn fleet_completes_all_requests_at_low_load() {
+        let report = simulate_fleet(&tiny_spec(5.0), &SimConfig::tpu_v4()).expect("feasible");
+        assert_eq!(report.offered, 80);
+        assert_eq!(report.completed + report.rejected, 80);
+        assert_eq!(report.rejected, 0, "tiny requests all fit the KV budget");
+        assert!(report.ttft.p50 > 0.0);
+        assert!(report.goodput_tokens_per_chip_s > 0.0);
+        assert!(report.slo_attainment > 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_report_different_seed_differs() {
+        let cfg = SimConfig::tpu_v4();
+        let a = simulate_fleet(&tiny_spec(5.0), &cfg).expect("feasible");
+        let b = simulate_fleet(&tiny_spec(5.0), &cfg).expect("feasible");
+        assert_eq!(a.ttft, b.ttft);
+        assert_eq!(a.makespan_secs, b.makespan_secs);
+        let mut other = tiny_spec(5.0);
+        other.seed = 8;
+        let c = simulate_fleet(&other, &cfg).expect("feasible");
+        assert_ne!(a.ttft, c.ttft);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let cfg = SimConfig::tpu_v4();
+        let mut spec = tiny_spec(20.0);
+        spec.replicas = 4;
+        let serial = simulate_fleet_threads(&spec, &cfg, 1).expect("feasible");
+        for threads in [2, 8] {
+            let parallel = simulate_fleet_threads(&spec, &cfg, threads).expect("feasible");
+            assert_eq!(serial.ttft, parallel.ttft);
+            assert_eq!(serial.tpot, parallel.tpot);
+            assert_eq!(serial.outcomes, parallel.outcomes);
+            assert_eq!(serial.makespan_secs, parallel.makespan_secs);
+        }
+    }
+
+    #[test]
+    fn overload_raises_tail_latency() {
+        let cfg = SimConfig::tpu_v4();
+        let light = simulate_fleet(&tiny_spec(2.0), &cfg).expect("feasible");
+        let heavy = simulate_fleet(&tiny_spec(2000.0), &cfg).expect("feasible");
+        assert!(
+            heavy.ttft.p99 > light.ttft.p99,
+            "queueing must show up in the tail: {} vs {}",
+            heavy.ttft.p99,
+            light.ttft.p99
+        );
+    }
+
+    #[test]
+    fn chip_death_degrades_but_does_not_abort() {
+        let cfg = SimConfig::tpu_v4();
+        // Overloaded, so the fleet is never idle: the outage and the
+        // degraded torus must show up as strictly lost throughput rather
+        // than being absorbed by slack.
+        let mut spec = tiny_spec(2000.0);
+        let healthy = simulate_fleet(&spec, &cfg).expect("feasible");
+        spec.failure = Some(ChipDeath {
+            replica: 0,
+            at_secs: healthy.makespan_secs / 4.0,
+        });
+        let wounded = simulate_fleet(&spec, &cfg).expect("feasible");
+        assert_eq!(wounded.failovers, 1);
+        assert!(wounded.per_replica[0].failed_over);
+        assert!(wounded.per_replica[0].degraded_steps > 0);
+        assert_eq!(wounded.completed + wounded.rejected, wounded.offered);
+        assert!(wounded.goodput_tokens_per_chip_s > 0.0);
+        assert!(
+            wounded.goodput_tokens_per_chip_s < healthy.goodput_tokens_per_chip_s,
+            "outage + degraded torus must cost throughput"
+        );
+    }
+
+    #[test]
+    fn kv_peak_stays_within_budget() {
+        let cfg = SimConfig::tpu_v4();
+        let mut spec = tiny_spec(500.0);
+        spec.max_batch = 64;
+        let report = simulate_fleet(&spec, &cfg).expect("feasible");
+        assert!(report.kv_peak_bytes <= report.kv_budget_bytes);
+        assert!(report.kv_peak_bytes > 0);
+    }
+
+    #[test]
+    fn invalid_specs_error_out() {
+        let cfg = SimConfig::tpu_v4();
+        let mut spec = tiny_spec(5.0);
+        spec.replicas = 0;
+        assert!(simulate_fleet(&spec, &cfg).is_err());
+        let mut spec = tiny_spec(5.0);
+        spec.failure = Some(ChipDeath {
+            replica: 9,
+            at_secs: 1.0,
+        });
+        assert!(simulate_fleet(&spec, &cfg).is_err());
+        // GPT-3 on 4 chips: weights cannot fit.
+        let spec = ServingSpec::new(LlmConfig::gpt3(), MeshShape::new(2, 2), 1, 5.0);
+        let err = simulate_fleet(&spec, &cfg).unwrap_err();
+        assert!(err.contains("KV budget"), "{err}");
+    }
+
+    #[test]
+    fn report_serializes_with_expected_keys() {
+        let report = simulate_fleet(&tiny_spec(5.0), &SimConfig::tpu_v4()).expect("feasible");
+        let json = report.to_json();
+        for key in [
+            "schema_version",
+            "ttft_ms",
+            "tpot_ms",
+            "goodput_tokens_per_chip_s",
+            "slo_attained",
+            "per_replica",
+        ] {
+            assert!(json.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(
+            json.get("ttft_ms")
+                .and_then(|t| t.get("count"))
+                .and_then(Json::as_usize),
+            Some(report.completed)
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Continuous-batching inference fleet simulation for MeshSlice serving.
+//!
+//! Training (the paper's focus) runs one enormous step at a time;
+//! serving runs thousands of small, deadline-bound requests through the
+//! same meshes. This crate closes that loop: it drives the
+//! `meshslice-sim` engine with a seeded request-arrival process and
+//! asks the operator's questions — what TTFT/TPOT tail latency does a
+//! fleet layout deliver, how many tokens per chip per second, and does
+//! it survive a chip death mid-serving?
+//!
+//! The pieces:
+//!
+//! - [`ArrivalSpec`] draws deterministic request traces: Poisson or
+//!   replayed bursty/diurnal rate profiles, with per-request prompt and
+//!   output lengths.
+//! - [`build_replica_costs`] prices prefill and decode at power-of-two
+//!   batch buckets by scheduling the FC GeMMs with MeshSlice
+//!   (weight-stationary `Rs`), lowering once, and replaying the lowered
+//!   plan on nominal and degraded-torus engines — the serving analog of
+//!   a compiled-program cache.
+//! - [`simulate_fleet`] runs the continuous-batching event loop per
+//!   replica: iteration-level batch join/leave, KV-cache admission
+//!   control and LIFO preemption against the HBM budget, and
+//!   checkpointed-replica failover through an injected [`ChipDeath`].
+//! - [`ServingTuning`] grafts `tune_serving` onto the core
+//!   [`Autotuner`](meshslice::autotuner::Autotuner): pick mesh shape ×
+//!   slice count × replica count × batch policy to maximize
+//!   goodput-per-chip under a TTFT p99 SLO.
+//!
+//! Everything is deterministic: the same spec, seed, and thread count —
+//! in fact *any* thread count — produces a bit-identical report.
+//!
+//! # Example
+//!
+//! ```
+//! use meshslice::llm::LlmConfig;
+//! use meshslice::{MeshShape, SimConfig};
+//! use meshslice_serving::{simulate_fleet, ServingSpec};
+//!
+//! let model = LlmConfig {
+//!     name: "tiny".to_string(),
+//!     hidden: 256,
+//!     heads: 4,
+//!     layers: 2,
+//!     ffn_mult: 4,
+//! };
+//! let mut spec = ServingSpec::new(model, MeshShape::new(2, 2), 2, 10.0);
+//! spec.num_requests = 40;
+//! let report = simulate_fleet(&spec, &SimConfig::tpu_v4()).unwrap();
+//! assert_eq!(report.completed + report.rejected, 40);
+//! assert!(report.goodput_tokens_per_chip_s > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrival;
+mod costs;
+mod fleet;
+mod tune;
+
+pub use arrival::{
+    ArrivalSpec, LoadShape, Request, DEFAULT_OUTPUT_RANGE, DEFAULT_PROMPT_RANGE,
+    DEFAULT_SEGMENT_SECS,
+};
+pub use costs::{
+    build_replica_costs, BucketCost, PhaseCostTable, ReplicaCosts, MAX_PREFILL_TOKENS,
+    NOMINAL_KV_CONTEXT,
+};
+pub use fleet::{
+    simulate_fleet, simulate_fleet_threads, ChipDeath, FleetReport, ReplicaStats, RequestOutcome,
+    ServingSpec,
+};
+pub use tune::{
+    ServingCandidate, ServingPlan, ServingTuning, CANDIDATE_MAX_BATCH, CANDIDATE_SLICE_COUNTS,
+};

@@ -1,0 +1,318 @@
+//! SLO-targeted serving autotuner.
+//!
+//! Training tunes for makespan; serving tunes for *goodput under a tail
+//! SLO*: among fleet layouts that keep TTFT p99 under the target, pick
+//! the one generating the most tokens per chip per second. The knobs
+//! are the ones the paper's training autotuner sweeps — mesh shape and
+//! slice count — plus the two serving-specific ones: how many replicas
+//! to split the chip pool into, and how large a decode batch the
+//! continuous-batching policy may build (bigger batches amortize weight
+//! reads but queue prefills behind longer steps).
+//!
+//! Candidates are scored by running the actual fleet simulation on a
+//! short trace, not a closed-form estimate — the queueing behavior that
+//! sets the tail is exactly what closed forms miss. Evaluation fans out
+//! over [`meshslice::par`] with deterministic, thread-count-invariant
+//! ranking.
+
+use meshslice::autotuner::Autotuner;
+use meshslice::llm::LlmConfig;
+use meshslice::par;
+use meshslice::MeshShape;
+
+use crate::arrival::ArrivalSpec;
+use crate::fleet::{simulate_fleet, ServingSpec};
+
+/// Decode batch caps the tuner considers.
+pub const CANDIDATE_MAX_BATCH: [usize; 2] = [8, 32];
+
+/// Slice counts the tuner considers.
+pub const CANDIDATE_SLICE_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// One evaluated fleet layout.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServingCandidate {
+    /// Per-replica mesh shape.
+    pub mesh: MeshShape,
+    /// Requested slice count.
+    pub slice_count: usize,
+    /// Replica count.
+    pub replicas: usize,
+    /// Decode batch cap.
+    pub max_batch: usize,
+    /// Whether TTFT p99 met the SLO target on the evaluation trace.
+    pub slo_attained: bool,
+    /// TTFT p99 observed, milliseconds.
+    pub p99_ttft_ms: f64,
+    /// Goodput observed, tokens per chip per second.
+    pub goodput_tokens_per_chip_s: f64,
+    /// Fraction of the evaluation trace completed (not rejected).
+    pub completion: f64,
+}
+
+/// The ranked outcome of a serving tune: SLO-attaining layouts first,
+/// highest goodput first within each group.
+#[derive(Clone, Debug)]
+pub struct ServingPlan {
+    /// All evaluated candidates, best first.
+    pub candidates: Vec<ServingCandidate>,
+}
+
+impl ServingPlan {
+    /// The winning layout.
+    pub fn best(&self) -> &ServingCandidate {
+        &self.candidates[0]
+    }
+}
+
+/// Serving-specific tuning, grafted onto [`Autotuner`] the same way
+/// `meshslice-recovery` grafts `tune_robust` — the core crate stays free
+/// of serving concerns.
+pub trait ServingTuning {
+    /// Tunes a serving fleet of `total_chips` for `model` under
+    /// `arrivals`, targeting a TTFT p99 of `slo_p99_ttft_ms`, scoring
+    /// each candidate on a `num_requests`-long trace drawn from `seed`.
+    ///
+    /// Sweeps replica counts dividing the chip pool, the candidate mesh
+    /// shapes of each per-replica pool, [`CANDIDATE_SLICE_COUNTS`], and
+    /// [`CANDIDATE_MAX_BATCH`]. A `replicas` of `Some(r)` pins the
+    /// replica count (e.g. the CLI's `--replicas`).
+    ///
+    /// # Errors
+    ///
+    /// Errors when no candidate can serve the model at all (weights too
+    /// large for every layout).
+    #[allow(clippy::too_many_arguments)]
+    fn tune_serving(
+        &self,
+        model: &LlmConfig,
+        total_chips: usize,
+        replicas: Option<usize>,
+        arrivals: &ArrivalSpec,
+        slo_p99_ttft_ms: f64,
+        num_requests: usize,
+        seed: u64,
+    ) -> Result<ServingPlan, String> {
+        self.tune_serving_threads(
+            model,
+            total_chips,
+            replicas,
+            arrivals,
+            slo_p99_ttft_ms,
+            num_requests,
+            seed,
+            1,
+        )
+    }
+
+    /// [`tune_serving`](Self::tune_serving) with candidate evaluation
+    /// fanned out over `threads` workers. The ranking is bit-for-bit
+    /// identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// As [`tune_serving`](Self::tune_serving).
+    #[allow(clippy::too_many_arguments)]
+    fn tune_serving_threads(
+        &self,
+        model: &LlmConfig,
+        total_chips: usize,
+        replicas: Option<usize>,
+        arrivals: &ArrivalSpec,
+        slo_p99_ttft_ms: f64,
+        num_requests: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Result<ServingPlan, String>;
+}
+
+impl ServingTuning for Autotuner {
+    #[allow(clippy::too_many_arguments)]
+    fn tune_serving_threads(
+        &self,
+        model: &LlmConfig,
+        total_chips: usize,
+        replicas: Option<usize>,
+        arrivals: &ArrivalSpec,
+        slo_p99_ttft_ms: f64,
+        num_requests: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Result<ServingPlan, String> {
+        assert!(total_chips > 0, "serving fleet needs at least one chip");
+        arrivals.validate()?;
+        let replica_counts: Vec<usize> = match replicas {
+            Some(r) => {
+                if r == 0 || !total_chips.is_multiple_of(r) {
+                    return Err(format!(
+                        "replica count {r} must divide the {total_chips}-chip pool"
+                    ));
+                }
+                vec![r]
+            }
+            None => std::iter::successors(Some(1usize), |r| Some(r * 2))
+                .take_while(|&r| r <= total_chips)
+                .filter(|&r| total_chips.is_multiple_of(r))
+                .collect(),
+        };
+
+        let mut grid: Vec<(MeshShape, usize, usize, usize)> = Vec::new();
+        for &r in &replica_counts {
+            for mesh in Autotuner::candidate_meshes(total_chips / r) {
+                for &s in &CANDIDATE_SLICE_COUNTS {
+                    for &max_batch in &CANDIDATE_MAX_BATCH {
+                        grid.push((mesh, s, r, max_batch));
+                    }
+                }
+            }
+        }
+
+        let cfg = self.cost_model().config();
+        let evaluated = par::parallel_map_threads(threads, &grid, |&(mesh, s, r, max_batch)| {
+            let spec = ServingSpec {
+                slice_count: s,
+                max_batch,
+                arrivals: arrivals.clone(),
+                num_requests,
+                seed,
+                slo_p99_ttft_ms,
+                ..ServingSpec::new(model.clone(), mesh, r, arrivals.qps)
+            };
+            let report = simulate_fleet(&spec, cfg).ok()?;
+            Some(ServingCandidate {
+                mesh,
+                slice_count: s,
+                replicas: r,
+                max_batch,
+                slo_attained: report.slo_attained,
+                p99_ttft_ms: report.ttft.p99 * 1e3,
+                goodput_tokens_per_chip_s: report.goodput_tokens_per_chip_s,
+                completion: report.completed as f64 / report.offered as f64,
+            })
+        });
+        let mut candidates: Vec<ServingCandidate> = evaluated.into_iter().flatten().collect();
+        if candidates.is_empty() {
+            return Err(format!(
+                "{} cannot be served on any layout of {total_chips} chips",
+                model.name
+            ));
+        }
+        // SLO-attaining layouts first, most goodput first within each
+        // group, then a total deterministic tie-break.
+        candidates.sort_by(|a, b| {
+            b.slo_attained
+                .cmp(&a.slo_attained)
+                .then(
+                    b.goodput_tokens_per_chip_s
+                        .total_cmp(&a.goodput_tokens_per_chip_s),
+                )
+                .then(a.p99_ttft_ms.total_cmp(&b.p99_ttft_ms))
+                .then(a.mesh.rows.cmp(&b.mesh.rows))
+                .then(a.mesh.cols.cmp(&b.mesh.cols))
+                .then(a.slice_count.cmp(&b.slice_count))
+                .then(a.replicas.cmp(&b.replicas))
+                .then(a.max_batch.cmp(&b.max_batch))
+        });
+        Ok(ServingPlan { candidates })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshslice::SimConfig;
+
+    fn tiny() -> LlmConfig {
+        LlmConfig {
+            name: "tiny".to_string(),
+            hidden: 256,
+            heads: 4,
+            layers: 2,
+            ffn_mult: 4,
+        }
+    }
+
+    fn tuner() -> Autotuner {
+        Autotuner::new(SimConfig::tpu_v4())
+    }
+
+    #[test]
+    fn tune_ranks_slo_attaining_layouts_first() {
+        let plan = tuner()
+            .tune_serving(&tiny(), 8, None, &ArrivalSpec::poisson(20.0), 500.0, 60, 3)
+            .expect("tiny model must have feasible layouts");
+        assert!(!plan.candidates.is_empty());
+        let first_miss = plan.candidates.iter().position(|c| !c.slo_attained);
+        if let Some(k) = first_miss {
+            assert!(
+                plan.candidates[k..].iter().all(|c| !c.slo_attained),
+                "attaining candidates must sort before missing ones"
+            );
+        }
+        for w in plan.candidates.windows(2) {
+            if w[0].slo_attained == w[1].slo_attained {
+                assert!(
+                    w[0].goodput_tokens_per_chip_s >= w[1].goodput_tokens_per_chip_s,
+                    "within a group, goodput must be descending"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tune_is_thread_invariant() {
+        let t = tuner();
+        let arr = ArrivalSpec::poisson(20.0);
+        let serial = t
+            .tune_serving(&tiny(), 8, None, &arr, 500.0, 40, 3)
+            .expect("feasible");
+        let parallel = t
+            .tune_serving_threads(&tiny(), 8, None, &arr, 500.0, 40, 3, 4)
+            .expect("feasible");
+        assert_eq!(serial.candidates, parallel.candidates);
+    }
+
+    #[test]
+    fn pinned_replicas_are_respected() {
+        let plan = tuner()
+            .tune_serving(
+                &tiny(),
+                8,
+                Some(2),
+                &ArrivalSpec::poisson(10.0),
+                500.0,
+                40,
+                3,
+            )
+            .expect("feasible");
+        assert!(plan.candidates.iter().all(|c| c.replicas == 2));
+        assert!(tuner()
+            .tune_serving(
+                &tiny(),
+                8,
+                Some(3),
+                &ArrivalSpec::poisson(10.0),
+                500.0,
+                40,
+                3
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn unservable_models_error_out() {
+        // Megatron-NLG weights (~1 TB) cannot fit 4 TPUv4 chips.
+        let err = tuner()
+            .tune_serving(
+                &LlmConfig::megatron_nlg(),
+                4,
+                None,
+                &ArrivalSpec::poisson(1.0),
+                500.0,
+                10,
+                0,
+            )
+            .unwrap_err();
+        assert!(err.contains("cannot be served"), "{err}");
+    }
+}

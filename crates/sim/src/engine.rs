@@ -542,6 +542,18 @@ impl Engine {
         &self.config
     }
 
+    /// A sibling engine on the same mesh whose config differs only in its
+    /// fault profile — the replay hook for pricing one lowered program
+    /// under many perturbations: lowering does not depend on
+    /// [`SimConfig::faults`], so a [`LoweredProgram`] built by `self` can
+    /// be run by the sibling (and vice versa) without re-lowering.
+    pub fn with_faults(&self, profile: ClusterProfile) -> Engine {
+        Engine {
+            mesh: self.mesh.clone(),
+            config: self.config.clone().with_faults(profile),
+        }
+    }
+
     /// Runs a program to completion and reports timing.
     ///
     /// # Panics

@@ -49,6 +49,7 @@ mod critical_path;
 mod diff;
 mod json;
 mod metrics;
+mod percentile;
 mod recovery;
 mod schema;
 mod tunelog;
@@ -62,6 +63,7 @@ pub use metrics::{
     spans_overlap_and_buckets, Hotspot, LaneStat, RunMetrics, WindowStat, BUCKET_LABELS,
     LANE_LABELS,
 };
+pub use percentile::{percentile, LatencySummary};
 pub use recovery::{DowntimeBreakdown, RecoveryPhase, RecoverySpan, DOWNTIME_LABELS};
 pub use schema::validate;
 pub use tunelog::{TuneCandidate, TuneLog};

@@ -1,0 +1,124 @@
+//! Property tests for the serving subsystem: seeded arrival determinism,
+//! thread-count invariance of the fleet simulation, KV accounting bounds,
+//! and survival of an injected chip death.
+
+use meshslice::llm::LlmConfig;
+use meshslice::memory::{inference_footprint, HBM_BYTES};
+use meshslice::{MeshShape, SimConfig};
+use meshslice_serving::{
+    simulate_fleet, simulate_fleet_threads, ArrivalSpec, ChipDeath, LoadShape, ServingSpec,
+    MAX_PREFILL_TOKENS,
+};
+use proptest::prelude::*;
+
+fn tiny() -> LlmConfig {
+    LlmConfig {
+        name: "Tiny".to_string(),
+        hidden: 256,
+        heads: 4,
+        layers: 2,
+        ffn_mult: 4,
+    }
+}
+
+/// A small fleet spec exercising both replicas of a 2x2 mesh.
+fn spec(qps: f64, requests: usize, seed: u64) -> ServingSpec {
+    let mut spec = ServingSpec::new(tiny(), MeshShape::new(2, 2), 2, qps);
+    spec.num_requests = requests;
+    spec.seed = seed;
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The same (spec, seed) draws a bit-for-bit identical request trace,
+    /// for both steady Poisson and replayed bursty shapes.
+    #[test]
+    fn arrivals_are_deterministic_under_a_fixed_seed(
+        qps in 1.0f64..200.0,
+        n in 1usize..200,
+        seed in any::<u64>(),
+        bursty in any::<bool>(),
+    ) {
+        let mut arr = ArrivalSpec::poisson(qps);
+        if bursty {
+            arr.shape = LoadShape::bursty();
+        }
+        let a = arr.generate(n, seed);
+        let b = arr.generate(n, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), n);
+        for w in a.windows(2) {
+            prop_assert!(w[0].arrival_secs <= w[1].arrival_secs, "arrivals sorted");
+        }
+    }
+
+    /// Different seeds draw different traces (same structure, new draws).
+    #[test]
+    fn different_seeds_draw_different_traces(seed in any::<u64>()) {
+        let arr = ArrivalSpec::poisson(25.0);
+        let a = arr.generate(64, seed);
+        let b = arr.generate(64, seed.wrapping_add(1));
+        prop_assert_ne!(a, b);
+    }
+
+    /// The fleet report is bit-for-bit identical at any worker count.
+    #[test]
+    fn fleet_simulation_is_thread_count_invariant(
+        qps in 5.0f64..100.0,
+        requests in 10usize..80,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SimConfig::tpu_v4();
+        let spec = spec(qps, requests, seed);
+        let serial = simulate_fleet(&spec, &cfg).expect("tiny fleet simulates");
+        for threads in [2usize, 8] {
+            let parallel =
+                simulate_fleet_threads(&spec, &cfg, threads).expect("tiny fleet simulates");
+            prop_assert_eq!(&serial, &parallel, "{} threads diverge from serial", threads);
+        }
+    }
+
+    /// KV accounting never admits more bytes than the per-replica HBM
+    /// budget left after weights — globally and per replica.
+    #[test]
+    fn kv_peak_never_exceeds_the_hbm_budget(
+        qps in 20.0f64..400.0,
+        requests in 20usize..120,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SimConfig::tpu_v4();
+        let spec = spec(qps, requests, seed);
+        let report = simulate_fleet(&spec, &cfg).expect("tiny fleet simulates");
+        let model = tiny();
+        let budget = inference_footprint(&model, spec.mesh, spec.slice_count, MAX_PREFILL_TOKENS)
+            .kv_budget(HBM_BYTES);
+        prop_assert_eq!(report.kv_budget_bytes, budget);
+        prop_assert!(report.kv_peak_bytes <= budget, "fleet peak over budget");
+        for r in &report.per_replica {
+            prop_assert!(r.kv_peak_bytes <= budget, "replica peak over budget");
+        }
+        prop_assert_eq!(report.offered, requests);
+        prop_assert_eq!(report.completed + report.rejected, requests);
+    }
+
+    /// A chip death mid-trace degrades the fleet but never aborts it:
+    /// the simulation completes with nonzero goodput.
+    #[test]
+    fn chip_death_degrades_but_never_aborts(
+        // 60 requests at 50 qps span ~1.2 s of arrivals, so a death in
+        // the first half second always lands mid-trace.
+        at_secs in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SimConfig::tpu_v4();
+        let mut spec = spec(50.0, 60, seed);
+        spec.failure = Some(ChipDeath { replica: 0, at_secs });
+        let report = simulate_fleet(&spec, &cfg).expect("fleet survives the death");
+        prop_assert_eq!(report.failovers, 1);
+        prop_assert!(report.goodput_tokens_per_chip_s > 0.0, "goodput must stay nonzero");
+        prop_assert!(report.per_replica[0].failed_over);
+        prop_assert!(!report.per_replica[1].failed_over);
+    }
+}
