@@ -15,7 +15,8 @@ use meshslice::llm::LlmConfig;
 use meshslice::par;
 use meshslice_bench::{banner, quick_mode, sim_config};
 use meshslice_serving::{
-    simulate_fleet, simulate_fleet_threads, ArrivalSpec, ChipDeath, ServingSpec, ServingTuning,
+    simulate_fleet, simulate_fleet_threads, simulate_fleet_traced, ArrivalSpec, ChipDeath,
+    ServingSpec, ServingTuning,
 };
 use meshslice_telemetry::Json;
 
@@ -146,6 +147,37 @@ fn main() {
     }
     println!("determinism: serial == parallel reports at every rung (bit for bit)");
 
+    // Tracing-overhead gate: recording the full request-lifecycle event
+    // stream must cost at most 10% wall clock over the untraced loop,
+    // and must leave the report bit-for-bit unchanged. Min-of-reps on
+    // each side filters scheduler noise.
+    let overhead_spec = spec_at(mid_qps, None);
+    let reps = 3;
+    let (mut untraced_best, mut traced_best) = (f64::INFINITY, f64::INFINITY);
+    let mut trace_events = 0usize;
+    for _ in 0..reps {
+        let (untraced, plain_secs) =
+            timed(|| simulate_fleet_threads(&overhead_spec, &cfg, threads).expect("fleet"));
+        let ((traced, trace), traced_secs) =
+            timed(|| simulate_fleet_traced(&overhead_spec, &cfg, threads).expect("fleet"));
+        if untraced != traced {
+            eprintln!("FAIL: tracing perturbed the report at {mid_qps} qps");
+            std::process::exit(1);
+        }
+        untraced_best = untraced_best.min(plain_secs);
+        traced_best = traced_best.min(traced_secs);
+        trace_events = trace.len();
+    }
+    let trace_overhead_ratio = traced_best / untraced_best;
+    println!(
+        "trace overhead: untraced {untraced_best:.2} s vs traced {traced_best:.2} s \
+         ({trace_overhead_ratio:.3}x, {trace_events} events)"
+    );
+    if trace_overhead_ratio > 1.10 {
+        eprintln!("FAIL: tracing overhead {trace_overhead_ratio:.3}x exceeds the 1.10x budget");
+        std::process::exit(1);
+    }
+
     // One rung through a chip death at the middle load: serving must
     // complete with degraded-but-nonzero goodput.
     let death_spec = spec_at(
@@ -190,6 +222,8 @@ fn main() {
             ]),
         ),
         ("rungs", Json::Arr(rungs)),
+        ("trace_overhead_ratio", Json::Num(trace_overhead_ratio)),
+        ("trace_events", Json::Num(trace_events as f64)),
         ("chip_death", rung_json(mid_qps, &death, death_secs)),
         (
             "determinism",

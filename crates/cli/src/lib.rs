@@ -44,11 +44,13 @@ use meshslice_faults::FailureSpec;
 use meshslice_mesh::Torus2d;
 use meshslice_recovery::{simulate_recovery, RecoveryParams, ResilientTuning, DEFAULT_DETECT_SECS};
 use meshslice_serving::{
-    simulate_fleet_threads, ArrivalSpec, ChipDeath, ServingSpec, ServingTuning,
-    DEFAULT_SEGMENT_SECS,
+    simulate_fleet_threads, simulate_fleet_traced, ArrivalSpec, ChipDeath, ServingSpec,
+    ServingTuning, DEFAULT_SEGMENT_SECS,
 };
 use meshslice_sim::{NodeSpan, OpKind, Program};
-use meshslice_telemetry::{Json, PathKind, RunDiff, RunMetrics, BUCKET_LABELS};
+use meshslice_telemetry::{
+    is_serving_artifact, FleetDiff, Json, PathKind, RunDiff, RunMetrics, BUCKET_LABELS,
+};
 
 /// A parsed CLI invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -111,9 +113,13 @@ pub enum Command {
     /// `serve [--model M] [--chips N] [--replicas R] [--qps F]
     /// [--trace FILE] [--slo-p99-ms F] [--seed K] [--requests N]
     /// [--fail-at SECS] [--mesh RxC] [--s N] [--max-batch N]
-    /// [--format text|json] [--out FILE] [--threads N]`: simulate a
-    /// continuous-batching serving fleet and report TTFT/TPOT
-    /// percentiles and goodput-per-chip against the SLO.
+    /// [--format text|json|prometheus] [--out FILE] [--trace-out FILE]
+    /// [--trace-chrome FILE] [--explain] [--explain-out FILE]
+    /// [--threads N]`: simulate a continuous-batching serving fleet and
+    /// report TTFT/TPOT percentiles and goodput-per-chip against the
+    /// SLO. The trace/explain flags record the request-lifecycle event
+    /// stream (observation-only — the report is bit-identical with or
+    /// without them) and decompose tail TTFT into blame components.
     Serve {
         /// Target model.
         model: Model,
@@ -144,6 +150,17 @@ pub enum Command {
         format: ServeFormat,
         /// Also write the JSON artifact here.
         out: Option<String>,
+        /// Write the request-lifecycle event stream here as JSONL
+        /// (`schemas/serving_trace.schema.json`).
+        trace_out: Option<String>,
+        /// Write the event stream here as chrome trace-event JSON
+        /// (open in Perfetto / `chrome://tracing`).
+        trace_chrome: Option<String>,
+        /// Print the TTFT blame table (queueing / prefill / preemption /
+        /// failover per percentile bucket).
+        explain: bool,
+        /// Write the blame report here as JSON.
+        explain_out: Option<String>,
         /// Worker threads for tuning and replica simulation;
         /// `MESHSLICE_THREADS` or the machine's parallelism when absent.
         /// Results are identical at any count.
@@ -279,6 +296,8 @@ pub enum ServeFormat {
     /// The JSON artifact (`schemas/serving.schema.json`) — the default,
     /// so piping `serve` output yields a schema-valid document.
     Json,
+    /// Prometheus text exposition format.
+    Prometheus,
 }
 
 /// Errors produced while parsing a command line.
@@ -329,7 +348,9 @@ USAGE:
     meshslice serve       [--model gpt3|megatron] [--chips N] [--replicas R] [--qps F]
                           [--trace FILE] [--slo-p99-ms F] [--seed K] [--requests N]
                           [--fail-at SECS] [--mesh RxC] [--s N] [--max-batch N]
-                          [--format text|json] [--out FILE] [--threads N]
+                          [--format text|json|prometheus] [--out FILE]
+                          [--trace-out FILE] [--trace-chrome FILE]
+                          [--explain] [--explain-out FILE] [--threads N]
     meshslice faults      [--model gpt3|megatron] [--chips N] [--straggler F] [--seeds K]
                           [--threads N]
     meshslice resilience  [--model gpt3|megatron] [--chips N] [--mtbf HOURS] [--steps N]
@@ -344,7 +365,11 @@ USAGE:
 Sweeping subcommands (faults, resilience, metrics --tunelog) evaluate candidates on
 --threads N worker threads; the MESHSLICE_THREADS environment variable is
 the fallback when the flag is absent, then the machine's parallelism.
-Output is bit-identical at any thread count.";
+Output is bit-identical at any thread count.
+
+compare on two .json files diffs either two training metrics artifacts or two
+serving artifacts (headline scalars + per-window fleet strips); mixing the two
+kinds is an error.";
 
 fn parse_model(s: &str) -> Result<Model, UsageError> {
     match s.to_ascii_lowercase().as_str() {
@@ -551,8 +576,15 @@ fn parse_serve(args: &[String]) -> Result<Command, UsageError> {
     let (mut trace, mut seed, mut requests) = (None, 0u64, 200usize);
     let (mut fail_at, mut mesh, mut s, mut max_batch) = (None, None, 4usize, 32usize);
     let (mut format, mut out, mut threads) = (ServeFormat::Json, None, None);
+    let (mut trace_out, mut trace_chrome) = (None, None);
+    let (mut explain, mut explain_out) = (false, None);
     let mut it = args.iter().map(String::as_str);
     while let Some(flag) = it.next() {
+        // `--explain` is the one boolean flag; everything else takes a value.
+        if flag == "--explain" {
+            explain = true;
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| UsageError(format!("flag {flag} needs a value")))?;
@@ -577,10 +609,14 @@ fn parse_serve(args: &[String]) -> Result<Command, UsageError> {
                 format = match value {
                     "text" => ServeFormat::Text,
                     "json" => ServeFormat::Json,
+                    "prometheus" | "prom" => ServeFormat::Prometheus,
                     other => return Err(UsageError(format!("unknown format '{other}'"))),
                 }
             }
             "--out" => out = Some(value.to_string()),
+            "--trace-out" => trace_out = Some(value.to_string()),
+            "--trace-chrome" => trace_chrome = Some(value.to_string()),
+            "--explain-out" => explain_out = Some(value.to_string()),
             "--threads" => threads = Some(parse_threads(value)?),
             other => return Err(UsageError(format!("unknown flag '{other}'"))),
         }
@@ -629,6 +665,10 @@ fn parse_serve(args: &[String]) -> Result<Command, UsageError> {
         max_batch,
         format,
         out,
+        trace_out,
+        trace_chrome,
+        explain,
+        explain_out,
         threads,
     })
 }
@@ -892,6 +932,10 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             max_batch,
             format,
             out,
+            trace_out,
+            trace_chrome,
+            explain,
+            explain_out,
             threads,
         } => {
             if let Some(n) = threads {
@@ -958,10 +1002,22 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     at_secs,
                 }),
             };
-            let report = simulate_fleet_threads(&spec, &cfg, workers)?;
+            // Any trace/explain flag turns on event recording; the
+            // report is bit-identical either way (tracing is
+            // observation-only by construction — a property test in
+            // `tests/serving_properties.rs` holds the line).
+            let tracing =
+                trace_out.is_some() || trace_chrome.is_some() || explain || explain_out.is_some();
+            let (report, recorded) = if tracing {
+                let (report, trace) = simulate_fleet_traced(&spec, &cfg, workers)?;
+                (report, Some(trace))
+            } else {
+                (simulate_fleet_threads(&spec, &cfg, workers)?, None)
+            };
             let json = report.to_json();
             match format {
                 ServeFormat::Json => println!("{}", json.to_string_pretty()),
+                ServeFormat::Prometheus => print!("{}", report.to_prometheus()),
                 ServeFormat::Text => {
                     println!(
                         "{config} fleet: {replicas} x {mesh} mesh, S = {s}, batch <= {max_batch}{}",
@@ -1016,6 +1072,29 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 std::fs::write(&path, json.to_string_pretty())
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
                 println!("serving artifact -> {path}");
+            }
+            if let Some(trace) = recorded {
+                if let Some(path) = trace_out {
+                    std::fs::write(&path, trace.to_jsonl())
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    eprintln!("serving trace -> {path} ({} events)", trace.len());
+                }
+                if let Some(path) = trace_chrome {
+                    std::fs::write(&path, trace.to_chrome_trace())
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    eprintln!("chrome trace -> {path}");
+                }
+                if explain || explain_out.is_some() {
+                    let blame = trace.blame();
+                    if explain {
+                        print!("{}", blame.render_text());
+                    }
+                    if let Some(path) = explain_out {
+                        std::fs::write(&path, blame.to_json().to_string_pretty())
+                            .map_err(|e| format!("cannot write {path}: {e}"))?;
+                        eprintln!("blame report -> {path}");
+                    }
+                }
             }
         }
         Command::Faults {
@@ -1297,9 +1376,23 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             }
         }
         Command::CompareRuns { a, b } => {
-            let ma = load_metrics(&a).map_err(|e| format!("cannot load {a}: {e}"))?;
-            let mb = load_metrics(&b).map_err(|e| format!("cannot load {b}: {e}"))?;
-            print!("{}", RunDiff::new(ma, mb));
+            let ja = load_json(&a).map_err(|e| format!("cannot load {a}: {e}"))?;
+            let jb = load_json(&b).map_err(|e| format!("cannot load {b}: {e}"))?;
+            match (is_serving_artifact(&ja), is_serving_artifact(&jb)) {
+                (true, true) => print!("{}", FleetDiff::new(&ja, &jb)?),
+                (false, false) => {
+                    let ma = RunMetrics::from_json(&ja).map_err(|e| format!("{a}: {e}"))?;
+                    let mb = RunMetrics::from_json(&jb).map_err(|e| format!("{b}: {e}"))?;
+                    print!("{}", RunDiff::new(ma, mb));
+                }
+                (sa, _) => {
+                    let (serving, training) = if sa { (&a, &b) } else { (&b, &a) };
+                    return Err(format!(
+                        "cannot compare a serving artifact ({serving}) against a training \
+                         metrics artifact ({training}); diff two of the same kind"
+                    ));
+                }
+            }
         }
         Command::Traffic => {
             let mut t = Table::new(vec!["method".into(), "torus".into(), "traffic/chip".into()]);
@@ -1365,9 +1458,14 @@ pub fn fc1_metrics(
 }
 
 /// Reads a metric artifact written by `metrics --out`.
-fn load_metrics(path: &str) -> Result<RunMetrics, String> {
+fn load_json(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    RunMetrics::from_json(&Json::parse(&text)?)
+    Json::parse(&text)
+}
+
+#[cfg(test)]
+fn load_metrics(path: &str) -> Result<RunMetrics, String> {
+    RunMetrics::from_json(&load_json(path)?)
 }
 
 /// Renders engine spans as Chrome trace-event JSON (the `chrome://tracing`
@@ -1910,6 +2008,39 @@ mod tests {
             }
             other => panic!("parsed {other:?}"),
         }
+        // The observability flags: --explain is boolean, the rest take
+        // a path, and "prometheus" is a third format.
+        match parse(&args(
+            "serve --explain --trace-out t.jsonl --trace-chrome t.json \
+             --explain-out blame.json --format prometheus",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                explain,
+                trace_out,
+                trace_chrome,
+                explain_out,
+                format,
+                ..
+            } => {
+                assert!(explain);
+                assert_eq!(trace_out.as_deref(), Some("t.jsonl"));
+                assert_eq!(trace_chrome.as_deref(), Some("t.json"));
+                assert_eq!(explain_out.as_deref(), Some("blame.json"));
+                assert_eq!(format, ServeFormat::Prometheus);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&args("serve --qps 12")).unwrap() {
+            Command::Serve {
+                explain, trace_out, ..
+            } => {
+                assert!(!explain);
+                assert_eq!(trace_out, None);
+            }
+            other => panic!("parsed {other:?}"),
+        }
         assert!(parse(&args("serve --qps 0")).is_err());
         assert!(parse(&args("serve --qps nope")).is_err());
         assert!(parse(&args("serve --slo-p99-ms -5")).is_err());
@@ -1917,6 +2048,7 @@ mod tests {
         assert!(parse(&args("serve --format yaml")).is_err());
         assert!(parse(&args("serve --bogus 1")).is_err());
         assert!(parse(&args("serve --qps")).is_err());
+        assert!(parse(&args("serve --trace-out")).is_err());
     }
 
     #[test]
@@ -1942,6 +2074,65 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("divide"), "{err}");
+    }
+
+    #[test]
+    fn serve_writes_trace_blame_and_serving_diff_artifacts() {
+        let dir = std::env::temp_dir();
+        let pt = dir.join("meshslice_cli_trace.jsonl");
+        let pc = dir.join("meshslice_cli_trace_chrome.json");
+        let pb = dir.join("meshslice_cli_blame.json");
+        let pa = dir.join("meshslice_cli_serve_a.json");
+        let px = dir.join("meshslice_cli_serve_b.json");
+        let base = "serve --chips 32 --replicas 2 --mesh 4x4 --s 4 --max-batch 8 --requests 24 \
+                    --qps 30 --seed 3 --threads 1 --format text";
+        let cmd = format!(
+            "{base} --out {} --trace-out {} --trace-chrome {} --explain --explain-out {}",
+            pa.display(),
+            pt.display(),
+            pc.display(),
+            pb.display()
+        );
+        execute(parse(&args(&cmd)).unwrap()).unwrap();
+        // JSONL trace: a run header line, then one JSON object per event.
+        let jsonl = std::fs::read_to_string(&pt).unwrap();
+        let first = Json::parse(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(first.get("kind").and_then(Json::as_str), Some("run"));
+        assert!(jsonl.lines().count() > 24);
+        for line in jsonl.lines() {
+            Json::parse(line).unwrap();
+        }
+        // Chrome trace parses and the blame report names the buckets.
+        Json::parse(&std::fs::read_to_string(&pc).unwrap()).unwrap();
+        let blame = Json::parse(&std::fs::read_to_string(&pb).unwrap()).unwrap();
+        assert!(blame.get("buckets").is_some());
+        assert!(blame.get("p99").is_some());
+        // A second run at a different qps diffs against the first.
+        let cmd_b = format!(
+            "serve --chips 32 --replicas 2 --mesh 4x4 --s 4 --max-batch 8 --requests 24 \
+             --qps 60 --seed 3 --threads 1 --format text --out {}",
+            px.display()
+        );
+        execute(parse(&args(&cmd_b)).unwrap()).unwrap();
+        execute(Command::CompareRuns {
+            a: pa.to_str().unwrap().into(),
+            b: px.to_str().unwrap().into(),
+        })
+        .unwrap();
+        // Serving vs training artifacts refuse to diff.
+        let cfg = SimConfig::tpu_v4();
+        let m = fc1_metrics(Model::Gpt3, MeshShape::new(2, 2), 1, 4, &cfg).unwrap();
+        let pm = dir.join("meshslice_cli_serve_metrics.json");
+        std::fs::write(&pm, m.to_json().to_string_pretty()).unwrap();
+        let err = execute(Command::CompareRuns {
+            a: pa.to_str().unwrap().into(),
+            b: pm.to_str().unwrap().into(),
+        })
+        .unwrap_err();
+        assert!(err.contains("serving artifact"), "{err}");
+        for p in [&pt, &pc, &pb, &pa, &px, &pm] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

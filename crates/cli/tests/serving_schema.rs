@@ -37,8 +37,19 @@ fn small_artifact() -> Json {
 
 #[test]
 fn serving_artifact_conforms_to_the_checked_in_schema() {
-    let errors = validate(&serving_schema(), &small_artifact());
+    let doc = small_artifact();
+    let errors = validate(&serving_schema(), &doc);
     assert!(errors.is_empty(), "schema violations: {errors:?}");
+    // v2 additions: the time-series section is always present and has
+    // at least one window per replica; downtime_s only appears under an
+    // injected failure.
+    let series = doc.get("timeseries").expect("timeseries section");
+    let replicas = series.get("replicas").and_then(Json::as_arr).unwrap();
+    assert_eq!(replicas.len(), 2);
+    for r in replicas {
+        assert!(!r.get("windows").and_then(Json::as_arr).unwrap().is_empty());
+    }
+    assert!(doc.get("downtime_s").is_none());
 }
 
 #[test]
@@ -51,8 +62,19 @@ fn failover_artifact_conforms_too() {
     });
     let report = simulate_fleet(&spec, &SimConfig::tpu_v4()).expect("simulates through death");
     assert_eq!(report.failovers, 1);
-    let errors = validate(&serving_schema(), &report.to_json());
+    let doc = report.to_json();
+    let errors = validate(&serving_schema(), &doc);
     assert!(errors.is_empty(), "schema violations: {errors:?}");
+    // The chip death shows up as a downtime breakdown that the
+    // per-replica outage accounting corroborates.
+    let downtime = doc.get("downtime_s").expect("downtime breakdown");
+    assert!(downtime.get("detection").and_then(Json::as_f64).unwrap() > 0.0);
+    let per_replica = doc.get("per_replica").and_then(Json::as_arr).unwrap();
+    let outage: f64 = per_replica
+        .iter()
+        .map(|r| r.get("outage_secs").and_then(Json::as_f64).unwrap())
+        .sum();
+    assert!(outage > 0.0);
 }
 
 #[test]

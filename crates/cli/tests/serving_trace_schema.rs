@@ -1,0 +1,94 @@
+//! Serving trace schema smoke: record a small fleet trace, validate
+//! every JSONL line `meshslice serve --trace-out` emits against the
+//! checked-in schema, and reject malformed lines. This is the test the
+//! CI serving job runs alongside the artifact schema smoke.
+
+use meshslice::llm::LlmConfig;
+use meshslice::{MeshShape, SimConfig};
+use meshslice_serving::{simulate_fleet_traced, ChipDeath, ServingSpec};
+use meshslice_telemetry::{validate, Json};
+
+fn trace_schema() -> Json {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../schemas/serving_trace.schema.json"
+    );
+    Json::parse(&std::fs::read_to_string(path).expect("schema file")).expect("schema parses")
+}
+
+fn tiny() -> LlmConfig {
+    LlmConfig {
+        name: "tiny".to_string(),
+        hidden: 256,
+        heads: 4,
+        layers: 2,
+        ffn_mult: 4,
+    }
+}
+
+fn small_trace() -> String {
+    // Overload (qps far above capacity) plus a mid-run chip death so the
+    // stream exercises preemption, outage, and re-prefill events.
+    let mut spec = ServingSpec::new(tiny(), MeshShape::new(2, 2), 2, 2000.0);
+    spec.num_requests = 80;
+    spec.seed = 7;
+    spec.failure = Some(ChipDeath {
+        replica: 0,
+        at_secs: 0.05,
+    });
+    let (_, trace) =
+        simulate_fleet_traced(&spec, &SimConfig::tpu_v4(), 1).expect("tiny fleet simulates");
+    trace.check_invariants().expect("trace invariants hold");
+    trace.to_jsonl()
+}
+
+#[test]
+fn every_trace_line_conforms_to_the_checked_in_schema() {
+    let schema = trace_schema();
+    let jsonl = small_trace();
+    let mut kinds = std::collections::BTreeSet::new();
+    for (lineno, line) in jsonl.lines().enumerate() {
+        let doc = Json::parse(line).unwrap_or_else(|e| panic!("line {}: {e}", lineno + 1));
+        let errors = validate(&schema, &doc);
+        assert!(
+            errors.is_empty(),
+            "line {} violates the schema: {errors:?}\n{line}",
+            lineno + 1
+        );
+        kinds.insert(doc.get("kind").and_then(Json::as_str).unwrap().to_string());
+    }
+    // A failover run exercises the whole event vocabulary.
+    for kind in [
+        "run",
+        "arrival",
+        "queued",
+        "prefill",
+        "first_token",
+        "decode",
+        "preempt",
+        "outage",
+        "complete",
+    ] {
+        assert!(kinds.contains(kind), "no '{kind}' line in:\n{kinds:?}");
+    }
+}
+
+#[test]
+fn schema_rejects_malformed_trace_lines() {
+    let schema = trace_schema();
+
+    // An unknown event kind.
+    let bad_kind = Json::parse(r#"{"kind":"teleport","replica":0,"id":1,"t":0.5}"#).unwrap();
+    let errors = validate(&schema, &bad_kind);
+    assert!(errors.iter().any(|(p, _)| p.contains("kind")), "{errors:?}");
+
+    // A negative timestamp.
+    let bad_time = Json::parse(r#"{"kind":"arrival","replica":0,"id":1,"t":-0.5}"#).unwrap();
+    let errors = validate(&schema, &bad_time);
+    assert!(errors.iter().any(|(p, _)| p.contains("t")), "{errors:?}");
+
+    // A line with no kind at all.
+    let no_kind = Json::parse(r#"{"replica":0,"id":1,"t":0.5}"#).unwrap();
+    let errors = validate(&schema, &no_kind);
+    assert!(errors.iter().any(|(_, m)| m.contains("kind")), "{errors:?}");
+}

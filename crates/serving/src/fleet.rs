@@ -25,7 +25,10 @@ use meshslice::llm::LlmConfig;
 use meshslice::par;
 use meshslice::{MeshShape, SimConfig};
 use meshslice_recovery::ServingFailover;
-use meshslice_telemetry::{Json, LatencySummary};
+use meshslice_telemetry::{
+    FleetSeries, Json, LatencySummary, RecordingSink, ReplicaSeriesBuilder, ServingEvent,
+    ServingTrace, TraceSink,
+};
 
 use crate::arrival::{ArrivalSpec, Request};
 use crate::costs::{build_replica_costs, ReplicaCosts};
@@ -163,6 +166,49 @@ pub struct ReplicaStats {
     pub kv_peak_bytes: u64,
     /// Time of the last event on this replica, seconds.
     pub makespan_secs: f64,
+    /// Seconds the replica was out for failover (detection + restore).
+    pub outage_secs: f64,
+    /// Prefill-chunk seconds spent rebuilding preempted or failed-over
+    /// requests (token-weighted share of mixed chunks).
+    pub reprefill_secs: f64,
+    /// Extra step seconds paid for running on the degraded torus
+    /// (degraded cost minus what the nominal mesh would have charged).
+    pub degraded_extra_secs: f64,
+}
+
+/// Fleet-wide chip-death cost accounting: where the wall-clock lost to
+/// the failure went. Present in the report when the spec injects a
+/// [`ChipDeath`]; serialized as the `downtime_s` artifact section.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServingDowntime {
+    /// Failure-detection seconds across failovers.
+    pub detection_secs: f64,
+    /// Weight-shard restore seconds across failovers.
+    pub restore_secs: f64,
+    /// Re-prefill seconds rebuilding evicted KV caches.
+    pub reprefill_secs: f64,
+    /// Extra step seconds paid on the degraded torus.
+    pub degraded_extra_secs: f64,
+    /// Replicas that failed over.
+    pub failovers: usize,
+}
+
+impl ServingDowntime {
+    /// Serializes the breakdown (all durations seconds).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("detection", Json::Num(self.detection_secs)),
+            ("restore", Json::Num(self.restore_secs)),
+            ("reprefill", Json::Num(self.reprefill_secs)),
+            ("degraded_extra", Json::Num(self.degraded_extra_secs)),
+            ("failovers", Json::Num(self.failovers as f64)),
+        ])
+    }
+
+    /// Total downtime attributed to the chip death, seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.detection_secs + self.restore_secs + self.reprefill_secs + self.degraded_extra_secs
+    }
 }
 
 /// Everything a fleet run reports: the latency order statistics, the
@@ -215,6 +261,10 @@ pub struct FleetReport {
     pub kv_peak_bytes: u64,
     /// Per-replica accounting.
     pub per_replica: Vec<ReplicaStats>,
+    /// Chip-death cost breakdown when the spec injects a failure.
+    pub downtime: Option<ServingDowntime>,
+    /// Windowed per-replica time-series (always computed, O(windows)).
+    pub series: FleetSeries,
     /// Per-request outcomes, by trace id.
     pub outcomes: Vec<RequestOutcome>,
 }
@@ -241,11 +291,14 @@ impl FleetReport {
                     ("failed_over", Json::Bool(r.failed_over)),
                     ("kv_peak_bytes", Json::Num(r.kv_peak_bytes as f64)),
                     ("makespan_secs", Json::Num(r.makespan_secs)),
+                    ("outage_secs", Json::Num(r.outage_secs)),
+                    ("reprefill_secs", Json::Num(r.reprefill_secs)),
+                    ("degraded_extra_secs", Json::Num(r.degraded_extra_secs)),
                 ])
             })
             .collect();
-        Json::obj(vec![
-            ("schema_version", Json::Num(1.0)),
+        let mut fields = vec![
+            ("schema_version", Json::Num(2.0)),
             ("model", Json::Str(self.model.clone())),
             ("mesh_rows", Json::Num(self.mesh.rows as f64)),
             ("mesh_cols", Json::Num(self.mesh.cols as f64)),
@@ -274,7 +327,88 @@ impl FleetReport {
             ("kv_budget_bytes", Json::Num(self.kv_budget_bytes as f64)),
             ("kv_peak_bytes", Json::Num(self.kv_peak_bytes as f64)),
             ("per_replica", Json::Arr(per_replica)),
-        ])
+        ];
+        if let Some(d) = &self.downtime {
+            fields.push(("downtime_s", d.to_json()));
+        }
+        fields.push(("timeseries", self.series.to_json()));
+        Json::obj(fields)
+    }
+
+    /// Prometheus text-exposition export of the fleet headline metrics,
+    /// mirroring `RunMetrics::to_prometheus` for training runs.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let labels = format!("model=\"{}\",mesh=\"{}\"", self.model, self.mesh);
+        let mut gauge = |name: &str, extra: &str, v: f64| {
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            let sep = if extra.is_empty() { "" } else { "," };
+            out.push_str(&format!("{name}{{{labels}{sep}{extra}}} {v}\n"));
+        };
+        for (q, v) in [
+            ("p50", self.ttft.p50),
+            ("p95", self.ttft.p95),
+            ("p99", self.ttft.p99),
+        ] {
+            gauge(
+                "meshslice_serving_ttft_seconds",
+                &format!("quantile=\"{q}\""),
+                v,
+            );
+        }
+        for (q, v) in [
+            ("p50", self.tpot.p50),
+            ("p95", self.tpot.p95),
+            ("p99", self.tpot.p99),
+        ] {
+            gauge(
+                "meshslice_serving_tpot_seconds",
+                &format!("quantile=\"{q}\""),
+                v,
+            );
+        }
+        gauge(
+            "meshslice_serving_goodput_tokens_per_chip",
+            "",
+            self.goodput_tokens_per_chip_s,
+        );
+        gauge("meshslice_serving_slo_attainment", "", self.slo_attainment);
+        for (outcome, v) in [
+            ("offered", self.offered),
+            ("completed", self.completed),
+            ("rejected", self.rejected),
+            ("preemptions", self.preemptions),
+            ("failovers", self.failovers),
+        ] {
+            gauge(
+                "meshslice_serving_requests_total",
+                &format!("outcome=\"{outcome}\""),
+                v as f64,
+            );
+        }
+        gauge(
+            "meshslice_serving_kv_peak_bytes",
+            "",
+            self.kv_peak_bytes as f64,
+        );
+        gauge(
+            "meshslice_serving_kv_budget_bytes",
+            "",
+            self.kv_budget_bytes as f64,
+        );
+        for (r, s) in self.per_replica.iter().enumerate() {
+            gauge(
+                "meshslice_serving_replica_completed",
+                &format!("replica=\"{r}\""),
+                s.completed as f64,
+            );
+            gauge(
+                "meshslice_serving_replica_makespan_seconds",
+                &format!("replica=\"{r}\""),
+                s.makespan_secs,
+            );
+        }
+        out
     }
 }
 
@@ -286,6 +420,24 @@ impl FleetReport {
 /// served on the configured mesh.
 pub fn simulate_fleet(spec: &ServingSpec, cfg: &SimConfig) -> Result<FleetReport, String> {
     simulate_fleet_threads(spec, cfg, 1)
+}
+
+/// Simulates the fleet while recording the full request-level trace.
+///
+/// Tracing is observation-only: the returned `FleetReport` is
+/// bit-for-bit identical to what [`simulate_fleet_threads`] produces
+/// for the same spec (property-tested in `tests/serving_properties.rs`).
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_fleet_threads`].
+pub fn simulate_fleet_traced(
+    spec: &ServingSpec,
+    cfg: &SimConfig,
+    threads: usize,
+) -> Result<(FleetReport, ServingTrace), String> {
+    let (report, trace) = run_fleet(spec, cfg, threads, true)?;
+    Ok((report, trace.expect("recording was requested")))
 }
 
 /// Simulates the fleet with replicas distributed over `threads` workers.
@@ -304,6 +456,32 @@ pub fn simulate_fleet_threads(
     cfg: &SimConfig,
     threads: usize,
 ) -> Result<FleetReport, String> {
+    run_fleet(spec, cfg, threads, false).map(|(report, _)| report)
+}
+
+/// Per-replica sink stack: the windowed series is always built (it is
+/// part of the report); full event recording is opt-in. Neither feeds
+/// back into the loop's arithmetic.
+struct ReplicaSinks {
+    series: ReplicaSeriesBuilder,
+    record: Option<RecordingSink>,
+}
+
+impl TraceSink for ReplicaSinks {
+    fn event(&mut self, e: &ServingEvent) {
+        self.series.event(e);
+        if let Some(r) = &mut self.record {
+            r.event(e);
+        }
+    }
+}
+
+fn run_fleet(
+    spec: &ServingSpec,
+    cfg: &SimConfig,
+    threads: usize,
+    record: bool,
+) -> Result<(FleetReport, Option<ServingTrace>), String> {
     spec.validate()?;
     let costs = build_replica_costs(
         &spec.model,
@@ -328,6 +506,7 @@ pub fn simulate_fleet_threads(
     for r in &trace {
         streams[r.id % spec.replicas].push(*r);
     }
+    let slo_secs = spec.slo_p99_ttft_ms / 1e3;
     let indices: Vec<usize> = (0..spec.replicas).collect();
     let runs = par::parallel_map_threads(threads, &indices, |&r| {
         let fail_at = spec
@@ -335,22 +514,40 @@ pub fn simulate_fleet_threads(
             .as_ref()
             .filter(|f| f.replica == r)
             .map(|f| f.at_secs);
-        simulate_replica(&costs, &streams[r], fail_at, &failover)
+        let mut sinks = ReplicaSinks {
+            series: ReplicaSeriesBuilder::new(),
+            record: record.then(RecordingSink::default),
+        };
+        let run = simulate_replica(
+            &costs,
+            &streams[r],
+            fail_at,
+            &failover,
+            slo_secs,
+            &mut sinks,
+        );
+        (run, sinks)
     });
 
     let mut outcomes = Vec::with_capacity(trace.len());
     let mut per_replica = Vec::with_capacity(spec.replicas);
-    for (r, run) in runs.into_iter().enumerate() {
+    let mut builders = Vec::with_capacity(spec.replicas);
+    let mut recorded: Vec<Vec<ServingEvent>> = Vec::with_capacity(spec.replicas);
+    for (r, (run, sinks)) in runs.into_iter().enumerate() {
         outcomes.extend(run.outcomes.into_iter().map(|mut o| {
             o.replica = r;
             o
         }));
         per_replica.push(run.stats);
+        builders.push(sinks.series);
+        if let Some(rec) = sinks.record {
+            recorded.push(rec.events);
+        }
     }
     outcomes.sort_by_key(|o| o.id);
+    let series = FleetSeries::from_builders(builders);
 
     let ttft_samples: Vec<f64> = outcomes.iter().filter_map(|o| o.ttft_secs).collect();
-    let slo_secs = spec.slo_p99_ttft_ms / 1e3;
     let slo_hits = ttft_samples.iter().filter(|&&t| t <= slo_secs).count();
     let ttft = LatencySummary::from_unsorted(ttft_samples.clone());
     let tpot = LatencySummary::from_unsorted(outcomes.iter().filter_map(|o| o.tpot_secs).collect());
@@ -371,8 +568,29 @@ pub fn simulate_fleet_threads(
     } else {
         0.0
     };
+    let failovers = per_replica.iter().filter(|s| s.failed_over).count();
+    let downtime = spec.failure.map(|_| ServingDowntime {
+        detection_secs: failovers as f64 * failover.detect_secs,
+        restore_secs: failovers as f64 * failover.restore_secs,
+        reprefill_secs: per_replica.iter().map(|s| s.reprefill_secs).sum(),
+        degraded_extra_secs: per_replica.iter().map(|s| s.degraded_extra_secs).sum(),
+        failovers,
+    });
+    let serving_trace = if record {
+        Some(ServingTrace {
+            model: spec.model.name.clone(),
+            mesh: format!("{}", spec.mesh),
+            replicas: spec.replicas,
+            qps: spec.arrivals.qps,
+            seed: spec.seed,
+            slo_p99_ttft_ms: spec.slo_p99_ttft_ms,
+            events: recorded,
+        })
+    } else {
+        None
+    };
 
-    Ok(FleetReport {
+    let report = FleetReport {
         model: spec.model.name.to_string(),
         mesh: spec.mesh,
         slice_count: spec.slice_count,
@@ -385,7 +603,7 @@ pub fn simulate_fleet_threads(
         completed,
         rejected: per_replica.iter().map(|s| s.rejected).sum(),
         preemptions: per_replica.iter().map(|s| s.preemptions).sum(),
-        failovers: per_replica.iter().filter(|s| s.failed_over).count(),
+        failovers,
         slo_attained: ttft.count > 0 && ttft.p99 <= slo_secs,
         slo_attainment: if ttft.count > 0 {
             slo_hits as f64 / ttft.count as f64
@@ -404,8 +622,11 @@ pub fn simulate_fleet_threads(
             .max()
             .unwrap_or(0),
         per_replica,
+        downtime,
+        series,
         outcomes,
-    })
+    };
+    Ok((report, serving_trace))
 }
 
 struct ReplicaRun {
@@ -413,14 +634,37 @@ struct ReplicaRun {
     stats: ReplicaStats,
 }
 
+/// Builds the completion event for one finished request.
+fn completed_event(
+    req: &Request,
+    end: f64,
+    first: f64,
+    generated: usize,
+    preempts: usize,
+    slo_secs: f64,
+) -> ServingEvent {
+    let ttft = first - req.arrival_secs;
+    ServingEvent::Completed {
+        id: req.id,
+        t: end,
+        ttft,
+        generated,
+        preemptions: preempts,
+        slo_ok: ttft <= slo_secs,
+    }
+}
+
 /// One replica's timeline: a sequential discrete-event loop over its
 /// request stream. All arithmetic is sequential f64, so the result is a
-/// pure function of `(costs, requests, fail_at, failover)`.
+/// pure function of `(costs, requests, fail_at, failover)` — the sink
+/// only observes, it never influences the loop.
 fn simulate_replica(
     costs: &ReplicaCosts,
     requests: &[Request],
     fail_at: Option<f64>,
     failover: &ServingFailover,
+    slo_secs: f64,
+    sink: &mut dyn TraceSink,
 ) -> ReplicaRun {
     let per_token = costs.kv_bytes_per_token;
     let budget = costs.kv_budget_bytes;
@@ -452,11 +696,20 @@ fn simulate_replica(
         while next_arrival < n && requests[next_arrival].arrival_secs <= t {
             let idx = next_arrival;
             next_arrival += 1;
+            let id = requests[idx].id;
+            let at = requests[idx].arrival_secs;
+            sink.event(&ServingEvent::Arrival { id, t: at });
             if requests[idx].peak_kv_tokens() as u64 * per_token > budget {
                 rejected[idx] = true;
                 stats.rejected += 1;
+                sink.event(&ServingEvent::Rejected { id, t: at });
             } else {
                 waiting.push_back(idx);
+                sink.event(&ServingEvent::Queued {
+                    id,
+                    t: at,
+                    queue: waiting.len(),
+                });
             }
         }
 
@@ -468,11 +721,18 @@ fn simulate_replica(
                 failed_over = true;
                 degraded = true;
                 stats.failed_over = true;
+                let start = t;
                 t += failover.outage_secs();
+                stats.outage_secs += failover.outage_secs();
+                sink.event(&ServingEvent::Outage { start, end: t });
                 while let Some(idx) = active.pop() {
                     preemptions[idx] += 1;
                     stats.preemptions += 1;
                     waiting.push_front(idx);
+                    sink.event(&ServingEvent::Preempted {
+                        id: requests[idx].id,
+                        t: start,
+                    });
                 }
                 kv_used = 0;
                 continue;
@@ -486,6 +746,9 @@ fn simulate_replica(
             let mut chunk: Vec<usize> = Vec::new();
             let mut chunk_tokens = 0usize;
             let mut chunk_kv = 0u64;
+            let mut resumed_tokens = 0usize;
+            let mut fresh_ids: Vec<usize> = Vec::new();
+            let mut resumed_ids: Vec<usize> = Vec::new();
             while let Some(&idx) = waiting.front() {
                 if active.len() + chunk.len() >= costs.max_batch {
                     break;
@@ -501,13 +764,27 @@ fn simulate_replica(
                 chunk.push(idx);
                 chunk_tokens += tokens;
                 chunk_kv += tokens as u64 * per_token;
+                if generated[idx] > 0 {
+                    resumed_tokens += tokens;
+                    resumed_ids.push(requests[idx].id);
+                } else {
+                    fresh_ids.push(requests[idx].id);
+                }
             }
             if !chunk.is_empty() {
-                t += costs.prefill.cost_secs(chunk_tokens, degraded);
+                let start = t;
+                let cost = costs.prefill.cost_secs(chunk_tokens, degraded);
+                t += cost;
                 stats.prefill_chunks += 1;
                 if degraded {
                     stats.degraded_steps += 1;
+                    stats.degraded_extra_secs +=
+                        cost - costs.prefill.cost_secs(chunk_tokens, false);
                 }
+                if chunk_tokens > 0 {
+                    stats.reprefill_secs += cost * resumed_tokens as f64 / chunk_tokens as f64;
+                }
+                let mut finished: Vec<usize> = Vec::new();
                 for idx in chunk {
                     generated[idx] = generated[idx].max(1);
                     if first_token[idx].is_none() {
@@ -516,6 +793,7 @@ fn simulate_replica(
                     if generated[idx] >= requests[idx].output_tokens {
                         finish[idx] = Some(t);
                         stats.completed += 1;
+                        finished.push(idx);
                     } else {
                         kv_used += kv_of(idx, &generated) * per_token;
                         active.push(idx);
@@ -523,6 +801,30 @@ fn simulate_replica(
                 }
                 stats.kv_peak_bytes = stats.kv_peak_bytes.max(kv_used);
                 stats.makespan_secs = t;
+                sink.event(&ServingEvent::Prefill {
+                    start,
+                    end: t,
+                    tokens: chunk_tokens,
+                    fresh: fresh_ids.clone(),
+                    resumed: resumed_ids,
+                    degraded,
+                    kv_bytes: kv_used,
+                    queue: waiting.len(),
+                });
+                for id in fresh_ids {
+                    sink.event(&ServingEvent::FirstToken { id, t });
+                }
+                for idx in finished {
+                    let first = first_token[idx].expect("completed requests have a first token");
+                    sink.event(&completed_event(
+                        &requests[idx],
+                        t,
+                        first,
+                        generated[idx],
+                        preemptions[idx],
+                        slo_secs,
+                    ));
+                }
                 continue;
             }
         }
@@ -537,15 +839,23 @@ fn simulate_replica(
                 preemptions[victim] += 1;
                 stats.preemptions += 1;
                 waiting.push_front(victim);
+                sink.event(&ServingEvent::Preempted {
+                    id: requests[victim].id,
+                    t,
+                });
             }
             let batch = active.len();
-            t += costs.decode.cost_secs(batch, degraded);
+            let start = t;
+            let cost = costs.decode.cost_secs(batch, degraded);
+            t += cost;
             stats.decode_steps += 1;
             if degraded {
                 stats.degraded_steps += 1;
+                stats.degraded_extra_secs += cost - costs.decode.cost_secs(batch, false);
             }
             kv_used += batch as u64 * per_token;
             stats.kv_peak_bytes = stats.kv_peak_bytes.max(kv_used);
+            let mut finished: Vec<usize> = Vec::new();
             let mut i = 0;
             while i < active.len() {
                 let idx = active[i];
@@ -555,11 +865,31 @@ fn simulate_replica(
                     stats.completed += 1;
                     kv_used -= kv_of(idx, &generated) * per_token;
                     active.remove(i);
+                    finished.push(idx);
                 } else {
                     i += 1;
                 }
             }
             stats.makespan_secs = t;
+            sink.event(&ServingEvent::Decode {
+                start,
+                end: t,
+                batch,
+                degraded,
+                kv_bytes: kv_used,
+                queue: waiting.len(),
+            });
+            for idx in finished {
+                let first = first_token[idx].expect("completed requests have a first token");
+                sink.event(&completed_event(
+                    &requests[idx],
+                    t,
+                    first,
+                    generated[idx],
+                    preemptions[idx],
+                    slo_secs,
+                ));
+            }
             continue;
         }
 
@@ -738,6 +1068,7 @@ mod tests {
             "goodput_tokens_per_chip_s",
             "slo_attained",
             "per_replica",
+            "timeseries",
         ] {
             assert!(json.get(key).is_some(), "missing {key}");
         }
@@ -747,5 +1078,105 @@ mod tests {
                 .and_then(Json::as_usize),
             Some(report.completed)
         );
+        assert_eq!(json.get("schema_version").and_then(Json::as_usize), Some(2));
+        assert!(
+            json.get("downtime_s").is_none(),
+            "no failure injected, no downtime section"
+        );
+    }
+
+    #[test]
+    fn tracing_is_observation_only() {
+        let cfg = SimConfig::tpu_v4();
+        let mut spec = tiny_spec(200.0);
+        spec.failure = Some(ChipDeath {
+            replica: 0,
+            at_secs: 0.5,
+        });
+        let untraced = simulate_fleet(&spec, &cfg).expect("feasible");
+        let (traced, trace) = simulate_fleet_traced(&spec, &cfg, 2).expect("feasible");
+        assert_eq!(untraced, traced, "tracing must not perturb the report");
+        assert_eq!(
+            untraced.to_json().to_string_pretty(),
+            traced.to_json().to_string_pretty(),
+            "artifacts must be byte-identical"
+        );
+        trace.check_invariants().expect("well-formed trace");
+        assert_eq!(trace.replicas, spec.replicas);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn blame_matches_reported_ttft() {
+        let cfg = SimConfig::tpu_v4();
+        let (report, trace) = simulate_fleet_traced(&tiny_spec(500.0), &cfg, 1).expect("feasible");
+        let blame = trace.blame();
+        assert_eq!(blame.requests.len(), report.completed);
+        for b in &blame.requests {
+            let outcome = report.outcomes.iter().find(|o| o.id == b.id).expect("id");
+            let ttft = outcome.ttft_secs.expect("completed");
+            assert!(
+                (b.ttft - ttft).abs() < 1e-9,
+                "trace ttft must match outcome"
+            );
+            assert!((b.components_sum() - b.ttft).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn chip_death_produces_a_downtime_breakdown() {
+        let cfg = SimConfig::tpu_v4();
+        let mut spec = tiny_spec(2000.0);
+        let healthy = simulate_fleet(&spec, &cfg).expect("feasible");
+        spec.failure = Some(ChipDeath {
+            replica: 0,
+            at_secs: healthy.makespan_secs / 4.0,
+        });
+        let wounded = simulate_fleet(&spec, &cfg).expect("feasible");
+        let d = wounded.downtime.expect("failure injected");
+        assert_eq!(d.failovers, 1);
+        assert!(d.detection_secs > 0.0 && d.restore_secs > 0.0);
+        assert!(d.reprefill_secs > 0.0, "flushed batch must re-prefill");
+        assert!(d.degraded_extra_secs > 0.0, "degraded torus costs extra");
+        let stats = &wounded.per_replica[0];
+        assert!(stats.outage_secs > 0.0);
+        assert!((d.detection_secs + d.restore_secs - stats.outage_secs).abs() < 1e-12);
+        let json = wounded.to_json();
+        assert!(json
+            .get("downtime_s")
+            .and_then(|v| v.get("reprefill"))
+            .is_some());
+    }
+
+    #[test]
+    fn timeseries_totals_match_the_report() {
+        let report = simulate_fleet(&tiny_spec(50.0), &SimConfig::tpu_v4()).expect("feasible");
+        let agg = report.series.aggregate();
+        assert_eq!(
+            agg.iter().map(|w| w.completed).sum::<usize>(),
+            report.completed
+        );
+        assert_eq!(
+            agg.iter().map(|w| w.admitted).sum::<usize>(),
+            report.offered - report.rejected
+        );
+        assert_eq!(
+            agg.iter().map(|w| w.decode_steps).sum::<usize>(),
+            report.per_replica.iter().map(|s| s.decode_steps).sum()
+        );
+        // Event snapshots are post-step (after finishers release KV), so
+        // the series peak lower-bounds the report's mid-step peak.
+        let kv_peak = agg.iter().map(|w| w.kv_peak_bytes).max().unwrap_or(0);
+        assert!(kv_peak > 0 && kv_peak <= report.kv_peak_bytes);
+    }
+
+    #[test]
+    fn prometheus_export_names_the_tail() {
+        let report = simulate_fleet(&tiny_spec(5.0), &SimConfig::tpu_v4()).expect("feasible");
+        let prom = report.to_prometheus();
+        assert!(prom.contains("meshslice_serving_ttft_seconds"));
+        assert!(prom.contains("quantile=\"p99\""));
+        assert!(prom.contains("outcome=\"completed\""));
+        assert!(prom.contains("meshslice_serving_replica_completed{"));
     }
 }

@@ -26,6 +26,13 @@
 //!   [`Autotuner`](meshslice::autotuner::Autotuner): pick mesh shape ×
 //!   slice count × replica count × batch policy to maximize
 //!   goodput-per-chip under a TTFT p99 SLO.
+//! - [`simulate_fleet_traced`] runs the same loop while recording every
+//!   request lifecycle event into a
+//!   [`ServingTrace`](meshslice_telemetry::ServingTrace) for JSONL /
+//!   chrome-trace export and TTFT blame decomposition — tracing is
+//!   observation-only and leaves the report bit-for-bit unchanged.
+//!   Every report also carries a windowed per-replica time-series and,
+//!   under an injected failure, the [`ServingDowntime`] breakdown.
 //!
 //! Everything is deterministic: the same spec, seed, and thread count —
 //! in fact *any* thread count — produces a bit-identical report.
@@ -68,8 +75,8 @@ pub use costs::{
     NOMINAL_KV_CONTEXT,
 };
 pub use fleet::{
-    simulate_fleet, simulate_fleet_threads, ChipDeath, FleetReport, ReplicaStats, RequestOutcome,
-    ServingSpec,
+    simulate_fleet, simulate_fleet_threads, simulate_fleet_traced, ChipDeath, FleetReport,
+    ReplicaStats, RequestOutcome, ServingDowntime, ServingSpec,
 };
 pub use tune::{
     ServingCandidate, ServingPlan, ServingTuning, CANDIDATE_MAX_BATCH, CANDIDATE_SLICE_COUNTS,

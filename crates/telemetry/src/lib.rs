@@ -14,6 +14,14 @@
 //!   autotuner candidate (the paper's Figure 15 error analysis).
 //! - [`RunDiff`] compares two metric artifacts with an ASCII per-lane
 //!   utilization heatmap.
+//! - [`ServingTrace`] records per-request lifecycle events from the
+//!   serving fleet event loop (via the [`TraceSink`] hook), exports
+//!   JSONL and chrome-trace, and decomposes tail TTFT into
+//!   queueing/prefill/preemption/failover blame ([`BlameReport`]).
+//! - [`ReplicaSeriesBuilder`]/[`FleetSeries`] fold the same events into
+//!   windowed per-replica time-series in O(windows) memory, and
+//!   [`FleetDiff`] compares two serving runs like [`RunDiff`] compares
+//!   two training runs.
 //!
 //! Everything is built on [`meshslice_sim::Engine::run_instrumented`],
 //! works under fault profiles, and serializes through the dependency-free
@@ -52,6 +60,8 @@ mod metrics;
 mod percentile;
 mod recovery;
 mod schema;
+mod serving_trace;
+mod timeseries;
 mod tunelog;
 
 pub use critical_path::{
@@ -66,4 +76,12 @@ pub use metrics::{
 pub use percentile::{percentile, LatencySummary};
 pub use recovery::{DowntimeBreakdown, RecoveryPhase, RecoverySpan, DOWNTIME_LABELS};
 pub use schema::validate;
+pub use serving_trace::{
+    BlameBucket, BlameReport, NoopTraceSink, RecordingSink, ServingEvent, ServingTrace, TraceSink,
+    TtftBlame, BLAME_BUCKETS,
+};
+pub use timeseries::{
+    is_serving_artifact, FleetDelta, FleetDiff, FleetSeries, ReplicaSeries, ReplicaSeriesBuilder,
+    SeriesWindow, BASE_WINDOW_SECS, MAX_WINDOWS,
+};
 pub use tunelog::{TuneCandidate, TuneLog};

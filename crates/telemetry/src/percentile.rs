@@ -6,6 +6,12 @@
 //! module reduces a sample vector to a [`LatencySummary`] with the
 //! deterministic nearest-rank method, so identical runs serialize to
 //! identical artifacts.
+//!
+//! Both entry points are total: empty inputs yield `0.0` (a fleet that
+//! completed no request still serializes a well-formed artifact), a
+//! single sample is every percentile, and non-finite samples are
+//! dropped before summarizing so a stray `NaN` cannot silently poison
+//! the tail statistics an SLO gate reads.
 
 use crate::json::Json;
 
@@ -14,12 +20,20 @@ use crate::json::Json;
 /// (`q` in `[0, 1]`). Deterministic — no interpolation, so results are
 /// bit-identical across platforms.
 ///
-/// # Panics
-///
-/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+/// Total by construction: an empty slice yields `0.0` (there is no
+/// order statistic to report, and the zero sentinel matches the
+/// all-zero [`LatencySummary`] of an empty run), and `q` is clamped
+/// into `[0, 1]` with a non-finite `q` reading the conservative tail
+/// (`q = 1`).
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty(), "percentile of an empty sample");
-    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = if q.is_finite() {
+        q.clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
     let n = sorted.len();
     let rank = (q * n as f64).ceil() as usize;
     sorted[rank.saturating_sub(1).min(n - 1)]
@@ -29,7 +43,7 @@ pub fn percentile(sorted: &[f64], q: f64) -> f64 {
 /// serving artifact reports, plus mean and max for sanity checks.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LatencySummary {
-    /// Number of samples summarized.
+    /// Number of (finite) samples summarized.
     pub count: usize,
     /// Median (nearest rank).
     pub p50: f64,
@@ -44,10 +58,14 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    /// Summarizes a sample vector (need not be sorted). An empty vector
-    /// yields the all-zero summary with `count == 0` — a fleet that
-    /// completed no request still serializes a well-formed artifact.
-    pub fn from_unsorted(mut samples: Vec<f64>) -> LatencySummary {
+    /// Summarizes a sample vector (need not be sorted). Non-finite
+    /// samples (`NaN`, `±inf`) are dropped first — `count` reflects the
+    /// samples actually summarized — and an empty (or fully non-finite)
+    /// vector yields the all-zero summary with `count == 0`, so a fleet
+    /// that completed no request still serializes a well-formed
+    /// artifact.
+    pub fn from_unsorted(samples: Vec<f64>) -> LatencySummary {
+        let mut samples: Vec<f64> = samples.into_iter().filter(|s| s.is_finite()).collect();
         if samples.is_empty() {
             return LatencySummary {
                 count: 0,
@@ -96,8 +114,19 @@ mod tests {
         assert_eq!(percentile(&v, 0.99), 99.0);
         assert_eq!(percentile(&v, 1.0), 100.0);
         assert_eq!(percentile(&v, 0.0), 1.0);
-        // A single sample is every percentile.
-        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[7.0], q), 7.0);
+        }
+        let s = LatencySummary::from_unsorted(vec![7.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(
+            (s.p50, s.p95, s.p99, s.mean, s.max),
+            (7.0, 7.0, 7.0, 7.0, 7.0)
+        );
     }
 
     #[test]
@@ -119,16 +148,45 @@ mod tests {
     }
 
     #[test]
+    fn empty_percentile_is_zero_not_a_panic() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_or_non_finite_quantiles_are_clamped() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&v, -0.5), 1.0);
+        assert_eq!(percentile(&v, 1.5), 3.0);
+        assert_eq!(percentile(&v, f64::NAN), 3.0, "NaN reads the tail");
+        assert_eq!(percentile(&v, f64::INFINITY), 3.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped_not_propagated() {
+        let s = LatencySummary::from_unsorted(vec![
+            1.0,
+            f64::NAN,
+            2.0,
+            f64::INFINITY,
+            3.0,
+            f64::NEG_INFINITY,
+        ]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.max, 3.0);
+        assert!(s.mean.is_finite());
+        // All-NaN input degrades to the empty summary, not NaN fields.
+        let bad = LatencySummary::from_unsorted(vec![f64::NAN, f64::NAN]);
+        assert_eq!(bad.count, 0);
+        assert_eq!(bad.p99, 0.0);
+    }
+
+    #[test]
     fn json_scaling_converts_units() {
         let s = LatencySummary::from_unsorted(vec![0.1, 0.2]);
         let j = s.to_json_scaled(1e3);
         assert_eq!(j.get("p50").and_then(Json::as_f64), Some(100.0));
         assert_eq!(j.get("count").and_then(Json::as_usize), Some(2));
-    }
-
-    #[test]
-    #[should_panic(expected = "empty sample")]
-    fn percentile_of_empty_panics() {
-        percentile(&[], 0.5);
     }
 }

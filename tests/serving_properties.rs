@@ -1,13 +1,15 @@
 //! Property tests for the serving subsystem: seeded arrival determinism,
 //! thread-count invariance of the fleet simulation, KV accounting bounds,
-//! and survival of an injected chip death.
+//! survival of an injected chip death, and the observability guarantees —
+//! tracing never perturbs the report, event streams keep their ordering
+//! invariants, and TTFT blame components sum exactly to measured TTFT.
 
 use meshslice::llm::LlmConfig;
 use meshslice::memory::{inference_footprint, HBM_BYTES};
 use meshslice::{MeshShape, SimConfig};
 use meshslice_serving::{
-    simulate_fleet, simulate_fleet_threads, ArrivalSpec, ChipDeath, LoadShape, ServingSpec,
-    MAX_PREFILL_TOKENS,
+    simulate_fleet, simulate_fleet_threads, simulate_fleet_traced, ArrivalSpec, ChipDeath,
+    LoadShape, ServingSpec, MAX_PREFILL_TOKENS,
 };
 use proptest::prelude::*;
 
@@ -120,5 +122,97 @@ proptest! {
         prop_assert!(report.goodput_tokens_per_chip_s > 0.0, "goodput must stay nonzero");
         prop_assert!(report.per_replica[0].failed_over);
         prop_assert!(!report.per_replica[1].failed_over);
+    }
+
+    /// Recording a trace is observation-only: the traced run's report —
+    /// struct and serialized artifact alike — is bit-for-bit identical
+    /// to the untraced run, with and without an injected chip death.
+    #[test]
+    fn tracing_never_perturbs_the_report(
+        qps in 5.0f64..300.0,
+        requests in 10usize..80,
+        seed in any::<u64>(),
+        fail in any::<bool>(),
+    ) {
+        let cfg = SimConfig::tpu_v4();
+        let mut spec = spec(qps, requests, seed);
+        if fail {
+            spec.failure = Some(ChipDeath { replica: 0, at_secs: 0.2 });
+        }
+        let untraced = simulate_fleet(&spec, &cfg).expect("tiny fleet simulates");
+        let (traced, trace) =
+            simulate_fleet_traced(&spec, &cfg, 2).expect("tiny fleet simulates");
+        prop_assert_eq!(&untraced, &traced, "tracing changed the report");
+        prop_assert_eq!(
+            untraced.to_json().to_string_pretty(),
+            traced.to_json().to_string_pretty(),
+            "tracing changed the serialized artifact"
+        );
+        prop_assert!(!trace.is_empty(), "a run with requests must emit events");
+    }
+
+    /// Every recorded stream satisfies the trace invariants: the step
+    /// lane is ordered and non-overlapping, per-request times are
+    /// non-decreasing through the lifecycle, and spans nest.
+    #[test]
+    fn trace_streams_keep_their_ordering_invariants(
+        qps in 5.0f64..500.0,
+        requests in 10usize..80,
+        seed in any::<u64>(),
+        fail in any::<bool>(),
+    ) {
+        let cfg = SimConfig::tpu_v4();
+        let mut spec = spec(qps, requests, seed);
+        if fail {
+            spec.failure = Some(ChipDeath { replica: 0, at_secs: 0.1 });
+        }
+        let (_, trace) =
+            simulate_fleet_traced(&spec, &cfg, 1).expect("tiny fleet simulates");
+        if let Err(e) = trace.check_invariants() {
+            prop_assert!(false, "invariant violated: {}", e);
+        }
+    }
+
+    /// The blame decomposition is exact: for every completed request,
+    /// queueing + prefill + preemption + failover equals the TTFT the
+    /// report measured, each component non-negative.
+    #[test]
+    fn blame_components_sum_exactly_to_ttft(
+        qps in 5.0f64..500.0,
+        requests in 10usize..80,
+        seed in any::<u64>(),
+        fail in any::<bool>(),
+    ) {
+        let cfg = SimConfig::tpu_v4();
+        let mut spec = spec(qps, requests, seed);
+        if fail {
+            spec.failure = Some(ChipDeath { replica: 0, at_secs: 0.15 });
+        }
+        let (report, trace) =
+            simulate_fleet_traced(&spec, &cfg, 1).expect("tiny fleet simulates");
+        let blame = trace.blame();
+        prop_assert_eq!(blame.requests.len(), report.completed);
+        for b in &blame.requests {
+            prop_assert!(b.queueing >= -1e-9, "queueing negative: {:?}", b);
+            prop_assert!(b.prefill >= 0.0, "prefill negative: {:?}", b);
+            prop_assert!(b.preemption >= -1e-9, "preemption negative: {:?}", b);
+            prop_assert!(b.failover >= 0.0, "failover negative: {:?}", b);
+            prop_assert!(
+                (b.components_sum() - b.ttft).abs() < 1e-9,
+                "components {} != ttft {} for request {}",
+                b.components_sum(), b.ttft, b.id
+            );
+            let outcome = report
+                .outcomes
+                .iter()
+                .find(|o| o.id == b.id)
+                .expect("blamed request has an outcome");
+            let measured = outcome.ttft_secs.expect("completed requests have a TTFT");
+            prop_assert!(
+                (b.ttft - measured).abs() < 1e-9,
+                "trace ttft {} != report ttft {} for request {}",
+                b.ttft, measured, b.id
+            );
+        }
     }
 }
