@@ -44,8 +44,8 @@ use meshslice_faults::FailureSpec;
 use meshslice_mesh::Torus2d;
 use meshslice_recovery::{simulate_recovery, RecoveryParams, ResilientTuning, DEFAULT_DETECT_SECS};
 use meshslice_serving::{
-    simulate_fleet_threads, simulate_fleet_traced, ArrivalSpec, ChipDeath, ServingSpec,
-    ServingTuning, DEFAULT_SEGMENT_SECS,
+    simulate_fleet_threads, simulate_fleet_traced, ArrivalSpec, ChipDeath, ScreenPolicy,
+    ServingSpec, ServingTuning, TuneMode, DEFAULT_SEGMENT_SECS,
 };
 use meshslice_sim::{NodeSpan, OpKind, Program};
 use meshslice_telemetry::{
@@ -112,7 +112,7 @@ pub enum Command {
     },
     /// `serve [--model M] [--chips N] [--replicas R] [--qps F]
     /// [--trace FILE] [--slo-p99-ms F] [--seed K] [--requests N]
-    /// [--fail-at SECS] [--mesh RxC] [--s N] [--max-batch N]
+    /// [--fail-at SECS] [--mesh RxC] [--s N] [--max-batch N] [--screen]
     /// [--format text|json|prometheus] [--out FILE] [--trace-out FILE]
     /// [--trace-chrome FILE] [--explain] [--explain-out FILE]
     /// [--threads N]`: simulate a continuous-batching serving fleet and
@@ -146,6 +146,10 @@ pub enum Command {
         s: usize,
         /// Decode batch cap used with `--mesh` (tuned when absent).
         max_batch: usize,
+        /// Tune with successive-halving screening (prefix-trace
+        /// elimination) instead of the full fast path; ignored with
+        /// `--mesh`.
+        screen: bool,
         /// Output format for the artifact.
         format: ServeFormat,
         /// Also write the JSON artifact here.
@@ -258,6 +262,9 @@ pub enum Model {
     Gpt3,
     /// NVIDIA Megatron-NLG (530B).
     Megatron,
+    /// The tiny smoke-test model (fits a handful of chips; used by CI
+    /// fast-tune smoke runs).
+    Tiny,
 }
 
 impl Model {
@@ -265,6 +272,7 @@ impl Model {
         match self {
             Model::Gpt3 => LlmConfig::gpt3(),
             Model::Megatron => LlmConfig::megatron_nlg(),
+            Model::Tiny => LlmConfig::tiny(),
         }
     }
 
@@ -273,6 +281,7 @@ impl Model {
         match self {
             Model::Gpt3 => "gpt3",
             Model::Megatron => "megatron",
+            Model::Tiny => "tiny",
         }
     }
 }
@@ -345,9 +354,9 @@ USAGE:
     meshslice plan3d      <gpt3|megatron> <chips> <global_batch>
     meshslice memory      <gpt3|megatron> <chips>
     meshslice inference   <gpt3|megatron> <chips>
-    meshslice serve       [--model gpt3|megatron] [--chips N] [--replicas R] [--qps F]
+    meshslice serve       [--model gpt3|megatron|tiny] [--chips N] [--replicas R] [--qps F]
                           [--trace FILE] [--slo-p99-ms F] [--seed K] [--requests N]
-                          [--fail-at SECS] [--mesh RxC] [--s N] [--max-batch N]
+                          [--fail-at SECS] [--mesh RxC] [--s N] [--max-batch N] [--screen]
                           [--format text|json|prometheus] [--out FILE]
                           [--trace-out FILE] [--trace-chrome FILE]
                           [--explain] [--explain-out FILE] [--threads N]
@@ -375,6 +384,7 @@ fn parse_model(s: &str) -> Result<Model, UsageError> {
     match s.to_ascii_lowercase().as_str() {
         "gpt3" | "gpt-3" => Ok(Model::Gpt3),
         "megatron" | "megatron-nlg" => Ok(Model::Megatron),
+        "tiny" => Ok(Model::Tiny),
         other => Err(UsageError(format!("unknown model '{other}'"))),
     }
 }
@@ -578,11 +588,17 @@ fn parse_serve(args: &[String]) -> Result<Command, UsageError> {
     let (mut format, mut out, mut threads) = (ServeFormat::Json, None, None);
     let (mut trace_out, mut trace_chrome) = (None, None);
     let (mut explain, mut explain_out) = (false, None);
+    let mut screen = false;
     let mut it = args.iter().map(String::as_str);
     while let Some(flag) = it.next() {
-        // `--explain` is the one boolean flag; everything else takes a value.
+        // `--explain` and `--screen` are the boolean flags; everything
+        // else takes a value.
         if flag == "--explain" {
             explain = true;
+            continue;
+        }
+        if flag == "--screen" {
+            screen = true;
             continue;
         }
         let value = it
@@ -663,6 +679,7 @@ fn parse_serve(args: &[String]) -> Result<Command, UsageError> {
         mesh,
         s,
         max_batch,
+        screen,
         format,
         out,
         trace_out,
@@ -930,6 +947,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             mesh,
             s,
             max_batch,
+            screen,
             format,
             out,
             trace_out,
@@ -973,17 +991,34 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 Some(m) => (m, s, max_batch, false),
                 None => {
                     let tuner = Autotuner::new(cfg.clone());
-                    let plan = tuner.tune_serving_threads(
+                    let tune_requests = requests.min(64);
+                    // `--screen` eliminates most of the grid on a prefix
+                    // trace; the default fast path fully evaluates it
+                    // (bit-identical to the exhaustive reference).
+                    let mode = if screen {
+                        TuneMode::Screened(ScreenPolicy::auto(tune_requests))
+                    } else {
+                        TuneMode::Fast
+                    };
+                    let plan = tuner.tune_serving_mode(
                         &config,
                         chips,
                         Some(replicas),
                         &arrivals,
                         slo_p99_ms,
-                        requests.min(64),
+                        tune_requests,
                         seed,
+                        mode,
                         workers,
                     )?;
                     let best = plan.best();
+                    if screen {
+                        eprintln!(
+                            "screening: {} candidates fully evaluated, {} screened out",
+                            plan.candidates.len(),
+                            plan.screened_out
+                        );
+                    }
                     (best.mesh, best.slice_count, best.max_batch, true)
                 }
             };
@@ -1001,6 +1036,8 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     replica: 0,
                     at_secs,
                 }),
+                shared_costs: None,
+                shared_trace: None,
             };
             // Any trace/explain flag turns on event recording; the
             // report is bit-identical either way (tracing is
@@ -2034,10 +2071,21 @@ mod tests {
         }
         match parse(&args("serve --qps 12")).unwrap() {
             Command::Serve {
-                explain, trace_out, ..
+                explain,
+                trace_out,
+                screen,
+                ..
             } => {
                 assert!(!explain);
                 assert_eq!(trace_out, None);
+                assert!(!screen);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&args("serve --model tiny --screen --qps 12")).unwrap() {
+            Command::Serve { model, screen, .. } => {
+                assert_eq!(model, Model::Tiny);
+                assert!(screen);
             }
             other => panic!("parsed {other:?}"),
         }
@@ -2133,6 +2181,27 @@ mod tests {
         for p in [&pt, &pc, &pb, &pa, &px, &pm] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn tiny_model_screened_tune_writes_an_artifact() {
+        // The CI fast-tune smoke in miniature: tune the tiny model with
+        // successive-halving screening and check the artifact lands.
+        let dir = std::env::temp_dir();
+        let out = dir.join("meshslice_cli_tiny_tune.json");
+        let cmd = format!(
+            "serve --model tiny --chips 8 --replicas 2 --requests 24 --qps 50 \
+             --seed 5 --threads 1 --screen --out {}",
+            out.display()
+        );
+        execute(parse(&args(&cmd)).unwrap()).unwrap();
+        let artifact = Json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(
+            artifact.get("model").and_then(Json::as_str),
+            Some("tiny"),
+            "{artifact:?}"
+        );
+        std::fs::remove_file(&out).ok();
     }
 
     #[test]

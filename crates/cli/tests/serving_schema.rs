@@ -132,3 +132,27 @@ fn schema_rejects_malformed_artifacts() {
         "{errors:?}"
     );
 }
+
+#[test]
+fn committed_serving_bench_artifact_conforms_to_its_schema() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let schema_text = std::fs::read_to_string(format!("{root}/schemas/serving_bench.schema.json"))
+        .expect("serving bench schema file");
+    let schema = Json::parse(&schema_text).expect("schema parses");
+    let doc_text = std::fs::read_to_string(format!("{root}/BENCH_serving.json"))
+        .expect("committed BENCH_serving.json");
+    let doc = Json::parse(&doc_text).expect("artifact parses");
+    let errors = validate(&schema, &doc);
+    assert!(errors.is_empty(), "schema violations: {errors:?}");
+    // The tuner-speed rung must record its race and both determinism
+    // gates; the >=3x budget is only enforced on the committed full-
+    // scale artifact (quick reruns are too small to be meaningful).
+    let tune = doc.get("tune").expect("tune section");
+    let speedup = tune
+        .get("tune_speedup")
+        .and_then(Json::as_f64)
+        .expect("tune_speedup recorded");
+    if doc.get("scale").and_then(Json::as_str) == Some("full") {
+        assert!(speedup >= 3.0, "committed speedup {speedup} below 3.0x");
+    }
+}

@@ -16,6 +16,7 @@
 //! fair, as required by §4.2.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use meshslice_gemm::{Dataflow, DistributedGemm, GemmError, GemmProblem, MeshSlice};
@@ -48,6 +49,8 @@ type ScheduleKey = (GemmShape, Dataflow, MeshShape, usize, usize, usize);
 #[derive(Debug, Default)]
 pub struct ScheduleCache {
     map: Mutex<HashMap<ScheduleKey, Arc<Program>>>,
+    hits: AtomicUsize,
+    builds: AtomicUsize,
 }
 
 impl ScheduleCache {
@@ -64,6 +67,17 @@ impl ScheduleCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Programs scheduled from scratch so far (successful builds,
+    /// including the losers of insert races).
+    pub fn builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
     }
 
     /// Returns the cached program for this candidate, scheduling (and
@@ -90,12 +104,14 @@ impl ScheduleCache {
             elem_bytes,
         );
         if let Some(hit) = self.map.lock().expect("schedule cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit.clone());
         }
         // Build outside the lock: scheduling is the expensive part, and
         // a duplicate build under a race yields the identical program.
         let program =
             Arc::new(MeshSlice::new(slice_count, block).schedule(mesh, problem, elem_bytes)?);
+        self.builds.fetch_add(1, Ordering::Relaxed);
         Ok(self
             .map
             .lock()

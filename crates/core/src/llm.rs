@@ -131,6 +131,19 @@ impl LlmConfig {
         }
     }
 
+    /// A deliberately tiny model (hidden 256, 2 layers) that fits a
+    /// handful of simulated chips: the standard smoke-test workload of
+    /// the unit tests, CI serving smoke steps, and `--model tiny`.
+    pub fn tiny() -> Self {
+        LlmConfig {
+            name: "tiny".to_string(),
+            hidden: 256,
+            heads: 4,
+            layers: 2,
+            ffn_mult: 4,
+        }
+    }
+
     /// NVIDIA Megatron-NLG (530B parameters): 105 layers, hidden 20480,
     /// 128 heads.
     pub fn megatron_nlg() -> Self {

@@ -20,6 +20,7 @@
 //! degraded-torus column of the cost tables.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use meshslice::llm::LlmConfig;
 use meshslice::par;
@@ -31,7 +32,7 @@ use meshslice_telemetry::{
 };
 
 use crate::arrival::{ArrivalSpec, Request};
-use crate::costs::{build_replica_costs, ReplicaCosts};
+use crate::costs::{build_replica_costs, PhaseCostTable, ReplicaCosts};
 
 /// A permanent chip failure injected into the fleet mid-simulation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -65,6 +66,20 @@ pub struct ServingSpec {
     pub slo_p99_ttft_ms: f64,
     /// Optional injected chip death.
     pub failure: Option<ChipDeath>,
+    /// Prebuilt cost tables to serve from (e.g. a [`CostTableCache`]
+    /// view), skipping the per-call [`build_replica_costs`]. Must match
+    /// the spec's mesh and batch cap; [`validate`](Self::validate)
+    /// rejects mismatches and nominal-only tables under an injected
+    /// failure.
+    ///
+    /// [`CostTableCache`]: crate::costs::CostTableCache
+    pub shared_costs: Option<Arc<ReplicaCosts>>,
+    /// Predrawn arrival trace to simulate (ids `0..len`, as
+    /// [`ArrivalSpec::generate`] draws them), skipping the per-call
+    /// draw. May be longer than `num_requests`; the simulation serves
+    /// the prefix, which equals a direct `num_requests`-long draw
+    /// because the arrival sampler draws per request.
+    pub shared_trace: Option<Arc<[Request]>>,
 }
 
 impl ServingSpec {
@@ -82,6 +97,8 @@ impl ServingSpec {
             seed: 0,
             slo_p99_ttft_ms: 500.0,
             failure: None,
+            shared_costs: None,
+            shared_trace: None,
         }
     }
 
@@ -119,6 +136,44 @@ impl ServingSpec {
                     "failure time {} must be finite and non-negative",
                     f.at_secs
                 ));
+            }
+        }
+        if let Some(costs) = &self.shared_costs {
+            if costs.mesh != self.mesh {
+                return Err(format!(
+                    "shared cost tables were built for a {} mesh, spec wants {}",
+                    costs.mesh, self.mesh
+                ));
+            }
+            if costs.max_batch != self.max_batch {
+                return Err(format!(
+                    "shared cost tables cap batches at {}, spec wants {}",
+                    costs.max_batch, self.max_batch
+                ));
+            }
+            if costs.prefill.buckets.is_empty() || costs.decode.buckets.is_empty() {
+                return Err("shared cost tables have no feasible buckets".into());
+            }
+            if self.failure.is_some() && !costs.degraded_priced {
+                return Err(
+                    "shared cost tables are nominal-only but the spec injects a chip death".into(),
+                );
+            }
+        }
+        if let Some(trace) = &self.shared_trace {
+            if trace.len() < self.num_requests {
+                return Err(format!(
+                    "shared trace holds {} requests, spec wants {}",
+                    trace.len(),
+                    self.num_requests
+                ));
+            }
+            if trace[..self.num_requests]
+                .iter()
+                .enumerate()
+                .any(|(i, r)| r.id != i)
+            {
+                return Err("shared trace ids must be sequential from 0".into());
             }
         }
         Ok(())
@@ -483,27 +538,41 @@ fn run_fleet(
     record: bool,
 ) -> Result<(FleetReport, Option<ServingTrace>), String> {
     spec.validate()?;
-    let costs = build_replica_costs(
-        &spec.model,
-        spec.mesh,
-        spec.slice_count,
-        spec.max_batch,
-        cfg,
-    )
-    .ok_or_else(|| {
-        format!(
-            "{} cannot be served on a {} mesh: weights leave no KV budget or no batch bucket divides",
-            spec.model.name, spec.mesh
-        )
-    })?;
+    let costs: Arc<ReplicaCosts> = match &spec.shared_costs {
+        Some(shared) => shared.clone(),
+        None => Arc::new(
+            build_replica_costs(
+                &spec.model,
+                spec.mesh,
+                spec.slice_count,
+                spec.max_batch,
+                cfg,
+            )
+            .ok_or_else(|| {
+                format!(
+                    "{} cannot be served on a {} mesh: weights leave no KV budget or no batch bucket divides",
+                    spec.model.name, spec.mesh
+                )
+            })?,
+        ),
+    };
     let failover = ServingFailover::for_model(&spec.model, spec.mesh);
-    let trace = spec.arrivals.generate(spec.num_requests, spec.seed);
+    let owned_trace;
+    let trace: &[Request] = match &spec.shared_trace {
+        // The prefix of a longer shared draw equals a direct
+        // `num_requests`-long draw: the sampler draws per request.
+        Some(shared) => &shared[..spec.num_requests],
+        None => {
+            owned_trace = spec.arrivals.generate(spec.num_requests, spec.seed);
+            &owned_trace
+        }
+    };
 
     // Round-robin dispatch by id: state-independent, so the per-replica
     // request streams — and therefore the simulation — do not depend on
     // how replicas are scheduled onto worker threads.
     let mut streams: Vec<Vec<Request>> = vec![Vec::new(); spec.replicas];
-    for r in &trace {
+    for r in trace {
         streams[r.id % spec.replicas].push(*r);
     }
     let slo_secs = spec.slo_p99_ttft_ms / 1e3;
@@ -654,10 +723,27 @@ fn completed_event(
     }
 }
 
+/// Per-request progress, one slab slot per stream request. `generated`
+/// counts emitted tokens (the first comes out of prefill); a request
+/// pins `prompt + generated` KV tokens while resident.
+#[derive(Clone, Copy, Default)]
+struct ReqState {
+    generated: usize,
+    first_token: Option<f64>,
+    finish: Option<f64>,
+    preemptions: usize,
+    rejected: bool,
+}
+
 /// One replica's timeline: a sequential discrete-event loop over its
 /// request stream. All arithmetic is sequential f64, so the result is a
 /// pure function of `(costs, requests, fail_at, failover)` — the sink
 /// only observes, it never influences the loop.
+///
+/// Request state lives in one [`ReqState`] slab indexed by stream
+/// position, and the batch-assembly buffers are reused across
+/// iterations: the steady-state decode path allocates nothing per step
+/// (property-tested to leave the report bit-for-bit unchanged).
 fn simulate_replica(
     costs: &ReplicaCosts,
     requests: &[Request],
@@ -670,14 +756,7 @@ fn simulate_replica(
     let budget = costs.kv_budget_bytes;
     let n = requests.len();
 
-    // Per-request progress. `generated` counts emitted tokens (the first
-    // comes out of prefill); a request pins `prompt + generated` KV
-    // tokens while resident.
-    let mut generated = vec![0usize; n];
-    let mut first_token = vec![None::<f64>; n];
-    let mut finish = vec![None::<f64>; n];
-    let mut preemptions = vec![0usize; n];
-    let mut rejected = vec![false; n];
+    let mut reqs: Vec<ReqState> = vec![ReqState::default(); n];
 
     let mut t = 0.0_f64;
     let mut next_arrival = 0usize;
@@ -688,7 +767,19 @@ fn simulate_replica(
     let mut failed_over = false;
     let mut stats = ReplicaStats::default();
 
-    let kv_of = |idx: usize, gen: &[usize]| (requests[idx].prompt_tokens + gen[idx]) as u64;
+    // Per-iteration batch buffers, reused across the whole loop.
+    let mut chunk: Vec<usize> = Vec::new();
+    let mut fresh_ids: Vec<usize> = Vec::new();
+    let mut resumed_ids: Vec<usize> = Vec::new();
+    let mut finished: Vec<usize> = Vec::new();
+
+    let kv_of =
+        |idx: usize, reqs: &[ReqState]| (requests[idx].prompt_tokens + reqs[idx].generated) as u64;
+    let phase_secs = |table: &PhaseCostTable, size: usize, degraded: bool| {
+        table
+            .cost_secs(size, degraded)
+            .expect("replica cost tables are validated non-empty")
+    };
 
     loop {
         // Admission: a request whose peak KV footprint exceeds the whole
@@ -700,7 +791,7 @@ fn simulate_replica(
             let at = requests[idx].arrival_secs;
             sink.event(&ServingEvent::Arrival { id, t: at });
             if requests[idx].peak_kv_tokens() as u64 * per_token > budget {
-                rejected[idx] = true;
+                reqs[idx].rejected = true;
                 stats.rejected += 1;
                 sink.event(&ServingEvent::Rejected { id, t: at });
             } else {
@@ -726,7 +817,7 @@ fn simulate_replica(
                 stats.outage_secs += failover.outage_secs();
                 sink.event(&ServingEvent::Outage { start, end: t });
                 while let Some(idx) = active.pop() {
-                    preemptions[idx] += 1;
+                    reqs[idx].preemptions += 1;
                     stats.preemptions += 1;
                     waiting.push_front(idx);
                     sink.event(&ServingEvent::Preempted {
@@ -743,17 +834,17 @@ fn simulate_replica(
         // decoding. A preempted or failed-over request re-prefills its
         // prompt plus everything it had generated.
         if !waiting.is_empty() && active.len() < costs.max_batch {
-            let mut chunk: Vec<usize> = Vec::new();
+            chunk.clear();
+            fresh_ids.clear();
+            resumed_ids.clear();
             let mut chunk_tokens = 0usize;
             let mut chunk_kv = 0u64;
             let mut resumed_tokens = 0usize;
-            let mut fresh_ids: Vec<usize> = Vec::new();
-            let mut resumed_ids: Vec<usize> = Vec::new();
             while let Some(&idx) = waiting.front() {
                 if active.len() + chunk.len() >= costs.max_batch {
                     break;
                 }
-                let tokens = requests[idx].prompt_tokens + generated[idx].max(1);
+                let tokens = requests[idx].prompt_tokens + reqs[idx].generated.max(1);
                 if !chunk.is_empty() && chunk_tokens + tokens > costs.prefill.max_size() {
                     break;
                 }
@@ -764,7 +855,7 @@ fn simulate_replica(
                 chunk.push(idx);
                 chunk_tokens += tokens;
                 chunk_kv += tokens as u64 * per_token;
-                if generated[idx] > 0 {
+                if reqs[idx].generated > 0 {
                     resumed_tokens += tokens;
                     resumed_ids.push(requests[idx].id);
                 } else {
@@ -773,29 +864,29 @@ fn simulate_replica(
             }
             if !chunk.is_empty() {
                 let start = t;
-                let cost = costs.prefill.cost_secs(chunk_tokens, degraded);
+                let cost = phase_secs(&costs.prefill, chunk_tokens, degraded);
                 t += cost;
                 stats.prefill_chunks += 1;
                 if degraded {
                     stats.degraded_steps += 1;
                     stats.degraded_extra_secs +=
-                        cost - costs.prefill.cost_secs(chunk_tokens, false);
+                        cost - phase_secs(&costs.prefill, chunk_tokens, false);
                 }
                 if chunk_tokens > 0 {
                     stats.reprefill_secs += cost * resumed_tokens as f64 / chunk_tokens as f64;
                 }
-                let mut finished: Vec<usize> = Vec::new();
-                for idx in chunk {
-                    generated[idx] = generated[idx].max(1);
-                    if first_token[idx].is_none() {
-                        first_token[idx] = Some(t);
+                finished.clear();
+                for &idx in &chunk {
+                    reqs[idx].generated = reqs[idx].generated.max(1);
+                    if reqs[idx].first_token.is_none() {
+                        reqs[idx].first_token = Some(t);
                     }
-                    if generated[idx] >= requests[idx].output_tokens {
-                        finish[idx] = Some(t);
+                    if reqs[idx].generated >= requests[idx].output_tokens {
+                        reqs[idx].finish = Some(t);
                         stats.completed += 1;
                         finished.push(idx);
                     } else {
-                        kv_used += kv_of(idx, &generated) * per_token;
+                        kv_used += kv_of(idx, &reqs) * per_token;
                         active.push(idx);
                     }
                 }
@@ -806,22 +897,24 @@ fn simulate_replica(
                     end: t,
                     tokens: chunk_tokens,
                     fresh: fresh_ids.clone(),
-                    resumed: resumed_ids,
+                    resumed: resumed_ids.clone(),
                     degraded,
                     kv_bytes: kv_used,
                     queue: waiting.len(),
                 });
-                for id in fresh_ids {
+                for &id in &fresh_ids {
                     sink.event(&ServingEvent::FirstToken { id, t });
                 }
-                for idx in finished {
-                    let first = first_token[idx].expect("completed requests have a first token");
+                for &idx in &finished {
+                    let first = reqs[idx]
+                        .first_token
+                        .expect("completed requests have a first token");
                     sink.event(&completed_event(
                         &requests[idx],
                         t,
                         first,
-                        generated[idx],
-                        preemptions[idx],
+                        reqs[idx].generated,
+                        reqs[idx].preemptions,
                         slo_secs,
                     ));
                 }
@@ -835,8 +928,8 @@ fn simulate_replica(
         if !active.is_empty() {
             while active.len() > 1 && kv_used + active.len() as u64 * per_token > budget {
                 let victim = active.pop().expect("non-empty");
-                kv_used -= kv_of(victim, &generated) * per_token;
-                preemptions[victim] += 1;
+                kv_used -= kv_of(victim, &reqs) * per_token;
+                reqs[victim].preemptions += 1;
                 stats.preemptions += 1;
                 waiting.push_front(victim);
                 sink.event(&ServingEvent::Preempted {
@@ -846,24 +939,24 @@ fn simulate_replica(
             }
             let batch = active.len();
             let start = t;
-            let cost = costs.decode.cost_secs(batch, degraded);
+            let cost = phase_secs(&costs.decode, batch, degraded);
             t += cost;
             stats.decode_steps += 1;
             if degraded {
                 stats.degraded_steps += 1;
-                stats.degraded_extra_secs += cost - costs.decode.cost_secs(batch, false);
+                stats.degraded_extra_secs += cost - phase_secs(&costs.decode, batch, false);
             }
             kv_used += batch as u64 * per_token;
             stats.kv_peak_bytes = stats.kv_peak_bytes.max(kv_used);
-            let mut finished: Vec<usize> = Vec::new();
+            finished.clear();
             let mut i = 0;
             while i < active.len() {
                 let idx = active[i];
-                generated[idx] += 1;
-                if generated[idx] >= requests[idx].output_tokens {
-                    finish[idx] = Some(t);
+                reqs[idx].generated += 1;
+                if reqs[idx].generated >= requests[idx].output_tokens {
+                    reqs[idx].finish = Some(t);
                     stats.completed += 1;
-                    kv_used -= kv_of(idx, &generated) * per_token;
+                    kv_used -= kv_of(idx, &reqs) * per_token;
                     active.remove(i);
                     finished.push(idx);
                 } else {
@@ -879,14 +972,16 @@ fn simulate_replica(
                 kv_bytes: kv_used,
                 queue: waiting.len(),
             });
-            for idx in finished {
-                let first = first_token[idx].expect("completed requests have a first token");
+            for &idx in &finished {
+                let first = reqs[idx]
+                    .first_token
+                    .expect("completed requests have a first token");
                 sink.event(&completed_event(
                     &requests[idx],
                     t,
                     first,
-                    generated[idx],
-                    preemptions[idx],
+                    reqs[idx].generated,
+                    reqs[idx].preemptions,
                     slo_secs,
                 ));
             }
@@ -908,13 +1003,14 @@ fn simulate_replica(
         break;
     }
 
-    let outcomes = (0..n)
-        .map(|idx| {
-            let r = &requests[idx];
-            let ttft = first_token[idx].map(|ft| ft - r.arrival_secs);
-            let tpot = match (first_token[idx], finish[idx]) {
-                (Some(ft), Some(fin)) if generated[idx] > 1 => {
-                    Some((fin - ft) / (generated[idx] - 1) as f64)
+    let outcomes = requests
+        .iter()
+        .zip(&reqs)
+        .map(|(r, state)| {
+            let ttft = state.first_token.map(|ft| ft - r.arrival_secs);
+            let tpot = match (state.first_token, state.finish) {
+                (Some(ft), Some(fin)) if state.generated > 1 => {
+                    Some((fin - ft) / (state.generated - 1) as f64)
                 }
                 _ => None,
             };
@@ -924,8 +1020,8 @@ fn simulate_replica(
                 arrival_secs: r.arrival_secs,
                 ttft_secs: ttft,
                 tpot_secs: tpot,
-                generated_tokens: if rejected[idx] { 0 } else { generated[idx] },
-                preemptions: preemptions[idx],
+                generated_tokens: if state.rejected { 0 } else { state.generated },
+                preemptions: state.preemptions,
             }
         })
         .collect();
@@ -935,15 +1031,10 @@ fn simulate_replica(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::costs::{CostProfile, CostTableCache};
 
     fn tiny() -> LlmConfig {
-        LlmConfig {
-            name: "tiny".to_string(),
-            hidden: 256,
-            heads: 4,
-            layers: 2,
-            ffn_mult: 4,
-        }
+        LlmConfig::tiny()
     }
 
     fn tiny_spec(qps: f64) -> ServingSpec {
@@ -1055,6 +1146,79 @@ mod tests {
         let spec = ServingSpec::new(LlmConfig::gpt3(), MeshShape::new(2, 2), 1, 5.0);
         let err = simulate_fleet(&spec, &cfg).unwrap_err();
         assert!(err.contains("KV budget"), "{err}");
+    }
+
+    #[test]
+    fn shared_costs_and_trace_do_not_change_the_report() {
+        let cfg = SimConfig::tpu_v4();
+        let mut spec = tiny_spec(200.0);
+        spec.failure = Some(ChipDeath {
+            replica: 0,
+            at_secs: 0.5,
+        });
+        let plain = simulate_fleet(&spec, &cfg).expect("feasible");
+
+        let cache = CostTableCache::new(cfg.clone(), CostProfile::Full);
+        let mut shared = spec.clone();
+        shared.shared_costs = Some(
+            cache
+                .replica_costs(&spec.model, spec.mesh, spec.slice_count, spec.max_batch)
+                .expect("feasible"),
+        );
+        // Longer draw than needed: the prefix must behave identically.
+        shared.shared_trace = Some(Arc::from(
+            spec.arrivals.generate(spec.num_requests + 40, spec.seed),
+        ));
+        let fast = simulate_fleet(&shared, &cfg).expect("feasible");
+        assert_eq!(plain, fast, "shared resources must be simulation-neutral");
+        assert_eq!(
+            plain.to_json().to_string_pretty(),
+            fast.to_json().to_string_pretty(),
+            "artifacts must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn mismatched_shared_resources_error_out() {
+        let cfg = SimConfig::tpu_v4();
+        let spec = tiny_spec(5.0);
+        let cache = CostTableCache::new(cfg.clone(), CostProfile::NominalOnly);
+        let table = cache
+            .replica_costs(&spec.model, spec.mesh, spec.slice_count, spec.max_batch)
+            .expect("feasible");
+
+        let mut wrong_mesh = spec.clone();
+        wrong_mesh.mesh = MeshShape::new(4, 1);
+        wrong_mesh.shared_costs = Some(table.clone());
+        assert!(simulate_fleet(&wrong_mesh, &cfg)
+            .unwrap_err()
+            .contains("mesh"));
+
+        let mut wrong_cap = spec.clone();
+        wrong_cap.max_batch = 16;
+        wrong_cap.shared_costs = Some(table.clone());
+        assert!(simulate_fleet(&wrong_cap, &cfg)
+            .unwrap_err()
+            .contains("cap"));
+
+        // Nominal-only tables cannot price a chip death.
+        let mut nominal_death = spec.clone();
+        nominal_death.failure = Some(ChipDeath {
+            replica: 0,
+            at_secs: 1.0,
+        });
+        nominal_death.shared_costs = Some(table);
+        assert!(simulate_fleet(&nominal_death, &cfg)
+            .unwrap_err()
+            .contains("nominal-only"));
+
+        let mut short_trace = spec.clone();
+        short_trace.shared_trace = Some(Arc::from(
+            spec.arrivals.generate(spec.num_requests - 1, spec.seed),
+        ));
+        assert!(simulate_fleet(&short_trace, &cfg)
+            .unwrap_err()
+            .contains("shared trace"));
     }
 
     #[test]

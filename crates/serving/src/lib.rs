@@ -25,7 +25,12 @@
 //! - [`ServingTuning`] grafts `tune_serving` onto the core
 //!   [`Autotuner`](meshslice::autotuner::Autotuner): pick mesh shape ×
 //!   slice count × replica count × batch policy to maximize
-//!   goodput-per-chip under a TTFT p99 SLO.
+//!   goodput-per-chip under a TTFT p99 SLO. The default [`TuneMode::Fast`]
+//!   path dedups table builds through a [`CostTableCache`], shares one
+//!   `Arc`'d arrival trace across candidates, and collapses grid entries
+//!   with identical tables — bit-for-bit the exhaustive result; a
+//!   [`TuneMode::Screened`] stage adds successive halving on a prefix
+//!   trace.
 //! - [`simulate_fleet_traced`] runs the same loop while recording every
 //!   request lifecycle event into a
 //!   [`ServingTrace`](meshslice_telemetry::ServingTrace) for JSONL /
@@ -71,7 +76,8 @@ pub use arrival::{
     DEFAULT_SEGMENT_SECS,
 };
 pub use costs::{
-    build_replica_costs, BucketCost, PhaseCostTable, ReplicaCosts, MAX_PREFILL_TOKENS,
+    build_replica_costs, build_replica_costs_with, BucketCost, CostProfile, CostTableCache,
+    EmptyCostTable, PhaseCostTable, ReplicaCosts, CACHED_BATCH_CAP, MAX_PREFILL_TOKENS,
     NOMINAL_KV_CONTEXT,
 };
 pub use fleet::{
@@ -79,5 +85,6 @@ pub use fleet::{
     ReplicaStats, RequestOutcome, ServingDowntime, ServingSpec,
 };
 pub use tune::{
-    ServingCandidate, ServingPlan, ServingTuning, CANDIDATE_MAX_BATCH, CANDIDATE_SLICE_COUNTS,
+    rank_candidates, ScreenPolicy, ServingCandidate, ServingPlan, ServingTuning, TuneMode,
+    CANDIDATE_MAX_BATCH, CANDIDATE_SLICE_COUNTS,
 };

@@ -14,17 +14,49 @@
 //! sets the tail is exactly what closed forms miss. Evaluation fans out
 //! over [`meshslice::par`] with deterministic, thread-count-invariant
 //! ranking.
+//!
+//! # The fast path
+//!
+//! Scoring a candidate splits into building its cost tables (the
+//! expensive part: schedule + lower + replay per batch bucket) and
+//! running the fleet loop (cheap: table lookups). The default
+//! [`TuneMode::Fast`] path therefore:
+//!
+//! 1. warms one [`CostTableCache`] with every unique
+//!    `(mesh, S, batch-cap class)` of the grid — in parallel, nominal
+//!    columns only (the tuner never injects failures) — instead of
+//!    rebuilding per `(replicas, max_batch)` grid point;
+//! 2. draws the arrival trace once and shares it `Arc`'d across all
+//!    candidates (legal: the draw is layout-independent);
+//! 3. dedups grid entries whose per-replica tables come out identical
+//!    (e.g. two requested slice counts clamping to the same schedules)
+//!    and simulates each equivalence class once.
+//!
+//! The result is bit-for-bit identical to [`TuneMode::Exhaustive`] —
+//! the PR-6 per-candidate rebuild path, kept as the reference — which
+//! is property-tested in `tests/serving_properties.rs`.
+//! [`TuneMode::Screened`] adds successive halving on top: every
+//! candidate is scored on a short prefix trace first, and only
+//! SLO-attaining candidates plus a deterministic top-K graduate to the
+//! full trace.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
 
 use meshslice::autotuner::Autotuner;
 use meshslice::llm::LlmConfig;
 use meshslice::par;
 use meshslice::MeshShape;
 
-use crate::arrival::ArrivalSpec;
+use crate::arrival::{ArrivalSpec, Request};
+use crate::costs::{CostProfile, CostTableCache, ReplicaCosts};
 use crate::fleet::{simulate_fleet, ServingSpec};
 
-/// Decode batch caps the tuner considers.
-pub const CANDIDATE_MAX_BATCH: [usize; 2] = [8, 32];
+/// Decode batch caps the tuner considers. The middle cap rides the
+/// [`CostTableCache`] cap-class mechanism for free on the fast path —
+/// every cap here reads a truncated view of one cached build — while
+/// the exhaustive reference prices each cap from scratch.
+pub const CANDIDATE_MAX_BATCH: [usize; 3] = [8, 16, 32];
 
 /// Slice counts the tuner considers.
 pub const CANDIDATE_SLICE_COUNTS: [usize; 3] = [1, 4, 8];
@@ -50,12 +82,90 @@ pub struct ServingCandidate {
     pub completion: f64,
 }
 
+/// The deterministic candidate order: SLO-attaining layouts first, most
+/// goodput first within each group, then a total tie-break over every
+/// layout knob — so the ranking is a total order independent of
+/// evaluation order and thread count.
+pub fn rank_candidates(a: &ServingCandidate, b: &ServingCandidate) -> Ordering {
+    b.slo_attained
+        .cmp(&a.slo_attained)
+        .then(
+            b.goodput_tokens_per_chip_s
+                .total_cmp(&a.goodput_tokens_per_chip_s),
+        )
+        .then(a.p99_ttft_ms.total_cmp(&b.p99_ttft_ms))
+        .then(a.mesh.rows.cmp(&b.mesh.rows))
+        .then(a.mesh.cols.cmp(&b.mesh.cols))
+        .then(a.slice_count.cmp(&b.slice_count))
+        .then(a.replicas.cmp(&b.replicas))
+        .then(a.max_batch.cmp(&b.max_batch))
+}
+
+/// The successive-halving screening knobs of [`TuneMode::Screened`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScreenPolicy {
+    /// Trace-prefix length every candidate is screened on.
+    pub prefix_requests: usize,
+    /// Candidates promoted to the full trace regardless of their
+    /// prefix SLO verdict (by prefix rank, deterministic).
+    pub promote_top_k: usize,
+}
+
+impl ScreenPolicy {
+    /// A sensible policy for an `num_requests`-long evaluation trace: a
+    /// quarter-length prefix (at least 16 requests) and a top-8
+    /// promotion floor.
+    pub fn auto(num_requests: usize) -> ScreenPolicy {
+        ScreenPolicy {
+            prefix_requests: (num_requests / 4).max(16).min(num_requests.max(1)),
+            promote_top_k: 8,
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first invalid knob.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.prefix_requests == 0 {
+            return Err("screening prefix must hold at least one request".into());
+        }
+        if self.promote_top_k == 0 {
+            return Err("screening must promote at least the top candidate".into());
+        }
+        Ok(())
+    }
+}
+
+/// How the tuner evaluates its grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TuneMode {
+    /// The PR-6 reference path: every grid point rebuilds its cost
+    /// tables and redraws the trace. Kept as the differential oracle
+    /// and benchmark baseline.
+    Exhaustive,
+    /// Shared cost-table cache + shared trace + table dedup; results
+    /// are bit-for-bit identical to [`Exhaustive`](Self::Exhaustive).
+    Fast,
+    /// [`Fast`](Self::Fast) plus successive halving: score the whole
+    /// grid on a prefix trace, promote SLO-attaining candidates and a
+    /// deterministic top-K to the full trace. The winner is expected —
+    /// and property-tested on the bench workloads — to match the
+    /// exhaustive winner; candidates screened out are absent from the
+    /// plan.
+    Screened(ScreenPolicy),
+}
+
 /// The ranked outcome of a serving tune: SLO-attaining layouts first,
 /// highest goodput first within each group.
 #[derive(Clone, Debug)]
 pub struct ServingPlan {
-    /// All evaluated candidates, best first.
+    /// All fully-evaluated candidates, best first.
     pub candidates: Vec<ServingCandidate>,
+    /// Grid entries eliminated on the screening prefix (zero unless
+    /// [`TuneMode::Screened`] ran).
+    pub screened_out: usize,
 }
 
 impl ServingPlan {
@@ -63,6 +173,57 @@ impl ServingPlan {
     pub fn best(&self) -> &ServingCandidate {
         &self.candidates[0]
     }
+}
+
+/// One simulation the fast path actually runs: a set of grid entries
+/// (differing only in requested slice count) whose cost tables came out
+/// identical, so one fleet simulation scores them all.
+struct EvalUnit {
+    mesh: MeshShape,
+    replicas: usize,
+    max_batch: usize,
+    costs: Arc<ReplicaCosts>,
+    /// Requested slice counts sharing these tables, grid order.
+    member_s: Vec<usize>,
+}
+
+/// Whether two table sets price serving identically — everything but
+/// the requested-slice-count echo, which the simulation never reads.
+fn tables_equivalent(a: &ReplicaCosts, b: &ReplicaCosts) -> bool {
+    a.mesh == b.mesh
+        && a.max_batch == b.max_batch
+        && a.prefill == b.prefill
+        && a.decode == b.decode
+        && a.kv_bytes_per_token == b.kv_bytes_per_token
+        && a.kv_budget_bytes == b.kv_budget_bytes
+        && a.degraded_priced == b.degraded_priced
+}
+
+/// Groups feasible grid entries `(mesh, S, replicas, max_batch, costs)`
+/// into [`EvalUnit`]s, preserving grid order (deterministic).
+fn dedup_eval_units(
+    entries: Vec<(MeshShape, usize, usize, usize, Arc<ReplicaCosts>)>,
+) -> Vec<EvalUnit> {
+    let mut units: Vec<EvalUnit> = Vec::new();
+    for (mesh, s, replicas, max_batch, costs) in entries {
+        if let Some(unit) = units.iter_mut().find(|u| {
+            u.mesh == mesh
+                && u.replicas == replicas
+                && u.max_batch == max_batch
+                && tables_equivalent(&u.costs, &costs)
+        }) {
+            unit.member_s.push(s);
+        } else {
+            units.push(EvalUnit {
+                mesh,
+                replicas,
+                max_batch,
+                costs,
+                member_s: vec![s],
+            });
+        }
+    }
+    units
 }
 
 /// Serving-specific tuning, grafted onto [`Autotuner`] the same way
@@ -76,7 +237,8 @@ pub trait ServingTuning {
     /// Sweeps replica counts dividing the chip pool, the candidate mesh
     /// shapes of each per-replica pool, [`CANDIDATE_SLICE_COUNTS`], and
     /// [`CANDIDATE_MAX_BATCH`]. A `replicas` of `Some(r)` pins the
-    /// replica count (e.g. the CLI's `--replicas`).
+    /// replica count (e.g. the CLI's `--replicas`). Runs the
+    /// [`TuneMode::Fast`] cached path, serially.
     ///
     /// # Errors
     ///
@@ -105,28 +267,13 @@ pub trait ServingTuning {
         )
     }
 
-    /// [`tune_serving`](Self::tune_serving) with candidate evaluation
-    /// fanned out over `threads` workers. The ranking is bit-for-bit
-    /// identical at any thread count.
+    /// [`tune_serving`](Self::tune_serving) with table warming and
+    /// candidate evaluation fanned out over `threads` workers. The
+    /// ranking is bit-for-bit identical at any thread count.
     ///
     /// # Errors
     ///
-    /// As [`tune_serving`](Self::tune_serving).
-    #[allow(clippy::too_many_arguments)]
-    fn tune_serving_threads(
-        &self,
-        model: &LlmConfig,
-        total_chips: usize,
-        replicas: Option<usize>,
-        arrivals: &ArrivalSpec,
-        slo_p99_ttft_ms: f64,
-        num_requests: usize,
-        seed: u64,
-        threads: usize,
-    ) -> Result<ServingPlan, String>;
-}
-
-impl ServingTuning for Autotuner {
+    /// As [`tune_serving`](Self::tune_serving), plus `threads == 0`.
     #[allow(clippy::too_many_arguments)]
     fn tune_serving_threads(
         &self,
@@ -139,9 +286,60 @@ impl ServingTuning for Autotuner {
         seed: u64,
         threads: usize,
     ) -> Result<ServingPlan, String> {
+        self.tune_serving_mode(
+            model,
+            total_chips,
+            replicas,
+            arrivals,
+            slo_p99_ttft_ms,
+            num_requests,
+            seed,
+            TuneMode::Fast,
+            threads,
+        )
+    }
+
+    /// Tunes under an explicit [`TuneMode`].
+    ///
+    /// # Errors
+    ///
+    /// As [`tune_serving`](Self::tune_serving), plus `threads == 0` and
+    /// invalid [`ScreenPolicy`] knobs.
+    #[allow(clippy::too_many_arguments)]
+    fn tune_serving_mode(
+        &self,
+        model: &LlmConfig,
+        total_chips: usize,
+        replicas: Option<usize>,
+        arrivals: &ArrivalSpec,
+        slo_p99_ttft_ms: f64,
+        num_requests: usize,
+        seed: u64,
+        mode: TuneMode,
+        threads: usize,
+    ) -> Result<ServingPlan, String>;
+}
+
+impl ServingTuning for Autotuner {
+    #[allow(clippy::too_many_arguments)]
+    fn tune_serving_mode(
+        &self,
+        model: &LlmConfig,
+        total_chips: usize,
+        replicas: Option<usize>,
+        arrivals: &ArrivalSpec,
+        slo_p99_ttft_ms: f64,
+        num_requests: usize,
+        seed: u64,
+        mode: TuneMode,
+        threads: usize,
+    ) -> Result<ServingPlan, String> {
         assert!(total_chips > 0, "serving fleet needs at least one chip");
+        if threads == 0 {
+            return Err("serving tuner needs at least one worker thread (threads >= 1)".into());
+        }
         arrivals.validate()?;
-        let replica_counts: Vec<usize> = match replicas {
+        let mut replica_counts: Vec<usize> = match replicas {
             Some(r) => {
                 if r == 0 || !total_chips.is_multiple_of(r) {
                     return Err(format!(
@@ -155,6 +353,10 @@ impl ServingTuning for Autotuner {
                 .filter(|&r| total_chips.is_multiple_of(r))
                 .collect(),
         };
+        // Belt and braces: duplicate counts would only duplicate work
+        // (the enumeration above cannot repeat, but a pinned future
+        // variant might).
+        replica_counts.dedup();
 
         let mut grid: Vec<(MeshShape, usize, usize, usize)> = Vec::new();
         for &r in &replica_counts {
@@ -168,68 +370,180 @@ impl ServingTuning for Autotuner {
         }
 
         let cfg = self.cost_model().config();
-        let evaluated = par::parallel_map_threads(threads, &grid, |&(mesh, s, r, max_batch)| {
+        let no_layout = || {
+            format!(
+                "{} cannot be served on any layout of {total_chips} chips",
+                model.name
+            )
+        };
+
+        if mode == TuneMode::Exhaustive {
+            // The PR-6 reference path: per-candidate table build and
+            // trace draw inside `simulate_fleet`.
+            let evaluated =
+                par::parallel_map_threads(threads, &grid, |&(mesh, s, r, max_batch)| {
+                    let spec = ServingSpec {
+                        slice_count: s,
+                        max_batch,
+                        arrivals: arrivals.clone(),
+                        num_requests,
+                        seed,
+                        slo_p99_ttft_ms,
+                        ..ServingSpec::new(model.clone(), mesh, r, arrivals.qps)
+                    };
+                    let report = simulate_fleet(&spec, cfg).ok()?;
+                    Some(ServingCandidate {
+                        mesh,
+                        slice_count: s,
+                        replicas: r,
+                        max_batch,
+                        slo_attained: report.slo_attained,
+                        p99_ttft_ms: report.ttft.p99 * 1e3,
+                        goodput_tokens_per_chip_s: report.goodput_tokens_per_chip_s,
+                        completion: report.completed as f64 / report.offered as f64,
+                    })
+                });
+            let mut candidates: Vec<ServingCandidate> = evaluated.into_iter().flatten().collect();
+            if candidates.is_empty() {
+                return Err(no_layout());
+            }
+            candidates.sort_by(rank_candidates);
+            return Ok(ServingPlan {
+                candidates,
+                screened_out: 0,
+            });
+        }
+
+        // The fast path: one table build per (mesh, S, cap class), one
+        // trace draw, one simulation per distinct table set.
+        let cache = CostTableCache::new(cfg.clone(), CostProfile::NominalOnly);
+        let warm_keys: Vec<(MeshShape, usize, usize)> =
+            grid.iter().map(|&(m, s, _r, b)| (m, s, b)).collect();
+        cache.warm(model, &warm_keys, threads);
+        let trace: Arc<[Request]> = Arc::from(arrivals.generate(num_requests, seed));
+
+        let entries: Vec<(MeshShape, usize, usize, usize, Arc<ReplicaCosts>)> = grid
+            .iter()
+            .filter_map(|&(mesh, s, r, max_batch)| {
+                cache
+                    .replica_costs(model, mesh, s, max_batch)
+                    .map(|costs| (mesh, s, r, max_batch, costs))
+            })
+            .collect();
+        if entries.is_empty() {
+            return Err(no_layout());
+        }
+        let units = dedup_eval_units(entries);
+
+        // Scores one unit on the first `n_req` requests of the shared
+        // trace; expanded to one candidate per member slice count.
+        let sim_unit = |unit: &EvalUnit, n_req: usize| -> Option<ServingCandidate> {
             let spec = ServingSpec {
-                slice_count: s,
-                max_batch,
+                slice_count: unit.costs.slice_count,
+                max_batch: unit.max_batch,
                 arrivals: arrivals.clone(),
-                num_requests,
+                num_requests: n_req,
                 seed,
                 slo_p99_ttft_ms,
-                ..ServingSpec::new(model.clone(), mesh, r, arrivals.qps)
+                shared_costs: Some(unit.costs.clone()),
+                shared_trace: Some(trace.clone()),
+                ..ServingSpec::new(model.clone(), unit.mesh, unit.replicas, arrivals.qps)
             };
             let report = simulate_fleet(&spec, cfg).ok()?;
             Some(ServingCandidate {
-                mesh,
-                slice_count: s,
-                replicas: r,
-                max_batch,
+                mesh: unit.mesh,
+                slice_count: unit.costs.slice_count,
+                replicas: unit.replicas,
+                max_batch: unit.max_batch,
                 slo_attained: report.slo_attained,
                 p99_ttft_ms: report.ttft.p99 * 1e3,
                 goodput_tokens_per_chip_s: report.goodput_tokens_per_chip_s,
                 completion: report.completed as f64 / report.offered as f64,
             })
-        });
-        let mut candidates: Vec<ServingCandidate> = evaluated.into_iter().flatten().collect();
+        };
+        let expand = |units: &[EvalUnit], scores: Vec<Option<ServingCandidate>>| {
+            let mut out: Vec<(ServingCandidate, usize)> = Vec::new();
+            for (u, (unit, score)) in units.iter().zip(scores).enumerate() {
+                let Some(score) = score else { continue };
+                for &s in &unit.member_s {
+                    out.push((
+                        ServingCandidate {
+                            slice_count: s,
+                            ..score
+                        },
+                        u,
+                    ));
+                }
+            }
+            out
+        };
+
+        let (final_units, screened_out): (Vec<&EvalUnit>, usize) = match mode {
+            TuneMode::Screened(policy) if policy.prefix_requests < num_requests => {
+                policy.validate()?;
+                let prefix_scores = par::parallel_map_threads(threads, &units, |unit| {
+                    sim_unit(unit, policy.prefix_requests)
+                });
+                let mut screened = expand(&units, prefix_scores);
+                screened.sort_by(|a, b| rank_candidates(&a.0, &b.0));
+                let mut promote = vec![false; units.len()];
+                for (i, (c, u)) in screened.iter().enumerate() {
+                    if c.slo_attained || i < policy.promote_top_k {
+                        promote[*u] = true;
+                    }
+                }
+                let dropped = screened.iter().filter(|(_, u)| !promote[*u]).count();
+                let promoted = units
+                    .iter()
+                    .zip(&promote)
+                    .filter_map(|(unit, &p)| p.then_some(unit))
+                    .collect();
+                (promoted, dropped)
+            }
+            TuneMode::Screened(policy) => {
+                policy.validate()?;
+                (units.iter().collect(), 0)
+            }
+            _ => (units.iter().collect(), 0),
+        };
+
+        let full_scores =
+            par::parallel_map_threads(threads, &final_units, |unit| sim_unit(unit, num_requests));
+        let mut candidates: Vec<ServingCandidate> = final_units
+            .iter()
+            .zip(full_scores)
+            .flat_map(|(unit, score)| {
+                let mut out = Vec::new();
+                if let Some(score) = score {
+                    for &s in &unit.member_s {
+                        out.push(ServingCandidate {
+                            slice_count: s,
+                            ..score
+                        });
+                    }
+                }
+                out
+            })
+            .collect();
         if candidates.is_empty() {
-            return Err(format!(
-                "{} cannot be served on any layout of {total_chips} chips",
-                model.name
-            ));
+            return Err(no_layout());
         }
-        // SLO-attaining layouts first, most goodput first within each
-        // group, then a total deterministic tie-break.
-        candidates.sort_by(|a, b| {
-            b.slo_attained
-                .cmp(&a.slo_attained)
-                .then(
-                    b.goodput_tokens_per_chip_s
-                        .total_cmp(&a.goodput_tokens_per_chip_s),
-                )
-                .then(a.p99_ttft_ms.total_cmp(&b.p99_ttft_ms))
-                .then(a.mesh.rows.cmp(&b.mesh.rows))
-                .then(a.mesh.cols.cmp(&b.mesh.cols))
-                .then(a.slice_count.cmp(&b.slice_count))
-                .then(a.replicas.cmp(&b.replicas))
-                .then(a.max_batch.cmp(&b.max_batch))
-        });
-        Ok(ServingPlan { candidates })
+        candidates.sort_by(rank_candidates);
+        Ok(ServingPlan {
+            candidates,
+            screened_out,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::costs::{BucketCost, PhaseCostTable};
     use meshslice::SimConfig;
 
     fn tiny() -> LlmConfig {
-        LlmConfig {
-            name: "tiny".to_string(),
-            hidden: 256,
-            heads: 4,
-            layers: 2,
-            ffn_mult: 4,
-        }
+        LlmConfig::tiny()
     }
 
     fn tuner() -> Autotuner {
@@ -270,6 +584,154 @@ mod tests {
             .tune_serving_threads(&tiny(), 8, None, &arr, 500.0, 40, 3, 4)
             .expect("feasible");
         assert_eq!(serial.candidates, parallel.candidates);
+    }
+
+    #[test]
+    fn fast_path_matches_the_exhaustive_reference() {
+        let t = tuner();
+        let arr = ArrivalSpec::poisson(20.0);
+        let exhaustive = t
+            .tune_serving_mode(
+                &tiny(),
+                8,
+                None,
+                &arr,
+                500.0,
+                40,
+                3,
+                TuneMode::Exhaustive,
+                2,
+            )
+            .expect("feasible");
+        let fast = t
+            .tune_serving_threads(&tiny(), 8, None, &arr, 500.0, 40, 3, 2)
+            .expect("feasible");
+        assert_eq!(exhaustive.candidates, fast.candidates);
+        assert_eq!(fast.screened_out, 0);
+    }
+
+    #[test]
+    fn screening_keeps_the_exhaustive_winner() {
+        let t = tuner();
+        let arr = ArrivalSpec::poisson(20.0);
+        let exhaustive = t
+            .tune_serving_mode(
+                &tiny(),
+                8,
+                None,
+                &arr,
+                500.0,
+                60,
+                3,
+                TuneMode::Exhaustive,
+                2,
+            )
+            .expect("feasible");
+        let screened = t
+            .tune_serving_mode(
+                &tiny(),
+                8,
+                None,
+                &arr,
+                500.0,
+                60,
+                3,
+                TuneMode::Screened(ScreenPolicy::auto(60)),
+                2,
+            )
+            .expect("feasible");
+        assert_eq!(screened.best(), exhaustive.best());
+        assert_eq!(
+            screened.candidates.len() + screened.screened_out,
+            exhaustive.candidates.len(),
+            "every grid entry is either fully evaluated or screened out"
+        );
+        // Every surviving candidate carries its full-trace (exhaustive)
+        // metrics, not its prefix ones.
+        for c in &screened.candidates {
+            assert!(exhaustive.candidates.contains(c));
+        }
+    }
+
+    #[test]
+    fn zero_threads_is_a_usage_error() {
+        let err = tuner()
+            .tune_serving_mode(
+                &tiny(),
+                8,
+                None,
+                &ArrivalSpec::poisson(5.0),
+                500.0,
+                10,
+                0,
+                TuneMode::Fast,
+                0,
+            )
+            .unwrap_err();
+        assert!(err.contains("threads >= 1"), "{err}");
+    }
+
+    #[test]
+    fn screen_policy_validates() {
+        assert!(ScreenPolicy {
+            prefix_requests: 0,
+            promote_top_k: 8
+        }
+        .validate()
+        .is_err());
+        assert!(ScreenPolicy {
+            prefix_requests: 8,
+            promote_top_k: 0
+        }
+        .validate()
+        .is_err());
+        let auto = ScreenPolicy::auto(200);
+        auto.validate().expect("auto policy is valid");
+        assert_eq!(auto.prefix_requests, 50);
+        let short = ScreenPolicy::auto(8);
+        assert_eq!(short.prefix_requests, 8, "prefix never exceeds the trace");
+    }
+
+    #[test]
+    fn equivalent_tables_collapse_into_one_eval_unit() {
+        let table = |s: usize, nominal: f64| {
+            Arc::new(ReplicaCosts {
+                mesh: MeshShape::new(2, 2),
+                slice_count: s,
+                max_batch: 8,
+                prefill: PhaseCostTable {
+                    buckets: vec![BucketCost {
+                        size: 256,
+                        nominal_secs: nominal,
+                        degraded_secs: nominal,
+                    }],
+                },
+                decode: PhaseCostTable {
+                    buckets: vec![BucketCost {
+                        size: 1,
+                        nominal_secs: nominal,
+                        degraded_secs: nominal,
+                    }],
+                },
+                kv_bytes_per_token: 2,
+                kv_budget_bytes: 1000,
+                degraded_priced: false,
+            })
+        };
+        let mesh = MeshShape::new(2, 2);
+        let units = dedup_eval_units(vec![
+            // Same tables under two requested slice counts: one unit.
+            (mesh, 4, 1, 8, table(4, 1.0)),
+            (mesh, 8, 1, 8, table(8, 1.0)),
+            // Different cost: its own unit.
+            (mesh, 1, 1, 8, table(1, 2.0)),
+            // Same tables but different replica count: its own unit.
+            (mesh, 4, 2, 8, table(4, 1.0)),
+        ]);
+        assert_eq!(units.len(), 3);
+        assert_eq!(units[0].member_s, vec![4, 8]);
+        assert_eq!(units[1].member_s, vec![1]);
+        assert_eq!(units[2].replicas, 2);
     }
 
     #[test]

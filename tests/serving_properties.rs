@@ -1,15 +1,22 @@
 //! Property tests for the serving subsystem: seeded arrival determinism,
 //! thread-count invariance of the fleet simulation, KV accounting bounds,
-//! survival of an injected chip death, and the observability guarantees —
+//! survival of an injected chip death, the observability guarantees —
 //! tracing never perturbs the report, event streams keep their ordering
-//! invariants, and TTFT blame components sum exactly to measured TTFT.
+//! invariants, and TTFT blame components sum exactly to measured TTFT —
+//! and the serving fast path: shared cost tables and shared traces never
+//! change a fleet report, and the cached/screened tuner paths reproduce
+//! the exhaustive reference.
 
+use std::sync::Arc;
+
+use meshslice::autotuner::Autotuner;
 use meshslice::llm::LlmConfig;
 use meshslice::memory::{inference_footprint, HBM_BYTES};
 use meshslice::{MeshShape, SimConfig};
 use meshslice_serving::{
     simulate_fleet, simulate_fleet_threads, simulate_fleet_traced, ArrivalSpec, ChipDeath,
-    LoadShape, ServingSpec, MAX_PREFILL_TOKENS,
+    CostProfile, CostTableCache, LoadShape, Request, ScreenPolicy, ServingSpec, ServingTuning,
+    TuneMode, MAX_PREFILL_TOKENS,
 };
 use proptest::prelude::*;
 
@@ -213,6 +220,115 @@ proptest! {
                 "trace ttft {} != report ttft {} for request {}",
                 b.ttft, measured, b.id
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Handing `simulate_fleet` prebuilt cost tables (a Full-profile
+    /// [`CostTableCache`] view) and a predrawn over-long arrival trace
+    /// is invisible: the report — struct and serialized artifact — is
+    /// bit-for-bit the plain run's, at any thread count, with and
+    /// without an injected chip death.
+    #[test]
+    fn shared_tables_and_traces_never_change_the_report(
+        qps in 5.0f64..200.0,
+        requests in 10usize..60,
+        extra in 0usize..40,
+        seed in any::<u64>(),
+        fail in any::<bool>(),
+    ) {
+        let cfg = SimConfig::tpu_v4();
+        let mut plain = spec(qps, requests, seed);
+        if fail {
+            plain.failure = Some(ChipDeath { replica: 0, at_secs: 0.2 });
+        }
+        let baseline = simulate_fleet(&plain, &cfg).expect("tiny fleet simulates");
+
+        let cache = CostTableCache::new(cfg.clone(), CostProfile::Full);
+        let costs = cache
+            .replica_costs(&tiny(), plain.mesh, plain.slice_count, plain.max_batch)
+            .expect("tiny model prices");
+        let trace: Arc<[Request]> =
+            Arc::from(plain.arrivals.generate(requests + extra, seed));
+        let mut shared = plain.clone();
+        shared.shared_costs = Some(costs);
+        shared.shared_trace = Some(trace);
+        for threads in [1usize, 4] {
+            let report = simulate_fleet_threads(&shared, &cfg, threads)
+                .expect("shared-resource fleet simulates");
+            prop_assert_eq!(&baseline, &report, "{} threads", threads);
+            prop_assert_eq!(
+                baseline.to_json().to_string_pretty(),
+                report.to_json().to_string_pretty(),
+                "shared resources changed the serialized artifact"
+            );
+        }
+    }
+
+    /// The cached fast tuner path (shared tables, one shared arrival
+    /// draw, dedup'd eval units) reproduces the exhaustive reference bit
+    /// for bit — the winner and every fully-evaluated candidate, at any
+    /// thread count — and the screened path keeps the exhaustive winner
+    /// while only dropping candidates, never rescoring survivors.
+    #[test]
+    fn fast_and_screened_tuning_match_the_exhaustive_reference(
+        hidden_pow in 0usize..3,
+        layers in 1usize..3,
+        double_pool in any::<bool>(),
+        qps in 5.0f64..200.0,
+        seed in any::<u64>(),
+    ) {
+        let hidden = 128usize << hidden_pow;
+        let chips = if double_pool { 8 } else { 4 };
+        let model = LlmConfig {
+            name: format!("p{hidden}"),
+            hidden,
+            heads: 4,
+            layers,
+            ffn_mult: 4,
+        };
+        let replicas = chips / 4;
+        let requests = 24;
+        let tuner = Autotuner::new(SimConfig::tpu_v4());
+        let arrivals = ArrivalSpec::poisson(qps);
+        let tune = |mode: TuneMode, threads: usize| {
+            tuner.tune_serving_mode(
+                &model, chips, Some(replicas), &arrivals, 500.0, requests, seed, mode, threads,
+            )
+        };
+
+        let exhaustive = match tune(TuneMode::Exhaustive, 2) {
+            Ok(plan) => plan,
+            Err(e) => {
+                // Unservable grids must fail identically on both paths.
+                prop_assert_eq!(tune(TuneMode::Fast, 2).unwrap_err(), e);
+                return Ok(());
+            }
+        };
+        let fast = tune(TuneMode::Fast, 2).expect("fast path agrees on feasibility");
+        prop_assert_eq!(&fast.candidates, &exhaustive.candidates);
+        prop_assert_eq!(fast.screened_out, 0);
+        let serial = tune(TuneMode::Fast, 1).expect("serial fast path tunes");
+        prop_assert_eq!(&serial.candidates, &fast.candidates);
+
+        let screened = tune(TuneMode::Screened(ScreenPolicy::auto(requests)), 2)
+            .expect("screened path tunes");
+        prop_assert_eq!(screened.best(), exhaustive.best());
+        prop_assert_eq!(
+            screened.candidates.len() + screened.screened_out,
+            exhaustive.candidates.len()
+        );
+        for c in &screened.candidates {
+            let twin = exhaustive.candidates.iter().find(|e| {
+                e.mesh == c.mesh
+                    && e.slice_count == c.slice_count
+                    && e.replicas == c.replicas
+                    && e.max_batch == c.max_batch
+            });
+            prop_assert_eq!(twin, Some(c), "survivor rescored by screening");
         }
     }
 }
