@@ -18,9 +18,12 @@ use meshslice::autotuner::Autotuner;
 use meshslice::llm::LlmConfig;
 use meshslice::par;
 use meshslice_bench::{banner, quick_mode, sim_config};
+use meshslice_faults::FailureSpec;
+use meshslice_recovery::RepairModel;
 use meshslice_serving::{
-    simulate_fleet, simulate_fleet_threads, simulate_fleet_traced, ArrivalSpec, ChipDeath,
-    CostProfile, CostTableCache, Request, ScreenPolicy, ServingSpec, ServingTuning, TuneMode,
+    simulate_fleet, simulate_fleet_threads, simulate_fleet_traced, ArrivalSpec, ChaosSpec,
+    ChipDeath, CostProfile, CostTableCache, Request, RouterPolicy, ScreenPolicy, ServingSpec,
+    ServingTuning, ShedPolicy, TuneMode,
 };
 use meshslice_telemetry::Json;
 
@@ -251,6 +254,62 @@ fn main() {
         death.goodput_tokens_per_chip_s, death.preemptions
     );
 
+    // Chaos rung: seeded multi-death chaos with failover routing, load
+    // shedding, and repair all armed at the middle load. The MTBF is
+    // sized so the fleet expects ~4 deaths over the arrival span; the
+    // gates are the PR-9 resilience invariants — at least two deaths
+    // fire, every request reaches exactly one terminal outcome, goodput
+    // stays nonzero, and the report is bit-identical at any thread
+    // count.
+    let span = w.requests as f64 / mid_qps;
+    let chaos_mtbf = span * w.chips as f64 / 4.0;
+    let mut chaos_spec = spec_at(mid_qps, None);
+    chaos_spec.chaos = Some(
+        ChaosSpec::new(
+            FailureSpec::chip_mtbf(chaos_mtbf, span),
+            w.seed.wrapping_add(11),
+        )
+        .with_repair(RepairModel::exponential(span / 4.0)),
+    );
+    chaos_spec.router = Some(RouterPolicy::for_slo(w.slo_p99_ttft_ms / 1e3));
+    chaos_spec.shed =
+        Some(ShedPolicy::for_queue_depth(64).with_degraded_cap((best.max_batch / 2).max(1)));
+    let (chaos, chaos_secs) =
+        timed(|| simulate_fleet(&chaos_spec, &cfg).expect("chaos fleet simulates"));
+    let chaos_parallel =
+        simulate_fleet_threads(&chaos_spec, &cfg, threads).expect("parallel chaos simulates");
+    if chaos != chaos_parallel {
+        eprintln!("FAIL: chaos rung diverges between serial and parallel runs");
+        std::process::exit(1);
+    }
+    if chaos.failovers < 2 {
+        eprintln!(
+            "FAIL: chaos rung fired {} deaths, needs at least 2",
+            chaos.failovers
+        );
+        std::process::exit(1);
+    }
+    if chaos.completed + chaos.rejected + chaos.shed + chaos.timed_out != chaos.offered {
+        eprintln!("FAIL: chaos rung stranded requests (outcomes do not partition the load)");
+        std::process::exit(1);
+    }
+    if chaos.goodput_tokens_per_chip_s <= 0.0 {
+        eprintln!("FAIL: chaos rung must keep nonzero goodput");
+        std::process::exit(1);
+    }
+    let goodput_retention = chaos.goodput_tokens_per_chip_s / death.goodput_tokens_per_chip_s;
+    println!(
+        "chaos at {mid_qps} qps (MTBF {chaos_mtbf:.0} s/chip): {} deaths, {} retried \
+         ({} redistributed), {} shed, {} timed out | goodput {:.2} tok/chip/s \
+         ({goodput_retention:.2}x of the single-death rung, {chaos_secs:.1} s)",
+        chaos.failovers,
+        chaos.retries,
+        chaos.redistributed,
+        chaos.shed,
+        chaos.timed_out,
+        chaos.goodput_tokens_per_chip_s
+    );
+
     // Long-trace rung: one shared Full-profile cost table and one shared
     // arrival draw amortized across a trace far longer than the ladder —
     // the steady-state decode loop allocates nothing per step, so this
@@ -342,6 +401,28 @@ fn main() {
         ("trace_overhead_ratio", Json::Num(trace_overhead_ratio)),
         ("trace_events", Json::Num(trace_events as f64)),
         ("chip_death", rung_json(mid_qps, &death, death_secs)),
+        (
+            "chaos",
+            Json::obj(vec![
+                ("qps", Json::Num(mid_qps)),
+                ("mtbf_secs_per_chip", Json::Num(chaos_mtbf)),
+                ("failovers", Json::Num(chaos.failovers as f64)),
+                ("retries", Json::Num(chaos.retries as f64)),
+                ("redistributed", Json::Num(chaos.redistributed as f64)),
+                ("shed", Json::Num(chaos.shed as f64)),
+                ("timed_out", Json::Num(chaos.timed_out as f64)),
+                ("degraded_secs", Json::Num(chaos.degraded_secs)),
+                (
+                    "goodput_tokens_per_chip_s",
+                    Json::Num(chaos.goodput_tokens_per_chip_s),
+                ),
+                (
+                    "goodput_retention_vs_single_death",
+                    Json::Num(goodput_retention),
+                ),
+                ("sim_secs", Json::Num(chaos_secs)),
+            ]),
+        ),
         (
             "determinism",
             Json::obj(vec![("serial_equals_parallel", Json::Bool(true))]),

@@ -28,6 +28,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use meshslice::autotuner::Autotuner;
 use meshslice::experiments::{
@@ -42,10 +43,13 @@ use meshslice::{
 };
 use meshslice_faults::FailureSpec;
 use meshslice_mesh::Torus2d;
-use meshslice_recovery::{simulate_recovery, RecoveryParams, ResilientTuning, DEFAULT_DETECT_SECS};
+use meshslice_recovery::{
+    simulate_recovery, RecoveryParams, RepairModel, ResilientTuning, DEFAULT_DETECT_SECS,
+};
 use meshslice_serving::{
-    simulate_fleet_threads, simulate_fleet_traced, ArrivalSpec, ChipDeath, ScreenPolicy,
-    ServingSpec, ServingTuning, TuneMode, DEFAULT_SEGMENT_SECS,
+    simulate_fleet_threads, simulate_fleet_traced, ArrivalSpec, ChaosSpec, ChipDeath, Request,
+    RouterPolicy, ScreenPolicy, ServingSpec, ServingTuning, ShedPolicy, TuneMode,
+    DEFAULT_SEGMENT_SECS,
 };
 use meshslice_sim::{NodeSpan, OpKind, Program};
 use meshslice_telemetry::{
@@ -53,6 +57,10 @@ use meshslice_telemetry::{
 };
 
 /// A parsed CLI invocation.
+// One Command exists per process and lives on the stack for the length
+// of `execute`; the size skew from Serve's many optional flags is
+// irrelevant, and boxing them would noise up every construction site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
     /// `autotune <model> <chips>`: run both autotuner phases and print
@@ -112,14 +120,19 @@ pub enum Command {
     },
     /// `serve [--model M] [--chips N] [--replicas R] [--qps F]
     /// [--trace FILE] [--slo-p99-ms F] [--seed K] [--requests N]
-    /// [--fail-at SECS] [--mesh RxC] [--s N] [--max-batch N] [--screen]
+    /// [--fail-at SECS] [--chaos-mtbf SECS] [--repair SECS] [--retries N]
+    /// [--shed DEPTH] [--mesh RxC] [--s N] [--max-batch N] [--screen]
     /// [--format text|json|prometheus] [--out FILE] [--trace-out FILE]
     /// [--trace-chrome FILE] [--explain] [--explain-out FILE]
     /// [--threads N]`: simulate a continuous-batching serving fleet and
     /// report TTFT/TPOT percentiles and goodput-per-chip against the
-    /// SLO. The trace/explain flags record the request-lifecycle event
-    /// stream (observation-only — the report is bit-identical with or
-    /// without them) and decompose tail TTFT into blame components.
+    /// SLO. `--chaos-mtbf` draws seeded multi-death fault injection per
+    /// replica (the serving analog of the `resilience` MTBF ladder);
+    /// `--retries`/`--shed` enable cross-replica failover routing and
+    /// SLO-aware load shedding. The trace/explain flags record the
+    /// request-lifecycle event stream (observation-only — the report is
+    /// bit-identical with or without them) and decompose tail TTFT into
+    /// blame components.
     Serve {
         /// Target model.
         model: Model,
@@ -140,6 +153,21 @@ pub enum Command {
         requests: usize,
         /// Inject a chip death in replica 0 at this time, seconds.
         fail_at: Option<f64>,
+        /// Chaos mode: per-chip MTBF, seconds — every replica draws
+        /// seeded exponential chip/link deaths over the arrival-trace
+        /// span. Mutually exclusive with `--fail-at`.
+        chaos_mtbf: Option<f64>,
+        /// Mean exponential repair time after a chaos death, seconds;
+        /// requires `--chaos-mtbf`. Dead replicas stay degraded forever
+        /// when absent.
+        repair: Option<f64>,
+        /// Cross-replica failover routing with this retry budget:
+        /// requests stranded in a blackout window back off and land on
+        /// survivor replicas.
+        retries: Option<usize>,
+        /// SLO-aware load shedding above this waiting-queue depth, with
+        /// a halved degraded batch cap while overloaded.
+        shed: Option<usize>,
         /// Pin the per-replica mesh, skipping the serving tuner.
         mesh: Option<MeshShape>,
         /// Slice count used with `--mesh` (tuned when `--mesh` absent).
@@ -356,7 +384,9 @@ USAGE:
     meshslice inference   <gpt3|megatron> <chips>
     meshslice serve       [--model gpt3|megatron|tiny] [--chips N] [--replicas R] [--qps F]
                           [--trace FILE] [--slo-p99-ms F] [--seed K] [--requests N]
-                          [--fail-at SECS] [--mesh RxC] [--s N] [--max-batch N] [--screen]
+                          [--fail-at SECS] [--chaos-mtbf SECS] [--repair SECS]
+                          [--retries N] [--shed DEPTH]
+                          [--mesh RxC] [--s N] [--max-batch N] [--screen]
                           [--format text|json|prometheus] [--out FILE]
                           [--trace-out FILE] [--trace-chrome FILE]
                           [--explain] [--explain-out FILE] [--threads N]
@@ -585,6 +615,7 @@ fn parse_serve(args: &[String]) -> Result<Command, UsageError> {
     let (mut qps, mut slo_p99_ms) = (40.0f64, 500.0f64);
     let (mut trace, mut seed, mut requests) = (None, 0u64, 200usize);
     let (mut fail_at, mut mesh, mut s, mut max_batch) = (None, None, 4usize, 32usize);
+    let (mut chaos_mtbf, mut repair, mut retries, mut shed) = (None, None, None, None);
     let (mut format, mut out, mut threads) = (ServeFormat::Json, None, None);
     let (mut trace_out, mut trace_chrome) = (None, None);
     let (mut explain, mut explain_out) = (false, None);
@@ -618,6 +649,10 @@ fn parse_serve(args: &[String]) -> Result<Command, UsageError> {
             }
             "--requests" => requests = parse_usize(value, "request count")?,
             "--fail-at" => fail_at = Some(parse_f64(value, "failure time")?),
+            "--chaos-mtbf" => chaos_mtbf = Some(parse_f64(value, "chaos MTBF")?),
+            "--repair" => repair = Some(parse_f64(value, "repair time")?),
+            "--retries" => retries = Some(parse_usize(value, "retry budget")?),
+            "--shed" => shed = Some(parse_usize(value, "shed queue depth")?),
             "--mesh" => mesh = Some(parse_mesh(value)?),
             "--s" => s = parse_usize(value, "slice count")?,
             "--max-batch" => max_batch = parse_usize(value, "batch cap")?,
@@ -666,6 +701,34 @@ fn parse_serve(args: &[String]) -> Result<Command, UsageError> {
             )));
         }
     }
+    if let Some(mtbf) = chaos_mtbf {
+        if !(mtbf.is_finite() && mtbf > 0.0) {
+            return Err(UsageError(format!(
+                "chaos MTBF must be finite and positive, got {mtbf}"
+            )));
+        }
+        if fail_at.is_some() {
+            return Err(UsageError(
+                "--fail-at and --chaos-mtbf are mutually exclusive".into(),
+            ));
+        }
+    }
+    if let Some(mean) = repair {
+        if chaos_mtbf.is_none() {
+            return Err(UsageError("--repair requires --chaos-mtbf".into()));
+        }
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(UsageError(format!(
+                "repair time must be finite and positive, got {mean}"
+            )));
+        }
+    }
+    if retries == Some(0) {
+        return Err(UsageError("retry budget must be positive".into()));
+    }
+    if shed == Some(0) {
+        return Err(UsageError("shed queue depth must be positive".into()));
+    }
     Ok(Command::Serve {
         model,
         chips,
@@ -676,6 +739,10 @@ fn parse_serve(args: &[String]) -> Result<Command, UsageError> {
         seed,
         requests,
         fail_at,
+        chaos_mtbf,
+        repair,
+        retries,
+        shed,
         mesh,
         s,
         max_batch,
@@ -688,6 +755,29 @@ fn parse_serve(args: &[String]) -> Result<Command, UsageError> {
         explain_out,
         threads,
     })
+}
+
+/// Rejects a `--fail-at` time strictly past the end of the arrival
+/// trace: the death would never fire and the run would silently equal a
+/// failure-free one. A death at exactly the last arrival still fires
+/// (work is pending when the clock reaches it), so it is allowed.
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] naming the horizon when `fail_at` is past
+/// the last arrival.
+fn check_fail_at_horizon(fail_at: Option<f64>, trace: &[Request]) -> Result<(), UsageError> {
+    let (Some(at), Some(last)) = (fail_at, trace.last()) else {
+        return Ok(());
+    };
+    if at > last.arrival_secs {
+        return Err(UsageError(format!(
+            "--fail-at {at} is past the end of the arrival trace (last arrival at \
+             {:.3} s); the death would never fire — lower --fail-at or raise --requests",
+            last.arrival_secs
+        )));
+    }
+    Ok(())
 }
 
 /// Parses the argument list (without the program name).
@@ -944,6 +1034,10 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             seed,
             requests,
             fail_at,
+            chaos_mtbf,
+            repair,
+            retries,
+            shed,
             mesh,
             s,
             max_batch,
@@ -1022,6 +1116,14 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     (best.mesh, best.slice_count, best.max_batch, true)
                 }
             };
+            // Pre-draw the arrival trace: the chaos horizon and the
+            // `--fail-at` range check both need to know when it ends.
+            // Sharing the draw with the simulation is neutral — the
+            // fleet would draw the identical trace itself.
+            let arrival_trace: Arc<[Request]> = Arc::from(arrivals.generate(requests, seed));
+            check_fail_at_horizon(fail_at, &arrival_trace).map_err(|e| e.to_string())?;
+            let horizon = arrival_trace.last().map_or(0.0, |r| r.arrival_secs);
+            let slo_secs = slo_p99_ms / 1e3;
             let spec = ServingSpec {
                 model: config.clone(),
                 mesh,
@@ -1036,8 +1138,22 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     replica: 0,
                     at_secs,
                 }),
+                chaos: chaos_mtbf.map(|mtbf| {
+                    let mut chaos = ChaosSpec::new(FailureSpec::chip_mtbf(mtbf, horizon), seed);
+                    if let Some(mean) = repair {
+                        chaos = chaos.with_repair(RepairModel::exponential(mean));
+                    }
+                    chaos
+                }),
+                router: retries.map(|max_retries| RouterPolicy {
+                    max_retries,
+                    ..RouterPolicy::for_slo(slo_secs)
+                }),
+                shed: shed.map(|depth| {
+                    ShedPolicy::for_queue_depth(depth).with_degraded_cap((max_batch / 2).max(1))
+                }),
                 shared_costs: None,
-                shared_trace: None,
+                shared_trace: Some(arrival_trace),
             };
             // Any trace/explain flag turns on event recording; the
             // report is bit-identical either way (tracing is
@@ -1069,6 +1185,17 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                         report.preemptions,
                         report.failovers
                     );
+                    if report.shed + report.timed_out + report.retries > 0 {
+                        println!(
+                            "resilience: {} shed, {} timed out, {} retried \
+                             ({} redistributed), {:.1} s degraded-cap",
+                            report.shed,
+                            report.timed_out,
+                            report.retries,
+                            report.redistributed,
+                            report.degraded_secs
+                        );
+                    }
                     let mut t = Table::new(vec![
                         "metric".into(),
                         "p50".into(),
@@ -2097,6 +2224,82 @@ mod tests {
         assert!(parse(&args("serve --bogus 1")).is_err());
         assert!(parse(&args("serve --qps")).is_err());
         assert!(parse(&args("serve --trace-out")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_resilience_flags_and_rejects_bad_combos() {
+        match parse(&args(
+            "serve --chaos-mtbf 3600 --repair 120 --retries 5 --shed 32",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                chaos_mtbf,
+                repair,
+                retries,
+                shed,
+                fail_at,
+                ..
+            } => {
+                assert_eq!(chaos_mtbf, Some(3600.0));
+                assert_eq!(repair, Some(120.0));
+                assert_eq!(retries, Some(5));
+                assert_eq!(shed, Some(32));
+                assert_eq!(fail_at, None);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // Router and shed work without chaos (they guard a scripted
+        // death too); repair is meaningless without a chaos draw.
+        assert!(parse(&args("serve --retries 3 --shed 8")).is_ok());
+        assert!(parse(&args("serve --fail-at 1.0 --chaos-mtbf 60")).is_err());
+        assert!(parse(&args("serve --repair 10")).is_err());
+        assert!(parse(&args("serve --chaos-mtbf 0")).is_err());
+        assert!(parse(&args("serve --chaos-mtbf -3")).is_err());
+        assert!(parse(&args("serve --chaos-mtbf 60 --repair 0")).is_err());
+        assert!(parse(&args("serve --retries 0")).is_err());
+        assert!(parse(&args("serve --shed 0")).is_err());
+        assert!(parse(&args("serve --chaos-mtbf")).is_err());
+    }
+
+    #[test]
+    fn fail_at_past_the_arrival_horizon_is_a_usage_error() {
+        let trace = vec![
+            Request {
+                id: 0,
+                arrival_secs: 0.5,
+                prompt_tokens: 8,
+                output_tokens: 4,
+            },
+            Request {
+                id: 1,
+                arrival_secs: 2.0,
+                prompt_tokens: 8,
+                output_tokens: 4,
+            },
+        ];
+        // No death, or a death at / before the last arrival: fine.
+        assert!(check_fail_at_horizon(None, &trace).is_ok());
+        assert!(check_fail_at_horizon(Some(1.0), &trace).is_ok());
+        // The boundary: a death at exactly the last arrival still fires.
+        assert!(check_fail_at_horizon(Some(2.0), &trace).is_ok());
+        // Strictly past the horizon: the death would never fire.
+        let err = check_fail_at_horizon(Some(2.5), &trace).unwrap_err();
+        assert!(err.to_string().contains("past the end"), "{err}");
+        assert!(err.to_string().contains("2.000"), "{err}");
+        // An empty trace has no horizon to violate.
+        assert!(check_fail_at_horizon(Some(10.0), &[]).is_ok());
+        // End-to-end: execute surfaces the horizon error. 4 requests at
+        // qps 40 arrive well inside the first second.
+        let err = execute(
+            parse(&args(
+                "serve --model tiny --chips 4 --replicas 1 --requests 4 --qps 40 \
+                 --fail-at 1000 --threads 1",
+            ))
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("past the end"), "{err}");
     }
 
     #[test]

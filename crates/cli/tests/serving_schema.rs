@@ -5,7 +5,11 @@
 
 use meshslice::llm::LlmConfig;
 use meshslice::{MeshShape, SimConfig};
-use meshslice_serving::{simulate_fleet, ChipDeath, ServingSpec};
+use meshslice_faults::FailureSpec;
+use meshslice_recovery::RepairModel;
+use meshslice_serving::{
+    simulate_fleet, ChaosSpec, ChipDeath, RouterPolicy, ServingSpec, ShedPolicy,
+};
 use meshslice_telemetry::{validate, Json};
 
 fn serving_schema() -> Json {
@@ -75,6 +79,47 @@ fn failover_artifact_conforms_too() {
         .map(|r| r.get("outage_secs").and_then(Json::as_f64).unwrap())
         .sum();
     assert!(outage > 0.0);
+}
+
+#[test]
+fn chaos_artifact_conforms_and_records_resilience_counters() {
+    // Seeded multi-death chaos with routing, shedding, and repair on: the
+    // v3 artifact must validate and carry the resilience counters.
+    let mut spec = ServingSpec::new(tiny(), MeshShape::new(2, 2), 4, 40.0);
+    spec.num_requests = 120;
+    spec.seed = 7;
+    spec.chaos = Some(
+        ChaosSpec::new(FailureSpec::chip_mtbf(4.0, 3.0), 11)
+            .with_repair(RepairModel::exponential(1.0)),
+    );
+    spec.router = Some(RouterPolicy::for_slo(0.5));
+    spec.shed = Some(ShedPolicy::for_queue_depth(8).with_degraded_cap(8));
+    let report = simulate_fleet(&spec, &SimConfig::tpu_v4()).expect("chaos fleet simulates");
+    assert!(
+        report.failovers >= 1,
+        "MTBF 4 s across 4 replicas must fire"
+    );
+    assert_eq!(
+        report.completed + report.rejected + report.shed + report.timed_out,
+        report.offered,
+        "every request must reach exactly one terminal outcome"
+    );
+    let doc = report.to_json();
+    let errors = validate(&serving_schema(), &doc);
+    assert!(errors.is_empty(), "schema violations: {errors:?}");
+    for key in [
+        "shed",
+        "timed_out",
+        "retries",
+        "redistributed",
+        "degraded_secs",
+    ] {
+        assert!(doc.get(key).is_some(), "missing {key}");
+    }
+    assert!(
+        doc.get("downtime_s").is_some(),
+        "fired draws price downtime"
+    );
 }
 
 #[test]

@@ -267,6 +267,46 @@ impl ServingFailover {
     }
 }
 
+/// Repair/replacement time model for chaos-mode serving: after a chip
+/// death's failover outage, the dead chip is swapped and the replica
+/// returns to nominal pricing once the repair completes. Repair times
+/// are exponential with the given mean; the *draw* itself is exposed as
+/// a pure map from a uniform variate so callers (the serving chaos
+/// scheduler) own the RNG stream and stay deterministic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RepairModel {
+    /// Mean repair/replacement time, seconds.
+    pub mean_secs: f64,
+}
+
+impl RepairModel {
+    /// An exponential repair model with the given mean, seconds.
+    pub fn exponential(mean_secs: f64) -> RepairModel {
+        RepairModel { mean_secs }
+    }
+
+    /// Checks field ranges.
+    ///
+    /// # Errors
+    ///
+    /// Describes the invalid mean.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.mean_secs.is_finite() && self.mean_secs > 0.0) {
+            return Err(format!(
+                "repair mean {} s must be finite and positive",
+                self.mean_secs
+            ));
+        }
+        Ok(())
+    }
+
+    /// Maps a uniform variate `u ∈ [0, 1)` to an exponential repair-time
+    /// draw (inverse-CDF), seconds. Deterministic in `(self, u)`.
+    pub fn repair_secs(&self, u: f64) -> f64 {
+        -self.mean_secs * (1.0 - u.clamp(0.0, 1.0 - f64::EPSILON)).ln()
+    }
+}
+
 /// One (mesh, slice count, checkpoint interval) candidate of
 /// [`ResilientTuning::tune_resilient`], scored by expected goodput.
 #[derive(Clone, Debug, PartialEq)]
@@ -626,5 +666,21 @@ mod tests {
         let calm = tuner.tune_resilient(&model, setup, 4, &[1, 2], &FailureSpec::none());
         assert_eq!(calm.best().expected_goodput, 1.0);
         assert!(calm.best().checkpoint_interval_secs.is_infinite());
+    }
+
+    #[test]
+    fn repair_model_draws_are_deterministic_and_mean_scaled() {
+        let fast = RepairModel::exponential(10.0);
+        let slow = RepairModel::exponential(100.0);
+        fast.validate().expect("positive mean is valid");
+        assert!(RepairModel::exponential(0.0).validate().is_err());
+        assert!(RepairModel::exponential(f64::NAN).validate().is_err());
+        // Inverse-CDF: u = 0 draws 0, the median draw is mean·ln 2, and
+        // the same u under a 10x mean is exactly the 10x draw.
+        assert_eq!(fast.repair_secs(0.0), 0.0);
+        assert!((fast.repair_secs(0.5) - 10.0 * 2.0_f64.ln()).abs() < 1e-12);
+        assert!((slow.repair_secs(0.7) - 10.0 * fast.repair_secs(0.7)).abs() < 1e-12);
+        // u -> 1 stays finite (clamped off the singularity).
+        assert!(fast.repair_secs(1.0).is_finite());
     }
 }

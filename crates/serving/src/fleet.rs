@@ -32,6 +32,7 @@ use meshslice_telemetry::{
 };
 
 use crate::arrival::{ArrivalSpec, Request};
+use crate::chaos::{route_requests, ChaosSpec, DeathEvent, RoutedTrace, RouterPolicy, ShedPolicy};
 use crate::costs::{build_replica_costs, PhaseCostTable, ReplicaCosts};
 
 /// A permanent chip failure injected into the fleet mid-simulation.
@@ -64,8 +65,21 @@ pub struct ServingSpec {
     pub seed: u64,
     /// TTFT p99 target, milliseconds.
     pub slo_p99_ttft_ms: f64,
-    /// Optional injected chip death.
+    /// Optional injected chip death. Mutually exclusive with `chaos`.
     pub failure: Option<ChipDeath>,
+    /// Optional stochastic fault injection: seeded MTBF-driven chip and
+    /// link death arrivals per replica, with optional repair. Mutually
+    /// exclusive with `failure`; a zero-rate spec (infinite MTBFs)
+    /// reproduces the nominal path byte-for-byte.
+    pub chaos: Option<ChaosSpec>,
+    /// Optional cross-replica failover routing: requests stranded in a
+    /// scheduled blackout window retry with capped exponential backoff
+    /// onto survivor replicas. With no blackouts the router is idle and
+    /// dispatch equals plain round-robin exactly.
+    pub router: Option<RouterPolicy>,
+    /// Optional SLO-aware load shedding at each replica's admission
+    /// control.
+    pub shed: Option<ShedPolicy>,
     /// Prebuilt cost tables to serve from (e.g. a [`CostTableCache`]
     /// view), skipping the per-call [`build_replica_costs`]. Must match
     /// the spec's mesh and batch cap; [`validate`](Self::validate)
@@ -97,6 +111,9 @@ impl ServingSpec {
             seed: 0,
             slo_p99_ttft_ms: 500.0,
             failure: None,
+            chaos: None,
+            router: None,
+            shed: None,
             shared_costs: None,
             shared_trace: None,
         }
@@ -138,6 +155,20 @@ impl ServingSpec {
                 ));
             }
         }
+        if let Some(chaos) = &self.chaos {
+            chaos.validate()?;
+            if self.failure.is_some() {
+                return Err(
+                    "chaos injection and a scripted chip death are mutually exclusive".into(),
+                );
+            }
+        }
+        if let Some(router) = &self.router {
+            router.validate()?;
+        }
+        if let Some(shed) = &self.shed {
+            shed.validate()?;
+        }
         if let Some(costs) = &self.shared_costs {
             if costs.mesh != self.mesh {
                 return Err(format!(
@@ -158,6 +189,17 @@ impl ServingSpec {
                 return Err(
                     "shared cost tables are nominal-only but the spec injects a chip death".into(),
                 );
+            }
+            if let Some(chaos) = &self.chaos {
+                if !costs.degraded_priced
+                    && (chaos.failures.chip_mtbf.is_finite()
+                        || chaos.failures.link_mtbf.is_finite())
+                {
+                    return Err(
+                        "shared cost tables are nominal-only but the chaos spec can draw deaths"
+                            .into(),
+                    );
+                }
             }
         }
         if let Some(trace) = &self.shared_trace {
@@ -180,6 +222,21 @@ impl ServingSpec {
     }
 }
 
+/// The terminal state a request reached. Every offered request reaches
+/// exactly one (property-tested in `tests/serving_properties.rs`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// Generated every output token.
+    Completed,
+    /// Rejected at admission: peak KV footprint can never fit.
+    Rejected,
+    /// Shed by SLO-aware admission control under overload.
+    Shed,
+    /// The fleet router exhausted its retry budget or deadline with
+    /// every candidate replica blacked out.
+    TimedOut,
+}
+
 /// The fate of one request.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RequestOutcome {
@@ -198,6 +255,10 @@ pub struct RequestOutcome {
     pub generated_tokens: usize,
     /// Times this request was preempted (KV dropped and rebuilt).
     pub preemptions: usize,
+    /// Router retry decisions this request consumed.
+    pub retries: usize,
+    /// The terminal state reached.
+    pub kind: OutcomeKind,
 }
 
 /// Per-replica accounting.
@@ -215,25 +276,41 @@ pub struct ReplicaStats {
     pub prefill_chunks: usize,
     /// Steps executed on the degraded torus after a failover.
     pub degraded_steps: usize,
-    /// Whether the injected chip death hit this replica.
+    /// Requests shed by SLO-aware admission control.
+    pub shed: usize,
+    /// Failover events (scripted or chaos-drawn deaths that fired).
+    pub failovers: usize,
+    /// Whether any injected death hit this replica.
     pub failed_over: bool,
     /// Peak per-chip KV bytes observed.
     pub kv_peak_bytes: u64,
     /// Time of the last event on this replica, seconds.
     pub makespan_secs: f64,
-    /// Seconds the replica was out for failover (detection + restore).
+    /// Seconds the replica was out for failover (detection + restore),
+    /// clamped to simulated time when an outage is truncated by trace
+    /// end.
     pub outage_secs: f64,
+    /// Detection share of `outage_secs`, clamped the same way.
+    pub detection_secs: f64,
+    /// Restore share of `outage_secs` (`outage_secs - detection_secs`).
+    pub restore_secs: f64,
     /// Prefill-chunk seconds spent rebuilding preempted or failed-over
     /// requests (token-weighted share of mixed chunks).
     pub reprefill_secs: f64,
     /// Extra step seconds paid for running on the degraded torus
     /// (degraded cost minus what the nominal mesh would have charged).
     pub degraded_extra_secs: f64,
+    /// Step seconds executed while load shedding held the degraded
+    /// batch cap active.
+    pub shed_degraded_secs: f64,
 }
 
 /// Fleet-wide chip-death cost accounting: where the wall-clock lost to
-/// the failure went. Present in the report when the spec injects a
-/// [`ChipDeath`]; serialized as the `downtime_s` artifact section.
+/// the failures went. Present in the report when the spec injects a
+/// [`ChipDeath`] or a chaos draw fires at least one death; serialized
+/// as the `downtime_s` artifact section. Components are clamped to
+/// simulated time, so they sum to the observed outage even when trace
+/// end truncates an outage.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ServingDowntime {
     /// Failure-detection seconds across failovers.
@@ -294,14 +371,26 @@ pub struct FleetReport {
     pub rejected: usize,
     /// Preemption events fleet-wide.
     pub preemptions: usize,
-    /// Replicas that failed over.
+    /// Failover events across the fleet (a chaos replica can fail over
+    /// more than once).
     pub failovers: usize,
+    /// Requests shed by SLO-aware admission control fleet-wide.
+    pub shed: usize,
+    /// Requests the router timed out (never served).
+    pub timed_out: usize,
+    /// Router retry decisions fleet-wide.
+    pub retries: usize,
+    /// Requests the router landed off their round-robin home replica.
+    pub redistributed: usize,
     /// Time-to-first-token order statistics, seconds.
     pub ttft: LatencySummary,
     /// Time-per-output-token order statistics, seconds.
     pub tpot: LatencySummary,
     /// Wall-clock of the longest replica timeline, seconds.
     pub makespan_secs: f64,
+    /// Step seconds executed under the load-shedding degraded batch
+    /// cap, fleet-wide.
+    pub degraded_secs: f64,
     /// Tokens generated by completed requests.
     pub generated_tokens: usize,
     /// Generated tokens per chip per second — the headline efficiency.
@@ -343,17 +432,22 @@ impl FleetReport {
                     ("decode_steps", Json::Num(r.decode_steps as f64)),
                     ("prefill_chunks", Json::Num(r.prefill_chunks as f64)),
                     ("degraded_steps", Json::Num(r.degraded_steps as f64)),
+                    ("shed", Json::Num(r.shed as f64)),
+                    ("failovers", Json::Num(r.failovers as f64)),
                     ("failed_over", Json::Bool(r.failed_over)),
                     ("kv_peak_bytes", Json::Num(r.kv_peak_bytes as f64)),
                     ("makespan_secs", Json::Num(r.makespan_secs)),
                     ("outage_secs", Json::Num(r.outage_secs)),
+                    ("detection_secs", Json::Num(r.detection_secs)),
+                    ("restore_secs", Json::Num(r.restore_secs)),
                     ("reprefill_secs", Json::Num(r.reprefill_secs)),
                     ("degraded_extra_secs", Json::Num(r.degraded_extra_secs)),
+                    ("shed_degraded_secs", Json::Num(r.shed_degraded_secs)),
                 ])
             })
             .collect();
         let mut fields = vec![
-            ("schema_version", Json::Num(2.0)),
+            ("schema_version", Json::Num(3.0)),
             ("model", Json::Str(self.model.clone())),
             ("mesh_rows", Json::Num(self.mesh.rows as f64)),
             ("mesh_cols", Json::Num(self.mesh.cols as f64)),
@@ -368,9 +462,14 @@ impl FleetReport {
             ("rejected", Json::Num(self.rejected as f64)),
             ("preemptions", Json::Num(self.preemptions as f64)),
             ("failovers", Json::Num(self.failovers as f64)),
+            ("shed", Json::Num(self.shed as f64)),
+            ("timed_out", Json::Num(self.timed_out as f64)),
+            ("retries", Json::Num(self.retries as f64)),
+            ("redistributed", Json::Num(self.redistributed as f64)),
             ("ttft_ms", self.ttft.to_json_scaled(1e3)),
             ("tpot_ms", self.tpot.to_json_scaled(1e3)),
             ("makespan_secs", Json::Num(self.makespan_secs)),
+            ("degraded_secs", Json::Num(self.degraded_secs)),
             ("generated_tokens", Json::Num(self.generated_tokens as f64)),
             (
                 "goodput_tokens_per_chip_s",
@@ -432,8 +531,12 @@ impl FleetReport {
             ("offered", self.offered),
             ("completed", self.completed),
             ("rejected", self.rejected),
+            ("shed", self.shed),
+            ("timed_out", self.timed_out),
             ("preemptions", self.preemptions),
             ("failovers", self.failovers),
+            ("retries", self.retries),
+            ("redistributed", self.redistributed),
         ] {
             gauge(
                 "meshslice_serving_requests_total",
@@ -568,33 +671,76 @@ fn run_fleet(
         }
     };
 
-    // Round-robin dispatch by id: state-independent, so the per-replica
-    // request streams — and therefore the simulation — do not depend on
-    // how replicas are scheduled onto worker threads.
-    let mut streams: Vec<Vec<Request>> = vec![Vec::new(); spec.replicas];
-    for r in trace {
-        streams[r.id % spec.replicas].push(*r);
-    }
+    // Death schedules: chaos draws one per replica; a scripted death is
+    // a one-event schedule with no repair — that path reproduces the
+    // legacy single-death loop decisions bit-for-bit.
+    let death_plans: Vec<Vec<DeathEvent>> = if let Some(chaos) = &spec.chaos {
+        (0..spec.replicas)
+            .map(|r| chaos.replica_deaths(r, spec.mesh.num_chips(), failover.outage_secs()))
+            .collect()
+    } else {
+        let mut plans = vec![Vec::new(); spec.replicas];
+        if let Some(f) = &spec.failure {
+            plans[f.replica].push(DeathEvent {
+                at: f.at_secs,
+                repaired_at: f64::INFINITY,
+            });
+        }
+        plans
+    };
+    let death_events: usize = death_plans.iter().map(Vec::len).sum();
+
+    // Router pre-pass: plan the dispatch around the *scheduled* outage
+    // windows before any replica simulates, so per-replica timelines
+    // stay independent. With no blackouts the routed streams equal
+    // plain round-robin dispatch exactly.
+    let mut routed: Option<RoutedTrace> = spec.router.as_ref().map(|policy| {
+        let blackouts: Vec<Vec<(f64, f64)>> = death_plans
+            .iter()
+            .map(|deaths| {
+                deaths
+                    .iter()
+                    .map(|d| (d.at, d.at + failover.outage_secs()))
+                    .collect()
+            })
+            .collect();
+        route_requests(trace, spec.replicas, &blackouts, policy)
+    });
+    let streams: Vec<Vec<Request>> = match routed.as_mut() {
+        Some(r) => std::mem::take(&mut r.streams),
+        None => {
+            // Round-robin dispatch by id: state-independent, so the
+            // per-replica request streams — and therefore the simulation
+            // — do not depend on how replicas are scheduled onto worker
+            // threads.
+            let mut streams = vec![Vec::new(); spec.replicas];
+            for r in trace {
+                streams[r.id % spec.replicas].push(*r);
+            }
+            streams
+        }
+    };
+    let router_events: Vec<Vec<ServingEvent>> = routed
+        .as_mut()
+        .map(|r| std::mem::take(&mut r.events))
+        .unwrap_or_default();
+
     let slo_secs = spec.slo_p99_ttft_ms / 1e3;
     let indices: Vec<usize> = (0..spec.replicas).collect();
     let runs = par::parallel_map_threads(threads, &indices, |&r| {
-        let fail_at = spec
-            .failure
-            .as_ref()
-            .filter(|f| f.replica == r)
-            .map(|f| f.at_secs);
+        let ctx = ReplicaCtx {
+            costs: &costs,
+            requests: &streams[r],
+            deaths: &death_plans[r],
+            failover: &failover,
+            shed: spec.shed.as_ref(),
+            slo_secs,
+        };
         let mut sinks = ReplicaSinks {
             series: ReplicaSeriesBuilder::new(),
             record: record.then(RecordingSink::default),
         };
-        let run = simulate_replica(
-            &costs,
-            &streams[r],
-            fail_at,
-            &failover,
-            slo_secs,
-            &mut sinks,
-        );
+        let run = simulate_replica(&ctx, &mut sinks);
         (run, sinks)
     });
 
@@ -602,18 +748,60 @@ fn run_fleet(
     let mut per_replica = Vec::with_capacity(spec.replicas);
     let mut builders = Vec::with_capacity(spec.replicas);
     let mut recorded: Vec<Vec<ServingEvent>> = Vec::with_capacity(spec.replicas);
-    for (r, (run, sinks)) in runs.into_iter().enumerate() {
+    for (r, (run, mut sinks)) in runs.into_iter().enumerate() {
         outcomes.extend(run.outcomes.into_iter().map(|mut o| {
             o.replica = r;
             o
         }));
         per_replica.push(run.stats);
+        // Router events fold into the home replica's lanes after the
+        // simulation: window binning is order-independent, so this
+        // equals having observed them inline.
+        if let Some(evs) = router_events.get(r) {
+            for e in evs {
+                sinks.series.event(e);
+            }
+        }
         builders.push(sinks.series);
         if let Some(rec) = sinks.record {
-            recorded.push(rec.events);
+            let mut evs = router_events.get(r).cloned().unwrap_or_default();
+            evs.extend(rec.events);
+            recorded.push(evs);
         }
     }
     outcomes.sort_by_key(|o| o.id);
+    if let Some(r) = &routed {
+        // Restore user-perceived arrivals: a routed request simulated
+        // with its effective (post-backoff) arrival, so the backoff
+        // delay it sat through folds back into TTFT.
+        for rr in &r.routed {
+            let i = outcomes
+                .binary_search_by_key(&rr.id, |o| o.id)
+                .expect("routed requests land in exactly one stream");
+            let o = &mut outcomes[i];
+            o.arrival_secs = rr.arrival_secs;
+            if let Some(ttft) = &mut o.ttft_secs {
+                *ttft += rr.delay_secs;
+            }
+            o.retries = rr.retries;
+        }
+        for to in &r.timeouts {
+            outcomes.push(RequestOutcome {
+                id: to.id,
+                replica: to.id % spec.replicas,
+                arrival_secs: to.arrival_secs,
+                ttft_secs: None,
+                tpot_secs: None,
+                generated_tokens: 0,
+                preemptions: 0,
+                retries: to.retries,
+                kind: OutcomeKind::TimedOut,
+            });
+        }
+        if !r.timeouts.is_empty() {
+            outcomes.sort_by_key(|o| o.id);
+        }
+    }
     let series = FleetSeries::from_builders(builders);
 
     let ttft_samples: Vec<f64> = outcomes.iter().filter_map(|o| o.ttft_secs).collect();
@@ -637,10 +825,18 @@ fn run_fleet(
     } else {
         0.0
     };
-    let failovers = per_replica.iter().filter(|s| s.failed_over).count();
-    let downtime = spec.failure.map(|_| ServingDowntime {
-        detection_secs: failovers as f64 * failover.detect_secs,
-        restore_secs: failovers as f64 * failover.restore_secs,
+    let failovers: usize = per_replica.iter().map(|s| s.failovers).sum();
+    let shed: usize = per_replica.iter().map(|s| s.shed).sum();
+    let (timed_out, retries, redistributed) = match &routed {
+        Some(r) => (r.timeouts.len(), r.retries, r.redistributed),
+        None => (0, 0, 0),
+    };
+    // A scripted death always reports a (possibly zeroed) breakdown; a
+    // chaos spec reports one only when a draw actually fired, so a
+    // zero-rate chaos run serializes byte-identically to nominal.
+    let downtime = (spec.failure.is_some() || death_events > 0).then(|| ServingDowntime {
+        detection_secs: per_replica.iter().map(|s| s.detection_secs).sum(),
+        restore_secs: per_replica.iter().map(|s| s.restore_secs).sum(),
         reprefill_secs: per_replica.iter().map(|s| s.reprefill_secs).sum(),
         degraded_extra_secs: per_replica.iter().map(|s| s.degraded_extra_secs).sum(),
         failovers,
@@ -673,6 +869,10 @@ fn run_fleet(
         rejected: per_replica.iter().map(|s| s.rejected).sum(),
         preemptions: per_replica.iter().map(|s| s.preemptions).sum(),
         failovers,
+        shed,
+        timed_out,
+        retries,
+        redistributed,
         slo_attained: ttft.count > 0 && ttft.p99 <= slo_secs,
         slo_attainment: if ttft.count > 0 {
             slo_hits as f64 / ttft.count as f64
@@ -682,6 +882,7 @@ fn run_fleet(
         ttft,
         tpot,
         makespan_secs,
+        degraded_secs: per_replica.iter().map(|s| s.shed_degraded_secs).sum(),
         generated_tokens,
         goodput_tokens_per_chip_s: goodput,
         kv_budget_bytes: costs.kv_budget_bytes,
@@ -733,25 +934,39 @@ struct ReqState {
     finish: Option<f64>,
     preemptions: usize,
     rejected: bool,
+    shed: bool,
+}
+
+/// Everything one replica's simulation reads: the cost tables, its
+/// request stream, its scheduled death events (sorted by time), the
+/// failover timing, and the optional shed policy.
+struct ReplicaCtx<'a> {
+    costs: &'a ReplicaCosts,
+    requests: &'a [Request],
+    deaths: &'a [DeathEvent],
+    failover: &'a ServingFailover,
+    shed: Option<&'a ShedPolicy>,
+    slo_secs: f64,
 }
 
 /// One replica's timeline: a sequential discrete-event loop over its
 /// request stream. All arithmetic is sequential f64, so the result is a
-/// pure function of `(costs, requests, fail_at, failover)` — the sink
-/// only observes, it never influences the loop.
+/// pure function of the context — the sink only observes, it never
+/// influences the loop.
 ///
 /// Request state lives in one [`ReqState`] slab indexed by stream
 /// position, and the batch-assembly buffers are reused across
 /// iterations: the steady-state decode path allocates nothing per step
 /// (property-tested to leave the report bit-for-bit unchanged).
-fn simulate_replica(
-    costs: &ReplicaCosts,
-    requests: &[Request],
-    fail_at: Option<f64>,
-    failover: &ServingFailover,
-    slo_secs: f64,
-    sink: &mut dyn TraceSink,
-) -> ReplicaRun {
+fn simulate_replica(ctx: &ReplicaCtx<'_>, sink: &mut dyn TraceSink) -> ReplicaRun {
+    let ReplicaCtx {
+        costs,
+        requests,
+        deaths,
+        failover,
+        shed,
+        slo_secs,
+    } = *ctx;
     let per_token = costs.kv_bytes_per_token;
     let budget = costs.kv_budget_bytes;
     let n = requests.len();
@@ -763,8 +978,15 @@ fn simulate_replica(
     let mut waiting: VecDeque<usize> = VecDeque::new();
     let mut active: Vec<usize> = Vec::new(); // admission order (oldest first)
     let mut kv_used = 0u64;
-    let mut degraded = false;
-    let mut failed_over = false;
+    // The replica serves on the degraded torus while `t` is below this:
+    // never for a healthy replica, forever after an unrepaired death
+    // (the legacy boolean), or until the repair completes.
+    let mut degraded_until = f64::NEG_INFINITY;
+    let mut next_death = 0usize;
+    let mut outage_starts: Vec<f64> = Vec::new();
+    // KV tokens pinned by the waiting queue, priced like the prefill
+    // chunk assembly prices them — the shed policy's TTFT projection.
+    let mut queued_tokens = 0usize;
     let mut stats = ReplicaStats::default();
 
     // Per-iteration batch buffers, reused across the whole loop.
@@ -780,10 +1002,22 @@ fn simulate_replica(
             .cost_secs(size, degraded)
             .expect("replica cost tables are validated non-empty")
     };
+    // Nominal per-token prefill rate of the largest bucket: the shed
+    // policy projects the backlog's TTFT as `queued_tokens` priced at
+    // this rate.
+    let prefill_tok_secs = {
+        let size = costs.prefill.max_size();
+        phase_secs(&costs.prefill, size, false) / size as f64
+    };
+    let overloaded = |p: &ShedPolicy, depth: usize, queued_tokens: usize| {
+        depth >= p.queue_depth || queued_tokens as f64 * prefill_tok_secs > p.ttft_factor * slo_secs
+    };
 
     loop {
         // Admission: a request whose peak KV footprint exceeds the whole
-        // budget can never run; everything else queues.
+        // budget can never run is rejected; under an overloaded queue
+        // the shed policy drops the newest arrivals; everything else
+        // queues.
         while next_arrival < n && requests[next_arrival].arrival_secs <= t {
             let idx = next_arrival;
             next_arrival += 1;
@@ -794,8 +1028,17 @@ fn simulate_replica(
                 reqs[idx].rejected = true;
                 stats.rejected += 1;
                 sink.event(&ServingEvent::Rejected { id, t: at });
+            } else if shed.is_some_and(|p| overloaded(p, waiting.len(), queued_tokens)) {
+                reqs[idx].shed = true;
+                stats.shed += 1;
+                sink.event(&ServingEvent::Shed {
+                    id,
+                    t: at,
+                    queue: waiting.len(),
+                });
             } else {
                 waiting.push_back(idx);
+                queued_tokens += requests[idx].prompt_tokens + reqs[idx].generated.max(1);
                 sink.event(&ServingEvent::Queued {
                     id,
                     t: at,
@@ -806,34 +1049,48 @@ fn simulate_replica(
 
         // Chip death: the replica is out for detection + weight restore,
         // its KV cache is gone (the in-flight batch re-prefills), and it
-        // continues on the degraded torus.
-        if let Some(at) = fail_at {
-            if !failed_over && t >= at {
-                failed_over = true;
-                degraded = true;
-                stats.failed_over = true;
-                let start = t;
-                t += failover.outage_secs();
-                stats.outage_secs += failover.outage_secs();
-                sink.event(&ServingEvent::Outage { start, end: t });
-                while let Some(idx) = active.pop() {
-                    reqs[idx].preemptions += 1;
-                    stats.preemptions += 1;
-                    waiting.push_front(idx);
-                    sink.event(&ServingEvent::Preempted {
-                        id: requests[idx].id,
-                        t: start,
-                    });
-                }
-                kv_used = 0;
-                continue;
+        // continues on the degraded torus until the repair completes
+        // (forever, without a repair model).
+        if next_death < deaths.len() && t >= deaths[next_death].at {
+            let ev = deaths[next_death];
+            next_death += 1;
+            stats.failed_over = true;
+            stats.failovers += 1;
+            degraded_until = degraded_until.max(ev.repaired_at);
+            let start = t;
+            t += failover.outage_secs();
+            outage_starts.push(start);
+            sink.event(&ServingEvent::Outage { start, end: t });
+            while let Some(idx) = active.pop() {
+                reqs[idx].preemptions += 1;
+                stats.preemptions += 1;
+                waiting.push_front(idx);
+                queued_tokens += requests[idx].prompt_tokens + reqs[idx].generated.max(1);
+                sink.event(&ServingEvent::Preempted {
+                    id: requests[idx].id,
+                    t: start,
+                });
             }
+            kv_used = 0;
+            continue;
         }
+
+        let degraded = t < degraded_until;
+        // While the shed policy sees overload it can gate prefill
+        // admission behind a smaller batch cap; decode drains the
+        // resident batch down to it naturally.
+        let prefill_cap = match shed {
+            Some(p) if overloaded(p, waiting.len(), queued_tokens) => p
+                .degraded_max_batch
+                .map_or(costs.max_batch, |c| c.min(costs.max_batch)),
+            _ => costs.max_batch,
+        };
+        let shed_cap_active = prefill_cap < costs.max_batch;
 
         // Prefill-prioritized continuous batching: fill the batch before
         // decoding. A preempted or failed-over request re-prefills its
         // prompt plus everything it had generated.
-        if !waiting.is_empty() && active.len() < costs.max_batch {
+        if !waiting.is_empty() && active.len() < prefill_cap {
             chunk.clear();
             fresh_ids.clear();
             resumed_ids.clear();
@@ -841,7 +1098,7 @@ fn simulate_replica(
             let mut chunk_kv = 0u64;
             let mut resumed_tokens = 0usize;
             while let Some(&idx) = waiting.front() {
-                if active.len() + chunk.len() >= costs.max_batch {
+                if active.len() + chunk.len() >= prefill_cap {
                     break;
                 }
                 let tokens = requests[idx].prompt_tokens + reqs[idx].generated.max(1);
@@ -852,6 +1109,7 @@ fn simulate_replica(
                     break;
                 }
                 waiting.pop_front();
+                queued_tokens -= tokens;
                 chunk.push(idx);
                 chunk_tokens += tokens;
                 chunk_kv += tokens as u64 * per_token;
@@ -871,6 +1129,9 @@ fn simulate_replica(
                     stats.degraded_steps += 1;
                     stats.degraded_extra_secs +=
                         cost - phase_secs(&costs.prefill, chunk_tokens, false);
+                }
+                if shed_cap_active {
+                    stats.shed_degraded_secs += cost;
                 }
                 if chunk_tokens > 0 {
                     stats.reprefill_secs += cost * resumed_tokens as f64 / chunk_tokens as f64;
@@ -946,6 +1207,9 @@ fn simulate_replica(
                 stats.degraded_steps += 1;
                 stats.degraded_extra_secs += cost - phase_secs(&costs.decode, batch, false);
             }
+            if shed_cap_active {
+                stats.shed_degraded_secs += cost;
+            }
             kv_used += batch as u64 * per_token;
             stats.kv_peak_bytes = stats.kv_peak_bytes.max(kv_used);
             finished.clear();
@@ -988,19 +1252,35 @@ fn simulate_replica(
             continue;
         }
 
-        // Idle: jump to the next arrival (or the scheduled death if it
-        // comes first and is still pending).
+        // Idle: jump to the next arrival (or the next scheduled death if
+        // it comes first and is still pending).
         if next_arrival < n {
             let mut wake = requests[next_arrival].arrival_secs;
-            if let Some(at) = fail_at {
-                if !failed_over {
-                    wake = wake.min(at.max(t));
-                }
+            if next_death < deaths.len() {
+                wake = wake.min(deaths[next_death].at.max(t));
             }
             t = t.max(wake);
             continue;
         }
         break;
+    }
+
+    // Outage accounting, clamped to simulated time: an outage the trace
+    // end truncates only charges the share that actually elapsed, so
+    // `detection + restore` always sums to the observed outage.
+    for &start in &outage_starts {
+        let end = start + failover.outage_secs();
+        let observed = if end <= stats.makespan_secs {
+            failover.outage_secs()
+        } else {
+            (stats.makespan_secs - start)
+                .max(0.0)
+                .min(failover.outage_secs())
+        };
+        stats.outage_secs += observed;
+        let detect = observed.min(failover.detect_secs);
+        stats.detection_secs += detect;
+        stats.restore_secs += observed - detect;
     }
 
     let outcomes = requests
@@ -1014,14 +1294,27 @@ fn simulate_replica(
                 }
                 _ => None,
             };
+            let kind = if state.rejected {
+                OutcomeKind::Rejected
+            } else if state.shed {
+                OutcomeKind::Shed
+            } else {
+                OutcomeKind::Completed
+            };
             RequestOutcome {
                 id: r.id,
                 replica: 0, // filled in by the fleet merge
                 arrival_secs: r.arrival_secs,
                 ttft_secs: ttft,
                 tpot_secs: tpot,
-                generated_tokens: if state.rejected { 0 } else { state.generated },
+                generated_tokens: if kind == OutcomeKind::Completed {
+                    state.generated
+                } else {
+                    0
+                },
                 preemptions: state.preemptions,
+                retries: 0, // filled in by the fleet merge for routed requests
+                kind,
             }
         })
         .collect();
@@ -1242,7 +1535,7 @@ mod tests {
                 .and_then(Json::as_usize),
             Some(report.completed)
         );
-        assert_eq!(json.get("schema_version").and_then(Json::as_usize), Some(2));
+        assert_eq!(json.get("schema_version").and_then(Json::as_usize), Some(3));
         assert!(
             json.get("downtime_s").is_none(),
             "no failure injected, no downtime section"
@@ -1332,6 +1625,164 @@ mod tests {
         // the series peak lower-bounds the report's mid-step peak.
         let kv_peak = agg.iter().map(|w| w.kv_peak_bytes).max().unwrap_or(0);
         assert!(kv_peak > 0 && kv_peak <= report.kv_peak_bytes);
+    }
+
+    #[test]
+    fn chaos_multi_death_run_survives_with_routing_and_shedding() {
+        use meshslice_faults::FailureSpec;
+        let cfg = SimConfig::tpu_v4();
+        // 80 arrivals at qps 40 span ~2 s of simulated time; MTBF 2 s
+        // per chip x 4 chips x 4 replicas over that horizon fires
+        // several deaths mid-trace.
+        let mut spec = tiny_spec(40.0);
+        spec.replicas = 4;
+        spec.chaos = Some(ChaosSpec::new(FailureSpec::chip_mtbf(2.0, 2.0), 13));
+        spec.router = Some(RouterPolicy::for_slo(0.5));
+        spec.shed = Some(ShedPolicy::for_queue_depth(64));
+        let report = simulate_fleet(&spec, &cfg).expect("feasible");
+        assert!(report.failovers >= 2, "got {} failovers", report.failovers);
+        assert_eq!(
+            report.completed + report.rejected + report.shed + report.timed_out,
+            report.offered,
+            "no request may be stranded"
+        );
+        assert!(report.goodput_tokens_per_chip_s > 0.0);
+        assert!(report.downtime.is_some(), "fired draws price downtime");
+        // Every terminal outcome kind is consistent with its fields.
+        for o in &report.outcomes {
+            match o.kind {
+                OutcomeKind::Completed => assert!(o.ttft_secs.is_some()),
+                OutcomeKind::Rejected | OutcomeKind::Shed | OutcomeKind::TimedOut => {
+                    assert!(o.ttft_secs.is_none());
+                    assert_eq!(o.generated_tokens, 0);
+                }
+            }
+        }
+        // Bit-identical at any thread count, chaos and router included.
+        for threads in [2, 8] {
+            let parallel = simulate_fleet_threads(&spec, &cfg, threads).expect("feasible");
+            assert_eq!(report, parallel);
+        }
+    }
+
+    #[test]
+    fn repair_returns_the_replica_to_nominal_pricing() {
+        use meshslice_faults::FailureSpec;
+        use meshslice_recovery::RepairModel;
+        let cfg = SimConfig::tpu_v4();
+        let mut spec = tiny_spec(40.0);
+        spec.chaos = Some(ChaosSpec::new(FailureSpec::chip_mtbf(2.0, 2.0), 5));
+        let forever = simulate_fleet(&spec, &cfg).expect("feasible");
+        assert!(forever.failovers >= 1, "the draw must fire");
+        // Same death schedule (repair consumes an independent RNG), but
+        // the replica returns to nominal pricing after the repair.
+        spec.chaos = Some(
+            ChaosSpec::new(FailureSpec::chip_mtbf(2.0, 2.0), 5)
+                .with_repair(RepairModel::exponential(0.2)),
+        );
+        let repaired = simulate_fleet(&spec, &cfg).expect("feasible");
+        assert_eq!(repaired.failovers, forever.failovers);
+        let steps = |r: &FleetReport| {
+            r.per_replica
+                .iter()
+                .map(|s| s.degraded_steps)
+                .sum::<usize>()
+        };
+        assert!(
+            steps(&repaired) < steps(&forever),
+            "repair must end the degraded window: {} vs {}",
+            steps(&repaired),
+            steps(&forever)
+        );
+    }
+
+    #[test]
+    fn truncated_outage_clamps_the_downtime_to_simulated_time() {
+        let cfg = SimConfig::tpu_v4();
+        // One request whose KV footprint can never fit: it is rejected
+        // the moment the replica drains arrivals — after the outage —
+        // so no step ever runs and the outage is fully truncated.
+        let mut spec = tiny_spec(5.0);
+        spec.replicas = 1;
+        spec.num_requests = 1;
+        spec.shared_trace = Some(Arc::from(vec![Request {
+            id: 0,
+            arrival_secs: 0.1,
+            prompt_tokens: 50_000_000_000,
+            output_tokens: 1,
+        }]));
+        spec.failure = Some(ChipDeath {
+            replica: 0,
+            at_secs: 0.05,
+        });
+        let report = simulate_fleet(&spec, &cfg).expect("feasible");
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.failovers, 1, "the death fired");
+        let stats = &report.per_replica[0];
+        let d = report.downtime.expect("failure injected");
+        assert_eq!(d.failovers, 1);
+        // The trace ended before any post-outage work, so the observed
+        // outage — and every component priced from it — is zero.
+        assert_eq!(stats.outage_secs, 0.0);
+        assert_eq!(d.detection_secs, 0.0);
+        assert_eq!(d.restore_secs, 0.0);
+        assert!((d.detection_secs + d.restore_secs - stats.outage_secs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shedding_drops_the_newest_arrivals_under_overload() {
+        let cfg = SimConfig::tpu_v4();
+        // At qps 50k the whole trace floods in faster than one step, so
+        // the admission queue overflows depth 4 immediately.
+        let mut spec = tiny_spec(50_000.0);
+        spec.shed = Some(ShedPolicy::for_queue_depth(4).with_degraded_cap(4));
+        let report = simulate_fleet(&spec, &cfg).expect("feasible");
+        assert!(report.shed > 0, "queue depth 4 at qps 50k must shed");
+        assert!(report.degraded_secs > 0.0, "the degraded cap must engage");
+        assert_eq!(
+            report.completed + report.rejected + report.shed,
+            report.offered
+        );
+        let per_replica_shed: usize = report.per_replica.iter().map(|s| s.shed).sum();
+        assert_eq!(per_replica_shed, report.shed);
+        // An idle shed policy leaves the nominal report byte-identical.
+        let mut calm = tiny_spec(2.0);
+        let nominal = simulate_fleet(&calm, &cfg).expect("feasible");
+        calm.shed = Some(ShedPolicy::for_queue_depth(1_000_000));
+        let guarded = simulate_fleet(&calm, &cfg).expect("feasible");
+        assert_eq!(nominal, guarded);
+        assert_eq!(
+            nominal.to_json().to_string_pretty(),
+            guarded.to_json().to_string_pretty()
+        );
+    }
+
+    #[test]
+    fn router_redirects_around_a_scripted_death() {
+        let cfg = SimConfig::tpu_v4();
+        let mut spec = tiny_spec(200.0);
+        spec.failure = Some(ChipDeath {
+            replica: 0,
+            at_secs: 0.05,
+        });
+        spec.router = Some(RouterPolicy::for_slo(0.5));
+        let report = simulate_fleet(&spec, &cfg).expect("feasible");
+        assert!(report.retries > 0, "arrivals inside the blackout retry");
+        assert!(
+            report.redistributed > 0,
+            "the survivor replica absorbs the stranded requests"
+        );
+        assert_eq!(
+            report.completed + report.rejected + report.timed_out,
+            report.offered
+        );
+        // Routed requests keep their original arrival and fold the
+        // backoff delay into TTFT; their retry count is recorded.
+        let routed: Vec<_> = report.outcomes.iter().filter(|o| o.retries > 0).collect();
+        assert!(!routed.is_empty());
+        for o in &routed {
+            assert!(o.kind == OutcomeKind::Completed || o.kind == OutcomeKind::TimedOut);
+        }
     }
 
     #[test]

@@ -38,6 +38,14 @@
 //!   observation-only and leaves the report bit-for-bit unchanged.
 //!   Every report also carries a windowed per-replica time-series and,
 //!   under an injected failure, the [`ServingDowntime`] breakdown.
+//! - [`ChaosSpec`] replaces the single scripted death with seeded
+//!   MTBF-driven chip/link death arrivals per replica (optionally
+//!   repaired), [`RouterPolicy`] re-routes stranded requests onto
+//!   survivor replicas with capped exponential backoff under a retry
+//!   budget and deadline, and [`ShedPolicy`] sheds the newest arrivals
+//!   when the backlog crosses a queue-depth or projected-TTFT
+//!   threshold. All three are off by default and reproduce the nominal
+//!   report byte-for-byte when idle (property-tested).
 //!
 //! Everything is deterministic: the same spec, seed, and thread count —
 //! in fact *any* thread count — produces a bit-identical report.
@@ -67,6 +75,7 @@
 #![warn(missing_docs)]
 
 mod arrival;
+mod chaos;
 mod costs;
 mod fleet;
 mod tune;
@@ -75,6 +84,9 @@ pub use arrival::{
     ArrivalSpec, LoadShape, Request, DEFAULT_OUTPUT_RANGE, DEFAULT_PROMPT_RANGE,
     DEFAULT_SEGMENT_SECS,
 };
+pub use chaos::{
+    ChaosSpec, DeathEvent, RouterPolicy, ShedPolicy, BACKOFF_CAP_FACTOR, DEFAULT_SHED_TTFT_FACTOR,
+};
 pub use costs::{
     build_replica_costs, build_replica_costs_with, BucketCost, CostProfile, CostTableCache,
     EmptyCostTable, PhaseCostTable, ReplicaCosts, CACHED_BATCH_CAP, MAX_PREFILL_TOKENS,
@@ -82,9 +94,10 @@ pub use costs::{
 };
 pub use fleet::{
     simulate_fleet, simulate_fleet_threads, simulate_fleet_traced, ChipDeath, FleetReport,
-    ReplicaStats, RequestOutcome, ServingDowntime, ServingSpec,
+    OutcomeKind, ReplicaStats, RequestOutcome, ServingDowntime, ServingSpec,
 };
 pub use tune::{
-    rank_candidates, ScreenPolicy, ServingCandidate, ServingPlan, ServingTuning, TuneMode,
+    rank_candidates, rank_resilient_candidates, ResilienceSpec, ResilientServingCandidate,
+    ResilientServingPlan, ScreenPolicy, ServingCandidate, ServingPlan, ServingTuning, TuneMode,
     CANDIDATE_MAX_BATCH, CANDIDATE_SLICE_COUNTS,
 };

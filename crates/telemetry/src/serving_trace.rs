@@ -133,6 +133,46 @@ pub enum ServingEvent {
         /// Whether TTFT met the SLO target.
         slo_ok: bool,
     },
+    /// Admission shed the request: SLO-aware load shedding found the
+    /// backlog too hot to admit a lowest-priority (newest) arrival.
+    Shed {
+        /// Trace id.
+        id: usize,
+        /// Arrival time, seconds.
+        t: f64,
+        /// Waiting-queue depth that triggered the shed.
+        queue: usize,
+    },
+    /// The fleet router re-enqueued the request with backoff because its
+    /// target replica sat inside a failover blackout window.
+    Retried {
+        /// Trace id.
+        id: usize,
+        /// Time of the retry decision, seconds.
+        t: f64,
+        /// Retry attempt number (1 = first retry).
+        attempt: usize,
+    },
+    /// The router landed the request on a survivor replica other than
+    /// its round-robin home.
+    Redistributed {
+        /// Trace id.
+        id: usize,
+        /// Effective (post-backoff) arrival time, seconds.
+        t: f64,
+        /// The round-robin home replica.
+        from: usize,
+        /// The survivor replica that serves the request.
+        to: usize,
+    },
+    /// The router gave up: retry budget or per-request deadline
+    /// exhausted with every candidate replica blacked out.
+    TimedOut {
+        /// Trace id.
+        id: usize,
+        /// Time the deadline/budget expired, seconds.
+        t: f64,
+    },
 }
 
 impl ServingEvent {
@@ -237,6 +277,34 @@ impl ServingEvent {
                 ("generated", Json::Num(*generated as f64)),
                 ("preemptions", Json::Num(*preemptions as f64)),
                 ("slo_ok", Json::Bool(*slo_ok)),
+            ]),
+            ServingEvent::Shed { id, t, queue } => Json::obj(vec![
+                ("kind", Json::Str("shed".into())),
+                rep,
+                ("id", Json::Num(*id as f64)),
+                ("t", Json::Num(*t)),
+                ("queue", Json::Num(*queue as f64)),
+            ]),
+            ServingEvent::Retried { id, t, attempt } => Json::obj(vec![
+                ("kind", Json::Str("retried".into())),
+                rep,
+                ("id", Json::Num(*id as f64)),
+                ("t", Json::Num(*t)),
+                ("attempt", Json::Num(*attempt as f64)),
+            ]),
+            ServingEvent::Redistributed { id, t, from, to } => Json::obj(vec![
+                ("kind", Json::Str("redistributed".into())),
+                rep,
+                ("id", Json::Num(*id as f64)),
+                ("t", Json::Num(*t)),
+                ("from", Json::Num(*from as f64)),
+                ("to", Json::Num(*to as f64)),
+            ]),
+            ServingEvent::TimedOut { id, t } => Json::obj(vec![
+                ("kind", Json::Str("timed_out".into())),
+                rep,
+                ("id", Json::Num(*id as f64)),
+                ("t", Json::Num(*t)),
             ]),
         }
     }
@@ -510,6 +578,10 @@ impl ServingTrace {
                     ServingEvent::FirstToken { id, t } => touch(*id, *t, "first token")?,
                     ServingEvent::Preempted { id, t } => touch(*id, *t, "preempt")?,
                     ServingEvent::Completed { id, t, .. } => touch(*id, *t, "complete")?,
+                    ServingEvent::Shed { id, t, .. } => touch(*id, *t, "shed")?,
+                    ServingEvent::Retried { id, t, .. } => touch(*id, *t, "retried")?,
+                    ServingEvent::Redistributed { id, t, .. } => touch(*id, *t, "redistributed")?,
+                    ServingEvent::TimedOut { id, t } => touch(*id, *t, "timed out")?,
                     ServingEvent::Outage { .. } | ServingEvent::Decode { .. } => {}
                 }
             }
@@ -622,9 +694,17 @@ impl RequestLifetimes {
                 ServingEvent::Completed { id, t, .. } => {
                     by_id.entry(*id).or_default().completed = Some(*t);
                 }
+                // Router/shedding events carry no served-lifecycle
+                // milestones: a shed or timed-out request never
+                // prefills, so it simply has no `first_chunk` and the
+                // chrome/blame exports skip it.
                 ServingEvent::Queued { .. }
                 | ServingEvent::Decode { .. }
-                | ServingEvent::Preempted { .. } => {}
+                | ServingEvent::Preempted { .. }
+                | ServingEvent::Shed { .. }
+                | ServingEvent::Retried { .. }
+                | ServingEvent::Redistributed { .. }
+                | ServingEvent::TimedOut { .. } => {}
             }
         }
         RequestLifetimes {

@@ -35,6 +35,12 @@ pub struct SeriesWindow {
     pub completed: usize,
     /// Requests rejected at admission.
     pub rejected: usize,
+    /// Requests shed by SLO-aware admission control.
+    pub shed: usize,
+    /// Router retry decisions (backoff re-enqueues).
+    pub retries: usize,
+    /// Requests the router timed out (retry budget or deadline spent).
+    pub timed_out: usize,
     /// Decode iterations finishing in the window.
     pub decode_steps: usize,
     /// Sum of decode batch sizes (occupancy = `batch_sum / decode_steps`).
@@ -63,6 +69,9 @@ impl SeriesWindow {
             admitted: self.admitted + other.admitted,
             completed: self.completed + other.completed,
             rejected: self.rejected + other.rejected,
+            shed: self.shed + other.shed,
+            retries: self.retries + other.retries,
+            timed_out: self.timed_out + other.timed_out,
             decode_steps: self.decode_steps + other.decode_steps,
             batch_sum: self.batch_sum + other.batch_sum,
             prefill_chunks: self.prefill_chunks + other.prefill_chunks,
@@ -81,6 +90,9 @@ impl SeriesWindow {
             ("admitted", Json::Num(self.admitted as f64)),
             ("completed", Json::Num(self.completed as f64)),
             ("rejected", Json::Num(self.rejected as f64)),
+            ("shed", Json::Num(self.shed as f64)),
+            ("retries", Json::Num(self.retries as f64)),
+            ("timed_out", Json::Num(self.timed_out as f64)),
             ("decode_steps", Json::Num(self.decode_steps as f64)),
             ("batch_sum", Json::Num(self.batch_sum as f64)),
             ("prefill_chunks", Json::Num(self.prefill_chunks as f64)),
@@ -104,6 +116,9 @@ impl SeriesWindow {
             admitted: num("admitted")? as usize,
             completed: num("completed")? as usize,
             rejected: num("rejected")? as usize,
+            shed: num("shed")? as usize,
+            retries: num("retries")? as usize,
+            timed_out: num("timed_out")? as usize,
             decode_steps: num("decode_steps")? as usize,
             batch_sum: num("batch_sum")? as usize,
             prefill_chunks: num("prefill_chunks")? as usize,
@@ -258,6 +273,23 @@ impl ReplicaSeriesBuilder {
             ServingEvent::Completed { t, .. } => {
                 let i = self.slot(*t);
                 self.windows[i].completed += 1;
+            }
+            ServingEvent::Shed { t, queue, .. } => {
+                let i = self.slot(*t);
+                self.windows[i].shed += 1;
+                self.windows[i].queue_peak = self.windows[i].queue_peak.max(*queue);
+            }
+            ServingEvent::Retried { t, .. } => {
+                let i = self.slot(*t);
+                self.windows[i].retries += 1;
+            }
+            // The redistribution itself is already counted by its
+            // retry decisions; the landing shows up as a Queued event
+            // on the survivor replica.
+            ServingEvent::Redistributed { .. } => {}
+            ServingEvent::TimedOut { t, .. } => {
+                let i = self.slot(*t);
+                self.windows[i].timed_out += 1;
             }
         }
     }

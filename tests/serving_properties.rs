@@ -13,11 +13,13 @@ use meshslice::autotuner::Autotuner;
 use meshslice::llm::LlmConfig;
 use meshslice::memory::{inference_footprint, HBM_BYTES};
 use meshslice::{MeshShape, SimConfig};
+use meshslice_faults::FailureSpec;
 use meshslice_serving::{
-    simulate_fleet, simulate_fleet_threads, simulate_fleet_traced, ArrivalSpec, ChipDeath,
-    CostProfile, CostTableCache, LoadShape, Request, ScreenPolicy, ServingSpec, ServingTuning,
-    TuneMode, MAX_PREFILL_TOKENS,
+    simulate_fleet, simulate_fleet_threads, simulate_fleet_traced, ArrivalSpec, ChaosSpec,
+    ChipDeath, CostProfile, CostTableCache, LoadShape, OutcomeKind, Request, RouterPolicy,
+    ScreenPolicy, ServingSpec, ServingTuning, ShedPolicy, TuneMode, MAX_PREFILL_TOKENS,
 };
+use meshslice_telemetry::ServingEvent;
 use proptest::prelude::*;
 
 fn tiny() -> LlmConfig {
@@ -330,5 +332,98 @@ proptest! {
             });
             prop_assert_eq!(twin, Some(c), "survivor rescored by screening");
         }
+    }
+
+    /// Arming the whole resilience machinery without ever tripping it —
+    /// zero-rate chaos (infinite MTBFs draw no deaths), a router with
+    /// nothing to reroute, a shed policy whose thresholds are
+    /// unreachable — leaves the fleet report *and* its serialized
+    /// artifact byte-identical to the nominal run at any thread count.
+    #[test]
+    fn idle_resilience_machinery_is_byte_invisible(
+        qps in 5.0f64..300.0,
+        requests in 10usize..80,
+        seed in any::<u64>(),
+        chaos_seed in any::<u64>(),
+    ) {
+        let cfg = SimConfig::tpu_v4();
+        let plain = spec(qps, requests, seed);
+        let nominal = simulate_fleet(&plain, &cfg).expect("tiny fleet simulates");
+        let mut guarded = plain.clone();
+        guarded.chaos = Some(ChaosSpec::new(FailureSpec::none(), chaos_seed));
+        guarded.router = Some(RouterPolicy::for_slo(plain.slo_p99_ttft_ms / 1e3));
+        guarded.shed = Some(ShedPolicy {
+            queue_depth: usize::MAX,
+            ttft_factor: 1e18,
+            degraded_max_batch: None,
+        });
+        for threads in [1usize, 2, 8] {
+            let report = simulate_fleet_threads(&guarded, &cfg, threads)
+                .expect("guarded fleet simulates");
+            prop_assert_eq!(&nominal, &report, "{} threads", threads);
+            prop_assert_eq!(
+                nominal.to_json().to_string_pretty(),
+                report.to_json().to_string_pretty(),
+                "idle resilience machinery changed the serialized artifact"
+            );
+        }
+    }
+
+    /// Under real chaos with routing and shedding, every offered request
+    /// reaches exactly one terminal outcome — completed, rejected, shed,
+    /// or timed out — the report counters partition the trace, and the
+    /// recorded event streams neither lose nor duplicate a request id.
+    #[test]
+    fn chaos_requests_reach_exactly_one_terminal_outcome(
+        qps in 20.0f64..200.0,
+        requests in 20usize..80,
+        seed in any::<u64>(),
+        chaos_seed in any::<u64>(),
+    ) {
+        let cfg = SimConfig::tpu_v4();
+        let mut s = spec(qps, requests, seed);
+        // MTBF of the arrival span: each 4-chip replica expects ~4
+        // deaths over the trace, so most draws fire at least one.
+        let horizon = (requests as f64 / qps).max(0.25);
+        s.chaos = Some(ChaosSpec::new(FailureSpec::chip_mtbf(horizon, horizon), chaos_seed));
+        s.router = Some(RouterPolicy::for_slo(s.slo_p99_ttft_ms / 1e3));
+        s.shed = Some(ShedPolicy::for_queue_depth(16).with_degraded_cap(4));
+        let (report, trace) = simulate_fleet_traced(&s, &cfg, 2).expect("chaos fleet simulates");
+        prop_assert_eq!(
+            report.completed + report.rejected + report.shed + report.timed_out,
+            report.offered,
+            "terminal outcomes must partition the offered load"
+        );
+        // One outcome per offered id, kind counters corroborating.
+        let mut ids: Vec<usize> = report.outcomes.iter().map(|o| o.id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..requests).collect::<Vec<_>>());
+        let count = |kind: OutcomeKind| {
+            report.outcomes.iter().filter(|o| o.kind == kind).count()
+        };
+        prop_assert_eq!(count(OutcomeKind::Completed), report.completed);
+        prop_assert_eq!(count(OutcomeKind::Rejected), report.rejected);
+        prop_assert_eq!(count(OutcomeKind::Shed), report.shed);
+        prop_assert_eq!(count(OutcomeKind::TimedOut), report.timed_out);
+        // The trace agrees: exactly one terminal event per id, however
+        // many times the router retried it across replicas.
+        let mut terminals = vec![0usize; requests];
+        let mut retried = 0usize;
+        for stream in &trace.events {
+            for ev in stream {
+                match ev {
+                    ServingEvent::Completed { id, .. }
+                    | ServingEvent::Rejected { id, .. }
+                    | ServingEvent::Shed { id, .. }
+                    | ServingEvent::TimedOut { id, .. } => terminals[*id] += 1,
+                    ServingEvent::Retried { .. } => retried += 1,
+                    _ => {}
+                }
+            }
+        }
+        for (id, &n) in terminals.iter().enumerate() {
+            prop_assert_eq!(n, 1, "request {} has {} terminal events", id, n);
+        }
+        prop_assert_eq!(retried, report.retries, "trace retry count matches the report");
     }
 }
