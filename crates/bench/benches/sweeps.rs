@@ -102,14 +102,14 @@ fn check_determinism(
     }
     let mut cands = serial.candidates.clone();
     cands.sort_by(|a, b| {
-        (a.mesh_shape.rows, a.mesh_shape.cols, a.requested_s).cmp(&(
-            b.mesh_shape.rows,
-            b.mesh_shape.cols,
+        (a.mesh_shape.rows(), a.mesh_shape.cols(), a.requested_s).cmp(&(
+            b.mesh_shape.rows(),
+            b.mesh_shape.cols(),
             b.requested_s,
         ))
     });
     let mut legacy = legacy.to_vec();
-    legacy.sort_by_key(|a| (a.0.rows, a.0.cols, a.1));
+    legacy.sort_by_key(|a| (a.0.rows(), a.0.cols(), a.1));
     if legacy.len() != cands.len() {
         eprintln!(
             "FAIL: candidate count mismatch (legacy {}, tuned {})",

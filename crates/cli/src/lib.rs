@@ -42,7 +42,7 @@ use meshslice::{
     Dataflow, DistributedGemm, Engine, GemmProblem, GemmShape, MeshShape, MeshSlice, SimConfig,
 };
 use meshslice_faults::FailureSpec;
-use meshslice_mesh::Torus2d;
+use meshslice_mesh::{MeshView, Torus2d};
 use meshslice_recovery::{
     simulate_recovery, RecoveryParams, RepairModel, ResilientTuning, DEFAULT_DETECT_SECS,
 };
@@ -279,6 +279,20 @@ pub enum Command {
     },
     /// `traffic`: the §7 2.5D-vs-MeshSlice+DP traffic example.
     Traffic,
+    /// `mesh <chips> [--max-rank N] [--shape AxB[xC[xD]]]
+    /// [--format text|json]`: list the N-D mesh factorizations of a chip
+    /// count, or (with `--shape`) every 2D plane view of one N-D shape.
+    Mesh {
+        /// Cluster size to factor.
+        chips: usize,
+        /// Largest factorization rank to enumerate (2..=4).
+        max_rank: usize,
+        /// List the 2D plane views of this shape instead of the
+        /// factorization table; its chip product must equal `chips`.
+        shape: Option<MeshShape>,
+        /// Output format.
+        format: MeshListFormat,
+    },
     /// `help`: usage text.
     Help,
 }
@@ -337,6 +351,15 @@ pub enum ServeFormat {
     Prometheus,
 }
 
+/// Output format of the `mesh` subcommand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MeshListFormat {
+    /// Human-readable tables.
+    Text,
+    /// A JSON document with the same content.
+    Json,
+}
+
 /// Errors produced while parsing a command line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct UsageError(String);
@@ -352,7 +375,7 @@ impl Error for UsageError {}
 /// Every subcommand the CLI dispatches on, in the order [`USAGE`] lists
 /// them. The help-coverage test asserts each one is both parseable and
 /// documented, so this list cannot drift from [`parse`].
-pub const SUBCOMMANDS: [&str; 14] = [
+pub const SUBCOMMANDS: [&str; 15] = [
     "autotune",
     "compare",
     "sweep-mesh",
@@ -366,6 +389,7 @@ pub const SUBCOMMANDS: [&str; 14] = [
     "trace",
     "metrics",
     "traffic",
+    "mesh",
     "help",
 ];
 
@@ -399,6 +423,7 @@ USAGE:
                           [--format text|json|prometheus] [--out FILE] [--tunelog FILE]
                           [--threads N]
     meshslice traffic
+    meshslice mesh        <chips> [--max-rank N] [--shape AxB[xC[xD]]] [--format text|json]
     meshslice help
 
 Sweeping subcommands (faults, resilience, metrics --tunelog) evaluate candidates on
@@ -436,6 +461,68 @@ fn parse_mesh(s: &str) -> Result<MeshShape, UsageError> {
         )));
     }
     Ok(MeshShape::new(rows, cols))
+}
+
+/// Parses an N-D mesh shape like `4x4x2`, surfacing the mesh crate's
+/// typed validation ([`MeshError`](meshslice_mesh::MeshError)) as a
+/// usage error.
+fn parse_shape_nd(s: &str) -> Result<MeshShape, UsageError> {
+    let sizes: Vec<usize> = s
+        .split(['x', 'X'])
+        .map(|part| parse_usize(part, "axis size"))
+        .collect::<Result<_, _>>()?;
+    MeshShape::from_sizes(&sizes).map_err(|e| UsageError(format!("invalid shape '{s}': {e}")))
+}
+
+fn parse_mesh_list(args: &[String]) -> Result<Command, UsageError> {
+    let mut it = args.iter().map(String::as_str);
+    let chips = parse_chips(
+        it.next()
+            .ok_or_else(|| UsageError("missing argument: chips".into()))?,
+    )?;
+    let mut max_rank = 3usize;
+    let mut shape = None;
+    let mut format = MeshListFormat::Text;
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| UsageError(format!("flag {flag} needs a value")))
+        };
+        match flag {
+            "--max-rank" => {
+                max_rank = parse_usize(value(flag)?, "max rank")?;
+                if !(2..=meshslice_mesh::MAX_AXES).contains(&max_rank) {
+                    return Err(UsageError(format!(
+                        "max rank must be between 2 and {}",
+                        meshslice_mesh::MAX_AXES
+                    )));
+                }
+            }
+            "--shape" => shape = Some(parse_shape_nd(value(flag)?)?),
+            "--format" => {
+                format = match value(flag)? {
+                    "text" => MeshListFormat::Text,
+                    "json" => MeshListFormat::Json,
+                    other => return Err(UsageError(format!("unknown format '{other}'"))),
+                }
+            }
+            other => return Err(UsageError(format!("unknown flag '{other}'"))),
+        }
+    }
+    if let Some(shape) = shape {
+        if shape.num_chips() != chips {
+            return Err(UsageError(format!(
+                "shape {shape} has {} chips, not {chips}",
+                shape.num_chips()
+            )));
+        }
+    }
+    Ok(Command::Mesh {
+        chips,
+        max_rank,
+        shape,
+        format,
+    })
 }
 
 fn parse_chips(s: &str) -> Result<usize, UsageError> {
@@ -792,6 +879,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
         Some("resilience") => return parse_resilience(&args[1..]),
         Some("trace") => return parse_trace(&args[1..]),
         Some("metrics") => return parse_metrics(&args[1..]),
+        Some("mesh") => return parse_mesh_list(&args[1..]),
         _ => {}
     }
     let mut it = args.iter().map(String::as_str);
@@ -1569,6 +1657,148 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             }
             println!("{t}");
         }
+        Command::Mesh {
+            chips,
+            max_rank,
+            shape,
+            format,
+        } => match shape {
+            None => {
+                let shapes = Autotuner::candidate_meshes_nd(chips, max_rank);
+                match format {
+                    MeshListFormat::Text => {
+                        println!("{chips} chips, factorizations up to rank {max_rank}:");
+                        let mut t = Table::new(vec![
+                            "shape".into(),
+                            "rank".into(),
+                            "axes".into(),
+                            "2D planes".into(),
+                        ]);
+                        for s in &shapes {
+                            t.row(vec![
+                                s.to_string(),
+                                s.rank().to_string(),
+                                s.axes()
+                                    .iter()
+                                    .map(|a| format!("{}={}", a.name(), a.size()))
+                                    .collect::<Vec<_>>()
+                                    .join(","),
+                                MeshView::full(*s).planes().len().to_string(),
+                            ]);
+                        }
+                        println!("{t}");
+                    }
+                    MeshListFormat::Json => {
+                        let arr = shapes
+                            .iter()
+                            .map(|s| {
+                                Json::obj(vec![
+                                    ("shape", Json::Str(s.to_string())),
+                                    ("rank", Json::Num(s.rank() as f64)),
+                                    (
+                                        "axes",
+                                        Json::Arr(
+                                            s.axes()
+                                                .iter()
+                                                .map(|a| {
+                                                    Json::obj(vec![
+                                                        ("name", Json::Str(a.name().to_string())),
+                                                        ("size", Json::Num(a.size() as f64)),
+                                                    ])
+                                                })
+                                                .collect(),
+                                        ),
+                                    ),
+                                    (
+                                        "planes",
+                                        Json::Num(MeshView::full(*s).planes().len() as f64),
+                                    ),
+                                ])
+                            })
+                            .collect();
+                        let doc = Json::obj(vec![
+                            ("chips", Json::Num(chips as f64)),
+                            ("max_rank", Json::Num(max_rank as f64)),
+                            ("factorizations", Json::Arr(arr)),
+                        ]);
+                        println!("{}", doc.to_string_pretty());
+                    }
+                }
+            }
+            Some(shape) => {
+                let planes = MeshView::full(shape).planes();
+                match format {
+                    MeshListFormat::Text => {
+                        println!("shape {shape}: {} 2D plane views", planes.len());
+                        let mut t =
+                            Table::new(vec!["plane".into(), "logical".into(), "chips".into()]);
+                        for p in &planes {
+                            let chips = p.view.chips();
+                            let preview = if chips.len() <= 8 {
+                                chips
+                                    .iter()
+                                    .map(|c| c.0.to_string())
+                                    .collect::<Vec<_>>()
+                                    .join(",")
+                            } else {
+                                format!("{} chips from {}", chips.len(), chips[0].0)
+                            };
+                            t.row(vec![
+                                p.to_string(),
+                                format!(
+                                    "{}x{}",
+                                    p.view.axis_len(p.row_axis).unwrap_or(0),
+                                    p.view.axis_len(p.col_axis).unwrap_or(0)
+                                ),
+                                preview,
+                            ]);
+                        }
+                        println!("{t}");
+                    }
+                    MeshListFormat::Json => {
+                        let arr = planes
+                            .iter()
+                            .map(|p| {
+                                Json::obj(vec![
+                                    ("plane", Json::Str(p.to_string())),
+                                    ("row_axis", Json::Str(p.row_axis.to_string())),
+                                    ("col_axis", Json::Str(p.col_axis.to_string())),
+                                    (
+                                        "fixed",
+                                        Json::Arr(
+                                            p.fixed
+                                                .iter()
+                                                .map(|(name, i)| {
+                                                    Json::obj(vec![
+                                                        ("axis", Json::Str(name.to_string())),
+                                                        ("index", Json::Num(*i as f64)),
+                                                    ])
+                                                })
+                                                .collect(),
+                                        ),
+                                    ),
+                                    (
+                                        "chips",
+                                        Json::Arr(
+                                            p.view
+                                                .chips()
+                                                .iter()
+                                                .map(|c| Json::Num(c.0 as f64))
+                                                .collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect();
+                        let doc = Json::obj(vec![
+                            ("shape", Json::Str(shape.to_string())),
+                            ("planes", Json::Arr(arr)),
+                        ]);
+                        println!("{}", doc.to_string_pretty());
+                    }
+                }
+            }
+        },
     }
     Ok(())
 }
@@ -1934,6 +2164,59 @@ mod tests {
         // not a silent fall-through to the run diff.
         assert!(parse(&args("compare gpt3 b.json")).is_err());
         assert!(parse(&args("compare a.json")).is_err());
+    }
+
+    #[test]
+    fn mesh_subcommand_parses_and_validates() {
+        assert_eq!(
+            parse(&args("mesh 64")).unwrap(),
+            Command::Mesh {
+                chips: 64,
+                max_rank: 3,
+                shape: None,
+                format: MeshListFormat::Text,
+            }
+        );
+        assert_eq!(
+            parse(&args("mesh 16 --max-rank 4 --shape 4x2x2 --format json")).unwrap(),
+            Command::Mesh {
+                chips: 16,
+                max_rank: 4,
+                shape: Some(MeshShape::from_sizes(&[4, 2, 2]).unwrap()),
+                format: MeshListFormat::Json,
+            }
+        );
+        // UsageError hardening: every malformed input is a typed usage
+        // error, never a panic.
+        assert!(parse(&args("mesh")).is_err());
+        assert!(parse(&args("mesh 0")).is_err());
+        assert!(parse(&args("mesh 64 --max-rank 1")).is_err());
+        assert!(parse(&args("mesh 64 --max-rank 5")).is_err());
+        assert!(parse(&args("mesh 64 --shape 4x0x4")).is_err());
+        assert!(parse(&args("mesh 64 --shape 2x2x2x2x2")).is_err());
+        assert!(parse(&args("mesh 16 --shape 4x4x4")).is_err());
+        assert!(parse(&args("mesh 64 --format yaml")).is_err());
+        assert!(parse(&args("mesh 64 --bogus")).is_err());
+    }
+
+    #[test]
+    fn mesh_subcommand_executes() {
+        for fmt in [MeshListFormat::Text, MeshListFormat::Json] {
+            execute(Command::Mesh {
+                chips: 64,
+                max_rank: 3,
+                shape: None,
+                format: fmt,
+            })
+            .unwrap();
+            execute(Command::Mesh {
+                chips: 16,
+                max_rank: 3,
+                shape: Some(MeshShape::from_sizes(&[4, 2, 2]).unwrap()),
+                format: fmt,
+            })
+            .unwrap();
+        }
     }
 
     #[test]

@@ -374,7 +374,7 @@ mod tests {
         let gathered = all_gather(&mesh, CommAxis::InterCol, &state_from_grid(&grid));
         for chip in mesh.chips() {
             let coord = mesh.coord_of(chip);
-            let expect = global.block(coord.row * 2, 0, 2, 6);
+            let expect = global.block(coord.row() * 2, 0, 2, 6);
             assert_eq!(gathered[chip.index()], expect, "chip {coord}");
         }
     }
@@ -387,7 +387,7 @@ mod tests {
         let gathered = all_gather(&mesh, CommAxis::InterRow, &state_from_grid(&grid));
         for chip in mesh.chips() {
             let coord = mesh.coord_of(chip);
-            let expect = global.block(0, coord.col * 2, 6, 2);
+            let expect = global.block(0, coord.col() * 2, 6, 2);
             assert_eq!(gathered[chip.index()], expect, "chip {coord}");
         }
     }
@@ -439,7 +439,7 @@ mod tests {
         let bc = broadcast(&mesh, CommAxis::InterRow, 1, &values);
         for chip in mesh.chips() {
             let coord = mesh.coord_of(chip);
-            let root = mesh.chip_at(Coord::new(1, coord.col));
+            let root = mesh.chip_at(Coord::new(1, coord.col()));
             assert_eq!(bc[chip.index()], values[root.index()]);
         }
     }
@@ -484,10 +484,10 @@ mod tests {
         let values: Vec<Matrix> = (0..9)
             .map(|i| Matrix::from_fn(1, 1, |_, _| i as f32))
             .collect();
-        let skewed = shift_by(&mesh, CommAxis::InterCol, |c| 3 - (c.row % 3), &values);
+        let skewed = shift_by(&mesh, CommAxis::InterCol, |c| 3 - (c.row() % 3), &values);
         for chip in mesh.chips() {
             let c = mesh.coord_of(chip);
-            let expect = (c.row * 3 + (c.col + c.row) % 3) as f32;
+            let expect = (c.row() * 3 + (c.col() + c.row()) % 3) as f32;
             assert_eq!(skewed[chip.index()][(0, 0)], expect, "chip {c}");
         }
     }

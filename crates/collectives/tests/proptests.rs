@@ -35,11 +35,11 @@ proptest! {
             let coord = mesh.coord_of(chip);
             prop_assert_eq!(
                 &rows_gathered[chip.index()],
-                &global.block(0, coord.col * c, pr * r, c)
+                &global.block(0, coord.col() * c, pr * r, c)
             );
             prop_assert_eq!(
                 &cols_gathered[chip.index()],
-                &global.block(coord.row * r, 0, r, pc * c)
+                &global.block(coord.row() * r, 0, r, pc * c)
             );
         }
     }

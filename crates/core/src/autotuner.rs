@@ -20,8 +20,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use meshslice_gemm::{Dataflow, DistributedGemm, GemmError, GemmProblem, MeshSlice};
-use meshslice_mesh::{MeshShape, Torus2d};
-use meshslice_sim::{ClusterProfile, Duration, Engine, Program, RunScratch, SimConfig, SimReport};
+use meshslice_mesh::{ChipId, MeshPlane, MeshShape, MeshView, Torus2d, MAX_AXES};
+use meshslice_sim::{
+    ClusterProfile, Duration, Engine, PodProfile, Program, RunScratch, SimConfig, SimReport,
+};
 use meshslice_telemetry::{TuneCandidate, TuneLog};
 use meshslice_tensor::slice::SliceSpec;
 use meshslice_tensor::GemmShape;
@@ -222,6 +224,26 @@ pub struct TunePlan {
     pub estimated_block_time: Duration,
 }
 
+/// The autotuner's placement of MeshSlice onto one 2D plane of an N-D
+/// pod: which plane won, how its chips map to the logical torus, and the
+/// tuned per-layer plans.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PodTunePlan {
+    /// The winning plane (spanning axes + fixed coordinates).
+    pub plane: MeshPlane,
+    /// The logical 2D mesh shape MeshSlice runs on.
+    pub mesh_shape: MeshShape,
+    /// `physical_chips[i]` is the pod chip playing logical chip `i`.
+    pub physical_chips: Vec<ChipId>,
+    /// Per-layer plans (four FC layers), tuned on the logical mesh.
+    pub layers: Vec<LayerPlan>,
+    /// Analytical fault-free FC block time on the logical mesh.
+    pub estimated_block_time: Duration,
+    /// Simulated FC block time under the plane's projected fault profile —
+    /// the quantity planes are ranked by.
+    pub simulated_block_time: Duration,
+}
+
 /// The MeshSlice LLM autotuner.
 ///
 /// # Example
@@ -273,6 +295,30 @@ impl Autotuner {
             MeshShape::factorizations(chips)
         } else {
             min2
+        }
+    }
+
+    /// N-D candidate mesh shapes for a chip count: every factorization of
+    /// rank `2..=max_rank` (capped at [`MAX_AXES`]) whose axes are all at
+    /// least 2, in (rank, lexicographic) order. The rank-2 prefix is
+    /// exactly [`candidate_meshes`](Self::candidate_meshes), so `max_rank
+    /// = 2` degenerates to the 2D search space; higher ranks append the
+    /// genuinely N-D pod shapes (e.g. `4x4x4` for 64 chips).
+    pub fn candidate_meshes_nd(chips: usize, max_rank: usize) -> Vec<MeshShape> {
+        let cap = max_rank.clamp(2, MAX_AXES);
+        let mut out = Vec::new();
+        for rank in 2..=cap {
+            let shapes = MeshShape::factorizations_nd(chips, rank).unwrap_or_default();
+            out.extend(
+                shapes
+                    .into_iter()
+                    .filter(|s| s.axes().iter().all(|a| a.size() >= 2)),
+            );
+        }
+        if out.is_empty() {
+            Self::candidate_meshes(chips)
+        } else {
+            out
         }
     }
 
@@ -540,6 +586,108 @@ impl Autotuner {
         Some((total, layers))
     }
 
+    /// Tunes MeshSlice onto an N-D pod: enumerates every 2D plane of the
+    /// pod ([`MeshView::planes`]), projects the pod's fault condition onto
+    /// each plane ([`PodProfile::project`]), tunes dataflows and slice
+    /// counts on the plane's logical mesh, and *simulates* the FC block
+    /// under the plane-local profile — so the tuner steers MeshSlice away
+    /// from planes containing stragglers or degraded links. Planes are
+    /// ranked by simulated block time; ties keep the first plane in
+    /// enumeration order, so the result is deterministic.
+    ///
+    /// On an ideal pod every congruent plane prices identically and the
+    /// winner is simply the best plane *shape* (e.g. the 4×4 planes of a
+    /// 4×4×2 pod beat the 4×2 ones for square GeMMs).
+    ///
+    /// Returns `None` if no plane divides the model's FC GeMMs.
+    pub fn tune_pod(
+        &self,
+        model: &LlmConfig,
+        setup: TrainingSetup,
+        pod: &PodProfile,
+    ) -> Option<PodTunePlan> {
+        let mut best: Option<PodTunePlan> = None;
+        let mut scratch = RunScratch::new();
+        for plane in MeshView::full(pod.shape()).planes() {
+            let Ok(assign) = pod.project(&plane.view) else {
+                continue;
+            };
+            let mesh_shape = assign.torus.shape();
+            let Some((analytic, layers)) = self.estimate_on_mesh(model, setup, mesh_shape) else {
+                continue;
+            };
+            let Some(simulated) =
+                self.simulate_layers_under(&layers, mesh_shape, &assign.profile, &mut scratch)
+            else {
+                continue;
+            };
+            let candidate = PodTunePlan {
+                plane,
+                mesh_shape,
+                physical_chips: assign.physical,
+                layers,
+                estimated_block_time: analytic,
+                simulated_block_time: simulated,
+            };
+            if best
+                .as_ref()
+                .map(|b| candidate.simulated_block_time < b.simulated_block_time)
+                .unwrap_or(true)
+            {
+                best = Some(candidate);
+            }
+        }
+        best
+    }
+
+    /// Simulates one FC block from already tuned per-layer plans under a
+    /// fault profile, serially merged — the plane-scoring primitive of
+    /// [`tune_pod`](Self::tune_pod). Distinct pass specs are scheduled,
+    /// lowered, and simulated once (mirrored layers repeat them).
+    fn simulate_layers_under(
+        &self,
+        layers: &[LayerPlan],
+        mesh_shape: MeshShape,
+        profile: &ClusterProfile,
+        scratch: &mut RunScratch,
+    ) -> Option<Duration> {
+        let base = self.cost.config();
+        let mut legal_memo: Vec<(GemmProblem, Vec<usize>)> = Vec::new();
+        let mut specs: Vec<(GemmProblem, usize, usize)> = Vec::new();
+        for layer in layers {
+            for pass in &layer.passes {
+                let legal = match legal_memo.iter().find(|(p, _)| *p == pass.problem) {
+                    Some((_, l)) => l.clone(),
+                    None => {
+                        let l = self.legal_slice_counts(mesh_shape, pass.problem);
+                        legal_memo.push((pass.problem, l.clone()));
+                        l
+                    }
+                };
+                let block = if legal.contains(&pass.slice_count) {
+                    self.block
+                } else {
+                    1
+                };
+                specs.push((pass.problem, pass.slice_count, block));
+            }
+        }
+        let slot_of = dedup_slots(&specs);
+        let mesh = Torus2d::from_shape(mesh_shape);
+        let engine = Engine::new(mesh.clone(), base.clone()).with_faults(profile.clone());
+        let mut distinct: Vec<SimReport> = Vec::new();
+        for (i, &(problem, s, block)) in specs.iter().enumerate() {
+            if slot_of[i] == distinct.len() {
+                let program = MeshSlice::new(s, block)
+                    .schedule(&mesh, problem, base.elem_bytes)
+                    .ok()?;
+                distinct.push(engine.run_with_scratch(&program, scratch));
+            }
+        }
+        let reports: Vec<SimReport> = slot_of.iter().map(|&k| distinct[k].clone()).collect();
+        Some(SimReport::merge_serial(&reports).makespan())
+    }
+
     /// Phase 2 on a fixed mesh, with full cost-model attribution: every
     /// legal slice count of every FC pass is priced analytically *and*
     /// simulated, and both numbers land in a [`TuneLog`] — the paper's
@@ -640,8 +788,8 @@ impl Autotuner {
         for ((label, problem, s, _, chosen), sim) in cands.into_iter().zip(sims) {
             let report = sim?;
             log.push(TuneCandidate {
-                mesh_rows: mesh_shape.rows,
-                mesh_cols: mesh_shape.cols,
+                mesh_rows: mesh_shape.rows(),
+                mesh_cols: mesh_shape.cols(),
                 label,
                 dataflow: problem.dataflow.to_string(),
                 slice_count: s,
@@ -1048,9 +1196,9 @@ fn dedup_slots<T: PartialEq>(specs: &[T]) -> Vec<usize> {
 fn sliced_extents(mesh: MeshShape, problem: GemmProblem) -> (usize, usize) {
     let GemmShape { m, n, k } = problem.shape;
     match problem.dataflow {
-        Dataflow::Os => (k / mesh.cols, k / mesh.rows),
-        Dataflow::Ls => (n / mesh.rows, n / mesh.cols),
-        Dataflow::Rs => (m / mesh.cols, m / mesh.rows),
+        Dataflow::Os => (k / mesh.cols(), k / mesh.rows()),
+        Dataflow::Ls => (n / mesh.rows(), n / mesh.cols()),
+        Dataflow::Rs => (m / mesh.cols(), m / mesh.rows()),
     }
 }
 
@@ -1102,8 +1250,76 @@ mod tests {
     #[test]
     fn candidate_meshes_exclude_rings() {
         let meshes = Autotuner::candidate_meshes(256);
-        assert!(meshes.iter().all(|m| m.rows >= 2 && m.cols >= 2));
+        assert!(meshes.iter().all(|m| m.rows() >= 2 && m.cols() >= 2));
         assert_eq!(meshes.len(), 7); // 2x128 ... 128x2
+    }
+
+    #[test]
+    fn candidate_meshes_nd_degenerates_to_2d() {
+        assert_eq!(
+            Autotuner::candidate_meshes_nd(256, 2),
+            Autotuner::candidate_meshes(256)
+        );
+        // Higher ranks keep the 2D shapes as a prefix and append N-D ones.
+        let nd = Autotuner::candidate_meshes_nd(64, 3);
+        let d2 = Autotuner::candidate_meshes(64);
+        assert_eq!(&nd[..d2.len()], &d2[..]);
+        let pod = MeshShape::nd(&[("x", 4), ("y", 4), ("z", 4)]).unwrap();
+        assert!(nd.contains(&pod));
+        assert!(nd.iter().all(|m| m.axes().iter().all(|a| a.size() >= 2)));
+        // All shapes multiply out to the chip count and none repeat.
+        assert!(nd.iter().all(|m| m.num_chips() == 64));
+        let mut dedup = nd.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), nd.len());
+    }
+
+    #[test]
+    fn tune_pod_prefers_a_clean_plane() {
+        let tuner = Autotuner::new(SimConfig::tpu_v4());
+        let model = tiny();
+        let setup = TrainingSetup::weak_scaling(4);
+        let shape = MeshShape::nd(&[("x", 2), ("y", 2), ("z", 2)]).unwrap();
+        // Chip (0,0,0) is a 4x straggler: every plane through it loses.
+        let pod = PodProfile::ideal(shape).with_compute_slowdown(meshslice_mesh::ChipId(0), 4.0);
+        let plan = tuner.tune_pod(&model, setup, &pod).unwrap();
+        assert_eq!(plan.layers.len(), 4);
+        assert_eq!(plan.mesh_shape.num_chips(), 4);
+        assert!(
+            !plan.physical_chips.contains(&meshslice_mesh::ChipId(0)),
+            "winner {} should avoid the straggler",
+            plan.plane
+        );
+        // The clean plane simulates like the fault-free analytic world:
+        // strictly faster than any plane through the straggler.
+        let through: Vec<_> = MeshView::full(shape)
+            .planes()
+            .into_iter()
+            .filter(|p| p.view.chips().contains(&meshslice_mesh::ChipId(0)))
+            .collect();
+        assert!(!through.is_empty());
+        for p in through {
+            let assign = pod.project(&p.view).unwrap();
+            assert!(!assign.profile.is_ideal());
+        }
+    }
+
+    #[test]
+    fn tune_pod_on_an_ideal_pod_is_deterministic() {
+        let tuner = Autotuner::new(SimConfig::tpu_v4());
+        let model = tiny();
+        let setup = TrainingSetup::weak_scaling(4);
+        let shape = MeshShape::nd(&[("x", 2), ("y", 2), ("z", 2)]).unwrap();
+        let pod = PodProfile::ideal(shape);
+        let plan = tuner.tune_pod(&model, setup, &pod).unwrap();
+        // All planes are congruent 2x2 meshes: ties keep the first plane
+        // in enumeration order.
+        let first = &MeshView::full(shape).planes()[0];
+        assert_eq!(plan.plane, *first);
+        assert_eq!(plan.physical_chips, first.view.chips());
+        // A second run reproduces the same plan bit-for-bit.
+        assert_eq!(tuner.tune_pod(&model, setup, &pod).unwrap(), plan);
     }
 
     #[test]

@@ -71,7 +71,7 @@ impl CheckpointModel {
     /// restored. This is what a replacement replica pulls from a
     /// checkpointed peer when a chip dies mid-serving.
     pub fn for_inference(model: &LlmConfig, mesh: MeshShape) -> CheckpointModel {
-        let footprint = crate::memory::inference_footprint(model, mesh, 1, mesh.rows);
+        let footprint = crate::memory::inference_footprint(model, mesh, 1, mesh.rows());
         CheckpointModel {
             bytes_per_chip: footprint.weights,
             bandwidth: DEFAULT_CHECKPOINT_BANDWIDTH,

@@ -139,14 +139,14 @@ impl CostModel {
 
     fn chain_ring(&self, mesh: MeshShape, axis: CommAxis) -> usize {
         match axis {
-            CommAxis::InterRow => mesh.rows,
-            CommAxis::InterCol => mesh.cols,
+            CommAxis::InterRow => mesh.rows(),
+            CommAxis::InterCol => mesh.cols(),
         }
     }
 
     fn structure(&self, mesh: MeshShape, problem: GemmProblem, eb: usize) -> GemmStructure {
         let GemmShape { m, n, k } = problem.shape;
-        let (pr, pc) = (mesh.rows, mesh.cols);
+        let (pr, pc) = (mesh.rows(), mesh.cols());
         let chain = |axis: Option<CommAxis>, bytes: u64| {
             axis.map(|a| CommChain {
                 ring: self.chain_ring(mesh, a),
@@ -313,7 +313,7 @@ impl CostModel {
         elem_bytes: usize,
     ) -> Duration {
         let GemmShape { m, n, k } = problem.shape;
-        let (pr, pc) = (mesh.rows, mesh.cols);
+        let (pr, pc) = (mesh.rows(), mesh.cols());
         let eb = elem_bytes as u64;
         let p = panels.max(1);
         let (ops, local): (Vec<Duration>, GemmShape) = match problem.dataflow {
@@ -370,7 +370,7 @@ impl CostModel {
         if !mesh.is_square() || problem.dataflow != Dataflow::Os {
             return None;
         }
-        let p = mesh.rows;
+        let p = mesh.rows();
         let GemmShape { m, n, k } = problem.shape;
         let a_bytes = problem.a_shard_bytes(mesh, elem_bytes);
         let b_bytes = problem.b_shard_bytes(mesh, elem_bytes);

@@ -175,7 +175,7 @@ fn single_gemm_utilization(
             Algorithm::MeshSlice => cm.meshslice_time(mesh, problem, s, eb),
             Algorithm::Collective => cm.collective_algo_time(mesh, problem, eb),
             Algorithm::Wang => cm.wang_time(mesh, problem, s, eb),
-            Algorithm::Summa => cm.summa_time(mesh, problem, mesh.rows.max(mesh.cols), eb),
+            Algorithm::Summa => cm.summa_time(mesh, problem, mesh.rows().max(mesh.cols()), eb),
             Algorithm::Cannon => cm.cannon_time(mesh, problem, eb)?,
             _ => return None,
         };

@@ -83,9 +83,9 @@ pub fn training_footprint(
     // iteration, double buffered. Upper bound over the four layers using
     // the largest FC GeMM (FF1): A' is (M/Pr x K/S), B' is (K/S x N/Pc).
     let s = s.max(1) as u64;
-    let m_local = tokens / mesh.rows as u64;
+    let m_local = tokens / mesh.rows() as u64;
     let k = h;
-    let n_local = (model.ffn_mult as u64 * h) / mesh.cols as u64;
+    let n_local = (model.ffn_mult as u64 * h) / mesh.cols() as u64;
     let gathered = m_local * (k / s) + (k / s) * n_local;
     let workspace = 2 * gathered * bf16;
 
@@ -161,8 +161,8 @@ pub fn inference_footprint(
     // sub-shards of one MeshSlice iteration of the largest FC GeMM (FF1),
     // double buffered, at the peak prefill row count.
     let s = s.max(1) as u64;
-    let m_local = max_prefill_tokens as u64 / mesh.rows as u64;
-    let n_local = (model.ffn_mult as u64 * h) / mesh.cols as u64;
+    let m_local = max_prefill_tokens as u64 / mesh.rows() as u64;
+    let n_local = (model.ffn_mult as u64 * h) / mesh.cols() as u64;
     let gathered = m_local * (h / s) + (h / s) * n_local;
     let workspace = 2 * gathered * bf16;
 

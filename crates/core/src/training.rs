@@ -346,9 +346,9 @@ pub fn summa_panels(mesh: MeshShape, problem: GemmProblem, slice_count: usize) -
                 g(b, a % b)
             }
         }
-        g(mesh.rows, mesh.cols)
+        g(mesh.rows(), mesh.cols())
     };
-    let lcm = mesh.rows / gcd * mesh.cols;
+    let lcm = mesh.rows() / gcd * mesh.cols();
     let dim = match problem.dataflow {
         Dataflow::Os => problem.shape.k,
         Dataflow::Ls => problem.shape.n,

@@ -76,7 +76,7 @@ impl DistributedGemm for Cannon {
             let c = pb.zeros(c_rows, c_cols);
             for chip in mesh.chips() {
                 let coord = mesh.coord_of(chip);
-                let (i, j) = (coord.row, coord.col);
+                let (i, j) = (coord.row(), coord.col());
                 // The A shard resident on this chip after the skew plus t
                 // systolic rotations is A_{i, j+i+t}; likewise B_{i+j+t, j}.
                 let a_home = |t: usize| mesh.chip_at(Coord::new(i, (j + i + t) % p));

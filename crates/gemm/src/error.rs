@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use meshslice_mesh::MeshError;
 use meshslice_sim::CycleError;
 
 /// Why an algorithm cannot run a given problem on a given mesh.
@@ -42,6 +43,8 @@ pub enum GemmError {
     ///
     /// [`ProgramBuilder`]: meshslice_sim::ProgramBuilder
     CyclicProgram(CycleError),
+    /// The mesh shape, view, or coordinate itself is invalid.
+    Mesh(MeshError),
 }
 
 impl fmt::Display for GemmError {
@@ -68,7 +71,14 @@ impl fmt::Display for GemmError {
                 )
             }
             GemmError::CyclicProgram(cycle) => write!(f, "invalid plan: {cycle}"),
+            GemmError::Mesh(err) => write!(f, "invalid mesh: {err}"),
         }
+    }
+}
+
+impl From<MeshError> for GemmError {
+    fn from(err: MeshError) -> Self {
+        GemmError::Mesh(err)
     }
 }
 

@@ -141,7 +141,7 @@ fn rotation_plan(
     };
     let per_group = total / groups;
     for chip in mesh.chips() {
-        let own = mesh.coord_of(chip).row;
+        let own = mesh.coord_of(chip).row();
         // Two independent SendRecv chains, one per direction; each step
         // sends half the traffic of a unidirectional rotation.
         let mut fwd_prev: Option<OpId> = None;

@@ -128,8 +128,8 @@ impl GemmProblem {
             ("B", self.b_dims()),
             ("C", self.c_dims()),
         ] {
-            ensure_divides(&format!("{name} rows by mesh rows"), r, mesh.rows)?;
-            ensure_divides(&format!("{name} cols by mesh cols"), c, mesh.cols)?;
+            ensure_divides(&format!("{name} rows by mesh rows"), r, mesh.rows())?;
+            ensure_divides(&format!("{name} cols by mesh cols"), c, mesh.cols())?;
         }
         Ok(())
     }
@@ -137,19 +137,19 @@ impl GemmProblem {
     /// Local shard dimensions of `A` on a mesh.
     pub fn a_shard_dims(&self, mesh: MeshShape) -> (usize, usize) {
         let (r, c) = self.a_dims();
-        (r / mesh.rows, c / mesh.cols)
+        (r / mesh.rows(), c / mesh.cols())
     }
 
     /// Local shard dimensions of `B` on a mesh.
     pub fn b_shard_dims(&self, mesh: MeshShape) -> (usize, usize) {
         let (r, c) = self.b_dims();
-        (r / mesh.rows, c / mesh.cols)
+        (r / mesh.rows(), c / mesh.cols())
     }
 
     /// Local shard dimensions of `C` on a mesh.
     pub fn c_shard_dims(&self, mesh: MeshShape) -> (usize, usize) {
         let (r, c) = self.c_dims();
-        (r / mesh.rows, c / mesh.cols)
+        (r / mesh.rows(), c / mesh.cols())
     }
 
     /// Bytes of one `A` shard.
@@ -180,11 +180,11 @@ impl GemmProblem {
     pub fn padded_for(&self, mesh: MeshShape, unit: usize) -> (GemmProblem, f64) {
         let unit = unit.max(1);
         let round = |dim: usize, div: usize| dim.div_ceil(div) * div;
-        let m = round(self.shape.m, mesh.rows * mesh.cols);
-        let n = round(self.shape.n, mesh.rows * mesh.cols);
+        let m = round(self.shape.m, mesh.rows() * mesh.cols());
+        let n = round(self.shape.n, mesh.rows() * mesh.cols());
         // The sliced dimension additionally needs the slicing unit on both
         // of its per-chip extents.
-        let k = round(self.shape.k, mesh.rows * mesh.cols * unit);
+        let k = round(self.shape.k, mesh.rows() * mesh.cols() * unit);
         let padded = GemmProblem::new(GemmShape::new(m, n, k), self.dataflow);
         let overhead = padded.shape.flops() as f64 / self.shape.flops() as f64 - 1.0;
         (padded, overhead)

@@ -398,13 +398,13 @@ pub(crate) fn execute_cannon(
     let mut a_cur = shift_by(
         mesh,
         CommAxis::InterCol,
-        |c| (p - c.row % p) % p,
+        |c| (p - c.row() % p) % p,
         &grid_state(a),
     );
     let mut b_cur = shift_by(
         mesh,
         CommAxis::InterRow,
-        |c| (p - c.col % p) % p,
+        |c| (p - c.col() % p) % p,
         &grid_state(b),
     );
     let (cr, cc) = problem.c_shard_dims(mesh.shape());
@@ -441,12 +441,12 @@ pub(crate) fn schedule_cannon(
     for chip in mesh.chips() {
         let coord = mesh.coord_of(chip);
         let mut a_prev: Option<OpId> = None;
-        for _ in 0..coord.row {
+        for _ in 0..coord.row() {
             let deps: Vec<OpId> = a_prev.into_iter().collect();
             a_prev = Some(b.send_recv(chip, LinkDir::ColMinus, a_bytes, &deps));
         }
         let mut b_prev: Option<OpId> = None;
-        for _ in 0..coord.col {
+        for _ in 0..coord.col() {
             let deps: Vec<OpId> = b_prev.into_iter().collect();
             b_prev = Some(b.send_recv(chip, LinkDir::RowMinus, b_bytes, &deps));
         }
@@ -669,7 +669,7 @@ pub(crate) fn execute_summa(
                 let reduced = reduce(mesh, CommAxis::InterCol, owner_col, &partial);
                 let c_off = panel * n_p - owner_col * (shape.n / pc);
                 for chip in mesh.chips() {
-                    if mesh.coord_of(chip).col == owner_col {
+                    if mesh.coord_of(chip).col() == owner_col {
                         c_state[chip.index()].add_block(0, c_off, &reduced[chip.index()]);
                     }
                 }
@@ -690,7 +690,7 @@ pub(crate) fn execute_summa(
                 let reduced = reduce(mesh, CommAxis::InterRow, owner_row, &partial);
                 let c_off = panel * m_p - owner_row * (shape.m / pr);
                 for chip in mesh.chips() {
-                    if mesh.coord_of(chip).row == owner_row {
+                    if mesh.coord_of(chip).row() == owner_row {
                         c_state[chip.index()].add_block(c_off, 0, &reduced[chip.index()]);
                     }
                 }
@@ -775,8 +775,8 @@ fn ring_reduce(
     let position = |chip: usize| {
         let coord = mesh.coord_of(meshslice_mesh::ChipId(chip));
         match axis {
-            CommAxis::InterRow => coord.row,
-            CommAxis::InterCol => coord.col,
+            CommAxis::InterRow => coord.row(),
+            CommAxis::InterCol => coord.col(),
         }
     };
     let mut carried: Option<Vec<Matrix>> = None;
@@ -817,8 +817,8 @@ pub(crate) fn execute_wang(
     let (pr, pc) = (mesh.rows(), mesh.cols());
     let a_state = grid_state(a);
     let b_state = grid_state(b);
-    let row_of = |chip: usize| mesh.coord_of(meshslice_mesh::ChipId(chip)).row;
-    let col_of = |chip: usize| mesh.coord_of(meshslice_mesh::ChipId(chip)).col;
+    let row_of = |chip: usize| mesh.coord_of(meshslice_mesh::ChipId(chip)).row();
+    let col_of = |chip: usize| mesh.coord_of(meshslice_mesh::ChipId(chip)).col();
 
     let c_state: Vec<Matrix> = match (problem.dataflow, overlap) {
         (Dataflow::Os, CommAxis::InterCol) => {

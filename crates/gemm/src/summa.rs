@@ -141,7 +141,7 @@ impl DistributedGemm for Summa {
                             // this chip's row and column rings.
                             let a_tile = TileRead::region(
                                 a,
-                                mesh.chip_at(Coord::new(coord.row, owner_col)),
+                                mesh.chip_at(Coord::new(coord.row(), owner_col)),
                                 0,
                                 a_off,
                                 a_rows,
@@ -149,7 +149,7 @@ impl DistributedGemm for Summa {
                             );
                             let b_tile = TileRead::region(
                                 b,
-                                mesh.chip_at(Coord::new(owner_row, coord.col)),
+                                mesh.chip_at(Coord::new(owner_row, coord.col())),
                                 b_off,
                                 0,
                                 k_p,
@@ -190,10 +190,10 @@ impl DistributedGemm for Summa {
                         let local = GemmShape::new(shape.m / pr, n_p, shape.k / pc);
                         for chip in mesh.chips() {
                             let coord = mesh.coord_of(chip);
-                            let owner = mesh.chip_at(Coord::new(coord.row, owner_col));
+                            let owner = mesh.chip_at(Coord::new(coord.row(), owner_col));
                             let b_tile = TileRead::region(
                                 b,
-                                mesh.chip_at(Coord::new(owner_row, coord.col)),
+                                mesh.chip_at(Coord::new(owner_row, coord.col())),
                                 b_off,
                                 0,
                                 n_p,
@@ -244,10 +244,10 @@ impl DistributedGemm for Summa {
                         let local = GemmShape::new(m_p, shape.n / pc, shape.k / pr);
                         for chip in mesh.chips() {
                             let coord = mesh.coord_of(chip);
-                            let owner = mesh.chip_at(Coord::new(owner_row, coord.col));
+                            let owner = mesh.chip_at(Coord::new(owner_row, coord.col()));
                             let a_tile = TileRead::region(
                                 a,
-                                mesh.chip_at(Coord::new(coord.row, owner_col)),
+                                mesh.chip_at(Coord::new(coord.row(), owner_col)),
                                 0,
                                 a_off,
                                 a_rows,

@@ -301,15 +301,15 @@ impl DistributedGemm for Wang {
             let pos_of = |chip: ChipId| {
                 let coord = mesh.coord_of(chip);
                 match overlap {
-                    CommAxis::InterRow => coord.row,
-                    CommAxis::InterCol => coord.col,
+                    CommAxis::InterRow => coord.row(),
+                    CommAxis::InterCol => coord.col(),
                 }
             };
             let ring_chip = |chip: ChipId, s: usize| {
                 let coord = mesh.coord_of(chip);
                 match overlap {
-                    CommAxis::InterRow => mesh.chip_at(Coord::new(s, coord.col)),
-                    CommAxis::InterCol => mesh.chip_at(Coord::new(coord.row, s)),
+                    CommAxis::InterRow => mesh.chip_at(Coord::new(s, coord.col())),
+                    CommAxis::InterCol => mesh.chip_at(Coord::new(coord.row(), s)),
                 }
             };
             // The partial GeMM for ring panel `s` on `chip`: panel `s` pairs

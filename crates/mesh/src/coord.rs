@@ -1,6 +1,8 @@
-//! Chip identifiers and mesh coordinates.
+//! Chip identifiers and N-D mesh coordinates.
 
 use std::fmt;
+
+use crate::{MeshError, MAX_AXES};
 
 /// A dense chip identifier in `0..num_chips`, row-major over the mesh.
 ///
@@ -34,34 +36,124 @@ impl From<ChipId> for usize {
     }
 }
 
-/// A position in the mesh: `(row, col)`.
+/// A position in an N-D mesh: one index per axis, in axis order.
 ///
-/// The chip at `Coord::new(i, j)` stores shard `X_ij` of every matrix, per
-/// the paper's §2.3.1.
+/// The 2D specialization keeps the paper's convention: `Coord::new(i, j)` is
+/// mesh row `i`, mesh column `j`, and the chip there stores shard `X_ij` of
+/// every matrix (§2.3.1). [`row`](Coord::row) and [`col`](Coord::col) read
+/// those two components back; N-D coordinates are built with
+/// [`Coord::nd`] and read with [`Coord::get`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Coord {
-    /// Mesh row index, `0..Pr`.
-    pub row: usize,
-    /// Mesh column index, `0..Pc`.
-    pub col: usize,
+    // `idx` precedes `rank` so the derived `Ord` is row-major (the unused
+    // tail is zero, and equal-rank coords compare component-wise).
+    idx: [u32; MAX_AXES],
+    rank: u8,
 }
 
 impl Coord {
-    /// Creates a coordinate from `(row, col)`.
+    /// Creates a 2D coordinate from `(row, col)`.
     pub fn new(row: usize, col: usize) -> Self {
-        Coord { row, col }
+        Coord::nd(&[row, col]).expect("2D coordinates always fit")
+    }
+
+    /// Creates an N-D coordinate from its components, one per axis.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::TooManyAxes`] for more than [`MAX_AXES`] components,
+    /// [`MeshError::NoAxes`] for none.
+    pub fn nd(components: &[usize]) -> Result<Self, MeshError> {
+        if components.is_empty() {
+            return Err(MeshError::NoAxes);
+        }
+        if components.len() > MAX_AXES {
+            return Err(MeshError::TooManyAxes {
+                got: components.len(),
+            });
+        }
+        let mut idx = [0u32; MAX_AXES];
+        for (slot, &c) in idx.iter_mut().zip(components) {
+            *slot = u32::try_from(c).map_err(|_| MeshError::CoordOutOfRange {
+                coord: format!("{c}"),
+                shape: "any".into(),
+            })?;
+        }
+        Ok(Coord {
+            idx,
+            rank: components.len() as u8,
+        })
+    }
+
+    /// Number of components (the rank of the shape this coordinate indexes).
+    pub fn rank(&self) -> usize {
+        self.rank as usize
+    }
+
+    /// The component on axis `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank`.
+    pub fn get(&self, i: usize) -> usize {
+        assert!(
+            i < self.rank(),
+            "axis {i} out of range for rank {}",
+            self.rank
+        );
+        self.idx[i] as usize
+    }
+
+    /// All components, in axis order.
+    pub fn components(&self) -> &[u32] {
+        &self.idx[..self.rank as usize]
+    }
+
+    /// The mesh row (first component) of a 2D coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is not rank 2.
+    pub fn row(&self) -> usize {
+        assert_eq!(
+            self.rank, 2,
+            "row() needs a 2D coordinate, got rank {}",
+            self.rank
+        );
+        self.idx[0] as usize
+    }
+
+    /// The mesh column (second component) of a 2D coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is not rank 2.
+    pub fn col(&self) -> usize {
+        assert_eq!(
+            self.rank, 2,
+            "col() needs a 2D coordinate, got rank {}",
+            self.rank
+        );
+        self.idx[1] as usize
     }
 }
 
 impl fmt::Debug for Coord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({},{})", self.row, self.col)
+        fmt::Display::fmt(self, f)
     }
 }
 
 impl fmt::Display for Coord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({},{})", self.row, self.col)
+        write!(f, "(")?;
+        for (i, c) in self.components().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -79,10 +171,36 @@ mod tests {
     #[test]
     fn coord_display() {
         assert_eq!(Coord::new(1, 2).to_string(), "(1,2)");
+        assert_eq!(Coord::nd(&[1, 2, 3]).unwrap().to_string(), "(1,2,3)");
     }
 
     #[test]
     fn coord_ordering_is_row_major() {
         assert!(Coord::new(0, 5) < Coord::new(1, 0));
+        assert!(Coord::nd(&[0, 3, 3]).unwrap() < Coord::nd(&[1, 0, 0]).unwrap());
+    }
+
+    #[test]
+    fn accessors_and_rank() {
+        let c = Coord::nd(&[4, 5, 6]).unwrap();
+        assert_eq!(c.rank(), 3);
+        assert_eq!(c.get(2), 6);
+        let d = Coord::new(7, 8);
+        assert_eq!((d.row(), d.col()), (7, 8));
+    }
+
+    #[test]
+    fn nd_rejects_bad_ranks() {
+        assert_eq!(Coord::nd(&[]), Err(MeshError::NoAxes));
+        assert!(matches!(
+            Coord::nd(&[0; 5]),
+            Err(MeshError::TooManyAxes { got: 5 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "2D coordinate")]
+    fn row_on_3d_panics() {
+        Coord::nd(&[1, 2, 3]).unwrap().row();
     }
 }

@@ -1,0 +1,177 @@
+//! Typed errors for the mesh/layout algebra.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a shape, coordinate, or view operation is invalid.
+///
+/// Every fallible constructor and view operation of the algebra returns
+/// `MeshError` instead of panicking; the panicking conveniences
+/// (`MeshShape::new`, `Torus2d::chip_at`, …) are thin `expect` wrappers kept
+/// for call sites that validate their inputs up front.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MeshError {
+    /// An axis was given size zero.
+    ZeroAxis {
+        /// The offending axis name.
+        axis: String,
+    },
+    /// More axes than the algebra supports ([`MAX_AXES`](crate::MAX_AXES)).
+    TooManyAxes {
+        /// The number of axes requested.
+        got: usize,
+    },
+    /// A shape needs at least one axis.
+    NoAxes,
+    /// Two axes share a name.
+    DuplicateAxis {
+        /// The repeated axis name.
+        axis: String,
+    },
+    /// An axis name is empty, too long, or not `[A-Za-z0-9_]`.
+    BadAxisName {
+        /// The rejected name.
+        name: String,
+    },
+    /// A named axis does not exist in the shape or view.
+    UnknownAxis {
+        /// The name that failed to resolve.
+        axis: String,
+    },
+    /// A coordinate's rank does not match the shape's.
+    RankMismatch {
+        /// The rank the shape or view has.
+        expected: usize,
+        /// The rank that was supplied.
+        got: usize,
+    },
+    /// A coordinate component is outside its axis.
+    CoordOutOfRange {
+        /// The coordinate, formatted.
+        coord: String,
+        /// The shape it was resolved against, formatted.
+        shape: String,
+    },
+    /// A chip index is outside the mesh.
+    ChipOutOfRange {
+        /// The raw chip index.
+        chip: usize,
+        /// The number of chips in the mesh.
+        num_chips: usize,
+    },
+    /// A split's factor sizes do not multiply back to the axis size.
+    SplitSizeMismatch {
+        /// The axis being split.
+        axis: String,
+        /// Its size.
+        size: usize,
+        /// The product of the requested factors.
+        product: usize,
+    },
+    /// A split was requested on an axis whose physical layout is not
+    /// separable into the requested factors (e.g. splitting a flattened
+    /// axis against the grain of the fold).
+    NotSeparable {
+        /// The axis being split.
+        axis: String,
+    },
+    /// A slice range is empty or exceeds the axis extent.
+    BadRange {
+        /// The axis being sliced.
+        axis: String,
+        /// Range start.
+        start: usize,
+        /// Range end (exclusive).
+        end: usize,
+        /// The axis size.
+        size: usize,
+    },
+    /// An operation needs a rank-2 shape or view (the 2D specializations).
+    NotRank2 {
+        /// The rank that was found.
+        got: usize,
+    },
+    /// A permutation does not name each axis exactly once.
+    BadPermutation {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::ZeroAxis { axis } => write!(f, "axis '{axis}' has size zero"),
+            MeshError::TooManyAxes { got } => {
+                write!(f, "{got} axes exceed the {} supported", crate::MAX_AXES)
+            }
+            MeshError::NoAxes => write!(f, "a mesh shape needs at least one axis"),
+            MeshError::DuplicateAxis { axis } => write!(f, "duplicate axis name '{axis}'"),
+            MeshError::BadAxisName { name } => write!(
+                f,
+                "bad axis name '{name}' (need 1..={} chars of [A-Za-z0-9_])",
+                crate::AxisName::MAX_LEN
+            ),
+            MeshError::UnknownAxis { axis } => write!(f, "unknown axis '{axis}'"),
+            MeshError::RankMismatch { expected, got } => {
+                write!(
+                    f,
+                    "rank mismatch: shape has {expected} axes, coord has {got}"
+                )
+            }
+            MeshError::CoordOutOfRange { coord, shape } => {
+                write!(f, "coordinate {coord} outside {shape} mesh")
+            }
+            MeshError::ChipOutOfRange { chip, num_chips } => {
+                write!(f, "chip{chip} outside {num_chips}-chip mesh")
+            }
+            MeshError::SplitSizeMismatch {
+                axis,
+                size,
+                product,
+            } => write!(
+                f,
+                "cannot split axis '{axis}' of size {size} into factors with product {product}"
+            ),
+            MeshError::NotSeparable { axis } => {
+                write!(
+                    f,
+                    "axis '{axis}' is not separable into the requested factors"
+                )
+            }
+            MeshError::BadRange {
+                axis,
+                start,
+                end,
+                size,
+            } => write!(
+                f,
+                "range {start}..{end} invalid for axis '{axis}' of size {size}"
+            ),
+            MeshError::NotRank2 { got } => {
+                write!(f, "operation needs a 2D mesh, found rank {got}")
+            }
+            MeshError::BadPermutation { reason } => write!(f, "bad permutation: {reason}"),
+        }
+    }
+}
+
+impl Error for MeshError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = MeshError::ZeroAxis { axis: "z".into() };
+        assert!(e.to_string().contains('z'));
+        let e = MeshError::ChipOutOfRange {
+            chip: 9,
+            num_chips: 8,
+        };
+        assert!(e.to_string().contains("chip9"));
+        let e = MeshError::NotRank2 { got: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+}

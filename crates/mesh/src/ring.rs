@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::ChipId;
+use crate::{AxisName, ChipId};
 
 /// The two directions a 2D GeMM communicates in, named with the paper's
 /// subscript convention (§2.3, Figure 2):
@@ -27,6 +27,27 @@ impl CommAxis {
         match self {
             CommAxis::InterRow => CommAxis::InterCol,
             CommAxis::InterCol => CommAxis::InterRow,
+        }
+    }
+
+    /// The named mesh axis a ring on this communication axis runs along:
+    /// inter-row rings advance along axis `x` (mesh rows), inter-col rings
+    /// along axis `y` (mesh columns).
+    pub fn axis_name(self) -> AxisName {
+        match self {
+            CommAxis::InterRow => AxisName::X,
+            CommAxis::InterCol => AxisName::Y,
+        }
+    }
+
+    /// The communication axis for a named 2D mesh axis (`x` or `y`).
+    pub fn from_axis_name(name: AxisName) -> Option<CommAxis> {
+        if name == AxisName::X {
+            Some(CommAxis::InterRow)
+        } else if name == AxisName::Y {
+            Some(CommAxis::InterCol)
+        } else {
+            None
         }
     }
 
@@ -110,25 +131,64 @@ impl LinkDir {
     }
 }
 
+/// Which axis a ring runs along: one of the two 2D communication axes, or
+/// an arbitrary named axis of an N-D [`MeshView`](crate::MeshView).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RingAxis {
+    /// A 2D torus communication direction.
+    Comm(CommAxis),
+    /// A named axis of an N-D view.
+    Named(AxisName),
+}
+
+impl fmt::Display for RingAxis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingAxis::Comm(axis) => write!(f, "{axis}"),
+            RingAxis::Named(name) => write!(f, "{name}"),
+        }
+    }
+}
+
 /// An ordered ring of chips used by one collective operation.
 ///
 /// `members[p]` sends to `members[(p + 1) % len]` when the ring runs in the
 /// forward direction. Rings are produced by
-/// [`Torus2d::ring_through`](crate::Torus2d::ring_through) so that the
-/// member order follows physically adjacent torus links.
+/// [`Torus2d::ring_through`](crate::Torus2d::ring_through) (2D, member order
+/// follows physically adjacent torus links) and by
+/// [`MeshView::ring_along`](crate::MeshView::ring_along) (N-D, member order
+/// follows the view axis).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Ring {
-    axis: CommAxis,
+    axis: RingAxis,
     members: Vec<ChipId>,
 }
 
 impl Ring {
-    /// Creates a ring from its ordered members.
+    /// Creates a 2D ring from its ordered members.
     ///
     /// # Panics
     ///
     /// Panics if `members` is empty or contains duplicates.
     pub fn new(axis: CommAxis, members: Vec<ChipId>) -> Self {
+        Self::with_axis(RingAxis::Comm(axis), members)
+    }
+
+    /// Creates a ring along a named view axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or contains duplicates.
+    pub fn along(axis: AxisName, members: Vec<ChipId>) -> Self {
+        // The two canonical 2D names keep their CommAxis identity so rings
+        // built through the view algebra compare equal to torus rings.
+        match CommAxis::from_axis_name(axis) {
+            Some(comm) => Self::with_axis(RingAxis::Comm(comm), members),
+            None => Self::with_axis(RingAxis::Named(axis), members),
+        }
+    }
+
+    fn with_axis(axis: RingAxis, members: Vec<ChipId>) -> Self {
         assert!(!members.is_empty(), "a ring needs at least one member");
         let mut sorted = members.clone();
         sorted.sort_unstable();
@@ -137,8 +197,21 @@ impl Ring {
         Ring { axis, members }
     }
 
-    /// The communication axis of this ring.
+    /// The communication axis of a 2D ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rings along a non-2D named axis; use
+    /// [`ring_axis`](Self::ring_axis) for those.
     pub fn axis(&self) -> CommAxis {
+        match self.axis {
+            RingAxis::Comm(axis) => axis,
+            RingAxis::Named(name) => panic!("ring along '{name}' has no 2D comm axis"),
+        }
+    }
+
+    /// The axis this ring runs along.
+    pub fn ring_axis(&self) -> RingAxis {
         self.axis
     }
 

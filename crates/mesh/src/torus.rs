@@ -1,8 +1,9 @@
-//! The 2D torus cluster topology.
+//! The 2D torus cluster topology — a thin rank-2 specialization of the
+//! N-D shape/view algebra.
 
 use std::fmt;
 
-use crate::{ChipId, CommAxis, Coord, LinkDir, MeshShape, Ring};
+use crate::{AxisName, ChipId, CommAxis, Coord, LinkDir, MeshError, MeshShape, MeshView, Ring};
 
 /// A cluster of chips connected as a `rows × cols` 2D torus.
 ///
@@ -10,6 +11,13 @@ use crate::{ChipId, CommAxis, Coord, LinkDir, MeshShape, Ring};
 /// chip has four ICI links ([`LinkDir`]); each mesh row and each mesh column
 /// forms a physical ring, which is what makes the efficient ring AllGather /
 /// ReduceScatter collectives of the paper possible.
+///
+/// `Torus2d` is the rank-2 specialization of the N-D algebra: it wraps a
+/// rank-2 [`MeshShape`] (axes `x`, `y`), its indexing is the shape's
+/// row-major strided indexing, and its rings are
+/// [`MeshView::ring_along`] over the corresponding axis.
+/// [`view`](Torus2d::view) exposes the full algebra — select, flatten,
+/// planes — on the same chips.
 ///
 /// A 1D ring of `n` chips (used by the paper's 1D TP and FSDP baselines) is
 /// the degenerate torus `Torus2d::new(n, 1)`.
@@ -33,16 +41,43 @@ impl Torus2d {
     ///
     /// # Panics
     ///
-    /// Panics if either dimension is zero.
+    /// Panics if either dimension is zero. Use [`try_new`](Self::try_new)
+    /// in fallible code.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Torus2d {
-            shape: MeshShape::new(rows, cols),
-        }
+        Self::try_new(rows, cols).expect("mesh dimensions must be positive")
     }
 
-    /// Creates a torus from a [`MeshShape`].
+    /// Fallible [`new`](Self::new).
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::ZeroAxis`] when a dimension is zero.
+    pub fn try_new(rows: usize, cols: usize) -> Result<Self, MeshError> {
+        Ok(Torus2d {
+            shape: MeshShape::try_new(rows, cols)?,
+        })
+    }
+
+    /// Creates a torus from a rank-2 [`MeshShape`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not rank 2. Use
+    /// [`try_from_shape`](Self::try_from_shape) in fallible code.
     pub fn from_shape(shape: MeshShape) -> Self {
-        Torus2d { shape }
+        Self::try_from_shape(shape).expect("Torus2d needs a rank-2 shape")
+    }
+
+    /// Fallible [`from_shape`](Self::from_shape).
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::NotRank2`] for shapes of any other rank.
+    pub fn try_from_shape(shape: MeshShape) -> Result<Self, MeshError> {
+        if shape.rank() != 2 {
+            return Err(MeshError::NotRank2 { got: shape.rank() });
+        }
+        Ok(Torus2d { shape })
     }
 
     /// The mesh shape.
@@ -50,14 +85,20 @@ impl Torus2d {
         self.shape
     }
 
+    /// The identity [`MeshView`] of this torus — the door into the N-D
+    /// algebra (select, slice, flatten, planes, …).
+    pub fn view(&self) -> MeshView {
+        MeshView::full(self.shape)
+    }
+
     /// Number of mesh rows `Pr`.
     pub fn rows(&self) -> usize {
-        self.shape.rows
+        self.shape.rows()
     }
 
     /// Number of mesh columns `Pc`.
     pub fn cols(&self) -> usize {
-        self.shape.cols
+        self.shape.cols()
     }
 
     /// Total number of chips.
@@ -69,28 +110,44 @@ impl Torus2d {
     ///
     /// # Panics
     ///
-    /// Panics if the coordinate is outside the mesh.
+    /// Panics if the coordinate is outside the mesh. Use
+    /// [`try_chip_at`](Self::try_chip_at) in fallible code.
     pub fn chip_at(&self, coord: Coord) -> ChipId {
-        assert!(
-            coord.row < self.rows() && coord.col < self.cols(),
-            "coordinate {coord} outside {} mesh",
-            self.shape
-        );
-        ChipId(coord.row * self.cols() + coord.col)
+        match self.try_chip_at(coord) {
+            Ok(chip) => chip,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`chip_at`](Self::chip_at).
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::CoordOutOfRange`] or [`MeshError::RankMismatch`].
+    pub fn try_chip_at(&self, coord: Coord) -> Result<ChipId, MeshError> {
+        self.shape.index_of(coord).map(ChipId)
     }
 
     /// The coordinate of a chip id.
     ///
     /// # Panics
     ///
-    /// Panics if the id is out of range.
+    /// Panics if the id is out of range. Use
+    /// [`try_coord_of`](Self::try_coord_of) in fallible code.
     pub fn coord_of(&self, chip: ChipId) -> Coord {
-        assert!(
-            chip.index() < self.num_chips(),
-            "{chip:?} outside {} mesh",
-            self.shape
-        );
-        Coord::new(chip.index() / self.cols(), chip.index() % self.cols())
+        match self.try_coord_of(chip) {
+            Ok(coord) => coord,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`coord_of`](Self::coord_of).
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::ChipOutOfRange`].
+    pub fn try_coord_of(&self, chip: ChipId) -> Result<Coord, MeshError> {
+        self.shape.coord_at(chip.index())
     }
 
     /// All chips, in row-major order.
@@ -100,7 +157,7 @@ impl Torus2d {
 
     /// The neighbor of `coord` across the given link (with torus wrap).
     pub fn neighbor(&self, coord: Coord, dir: LinkDir) -> Coord {
-        let (r, c) = (coord.row, coord.col);
+        let (r, c) = (coord.row(), coord.col());
         match dir {
             LinkDir::RowPlus => Coord::new((r + 1) % self.rows(), c),
             LinkDir::RowMinus => Coord::new((r + self.rows() - 1) % self.rows(), c),
@@ -126,33 +183,30 @@ impl Torus2d {
     ///
     /// Panics if the coordinate is outside the mesh.
     pub fn ring_through(&self, coord: Coord, axis: CommAxis) -> Ring {
-        assert!(
-            coord.row < self.rows() && coord.col < self.cols(),
-            "coordinate {coord} outside {} mesh",
-            self.shape
-        );
-        let members = match axis {
-            CommAxis::InterRow => (0..self.rows())
-                .map(|r| self.chip_at(Coord::new(r, coord.col)))
-                .collect(),
-            CommAxis::InterCol => (0..self.cols())
-                .map(|c| self.chip_at(Coord::new(coord.row, c)))
-                .collect(),
+        // Fix the *other* axis at this coordinate's position and walk the
+        // ring axis — `select` + `ring_along` on the identity view.
+        let (ring_axis, fixed_axis, fixed_at) = match axis {
+            CommAxis::InterRow => (AxisName::X, AxisName::Y, coord.col()),
+            CommAxis::InterCol => (AxisName::Y, AxisName::X, coord.row()),
         };
-        Ring::new(axis, members)
+        // Validate the full coordinate (not just the fixed component) to
+        // keep the historical out-of-mesh panic.
+        self.chip_at(coord);
+        let line = self
+            .view()
+            .select(fixed_axis, fixed_at)
+            .expect("coordinate validated above");
+        let mut rings = line.ring_along(ring_axis).expect("ring axis remains");
+        debug_assert_eq!(rings.len(), 1);
+        rings.remove(0)
     }
 
     /// All distinct rings on `axis`: one per mesh column for
     /// [`CommAxis::InterRow`], one per mesh row for [`CommAxis::InterCol`].
     pub fn rings(&self, axis: CommAxis) -> Vec<Ring> {
-        match axis {
-            CommAxis::InterRow => (0..self.cols())
-                .map(|c| self.ring_through(Coord::new(0, c), axis))
-                .collect(),
-            CommAxis::InterCol => (0..self.rows())
-                .map(|r| self.ring_through(Coord::new(r, 0), axis))
-                .collect(),
-        }
+        self.view()
+            .ring_along(axis.axis_name())
+            .expect("2D axes always exist")
     }
 
     /// The ring length of a collective on `axis` (`Pr` for inter-row, `Pc`
@@ -221,10 +275,11 @@ mod tests {
         let mesh = Torus2d::new(4, 2);
         let ring = mesh.ring_through(Coord::new(2, 1), CommAxis::InterRow);
         assert_eq!(ring.len(), 4);
+        assert_eq!(ring.axis(), CommAxis::InterRow);
         let coords: Vec<_> = ring.members().iter().map(|&c| mesh.coord_of(c)).collect();
-        assert!(coords.iter().all(|c| c.col == 1));
-        assert_eq!(coords[0].row, 0);
-        assert_eq!(coords[3].row, 3);
+        assert!(coords.iter().all(|c| c.col() == 1));
+        assert_eq!(coords[0].row(), 0);
+        assert_eq!(coords[3].row(), 3);
     }
 
     #[test]
@@ -232,7 +287,7 @@ mod tests {
         let mesh = Torus2d::new(4, 3);
         let ring = mesh.ring_through(Coord::new(2, 1), CommAxis::InterCol);
         assert_eq!(ring.len(), 3);
-        assert!(ring.members().iter().all(|&c| mesh.coord_of(c).row == 2));
+        assert!(ring.members().iter().all(|&c| mesh.coord_of(c).row() == 2));
     }
 
     #[test]
@@ -278,5 +333,36 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn out_of_mesh_coordinate_panics() {
         Torus2d::new(2, 2).chip_at(Coord::new(2, 0));
+    }
+
+    #[test]
+    fn typed_errors_replace_panics() {
+        assert!(matches!(
+            Torus2d::try_new(0, 2),
+            Err(MeshError::ZeroAxis { .. })
+        ));
+        let mesh = Torus2d::new(2, 2);
+        assert!(matches!(
+            mesh.try_chip_at(Coord::new(2, 0)),
+            Err(MeshError::CoordOutOfRange { .. })
+        ));
+        assert!(matches!(
+            mesh.try_coord_of(ChipId(4)),
+            Err(MeshError::ChipOutOfRange { .. })
+        ));
+        let pod = MeshShape::nd(&[("x", 2), ("y", 2), ("z", 2)]).unwrap();
+        assert!(matches!(
+            Torus2d::try_from_shape(pod),
+            Err(MeshError::NotRank2 { got: 3 })
+        ));
+    }
+
+    #[test]
+    fn torus_rings_match_view_algebra() {
+        let mesh = Torus2d::new(3, 4);
+        for axis in [CommAxis::InterRow, CommAxis::InterCol] {
+            let via_view = mesh.view().ring_along(axis.axis_name()).unwrap();
+            assert_eq!(mesh.rings(axis), via_view);
+        }
     }
 }

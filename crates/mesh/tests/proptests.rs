@@ -1,10 +1,21 @@
-//! Property-based tests for the torus topology.
+//! Property-based tests for the torus topology and the N-D view algebra.
 
-use meshslice_mesh::{ChipId, CommAxis, Coord, LinkDir, MeshShape, Torus2d};
+use meshslice_mesh::{
+    AxisName, ChipId, CommAxis, Coord, LinkDir, MeshShape, MeshView, Torus2d, MAX_AXES,
+};
 use proptest::prelude::*;
 
 fn mesh_dims() -> impl Strategy<Value = (usize, usize)> {
     (1usize..9, 1usize..9)
+}
+
+/// Random N-D axis sizes: rank 1..=MAX_AXES, each axis 1..=4 chips.
+fn nd_sizes() -> impl Strategy<Value = Vec<usize>> {
+    (
+        1usize..=MAX_AXES,
+        (1usize..5, 1usize..5, 1usize..5, 1usize..5),
+    )
+        .prop_map(|(rank, (a, b, c, d))| [a, b, c, d][..rank].to_vec())
 }
 
 proptest! {
@@ -95,5 +106,85 @@ proptest! {
             walked = ring.next(walked);
         }
         prop_assert_eq!(direct, walked);
+    }
+
+    #[test]
+    fn nd_index_and_coord_round_trip(sizes in nd_sizes()) {
+        let shape = MeshShape::from_sizes(&sizes).unwrap();
+        prop_assert_eq!(shape.num_chips(), sizes.iter().product::<usize>());
+        for idx in 0..shape.num_chips() {
+            let coord = shape.coord_at(idx).unwrap();
+            prop_assert_eq!(coord.rank(), shape.rank());
+            for (i, axis) in shape.axes().iter().enumerate() {
+                prop_assert!(coord.get(i) < axis.size());
+            }
+            prop_assert_eq!(shape.index_of(coord).unwrap(), idx);
+        }
+        // Out-of-range lookups are typed errors, not panics.
+        prop_assert!(shape.coord_at(shape.num_chips()).is_err());
+    }
+
+    #[test]
+    fn flatten_then_split_is_identity(sizes in nd_sizes()) {
+        let shape = MeshShape::from_sizes(&sizes).unwrap();
+        let full = MeshView::full(shape);
+        let names = full.axis_names();
+        // Fold everything into one logical ring, then factor it back.
+        let folded = full.flatten(&names, AxisName::new("fold").unwrap()).unwrap();
+        prop_assert_eq!(folded.rank(), 1);
+        prop_assert_eq!(folded.chips(), full.chips());
+        let factors: Vec<(AxisName, usize)> = names
+            .iter()
+            .zip(&sizes)
+            .map(|(&n, &s)| (n, s))
+            .collect();
+        let back = folded.split(AxisName::new("fold").unwrap(), &factors).unwrap();
+        prop_assert_eq!(back.axis_names(), names);
+        prop_assert_eq!(back.shape(), shape);
+        prop_assert_eq!(back.chips(), full.chips());
+    }
+
+    #[test]
+    fn permute_preserves_the_chip_set(sizes in nd_sizes(), rot in 0usize..4) {
+        let shape = MeshShape::from_sizes(&sizes).unwrap();
+        let full = MeshView::full(shape);
+        let mut order = full.axis_names();
+        let shift = rot % order.len();
+        order.rotate_left(shift);
+        let permuted = full.permute(&order).unwrap();
+        prop_assert_eq!(permuted.axis_names(), order);
+        let mut got = permuted.chips();
+        got.sort_unstable();
+        let mut want = full.chips();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        // Permuting back restores the original view order exactly.
+        let back = permuted.permute(&full.axis_names()).unwrap();
+        prop_assert_eq!(back.chips(), full.chips());
+    }
+
+    #[test]
+    fn nd_factorizations_are_complete_and_duplicate_free(n in 1usize..129) {
+        // Rank 2 degenerates to the historical 2D enumeration.
+        let d2 = MeshShape::factorizations_nd(n, 2).unwrap();
+        prop_assert_eq!(d2, MeshShape::factorizations(n));
+        // Rank 3: complete (every ordered triple), duplicate-free.
+        let d3 = MeshShape::factorizations_nd(n, 3).unwrap();
+        let mut expected = 0usize;
+        for a in 1..=n {
+            if n % a != 0 { continue; }
+            for b in 1..=n / a {
+                if (n / a) % b == 0 { expected += 1; }
+            }
+        }
+        prop_assert_eq!(d3.len(), expected);
+        for shape in &d3 {
+            prop_assert_eq!(shape.rank(), 3);
+            prop_assert_eq!(shape.num_chips(), n);
+        }
+        let mut dedup = d3.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), d3.len());
     }
 }

@@ -113,6 +113,33 @@ pub trait Strategy {
 
     /// Draws one value.
     fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps drawn values through `f`, like upstream `Strategy::prop_map`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn pick(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.pick(rng))
+    }
 }
 
 impl<T> Strategy for Box<dyn Strategy<Value = T>> {

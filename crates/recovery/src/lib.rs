@@ -433,7 +433,7 @@ impl ResilientTuning for Autotuner {
             b.expected_goodput
                 .total_cmp(&a.expected_goodput)
                 .then(a.nominal_block.cmp(&b.nominal_block))
-                .then(a.mesh_shape.rows.cmp(&b.mesh_shape.rows))
+                .then(a.mesh_shape.rows().cmp(&b.mesh_shape.rows()))
                 .then(a.requested_s.cmp(&b.requested_s))
         });
         ResilientPlan { candidates }

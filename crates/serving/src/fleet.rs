@@ -449,8 +449,8 @@ impl FleetReport {
         let mut fields = vec![
             ("schema_version", Json::Num(3.0)),
             ("model", Json::Str(self.model.clone())),
-            ("mesh_rows", Json::Num(self.mesh.rows as f64)),
-            ("mesh_cols", Json::Num(self.mesh.cols as f64)),
+            ("mesh_rows", Json::Num(self.mesh.rows() as f64)),
+            ("mesh_cols", Json::Num(self.mesh.cols() as f64)),
             ("slice_count", Json::Num(self.slice_count as f64)),
             ("replicas", Json::Num(self.replicas as f64)),
             ("chips_total", Json::Num(self.total_chips() as f64)),

@@ -95,8 +95,8 @@ pub fn rank_candidates(a: &ServingCandidate, b: &ServingCandidate) -> Ordering {
                 .total_cmp(&a.goodput_tokens_per_chip_s),
         )
         .then(a.p99_ttft_ms.total_cmp(&b.p99_ttft_ms))
-        .then(a.mesh.rows.cmp(&b.mesh.rows))
-        .then(a.mesh.cols.cmp(&b.mesh.cols))
+        .then(a.mesh.rows().cmp(&b.mesh.rows()))
+        .then(a.mesh.cols().cmp(&b.mesh.cols()))
         .then(a.slice_count.cmp(&b.slice_count))
         .then(a.replicas.cmp(&b.replicas))
         .then(a.max_batch.cmp(&b.max_batch))
@@ -290,8 +290,8 @@ pub fn rank_resilient_candidates(
         .total_cmp(&a.p95_goodput)
         .then(b.mean_goodput.total_cmp(&a.mean_goodput))
         .then(b.worst_goodput.total_cmp(&a.worst_goodput))
-        .then(a.mesh.rows.cmp(&b.mesh.rows))
-        .then(a.mesh.cols.cmp(&b.mesh.cols))
+        .then(a.mesh.rows().cmp(&b.mesh.rows()))
+        .then(a.mesh.cols().cmp(&b.mesh.cols()))
         .then(a.slice_count.cmp(&b.slice_count))
         .then(a.replicas.cmp(&b.replicas))
         .then(a.max_batch.cmp(&b.max_batch))

@@ -46,6 +46,7 @@ mod failure;
 mod hbm;
 mod lower;
 mod perturb;
+mod pod;
 mod program;
 mod report;
 mod time;
@@ -59,6 +60,7 @@ pub use failure::{
     degraded_torus_profile, AbortInfo, ChipFailure, FailureOutcome, DETOUR_LINK_MULTIPLIER,
 };
 pub use perturb::{ClusterProfile, LinkOutage};
+pub use pod::{PlaneAssignment, PodProfile};
 pub use program::{CollectiveKind, CycleError, OpId, OpKind, Program, ProgramBuilder};
 pub use report::{SimReport, TimeBreakdown};
 pub use time::{Duration, Time};
